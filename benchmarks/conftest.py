@@ -1,0 +1,46 @@
+"""Shared world fixture for the benchmark harness.
+
+Every benchmark regenerates one table/figure of the paper.  They share a
+single world (telemetry + pre-trained LM) built once per session.
+
+Scale control:
+
+- default: a bench-sized world (~5k train lines) so the whole suite
+  finishes in minutes;
+- ``REPRO_SCALE=small|full``: the library's standard configurations for
+  results closer to the paper's regime (see EXPERIMENTS.md);
+- ``REPRO_BENCH_RUNS``: tuning runs per mean±std table (default 2;
+  the paper uses 5).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.common import World, WorldConfig, build_world, default_world_config
+
+
+def bench_world_config() -> WorldConfig:
+    """The world configuration benchmarks run against."""
+    if "REPRO_SCALE" in os.environ:
+        return default_world_config()
+    return WorldConfig(
+        train_lines=5_000,
+        test_lines=3_000,
+        vocab_size=800,
+        pretrain_epochs=2,
+        tuning_subsample=3_000,
+        top_vs=(10, 60),
+        seed=1,
+    )
+
+
+def bench_runs() -> int:
+    """Tuning runs for the mean±std tables."""
+    return int(os.environ.get("REPRO_BENCH_RUNS", "2"))
+
+
+@pytest.fixture(scope="session")
+def world() -> World:
+    """The shared reproduction world (cached across benchmark modules)."""
+    return build_world(bench_world_config())

@@ -1,0 +1,21 @@
+"""Benchmark: the design-choice ablations (retrieval-k, PCA variance,
+multi-line window, pooling, ensemble)."""
+
+from repro.experiments.ablations import run_ablations
+
+
+def test_bench_ablations(world, benchmark):
+    result = benchmark.pedantic(run_ablations, args=(world,), kwargs={"seed": 0}, rounds=1, iterations=1)
+    print("\n" + result.render())
+    benchmark.extra_info["n_tables"] = len(result.tables)
+    # every declared ablation produced a populated table
+    expected = {
+        "retrieval scoring (Sec. IV-D innovation)",
+        "PCA variance kept (unsupervised)",
+        "multi-line context width (Sec. IV-C)",
+        "embedding pooling (Sec. III)",
+        "ensemble of methods (Sec. V-C)",
+        "test-set de-duplication granularity (Sec. V)",
+    }
+    assert expected == set(result.tables)
+    assert all(rows for rows in result.tables.values())

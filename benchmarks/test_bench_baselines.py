@@ -1,0 +1,18 @@
+"""Benchmark: the Section-VI comparison against profile-based prior work."""
+
+import math
+
+from repro.experiments.baselines import run_baseline_comparison
+
+
+def test_bench_baselines(world, benchmark):
+    result = benchmark.pedantic(
+        run_baseline_comparison, args=(world,), kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+    benchmark.extra_info.update({k: v for k, v in result.overall.items()})
+    ours = result.overall["LM classification (ours)"]
+    priors = [v for k, v in result.overall.items() if k != "LM classification (ours)"]
+    # Shape check (Sec. VI): the LM method out-ranks every profile baseline.
+    assert not math.isnan(ours)
+    assert all(ours >= p - 0.05 for p in priors)

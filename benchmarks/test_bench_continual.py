@@ -1,0 +1,22 @@
+"""Benchmark: the intro's weekly continual-learning claim."""
+
+from conftest import bench_world_config
+
+from repro.experiments.continual import run_continual
+
+
+def test_bench_continual(benchmark):
+    # Builds its own two-model world (frozen vs updated), so it does not
+    # share the session world fixture.
+    result = benchmark.pedantic(
+        run_continual, args=(bench_world_config(),), kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+    benchmark.extra_info["mean_gain"] = result.mean_gain
+    # The weekly update must not hurt detection of the emerging family;
+    # it either lifts a previously-missed variant decisively or confirms
+    # full coverage (when the frozen model already generalised to the
+    # family from its attack-pattern neighbours).
+    assert result.mean_gain > -0.05
+    lifts = [u - f for f, u in zip(result.frozen_scores, result.continual_scores)]
+    assert max(lifts) > 0.1 or min(result.continual_scores) > 0.9

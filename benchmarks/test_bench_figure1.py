@@ -1,0 +1,18 @@
+"""Benchmark: exercise the Figure-1 end-to-end pipeline (train + infer)."""
+
+from repro.experiments.figure1 import run_figure1
+
+
+def test_bench_figure1(world, benchmark):
+    result = benchmark.pedantic(run_figure1, args=(world,), kwargs={"seed": 0}, rounds=1, iterations=1)
+    print("\n" + result.render())
+    benchmark.extra_info["threshold"] = result.threshold
+    flagged = [line for line, _, is_intrusion in result.verdicts if is_intrusion]
+    benchmark.extra_info["flagged"] = len(flagged)
+    # The inference path produces a verdict for every demo command and
+    # flags at least one of the out-of-box attacks.
+    assert len(result.verdicts) == 6
+    assert len(flagged) >= 1
+    # Benign baseline commands are not flagged.
+    benign = {"ls -la /var/log", "python main.py --verbose"}
+    assert not any(line in benign for line in flagged)

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate the Figure-2 pre-processing funnel + table."""
+
+from repro.experiments.figure2 import run_figure2
+
+
+def test_bench_figure2(world, benchmark):
+    result = benchmark.pedantic(run_figure2, args=(world,), rounds=1, iterations=1)
+    print("\n" + result.render())
+    stats = result.stats
+    benchmark.extra_info.update(
+        {
+            "total": stats.total,
+            "parse_failures": stats.parse_failures,
+            "command_filter_removed": stats.unconcerned_command,
+            "kept": stats.kept,
+        }
+    )
+    # Figure-2 structure: both filters fire, and the Zipf head of the
+    # occurrence table is a shell staple.
+    assert stats.parse_failures > 0
+    assert stats.unconcerned_command > 0
+    assert stats.kept + stats.removed == stats.total
+    head_commands = [name for name, _ in stats.occurrence_table[:5]]
+    assert any(name in ("cd", "ls", "echo", "sudo", "cat") for name in head_commands)

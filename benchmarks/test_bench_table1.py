@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Table I (PO / PO&I, mean ± std over runs)."""
+
+from conftest import bench_runs
+
+from repro.experiments.table1 import run_table1
+
+
+def test_bench_table1(world, benchmark):
+    result = benchmark.pedantic(
+        run_table1, args=(world,), kwargs={"n_runs": bench_runs()}, rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+    benchmark.extra_info.update(
+        {
+            "reconstruction_po": result.reconstruction_po.mean,
+            "reconstruction_poi": result.reconstruction_poi.mean,
+            "classification_po": result.classification_po.mean,
+            "classification_poi": result.classification_poi.mean,
+            "retrieval_po": result.retrieval_po,
+            "retrieval_poi": result.retrieval_poi,
+        }
+    )
+    # Shape checks (paper, Table I): every method clears a sane floor and
+    # classification beats retrieval overall.
+    assert 0.0 <= result.retrieval_po <= 1.0
+    assert result.classification_poi.mean > 0.3
+    assert result.classification_poi.mean >= result.retrieval_poi - 0.15

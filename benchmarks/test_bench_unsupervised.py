@@ -1,0 +1,26 @@
+"""Benchmark: the Section-III unsupervised PCA anecdotes."""
+
+from conftest import bench_world_config
+
+from repro.experiments.common import build_world
+from repro.experiments.unsupervised import rare_attack_config, run_unsupervised
+
+
+def test_bench_unsupervised(benchmark):
+    # Section III needs anomalies to be *rare*, so this benchmark builds
+    # its own low-attack-rate world instead of sharing the boosted one.
+    world = build_world(rare_attack_config(bench_world_config()))
+    result = benchmark.pedantic(run_unsupervised, args=(world,), rounds=1, iterations=1)
+    print("\n" + result.render())
+    benchmark.extra_info.update(
+        {
+            "masscan_rank": -1 if result.masscan_best_rank is None else result.masscan_best_rank + 1,
+            "abnormal_benign_in_top50": result.abnormal_benign_in_top50,
+            "n_test": result.n_test,
+        }
+    )
+    # The scan line must be present and ranked; the abnormal-yet-benign
+    # false-alarm phenomenon (the motivation for Section IV) must appear.
+    assert result.masscan_best_rank is not None
+    assert result.masscan_best_rank < result.n_test
+    assert len(result.top10) == 10

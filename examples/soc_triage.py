@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""SOC triage: rank a day of telemetry and hand the analyst a work queue.
+
+The motivating workflow from the paper's introduction: the commercial
+IDS fires on known signatures, but the security operations centre wants
+a ranked queue of *everything else* worth human eyes — the out-of-box
+intrusions.  This example builds the queue three ways (classification,
+retrieval, ensemble) and prints the top alerts with the generator's
+ground truth revealed for scoring.
+
+Run:  python examples/soc_triage.py
+"""
+
+import numpy as np
+
+from repro import WorldConfig, build_world
+from repro.experiments.methods import run_classification, run_retrieval
+from repro.tuning import rank_normalize
+
+CONFIG = WorldConfig(
+    train_lines=4_000,
+    test_lines=2_500,
+    vocab_size=800,
+    pretrain_epochs=2,
+    tuning_subsample=2_500,
+    top_vs=(10, 50),
+    seed=3,
+)
+
+QUEUE_DEPTH = 12
+
+
+def print_queue(title: str, scores: np.ndarray, world) -> None:
+    """Print the top-of-queue with ground truth for self-scoring."""
+    candidates = np.nonzero(~world.inbox_mask)[0]  # IDS already handled in-box
+    order = candidates[np.argsort(-scores[candidates])][:QUEUE_DEPTH]
+    lines = world.test_lines_dedup
+    hits = int(world.truth[order].sum())
+    print(f"\n{title} — {hits}/{QUEUE_DEPTH} of the queue are real intrusions")
+    for index in order:
+        marker = "!!" if world.truth[index] else "  "
+        print(f"  {marker} {scores[index]:.3f}  {lines[index][:84]}")
+
+
+def main() -> None:
+    print("building world (this trains the LM; ~1 minute) ...")
+    world = build_world(CONFIG)
+    ids_report = world.ids.coverage_report(world.test_lines_dedup, world.truth)
+    print(f"commercial IDS alone: precision={ids_report['precision']:.2f} "
+          f"recall={ids_report['recall']:.2f} — the gap is the out-of-box queue")
+
+    classification = run_classification(world, seed=0)
+    retrieval = run_retrieval(world)
+    ensemble = (rank_normalize(classification) + rank_normalize(retrieval)) / 2.0
+
+    print_queue("classification-based queue", classification, world)
+    print_queue("retrieval-based queue (1NN to known-bad)", retrieval, world)
+    print_queue("ensemble queue (Sec. V-C future work)", ensemble, world)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""repro — reproduction of "Intrusion Detection at Scale with the
+Assistance of a Command-line Language Model" (DSN 2024).
+
+The package builds the paper's full system from scratch on numpy:
+
+- :mod:`repro.shell` — a bash command-line parser (the ``bashlex`` role);
+- :mod:`repro.preprocess` — the Figure-2 pre-processing pipeline;
+- :mod:`repro.loggen` — a synthetic cloud-fleet telemetry generator
+  (substitute for the proprietary 30M/10M-line corpus);
+- :mod:`repro.tokenizer` — trainable BPE;
+- :mod:`repro.nn` — a numpy autograd + transformer substrate;
+- :mod:`repro.lm` — the MLM command-line language model;
+- :mod:`repro.anomaly` — PCA / isolation-forest / OC-SVM detectors;
+- :mod:`repro.ids` — the simulated commercial IDS (noisy supervision);
+- :mod:`repro.tuning` — the paper's four adaptation methods;
+- :mod:`repro.evaluation` — PO/PO&I/PO@v metrics and the F1 comparison;
+- :mod:`repro.experiments` — one driver per table/figure.
+
+Quickstart
+----------
+>>> from repro import build_world, run_classification, evaluate_method  # doctest: +SKIP
+>>> world = build_world()                                               # doctest: +SKIP
+>>> scores = run_classification(world)                                  # doctest: +SKIP
+>>> evaluate_method("clf", scores, world.truth, world.inbox_mask)       # doctest: +SKIP
+"""
+
+from repro.errors import (
+    CheckpointError,
+    ConfigError,
+    DataError,
+    NotFittedError,
+    ReproError,
+    ShellSyntaxError,
+    TokenizerError,
+)
+from repro.evaluation import evaluate_method
+from repro.experiments.common import World, WorldConfig, build_world
+from repro.experiments.methods import (
+    run_classification,
+    run_multiline,
+    run_reconstruction,
+    run_retrieval,
+)
+from repro.ids import CommercialIDS
+from repro.lm import CommandEncoder, CommandLineLM, LMConfig, MLMCollator, Pretrainer
+from repro.loggen import CommandDataset, FleetConfig, FleetSimulator, generate_paper_split
+from repro.preprocess import PreprocessingPipeline
+from repro.shell import parse as parse_command_line
+from repro.tokenizer import BPETokenizer
+from repro.tuning import (
+    ClassificationTuner,
+    MultiLineClassificationTuner,
+    ReconstructionTuner,
+    RetrievalDetector,
+)
+from repro.version import __version__
+
+__all__ = [
+    "BPETokenizer",
+    "CheckpointError",
+    "ClassificationTuner",
+    "CommandDataset",
+    "CommandEncoder",
+    "CommandLineLM",
+    "CommercialIDS",
+    "ConfigError",
+    "DataError",
+    "FleetConfig",
+    "FleetSimulator",
+    "LMConfig",
+    "MLMCollator",
+    "MultiLineClassificationTuner",
+    "NotFittedError",
+    "PreprocessingPipeline",
+    "Pretrainer",
+    "ReconstructionTuner",
+    "ReproError",
+    "RetrievalDetector",
+    "ShellSyntaxError",
+    "TokenizerError",
+    "World",
+    "WorldConfig",
+    "__version__",
+    "build_world",
+    "evaluate_method",
+    "generate_paper_split",
+    "parse_command_line",
+    "run_classification",
+    "run_multiline",
+    "run_reconstruction",
+    "run_retrieval",
+]

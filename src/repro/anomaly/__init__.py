@@ -1,0 +1,28 @@
+"""Unsupervised anomaly detection in embedding space (Section III).
+
+Public surface:
+
+- :class:`PCAReconstructionDetector` — Eq. 1 reconstruction error.
+- :class:`IsolationForest` — Liu et al. (2008), from scratch.
+- :class:`OneClassSVM` — linear/RFF ν-OC-SVM via SGD.
+- :class:`KNNNoveltyDetector` — distance-based baseline.
+- :class:`LocalOutlierFactor` — density-based baseline (Breunig et al.).
+"""
+
+from repro.anomaly.base import AnomalyDetector
+from repro.anomaly.iforest import IsolationForest, average_path_length
+from repro.anomaly.knn_novelty import KNNNoveltyDetector
+from repro.anomaly.lof import LocalOutlierFactor
+from repro.anomaly.ocsvm import OneClassSVM
+from repro.anomaly.pca import PCAReconstructionDetector, pca_projection_matrix
+
+__all__ = [
+    "AnomalyDetector",
+    "IsolationForest",
+    "KNNNoveltyDetector",
+    "LocalOutlierFactor",
+    "OneClassSVM",
+    "PCAReconstructionDetector",
+    "average_path_length",
+    "pca_projection_matrix",
+]

@@ -1,0 +1,44 @@
+"""Common interface for unsupervised anomaly detectors (Section III).
+
+All detectors follow the fit/score convention: ``fit`` consumes a matrix
+of command-line embeddings assumed to be predominantly benign ("the rare
+occurrence of anomaly" assumption), and ``score`` returns a per-sample
+anomaly score where larger means more anomalous.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotFittedError
+
+
+class AnomalyDetector:
+    """Base class for embedding-space anomaly detectors."""
+
+    _fitted: bool = False
+
+    def fit(self, embeddings: np.ndarray) -> "AnomalyDetector":
+        """Fit on ``(N, D)`` embeddings; returns ``self``."""
+        raise NotImplementedError
+
+    def score(self, embeddings: np.ndarray) -> np.ndarray:
+        """Anomaly scores ``(N,)``; larger is more anomalous."""
+        raise NotImplementedError
+
+    def fit_score(self, embeddings: np.ndarray) -> np.ndarray:
+        """Fit on *embeddings* and score the same matrix."""
+        return self.fit(embeddings).score(embeddings)
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(f"{type(self).__name__} must be fitted before scoring")
+
+    @staticmethod
+    def _validate(embeddings: np.ndarray, name: str = "embeddings") -> np.ndarray:
+        matrix = np.asarray(embeddings, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ValueError(f"{name} must be 2-D (n_samples, n_features), got {matrix.shape}")
+        if matrix.shape[0] == 0:
+            raise ValueError(f"{name} must contain at least one sample")
+        return matrix

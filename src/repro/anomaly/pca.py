@@ -1,0 +1,112 @@
+"""PCA reconstruction-error anomaly detection (Eq. 1 of the paper).
+
+The detector projects embeddings onto the top principal components and
+scores each sample by the squared reconstruction error
+
+.. math:: L_{PCA}(t) = \\lVert W^\\top W f(t) - f(t) \\rVert_2^2,
+
+where ``W`` is the ``p × q`` projection matrix obtained via SVD of the
+(centered) training embeddings.  Rare command lines that do not lie in
+the benign subspace reconstruct poorly and receive high scores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.anomaly.base import AnomalyDetector
+
+
+class PCAReconstructionDetector(AnomalyDetector):
+    """Anomaly detection by PCA reconstruction error.
+
+    Parameters
+    ----------
+    variance_kept:
+        Fraction of spectral energy retained when choosing the number of
+        components (the paper keeps 95%).  Mutually exclusive with
+        ``n_components``.
+    n_components:
+        Explicit component count ``p``; overrides ``variance_kept``.
+    center:
+        Whether to subtract the training mean before projection
+        (standard PCA practice; the projection in Eq. 1 assumes
+        centered data).
+
+    Example
+    -------
+    >>> detector = PCAReconstructionDetector(variance_kept=0.95)
+    >>> scores = detector.fit_score(embeddings)     # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        variance_kept: float = 0.95,
+        n_components: int | None = None,
+        center: bool = True,
+    ):
+        if n_components is None and not 0.0 < variance_kept <= 1.0:
+            raise ValueError("variance_kept must be in (0, 1]")
+        if n_components is not None and n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        self.variance_kept = variance_kept
+        self.n_components = n_components
+        self.center = center
+        self.mean_: np.ndarray | None = None
+        self.components_: np.ndarray | None = None  # W, shape (p, q)
+        self.explained_variance_ratio_: np.ndarray | None = None
+
+    def fit(self, embeddings: np.ndarray) -> "PCAReconstructionDetector":
+        matrix = self._validate(embeddings)
+        self.mean_ = matrix.mean(axis=0) if self.center else np.zeros(matrix.shape[1])
+        centered = matrix - self.mean_
+        # SVD of the data matrix: rows of Vt are principal directions.
+        _, singular_values, vt = np.linalg.svd(centered, full_matrices=False)
+        energy = singular_values**2
+        total = float(energy.sum())
+        if total <= 0.0:
+            # Degenerate (all-identical) data: keep one arbitrary direction.
+            self.components_ = vt[:1]
+            self.explained_variance_ratio_ = np.ones(1)
+            self._fitted = True
+            return self
+        ratio = energy / total
+        if self.n_components is not None:
+            p = min(self.n_components, vt.shape[0])
+        else:
+            cumulative = np.cumsum(ratio)
+            p = int(np.searchsorted(cumulative, self.variance_kept - 1e-12) + 1)
+            p = min(max(p, 1), vt.shape[0])
+        self.components_ = vt[:p]  # W: (p, q)
+        self.explained_variance_ratio_ = ratio[:p]
+        self._fitted = True
+        return self
+
+    def reconstruct(self, embeddings: np.ndarray) -> np.ndarray:
+        """Project-and-lift: ``W^T W f(t)`` (plus the mean when centering)."""
+        self._check_fitted()
+        matrix = self._validate(embeddings)
+        assert self.components_ is not None and self.mean_ is not None
+        centered = matrix - self.mean_
+        return centered @ self.components_.T @ self.components_ + self.mean_
+
+    def score(self, embeddings: np.ndarray) -> np.ndarray:
+        """Squared reconstruction error per sample (Eq. 1)."""
+        matrix = self._validate(embeddings)
+        residual = matrix - self.reconstruct(matrix)
+        return (residual**2).sum(axis=1)
+
+    @property
+    def n_components_(self) -> int:
+        """Number of retained components ``p`` after fitting."""
+        self._check_fitted()
+        assert self.components_ is not None
+        return self.components_.shape[0]
+
+
+def pca_projection_matrix(embeddings: np.ndarray, variance_kept: float = 0.95) -> np.ndarray:
+    """Compute the Eq.-1 projection matrix ``W`` for *embeddings* via SVD."""
+    detector = PCAReconstructionDetector(variance_kept=variance_kept)
+    detector.fit(embeddings)
+    assert detector.components_ is not None
+    return detector.components_

@@ -1,0 +1,26 @@
+"""Related-work baselines (Section VI).
+
+The paper positions itself against three families of prior
+learning-based command-line IDS work; all are implemented here so the
+comparison experiment can demonstrate the limitation the paper claims —
+per-user profile methods degrade on the new/short-history users that
+dominate cloud telemetry:
+
+- :class:`LaneBrodleyProfiler` — Lane & Brodley (1997): per-user token
+  profiles with similarity scoring.
+- :class:`HMMProfileDetector` / :class:`DiscreteHMM` — Huang & Stamp
+  (2011): profile hidden Markov models (Baum–Welch from scratch).
+- :class:`Seq2SeqBaseline` — Liu & Mao (2022): LSTM next-command
+  prediction, scoring by surprisal.
+"""
+
+from repro.baselines.hmm_profile import DiscreteHMM, HMMProfileDetector
+from repro.baselines.lane_brodley import LaneBrodleyProfiler
+from repro.baselines.seq2seq import Seq2SeqBaseline
+
+__all__ = [
+    "DiscreteHMM",
+    "HMMProfileDetector",
+    "LaneBrodleyProfiler",
+    "Seq2SeqBaseline",
+]

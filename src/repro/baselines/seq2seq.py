@@ -1,0 +1,187 @@
+"""Liu & Mao (2022): RNN next-command prediction for intrusion detection.
+
+The related-work section summarises the approach: "constructed a
+sequence-to-sequence model on the basis of recurrent neural networks to
+predict following command-line behaviors given previous ones", flagging
+behaviour the model finds unpredictable.  The reproduction trains an
+LSTM language model over per-user command-name sequences (the cited
+method also restricts itself to names and flags) and scores each event
+by its prediction surprisal.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.loggen.dataset import CommandDataset
+from repro.nn import functional as F
+from repro.nn.layers import Embedding, Linear
+from repro.nn.module import Module, no_grad
+from repro.nn.optim import AdamW
+from repro.nn.recurrent import LSTM
+from repro.nn.tensor import Tensor
+from repro.shell.extract import CommandExtractor
+
+_UNK = "<unk>"
+_BOS = "<bos>"
+
+
+class _NextCommandLM(Module):
+    """Embedding → LSTM → vocabulary logits, one step per command."""
+
+    def __init__(self, vocab_size: int, embed_dim: int, hidden_size: int, rng: np.random.Generator):
+        super().__init__()
+        self.embedding = Embedding(vocab_size, embed_dim, rng)
+        self.lstm = LSTM(embed_dim, hidden_size, rng)
+        self.output = Linear(hidden_size, vocab_size, rng)
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        embedded = self.embedding(ids)  # (B, T, E)
+        hidden = self.lstm(embedded)  # (B, T, H)
+        return self.output(hidden)  # (B, T, V)
+
+
+class Seq2SeqBaseline:
+    """Next-command-surprisal intrusion scoring (Liu & Mao-style).
+
+    Parameters
+    ----------
+    embed_dim / hidden_size:
+        LSTM language-model dimensions.
+    window:
+        Commands of history fed per prediction (sequences are chunked).
+    epochs / lr / batch_size:
+        Training recipe over the historical sequences.
+    max_vocab:
+        Command-name vocabulary cap (rarer names map to ``<unk>``).
+    """
+
+    def __init__(
+        self,
+        embed_dim: int = 16,
+        hidden_size: int = 32,
+        window: int = 8,
+        epochs: int = 3,
+        lr: float = 5e-3,
+        batch_size: int = 32,
+        max_vocab: int = 200,
+        seed: int = 0,
+    ):
+        self.embed_dim = embed_dim
+        self.hidden_size = hidden_size
+        self.window = window
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.max_vocab = max_vocab
+        self.seed = seed
+        self._extractor = CommandExtractor()
+        self._vocab: dict[str, int] = {}
+        self._model: _NextCommandLM | None = None
+        self._fitted = False
+
+    # -- vocabulary --------------------------------------------------------
+
+    def _build_vocab(self, names: list[str]) -> None:
+        from collections import Counter
+
+        counts = Counter(names)
+        self._vocab = {_UNK: 0, _BOS: 1}
+        for name, _ in counts.most_common(self.max_vocab - 2):
+            self._vocab[name] = len(self._vocab)
+
+    def _id_of(self, name: str) -> int:
+        return self._vocab.get(name, 0)
+
+    def _primary_name(self, line: str) -> str:
+        summary = self._extractor.try_summarize(line)
+        if summary is None or summary.primary_name is None:
+            return _UNK
+        return summary.primary_name
+
+    def _user_sequences(self, dataset: CommandDataset) -> dict[str, list[int]]:
+        sequences: dict[str, list[int]] = defaultdict(list)
+        for record in dataset:
+            sequences[record.user].append(self._id_of(self._primary_name(record.line)))
+        return sequences
+
+    # -- training ------------------------------------------------------------
+
+    def fit(self, dataset: CommandDataset) -> "Seq2SeqBaseline":
+        """Train the next-command LM on historical per-user sequences."""
+        names = [self._primary_name(record.line) for record in dataset]
+        self._build_vocab(names)
+        rng = np.random.default_rng(self.seed)
+        self._model = _NextCommandLM(len(self._vocab), self.embed_dim, self.hidden_size, rng)
+        windows: list[list[int]] = []
+        for sequence in self._user_sequences(dataset).values():
+            padded = [self._vocab[_BOS], *sequence]
+            for start in range(0, max(len(padded) - 1, 1), self.window):
+                chunk = padded[start : start + self.window + 1]
+                if len(chunk) >= 2:
+                    windows.append(chunk)
+        if not windows:
+            raise ValueError("no trainable sequences in dataset")
+        width = self.window + 1
+        matrix = np.zeros((len(windows), width), dtype=np.int64)
+        mask = np.full((len(windows), width), -100, dtype=np.int64)
+        for row, chunk in enumerate(windows):
+            matrix[row, : len(chunk)] = chunk
+            mask[row, : len(chunk)] = chunk
+        optimizer = AdamW(self._model.parameters(), lr=self.lr)
+        for _ in range(self.epochs):
+            order = rng.permutation(len(windows))
+            for start in range(0, len(order), self.batch_size):
+                batch = order[start : start + self.batch_size]
+                inputs = matrix[batch, :-1]
+                targets = mask[batch, 1:]
+                optimizer.zero_grad()
+                logits = self._model(inputs)
+                loss = F.cross_entropy(logits, targets, ignore_index=-100)
+                loss.backward()
+                optimizer.step()
+        self._fitted = True
+        return self
+
+    # -- scoring ---------------------------------------------------------------
+
+    def score(self, dataset: CommandDataset) -> np.ndarray:
+        """Per-record surprisal of each command given the user's history."""
+        if not self._fitted:
+            raise NotFittedError("Seq2SeqBaseline must be fitted first")
+        assert self._model is not None
+        history: dict[str, list[int]] = defaultdict(lambda: [self._vocab[_BOS]])
+        contexts: list[list[int]] = []
+        targets: list[int] = []
+        for record in dataset:
+            symbol = self._id_of(self._primary_name(record.line))
+            past = history[record.user]
+            contexts.append(past[-self.window :])
+            targets.append(symbol)
+            past.append(symbol)
+        scores = np.empty(len(contexts))
+        with no_grad(self._model):
+            for start in range(0, len(contexts), self.batch_size):
+                chunk = contexts[start : start + self.batch_size]
+                width = max(len(c) for c in chunk)
+                ids = np.zeros((len(chunk), width), dtype=np.int64)
+                lengths = np.empty(len(chunk), dtype=np.int64)
+                for row, context in enumerate(chunk):
+                    ids[row, : len(context)] = context
+                    lengths[row] = len(context)
+                logits = self._model(ids).data
+                rows = np.arange(len(chunk))
+                final = logits[rows, lengths - 1]  # (b, V)
+                shifted = final - final.max(axis=1, keepdims=True)
+                log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+                batch_targets = np.array(targets[start : start + len(chunk)])
+                scores[start : start + len(chunk)] = -log_probs[rows, batch_targets]
+        return scores
+
+    @property
+    def vocab_size(self) -> int:
+        """Size of the learned command-name vocabulary."""
+        return len(self._vocab)

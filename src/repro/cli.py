@@ -1,0 +1,76 @@
+"""Command-line entry point: ``repro-ids <experiment>``.
+
+Dispatches to the experiment drivers so every table and figure can be
+regenerated from a shell:
+
+.. code-block:: console
+
+   $ repro-ids table1
+   $ repro-ids table2 --runs 3
+   $ REPRO_SCALE=full repro-ids f1
+   $ repro-ids all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    ablations,
+    baselines,
+    continual,
+    f1_comparison,
+    figure1,
+    figure2,
+    table1,
+    table2,
+    table3,
+    unsupervised,
+)
+from repro.version import __version__
+
+_EXPERIMENTS = {
+    "table1": lambda args: table1.main(n_runs=args.runs),
+    "table2": lambda args: table2.main(n_runs=args.runs),
+    "table3": lambda args: table3.main(),
+    "f1": lambda args: f1_comparison.main(),
+    "figure1": lambda args: figure1.main(),
+    "figure2": lambda args: figure2.main(),
+    "unsupervised": lambda args: unsupervised.main(),
+    "ablations": lambda args: ablations.main(),
+    "baselines": lambda args: baselines.main(),
+    "continual": lambda args: continual.main(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse definition (exposed for docs and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-ids",
+        description="Regenerate the paper's tables and figures at reproduction scale.",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    parser.add_argument(
+        "experiment",
+        choices=[*_EXPERIMENTS, "all"],
+        help="which table/figure to regenerate ('all' runs everything)",
+    )
+    parser.add_argument(
+        "--runs", type=int, default=5, help="tuning runs for the mean±std tables (default 5)"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(f"\n=== {name} ===\n")
+        _EXPERIMENTS[name](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every exception raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ShellSyntaxError(ReproError):
+    """A command line could not be parsed into a valid shell AST.
+
+    Attributes
+    ----------
+    message:
+        Human-readable description of the failure.
+    position:
+        Character offset in the original line where the error was
+        detected, or ``None`` when no position is available.
+    line:
+        The offending command line, when available.
+    """
+
+    def __init__(self, message: str, position: int | None = None, line: str | None = None):
+        self.message = message
+        self.position = position
+        self.line = line
+        suffix = f" at position {position}" if position is not None else ""
+        super().__init__(f"{message}{suffix}")
+
+
+class TokenizerError(ReproError):
+    """Raised for invalid tokenizer configuration or state."""
+
+
+class NotFittedError(ReproError):
+    """Raised when a model is used before being trained or fitted."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid model, pipeline, or experiment configuration."""
+
+
+class DataError(ReproError):
+    """Raised for malformed or inconsistent dataset inputs."""
+
+
+class CheckpointError(ReproError):
+    """Raised when serialized model state cannot be saved or restored."""

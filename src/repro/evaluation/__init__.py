@@ -1,0 +1,46 @@
+"""Evaluation protocol of Section V.
+
+Public surface:
+
+- :func:`evaluate_method` / :class:`MethodEvaluation` — PO, PO&I, PO@v.
+- :func:`precision_at_top_outbox` / :func:`po_precision` /
+  :func:`poi_precision` — the individual metrics.
+- :func:`compare_with_commercial_ids` / :class:`F1Comparison` — Sec. V-B.
+- :func:`aggregate` / :func:`repeat_runs` — mean ± std over seeds.
+- :func:`format_table` — experiment output rendering.
+"""
+
+from repro.evaluation.comparison import (
+    F1Comparison,
+    commercial_ids_recall,
+    compare_with_commercial_ids,
+    f1_from,
+)
+from repro.evaluation.metrics import (
+    MethodEvaluation,
+    evaluate_method,
+    po_precision,
+    poi_precision,
+    precision_at_top_outbox,
+    precision_recall_f1,
+)
+from repro.evaluation.reporting import format_table
+from repro.evaluation.runs import Aggregate, aggregate, aggregate_metric_dicts, repeat_runs
+
+__all__ = [
+    "Aggregate",
+    "F1Comparison",
+    "MethodEvaluation",
+    "aggregate",
+    "aggregate_metric_dicts",
+    "commercial_ids_recall",
+    "compare_with_commercial_ids",
+    "evaluate_method",
+    "f1_from",
+    "format_table",
+    "po_precision",
+    "poi_precision",
+    "precision_at_top_outbox",
+    "precision_recall_f1",
+    "repeat_runs",
+]

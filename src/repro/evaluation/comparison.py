@@ -1,0 +1,89 @@
+"""The Section V-B comparison against the commercial IDS.
+
+The paper compares F1 on the set of its own predicted positives:
+
+- Our method: precision = PO&I (99.4%), recall = 100% on that set
+  (every true positive in the set is, by construction, predicted).
+- The commercial IDS: assumed precision 100%; it only sees in-box
+  intrusions, so with ``S`` the intrusions it spots on the whole test
+  set, ``T`` the size of our predicted-positive set, ``x = PO`` and
+  ``u`` the in-box recall target, its recall is approximately
+  ``u·S / (x·T + u·(1−x)·S)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def f1_from(precision: float, recall: float) -> float:
+    """Harmonic mean of precision and recall (0 when both are 0)."""
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def commercial_ids_recall(s: int, t: int, x: float, u: float = 1.0) -> float:
+    """The paper's approximation ``uS / (xT + u(1−x)S)``.
+
+    Parameters
+    ----------
+    s:
+        Intrusions the commercial IDS spots on the whole test set.
+    t:
+        Size of our method's predicted-positive set.
+    x:
+        Our out-of-box precision PO on that set.
+    u:
+        In-box recall achieved by our method (≈ 1).
+    """
+    if s < 0 or t < 0:
+        raise ValueError("s and t must be non-negative")
+    denominator = x * t + u * (1.0 - x) * s
+    if denominator <= 0.0:
+        return 0.0
+    return min(u * s / denominator, 1.0)
+
+
+@dataclass(frozen=True)
+class F1Comparison:
+    """Both sides of the Section V-B comparison."""
+
+    ours_precision: float
+    ours_recall: float
+    ours_f1: float
+    ids_precision: float
+    ids_recall: float
+    ids_f1: float
+
+    @property
+    def model_wins(self) -> bool:
+        """Whether the tuned model beats the commercial IDS on F1."""
+        return self.ours_f1 > self.ids_f1
+
+
+def compare_with_commercial_ids(
+    poi: float,
+    po: float,
+    n_predicted_positive: int,
+    s_commercial_detections: int,
+    u: float = 1.0,
+    ids_precision: float = 1.0,
+) -> F1Comparison:
+    """Build the full comparison from our method's evaluation numbers.
+
+    Follows the paper: our recall on the predicted-positive set is 100%
+    (all true positives in the set are spotted); our precision is PO&I.
+    """
+    ours_recall = 1.0
+    ids_recall = commercial_ids_recall(
+        s=s_commercial_detections, t=n_predicted_positive, x=po, u=u
+    )
+    return F1Comparison(
+        ours_precision=poi,
+        ours_recall=ours_recall,
+        ours_f1=f1_from(poi, ours_recall),
+        ids_precision=ids_precision,
+        ids_recall=ids_recall,
+        ids_f1=f1_from(ids_precision, ids_recall),
+    )

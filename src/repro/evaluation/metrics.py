@@ -1,0 +1,165 @@
+"""The paper's evaluation metrics (Section V-A).
+
+Definitions, following the paper exactly:
+
+- A test sample is **in-box** when the commercial IDS flags it; in-box
+  *intrusions* are flagged samples that are truly malicious (the IDS's
+  precision is ~100%, so in practice these coincide).
+- **PO@v** — precision of the top-``v`` *out-of-box* predictions: rank
+  all samples the commercial IDS does **not** flag by model score, take
+  the ``v`` highest, and measure the fraction that are truly malicious.
+- **PO** — out-of-box precision at the operating threshold chosen so
+  the model recalls ``u ≈ 100%`` of the in-box intrusions.
+- **PO&I** — overall precision (in-box and out-of-box predictions
+  together) at that same threshold.
+
+All metric functions take raw arrays so they can be reused on any
+scores; :func:`evaluate_method` bundles the full protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ids.threshold import achieved_inbox_recall, calibrate_threshold
+
+
+def _as_bool(mask: np.ndarray, name: str, n: int) -> np.ndarray:
+    mask = np.asarray(mask).astype(bool)
+    if mask.shape != (n,):
+        raise ValueError(f"{name} must have shape ({n},), got {mask.shape}")
+    return mask
+
+
+def precision_at_top_outbox(
+    scores: np.ndarray,
+    truth: np.ndarray,
+    inbox_mask: np.ndarray,
+    v: int,
+) -> float:
+    """PO@v: precision of the top-*v* out-of-box predictions.
+
+    Parameters
+    ----------
+    scores:
+        Model scores (larger = more suspicious).
+    truth:
+        Ground-truth malicious flags.
+    inbox_mask:
+        Samples flagged by the commercial IDS (excluded from ranking).
+    v:
+        Size of the inspected prefix.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    n = scores.shape[0]
+    truth = _as_bool(truth, "truth", n)
+    inbox = _as_bool(inbox_mask, "inbox_mask", n)
+    if v < 1:
+        raise ValueError("v must be >= 1")
+    candidates = np.nonzero(~inbox)[0]
+    if candidates.size == 0:
+        return 0.0
+    v = min(v, candidates.size)
+    order = candidates[np.argsort(-scores[candidates], kind="stable")]
+    top = order[:v]
+    return float(truth[top].mean())
+
+
+def po_precision(
+    scores: np.ndarray, truth: np.ndarray, inbox_mask: np.ndarray, threshold: float
+) -> float:
+    """PO: precision over out-of-box predicted positives at *threshold*."""
+    scores = np.asarray(scores, dtype=np.float64)
+    n = scores.shape[0]
+    truth = _as_bool(truth, "truth", n)
+    inbox = _as_bool(inbox_mask, "inbox_mask", n)
+    predicted = (scores >= threshold) & ~inbox
+    if not predicted.any():
+        return 0.0
+    return float(truth[predicted].mean())
+
+
+def poi_precision(
+    scores: np.ndarray, truth: np.ndarray, threshold: float
+) -> float:
+    """PO&I: overall precision over all predicted positives at *threshold*."""
+    scores = np.asarray(scores, dtype=np.float64)
+    truth = _as_bool(truth, "truth", scores.shape[0])
+    predicted = scores >= threshold
+    if not predicted.any():
+        return 0.0
+    return float(truth[predicted].mean())
+
+
+@dataclass
+class MethodEvaluation:
+    """Full Section V-A evaluation of one method on one test set.
+
+    Attributes mirror the paper's tables; ``po_at`` maps each requested
+    ``v`` to PO@v.
+    """
+
+    method: str
+    po: float
+    poi: float
+    po_at: dict[int, float] = field(default_factory=dict)
+    threshold: float = 0.0
+    inbox_recall: float = 0.0
+    n_predicted_positive: int = 0
+    n_outbox_predicted: int = 0
+
+    def row(self, top_vs: tuple[int, ...]) -> list[str]:
+        """Formatted table row: method, PO, PO&I, then PO@v columns."""
+        cells = [self.method, f"{self.po:.3f}", f"{self.poi:.3f}"]
+        cells.extend(f"{self.po_at.get(v, float('nan')):.3f}" for v in top_vs)
+        return cells
+
+
+def evaluate_method(
+    method: str,
+    scores: np.ndarray,
+    truth: np.ndarray,
+    inbox_mask: np.ndarray,
+    recall_target: float = 1.0,
+    top_vs: tuple[int, ...] = (100, 1000),
+) -> MethodEvaluation:
+    """Run the complete protocol: calibrate, then compute PO/PO&I/PO@v.
+
+    The *in-box intrusions* used for calibration are the samples that
+    are both IDS-flagged and truly malicious, matching the paper's
+    "intrusions previously confirmed by the commercial IDS".
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    n = scores.shape[0]
+    truth_mask = _as_bool(truth, "truth", n)
+    inbox = _as_bool(inbox_mask, "inbox_mask", n)
+    inbox_intrusions = inbox & truth_mask
+    threshold = calibrate_threshold(scores, inbox_intrusions, recall_target=recall_target)
+    predicted = scores >= threshold
+    return MethodEvaluation(
+        method=method,
+        po=po_precision(scores, truth_mask, inbox, threshold),
+        poi=poi_precision(scores, truth_mask, threshold),
+        po_at={v: precision_at_top_outbox(scores, truth_mask, inbox, v) for v in top_vs},
+        threshold=threshold,
+        inbox_recall=achieved_inbox_recall(scores, inbox_intrusions, threshold),
+        n_predicted_positive=int(predicted.sum()),
+        n_outbox_predicted=int((predicted & ~inbox).sum()),
+    )
+
+
+def precision_recall_f1(predictions: np.ndarray, truth: np.ndarray) -> tuple[float, float, float]:
+    """Standard precision / recall / F1 for binary decision vectors."""
+    predictions = np.asarray(predictions).astype(bool)
+    truth = np.asarray(truth).astype(bool)
+    if predictions.shape != truth.shape:
+        raise ValueError("predictions and truth must have identical shapes")
+    tp = int((predictions & truth).sum())
+    fp = int((predictions & ~truth).sum())
+    fn = int((~predictions & truth).sum())
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return precision, recall, f1

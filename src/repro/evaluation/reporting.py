@@ -1,0 +1,37 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]], title: str | None = None) -> str:
+    """Render an aligned monospace table.
+
+    Example
+    -------
+    >>> print(format_table(["a", "b"], [["1", "22"]]))
+    a | b
+    --+---
+    1 | 22
+    """
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(f"row {row!r} does not match header width {columns}")
+    widths = [len(str(header)) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+    def fmt(cells: Sequence[str]) -> str:
+        return " | ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    separator = "-+-".join("-" * width for width in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt(headers))
+    lines.append(separator)
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

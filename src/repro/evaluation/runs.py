@@ -1,0 +1,55 @@
+"""Multi-run aggregation: mean ± standard deviation over seeds.
+
+Table I/II report "average performance over five runs ... together with
+the standard deviation"; this module provides the aggregation and
+formatting helpers the experiment drivers use.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Mean and standard deviation of one metric across runs."""
+
+    mean: float
+    std: float
+    n_runs: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ± {self.std:.3f}"
+
+
+def aggregate(values: Sequence[float]) -> Aggregate:
+    """Mean ± population std (ddof=0, matching small-sample reporting)."""
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        raise ValueError("cannot aggregate an empty sequence")
+    return Aggregate(mean=float(array.mean()), std=float(array.std()), n_runs=array.size)
+
+
+def aggregate_metric_dicts(runs: Sequence[dict[str, float]]) -> dict[str, Aggregate]:
+    """Aggregate a list of per-run metric dicts key by key.
+
+    All runs must share the same keys.
+    """
+    if not runs:
+        raise ValueError("no runs to aggregate")
+    keys = set(runs[0])
+    for index, run in enumerate(runs[1:], start=2):
+        if set(run) != keys:
+            raise ValueError(f"run {index} metric keys differ from run 1")
+    return {key: aggregate([run[key] for run in runs]) for key in sorted(keys)}
+
+
+def repeat_runs(run_fn: Callable[[int], dict[str, float]], n_runs: int, base_seed: int = 0) -> dict[str, Aggregate]:
+    """Execute ``run_fn(seed)`` for *n_runs* seeds and aggregate the metrics."""
+    if n_runs < 1:
+        raise ValueError("n_runs must be >= 1")
+    results = [run_fn(base_seed + offset) for offset in range(n_runs)]
+    return aggregate_metric_dicts(results)

@@ -1,0 +1,24 @@
+"""Experiment drivers, one per table/figure of the paper (DESIGN.md §4).
+
+Each module exposes ``run_*`` (operates on a built world) and ``main``
+(builds the world first); all are runnable as ``python -m
+repro.experiments.<name>``.
+"""
+
+from repro.experiments.common import (
+    World,
+    WorldConfig,
+    build_world,
+    clear_world_cache,
+    default_world_config,
+    preprocess_dataset,
+)
+
+__all__ = [
+    "World",
+    "WorldConfig",
+    "build_world",
+    "clear_world_cache",
+    "default_world_config",
+    "preprocess_dataset",
+]

@@ -1,0 +1,140 @@
+"""Ablations over the design choices the paper calls out.
+
+Each ablation isolates one knob the paper fixes by fiat and sweeps it:
+
+- ``retrieval_k`` — "for retrieval, we performed 1NN" (k ∈ {1, 3, 5}).
+- ``retrieval_vs_majority`` — the Section IV-D innovation: modified
+  malicious-only retrieval vs the vanilla majority-vote kNN.
+- ``pca_variance`` — "we let 95% of components to be kept by PCA".
+- ``multiline_window`` — "three temporally contiguous command lines".
+- ``pooling`` — CLS vs mean command-line embeddings (Sections III/IV-B).
+- ``ensemble`` — the Section V-C future-work suggestion: fusing all
+  methods.
+
+Run with ``python -m repro.experiments.ablations``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.anomaly.pca import PCAReconstructionDetector
+from repro.evaluation.metrics import evaluate_method, precision_at_top_outbox
+from repro.evaluation.reporting import format_table
+from repro.experiments.common import World, WorldConfig, build_world
+from repro.experiments.methods import (
+    run_classification,
+    run_majority_knn,
+    run_multiline,
+    run_retrieval,
+)
+from repro.tuning.ensemble import rank_normalize
+
+
+@dataclass
+class AblationResult:
+    """One table per ablated knob: rows of (setting, metric columns)."""
+
+    tables: dict[str, list[list[str]]] = field(default_factory=dict)
+    headers: dict[str, list[str]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """All ablation tables as text."""
+        blocks = []
+        for name, rows in self.tables.items():
+            blocks.append(format_table(self.headers[name], rows, title=f"Ablation — {name}"))
+        return "\n\n".join(blocks)
+
+
+def _eval_row(world: World, setting: str, scores: np.ndarray) -> list[str]:
+    v1, v2 = world.config.top_vs
+    ev = evaluate_method(setting, scores, world.truth, world.inbox_mask,
+                         recall_target=world.config.recall_target, top_vs=(v1, v2))
+    return [setting, f"{ev.po:.3f}", f"{ev.poi:.3f}", f"{ev.po_at[v1]:.3f}", f"{ev.po_at[v2]:.3f}"]
+
+
+def run_ablations(world: World, seed: int = 0) -> AblationResult:
+    """Sweep every ablated knob on an already-built world."""
+    v1, v2 = world.config.top_vs
+    metric_headers = ["setting", "PO", "PO&I", f"PO@{v1}", f"PO@{v2}"]
+    result = AblationResult()
+
+    # -- retrieval k and the majority-vote comparison ------------------------
+    rows = [_eval_row(world, f"modified retrieval, k={k}", run_retrieval(world, k=k)) for k in (1, 3, 5)]
+    rows.extend(
+        _eval_row(world, f"majority-vote kNN, k={k}", run_majority_knn(world, k=k)) for k in (1, 5)
+    )
+    result.tables["retrieval scoring (Sec. IV-D innovation)"] = rows
+    result.headers["retrieval scoring (Sec. IV-D innovation)"] = metric_headers
+
+    # -- PCA variance kept (unsupervised scoring path) ------------------------
+    from repro.experiments.baselines import ranking_auc
+
+    train_embeddings = world.encoder.embed(world.train.lines())
+    test_embeddings = world.encoder.embed(world.test_lines_dedup)
+    rows = []
+    for kept in (0.80, 0.90, 0.95, 0.99):
+        detector = PCAReconstructionDetector(variance_kept=kept).fit(train_embeddings)
+        scores = detector.score(test_embeddings)
+        auc = ranking_auc(scores, world.truth)
+        rows.append([f"variance kept {kept:.2f}", f"{detector.n_components_}", f"{auc:.3f}"])
+    result.tables["PCA variance kept (unsupervised)"] = rows
+    result.headers["PCA variance kept (unsupervised)"] = ["setting", "components", "AUC"]
+
+    # -- exact vs structural test-set dedup (Sec. V protocol choice) ------------
+    from repro.shell.unparse import structural_key
+
+    exact = len(world.test_dedup)
+    structural_keys = {structural_key(line) for line in world.test.lines()}
+    rows = [
+        ["exact line dedup (paper)", f"{len(world.test)}", f"{exact}"],
+        ["structural dedup (names+flags)", f"{len(world.test)}", f"{len(structural_keys)}"],
+    ]
+    result.tables["test-set de-duplication granularity (Sec. V)"] = rows
+    result.headers["test-set de-duplication granularity (Sec. V)"] = ["setting", "raw lines", "kept"]
+
+    # -- multi-line context width --------------------------------------------------
+    rows = []
+    for window in (1, 2, 3, 5):
+        scores, evaluation = run_multiline(world, seed=seed, window=window)
+        precision_v1 = precision_at_top_outbox(scores, evaluation.truth, evaluation.inbox_mask, v1)
+        precision_v2 = precision_at_top_outbox(scores, evaluation.truth, evaluation.inbox_mask, v2)
+        rows.append([f"window={window}", f"{precision_v1:.3f}", f"{precision_v2:.3f}"])
+    result.tables["multi-line context width (Sec. IV-C)"] = rows
+    result.headers["multi-line context width (Sec. IV-C)"] = ["setting", f"PO@{v1}", f"PO@{v2}"]
+
+    # -- pooling strategy ----------------------------------------------------------
+    rows = [
+        _eval_row(world, f"pooling={pooling}", run_classification(world, seed=seed, pooling=pooling))
+        for pooling in ("mean", "cls")
+    ]
+    result.tables["embedding pooling (Sec. III)"] = rows
+    result.headers["embedding pooling (Sec. III)"] = metric_headers
+
+    # -- ensemble (Sec. V-C future work) ----------------------------------------
+    classification_scores = run_classification(world, seed=seed)
+    retrieval_scores = run_retrieval(world)
+    fused = (rank_normalize(classification_scores) + rank_normalize(retrieval_scores)) / 2.0
+    rows = [
+        _eval_row(world, "classification alone", classification_scores),
+        _eval_row(world, "retrieval alone", retrieval_scores),
+        _eval_row(world, "ensemble (mean rank)", fused),
+    ]
+    result.tables["ensemble of methods (Sec. V-C)"] = rows
+    result.headers["ensemble of methods (Sec. V-C)"] = metric_headers
+
+    return result
+
+
+def main(config: WorldConfig | None = None) -> AblationResult:
+    """Build the world, sweep all ablations, print the tables."""
+    world = build_world(config)
+    result = run_ablations(world)
+    print(result.render())
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,237 @@
+"""Shared world-building for all experiment drivers.
+
+A *world* is everything the paper's evaluation needs: a generated
+train/test telemetry split, the pre-processing pipeline, a trained BPE
+tokenizer, a pre-trained command-line LM, the commercial-IDS supervision
+source, noisy training labels, and the de-duplicated test set with
+ground truth and in-box masks.
+
+Worlds are cached per-configuration within a process so that the
+benchmark modules (one per table/figure) can share the expensive
+pre-training step.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from datetime import datetime
+
+import numpy as np
+
+from repro.ids.commercial import CommercialIDS
+from repro.lm.config import LMConfig
+from repro.lm.encoder_api import CommandEncoder
+from repro.lm.masking import MLMCollator
+from repro.lm.model import CommandLineLM
+from repro.lm.pretrain import Pretrainer, PretrainReport
+from repro.loggen.dataset import CommandDataset
+from repro.loggen.entities import Variant
+from repro.loggen.fleet import FleetConfig, FleetSimulator
+from repro.preprocess.pipeline import PreprocessingPipeline, PreprocessingStats
+from repro.tokenizer.bpe import BPETokenizer
+from repro.tuning.labels import LabeledDataset, label_with_ids
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """Scale and seeds for one reproduction world.
+
+    The defaults are the "small" reproduction scale; set the environment
+    variable ``REPRO_SCALE=full`` (read by :func:`default_world_config`)
+    for a larger run closer to the paper's regime.
+    """
+
+    train_lines: int = 12_000
+    test_lines: int = 6_000
+    train_attack_session_rate: float = 0.08
+    train_outbox_fraction: float = 0.35
+    test_attack_session_rate: float = 0.18
+    test_outbox_fraction: float = 0.6
+    vocab_size: int = 1_200
+    pretrain_epochs: int = 4
+    pretrain_lr: float = 1e-3
+    pretrain_batch_size: int = 32
+    mask_prob: float = 0.15
+    hidden_size: int = 64
+    n_layers: int = 2
+    n_heads: int = 4
+    max_position: int = 48
+    tuning_subsample: int = 5_000
+    top_vs: tuple[int, ...] = (25, 100)
+    recall_target: float = 0.98
+    seed: int = 0
+
+    def scaled(self, **overrides) -> "WorldConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+
+def default_world_config() -> WorldConfig:
+    """The config selected by the ``REPRO_SCALE`` environment variable.
+
+    ``small`` (default) keeps every benchmark in the minutes range;
+    ``full`` quadruples data and model for a closer-to-paper run;
+    ``smoke`` is for CI-style quick checks.
+    """
+    scale = os.environ.get("REPRO_SCALE", "small").lower()
+    if scale == "smoke":
+        return WorldConfig(
+            train_lines=2_500,
+            test_lines=1_500,
+            vocab_size=600,
+            pretrain_epochs=1,
+            tuning_subsample=1_500,
+            top_vs=(10, 100),
+        )
+    if scale == "full":
+        return WorldConfig(
+            train_lines=48_000,
+            test_lines=24_000,
+            test_attack_session_rate=0.22,
+            vocab_size=4_000,
+            pretrain_epochs=4,
+            hidden_size=96,
+            n_layers=3,
+            tuning_subsample=12_000,
+            top_vs=(100, 1000),
+        )
+    return WorldConfig()
+
+
+@dataclass
+class World:
+    """All fitted artifacts of one reproduction world (see module docs)."""
+
+    config: WorldConfig
+    train_raw: CommandDataset
+    test_raw: CommandDataset
+    train: CommandDataset
+    test: CommandDataset
+    test_dedup: CommandDataset
+    preprocess_stats: PreprocessingStats
+    pipeline: PreprocessingPipeline
+    tokenizer: BPETokenizer
+    model: CommandLineLM
+    encoder: CommandEncoder
+    ids: CommercialIDS
+    labeled_train: LabeledDataset
+    pretrain_report: PretrainReport
+    truth: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    inbox_mask: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=bool))
+
+    @property
+    def test_lines_dedup(self) -> list[str]:
+        """De-duplicated test command lines (the evaluation unit)."""
+        return self.test_dedup.lines()
+
+    def outbox_truth_count(self) -> int:
+        """Number of unique out-of-box intrusions in the dedup test set."""
+        return int((self.truth.astype(bool) & ~self.inbox_mask).sum())
+
+
+def preprocess_dataset(pipeline: PreprocessingPipeline, dataset: CommandDataset) -> CommandDataset:
+    """Filter a dataset through a fitted pipeline, keeping record metadata."""
+    kept = []
+    for record in dataset:
+        line = pipeline.normalizer(record.line)
+        if not line:
+            continue
+        if not pipeline._validator.is_valid(line):
+            continue
+        if not pipeline._command_filter.accepts(line):  # noqa: SLF001 — intra-package use
+            continue
+        kept.append(record.replace_line(line))
+    return CommandDataset(kept)
+
+
+_WORLD_CACHE: dict[WorldConfig, World] = {}
+
+
+def build_world(config: WorldConfig | None = None, use_cache: bool = True) -> World:
+    """Build (or fetch from cache) the full reproduction world."""
+    config = config or default_world_config()
+    if use_cache and config in _WORLD_CACHE:
+        return _WORLD_CACHE[config]
+
+    fleet_config = FleetConfig(
+        seed=config.seed,
+        attack_session_rate=config.train_attack_session_rate,
+        outbox_fraction=config.train_outbox_fraction,
+    )
+    simulator = FleetSimulator(fleet_config)
+    train_raw = simulator.generate(datetime(2022, 5, 1), days=7, target_lines=config.train_lines)
+    test_raw = simulator.generate(
+        datetime(2022, 5, 29),
+        days=3,
+        target_lines=config.test_lines,
+        attack_session_rate=config.test_attack_session_rate,
+        outbox_fraction=config.test_outbox_fraction,
+    )
+
+    # Pre-processing (Fig. 2): fit the concerned-command list on training
+    # data, then filter both windows.
+    pipeline = PreprocessingPipeline(min_command_count=2)
+    pipeline.fit(train_raw.lines())
+    _, stats = pipeline.transform(train_raw.lines())
+    train = preprocess_dataset(pipeline, train_raw)
+    test = preprocess_dataset(pipeline, test_raw)
+    test_dedup = test.deduplicated()
+
+    # Tokenizer + MLM pre-training (Sec. II-B).
+    tokenizer = BPETokenizer(vocab_size=config.vocab_size, min_pair_frequency=2)
+    tokenizer.train(train.lines())
+    lm_config = LMConfig(
+        vocab_size=len(tokenizer.vocab),
+        hidden_size=config.hidden_size,
+        n_layers=config.n_layers,
+        n_heads=config.n_heads,
+        intermediate_size=config.hidden_size * 2,
+        max_position=config.max_position,
+        mask_prob=config.mask_prob,
+        seed=config.seed,
+    )
+    model = CommandLineLM(lm_config)
+    collator = MLMCollator(
+        tokenizer, mask_prob=config.mask_prob, max_length=config.max_position, seed=config.seed
+    )
+    pretrainer = Pretrainer(
+        model,
+        collator,
+        lr=config.pretrain_lr,
+        batch_size=config.pretrain_batch_size,
+        seed=config.seed,
+    )
+    report = pretrainer.train(train.lines(), epochs=config.pretrain_epochs)
+    encoder = CommandEncoder(model, tokenizer, pooling="mean")
+
+    # Supervision source and noisy training labels (Sec. IV).
+    ids = CommercialIDS(seed=config.seed)
+    labeled_train = label_with_ids(train, ids)
+
+    world = World(
+        config=config,
+        train_raw=train_raw,
+        test_raw=test_raw,
+        train=train,
+        test=test,
+        test_dedup=test_dedup,
+        preprocess_stats=stats,
+        pipeline=pipeline,
+        tokenizer=tokenizer,
+        model=model,
+        encoder=encoder,
+        ids=ids,
+        labeled_train=labeled_train,
+        pretrain_report=report,
+        truth=test_dedup.labels(),
+        inbox_mask=ids.detect(test_dedup.lines()).astype(bool),
+    )
+    if use_cache:
+        _WORLD_CACHE[config] = world
+    return world
+
+
+def clear_world_cache() -> None:
+    """Drop all cached worlds (used by tests)."""
+    _WORLD_CACHE.clear()

@@ -1,0 +1,99 @@
+"""Figure 1 — the end-to-end training and inference pipeline.
+
+The figure depicts two paths: *training* (logging → pre-processing →
+tokenization → pre-training → fine-tuning) and *inference* (logging →
+pre-processing → tokenization → inference → intrusion yes/no).  This
+driver exercises both paths on a fresh world and reports per-stage
+statistics, finishing with live verdicts on a handful of commands.
+
+Run with ``python -m repro.experiments.figure1``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.evaluation.reporting import format_table
+from repro.experiments.common import World, WorldConfig, build_world
+from repro.experiments.methods import training_subset
+from repro.ids.threshold import calibrate_threshold
+from repro.tuning.classification import ClassificationTuner
+
+#: Commands used for the inference-path demonstration.
+DEMO_COMMANDS = [
+    "ls -la /var/log",
+    "watch -n 1 nvidia-smi",
+    "nc -ulp 31337",
+    "sh /root/masscan.sh 203.0.113.50 -p 0-65535",
+    'export https_proxy="socks5://198.51.100.20:1080"',
+    "python main.py --verbose",
+]
+
+
+@dataclass
+class Figure1Result:
+    """Stage timings and the live inference verdicts."""
+
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    verdicts: list[tuple[str, float, bool]] = field(default_factory=list)
+    threshold: float = 0.0
+
+    def render(self) -> str:
+        """Pipeline timing and verdict tables as text."""
+        timing_rows = [[stage, f"{seconds:.2f}"] for stage, seconds in self.stage_seconds.items()]
+        timing = format_table(["pipeline stage", "seconds"], timing_rows,
+                              title="Figure 1 — training-path stages")
+        verdict_rows = [
+            [line[:60], f"{score:.3f}", "INTRUSION" if flagged else "benign"]
+            for line, score, flagged in self.verdicts
+        ]
+        verdicts = format_table(
+            ["command line", "score", "verdict"],
+            verdict_rows,
+            title=f"Figure 1 — inference path (threshold {self.threshold:.3f})",
+        )
+        return timing + "\n\n" + verdicts
+
+
+def run_figure1(world: World, seed: int = 0) -> Figure1Result:
+    """Exercise fine-tuning + inference on an already-built world.
+
+    The world itself already timed logging/pre-processing/pre-training;
+    this driver adds the fine-tuning and inference stages.
+    """
+    result = Figure1Result()
+    result.stage_seconds["pre-training steps"] = float(world.pretrain_report.steps)
+
+    start = time.perf_counter()
+    subset = training_subset(world, seed)
+    tuner = ClassificationTuner(world.encoder, lr=1e-2, epochs=5, pooling="mean", seed=seed)
+    tuner.fit(subset.lines, subset.labels)
+    result.stage_seconds["fine-tuning"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    test_scores = tuner.score(world.test_lines_dedup)
+    result.stage_seconds["inference (dedup test set)"] = time.perf_counter() - start
+
+    inbox_intrusions = world.inbox_mask & world.truth.astype(bool)
+    result.threshold = calibrate_threshold(
+        test_scores, inbox_intrusions, recall_target=world.config.recall_target
+    )
+    demo_scores = tuner.score(DEMO_COMMANDS)
+    result.verdicts = [
+        (line, float(score), bool(score >= result.threshold))
+        for line, score in zip(DEMO_COMMANDS, demo_scores)
+    ]
+    return result
+
+
+def main(config: WorldConfig | None = None) -> Figure1Result:
+    """Build the world, run both pipeline paths, print the summary."""
+    world = build_world(config)
+    result = run_figure1(world)
+    print(result.render())
+    return result
+
+
+if __name__ == "__main__":
+    main()

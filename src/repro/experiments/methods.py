@@ -1,0 +1,117 @@
+"""Unified fit/score runners for the four Section-IV methods.
+
+Each runner takes a built :class:`~repro.experiments.common.World` and a
+seed, adapts the method on the noisy training labels, and returns scores
+aligned with the world's de-duplicated test set.  The drivers for
+Tables I/II and the ablations all go through these helpers so that every
+method sees identical data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import World
+from repro.tuning.classification import ClassificationTuner
+from repro.tuning.labels import LabeledDataset
+from repro.tuning.multiline import MultiLineClassificationTuner, MultiLineComposer
+from repro.tuning.reconstruction import ReconstructionTuner
+from repro.tuning.retrieval import MajorityVoteKNN, RetrievalDetector
+
+#: Learning rate used by the probing head at reproduction scale.  The
+#: paper's 5e-5 is tuned for BERT-base embeddings; with a 64-d backbone
+#: the same recipe needs a proportionally larger step (see DESIGN.md §5).
+HEAD_LR = 1e-2
+HEAD_EPOCHS = 5
+
+
+def training_subset(world: World, seed: int) -> LabeledDataset:
+    """The stratified tuning subsample for one run."""
+    rng = np.random.default_rng(seed)
+    return world.labeled_train.subsample(world.config.tuning_subsample, rng)
+
+
+def run_classification(world: World, seed: int = 0, pooling: str = "mean") -> np.ndarray:
+    """Single-line classification-based tuning (Sec. IV-B)."""
+    subset = training_subset(world, seed)
+    tuner = ClassificationTuner(
+        world.encoder, lr=HEAD_LR, epochs=HEAD_EPOCHS, pooling=pooling, seed=seed
+    )
+    tuner.fit(subset.lines, subset.labels)
+    return tuner.score(world.test_lines_dedup)
+
+
+def run_reconstruction(world: World, seed: int = 0) -> np.ndarray:
+    """Reconstruction-based tuning (Sec. IV-A, Eq. 2)."""
+    subset = training_subset(world, seed)
+    tuner = ReconstructionTuner(world.encoder, n_rounds=5, seed=seed)
+    tuner.fit(subset.lines, subset.labels)
+    return tuner.score(world.test_lines_dedup)
+
+
+def run_retrieval(world: World, k: int = 1) -> np.ndarray:
+    """Modified retrieval (Sec. IV-D); deterministic, no tuning."""
+    detector = RetrievalDetector(world.encoder, k=k)
+    detector.fit(world.labeled_train.lines, world.labeled_train.labels)
+    return detector.score(world.test_lines_dedup)
+
+
+def run_majority_knn(world: World, k: int = 5) -> np.ndarray:
+    """Vanilla majority-vote kNN baseline (the method Sec. IV-D improves)."""
+    detector = MajorityVoteKNN(world.encoder, k=k)
+    detector.fit(world.labeled_train.lines, world.labeled_train.labels)
+    return detector.score(world.test_lines_dedup)
+
+
+@dataclass
+class MultiLineEvaluationSet:
+    """The de-duplicated multi-line test view (Sec. V-A note).
+
+    The composed test set de-duplicates differently from the single-line
+    one, so the paper reports only PO@v for multi-line classification;
+    this bundle carries everything needed for that.
+    """
+
+    texts: list[str]
+    truth: np.ndarray
+    inbox_mask: np.ndarray
+
+
+def build_multiline_eval(world: World, composer: MultiLineComposer) -> MultiLineEvaluationSet:
+    """Compose the full (pre-dedup) test set, then dedup by composed text."""
+    ordered = world.test.sorted_by_time()
+    samples = composer.compose(ordered)
+    seen: set[str] = set()
+    texts: list[str] = []
+    truth: list[int] = []
+    inbox: list[bool] = []
+    detections = world.ids.detect(ordered.lines()).astype(bool)
+    for sample in samples:
+        if sample.text in seen:
+            continue
+        seen.add(sample.text)
+        record = ordered[sample.record_index]
+        texts.append(sample.text)
+        truth.append(int(record.is_malicious))
+        inbox.append(bool(detections[sample.record_index]))
+    return MultiLineEvaluationSet(
+        texts=texts, truth=np.array(truth), inbox_mask=np.array(inbox, dtype=bool)
+    )
+
+
+def run_multiline(
+    world: World, seed: int = 0, window: int = 3
+) -> tuple[np.ndarray, MultiLineEvaluationSet]:
+    """Multi-line classification (Sec. IV-C): scores + its own eval set."""
+    composer = MultiLineComposer(window=window)
+    tuner = MultiLineClassificationTuner(
+        world.encoder, composer=composer, lr=HEAD_LR, epochs=HEAD_EPOCHS, pooling="mean", seed=seed
+    )
+    train_ordered = world.train.sorted_by_time()
+    labels = world.ids.label(train_ordered.lines())
+    tuner.fit_dataset(train_ordered, labels)
+    evaluation = build_multiline_eval(world, composer)
+    scores = tuner.score(evaluation.texts)
+    return scores, evaluation

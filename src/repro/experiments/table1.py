@@ -1,0 +1,105 @@
+"""Table I — PO and PO&I of the supervised methods, mean ± std over runs.
+
+Paper's numbers (30M/10M-line corpus, BERT-base):
+
+==================  =============  =============
+method              PO             PO&I
+==================  =============  =============
+Reconstruction      0.913 ± 0.050  0.999 ± 0.000
+Classification      0.832 ± 0.070  0.994 ± 0.003
+Retrieval           0.569          0.892
+==================  =============  =============
+
+(Retrieval needs no tuning, hence a single run.)  Run with
+``python -m repro.experiments.table1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.evaluation.metrics import evaluate_method
+from repro.evaluation.reporting import format_table
+from repro.evaluation.runs import Aggregate, aggregate
+from repro.experiments.common import World, WorldConfig, build_world
+from repro.experiments.methods import run_classification, run_reconstruction, run_retrieval
+
+#: The paper's Table I values, used in the printed comparison.
+PAPER_TABLE1 = {
+    "reconstruction": {"po": "0.913 ± 0.050", "poi": "0.999 ± 0.000"},
+    "classification": {"po": "0.832 ± 0.070", "poi": "0.994 ± 0.003"},
+    "retrieval": {"po": "0.569", "poi": "0.892"},
+}
+
+
+@dataclass
+class Table1Result:
+    """Aggregated Table-I metrics for this reproduction."""
+
+    reconstruction_po: Aggregate
+    reconstruction_poi: Aggregate
+    classification_po: Aggregate
+    classification_poi: Aggregate
+    retrieval_po: float
+    retrieval_poi: float
+    n_runs: int
+
+    def rows(self) -> list[list[str]]:
+        """Rows comparing measured values with the paper's."""
+        return [
+            ["Reconstruction", str(self.reconstruction_po), str(self.reconstruction_poi),
+             PAPER_TABLE1["reconstruction"]["po"], PAPER_TABLE1["reconstruction"]["poi"]],
+            ["Classification", str(self.classification_po), str(self.classification_poi),
+             PAPER_TABLE1["classification"]["po"], PAPER_TABLE1["classification"]["poi"]],
+            ["Retrieval", f"{self.retrieval_po:.3f}", f"{self.retrieval_poi:.3f}",
+             PAPER_TABLE1["retrieval"]["po"], PAPER_TABLE1["retrieval"]["poi"]],
+        ]
+
+    def render(self) -> str:
+        """The comparison table as text."""
+        return format_table(
+            ["method", "PO (ours)", "PO&I (ours)", "PO (paper)", "PO&I (paper)"],
+            self.rows(),
+            title=f"Table I — precision at the u≈100% in-box-recall threshold ({self.n_runs} runs)",
+        )
+
+
+def run_table1(world: World, n_runs: int = 5) -> Table1Result:
+    """Reproduce Table I on an already-built world."""
+    u = world.config.recall_target
+    recon_po, recon_poi, clf_po, clf_poi = [], [], [], []
+    for run in range(n_runs):
+        scores = run_reconstruction(world, seed=run)
+        ev = evaluate_method("reconstruction", scores, world.truth, world.inbox_mask,
+                             recall_target=u, top_vs=world.config.top_vs)
+        recon_po.append(ev.po)
+        recon_poi.append(ev.poi)
+        scores = run_classification(world, seed=run)
+        ev = evaluate_method("classification", scores, world.truth, world.inbox_mask,
+                             recall_target=u, top_vs=world.config.top_vs)
+        clf_po.append(ev.po)
+        clf_poi.append(ev.poi)
+    retrieval_scores = run_retrieval(world)
+    retrieval_ev = evaluate_method("retrieval", retrieval_scores, world.truth, world.inbox_mask,
+                                   recall_target=u, top_vs=world.config.top_vs)
+    return Table1Result(
+        reconstruction_po=aggregate(recon_po),
+        reconstruction_poi=aggregate(recon_poi),
+        classification_po=aggregate(clf_po),
+        classification_poi=aggregate(clf_poi),
+        retrieval_po=retrieval_ev.po,
+        retrieval_poi=retrieval_ev.poi,
+        n_runs=n_runs,
+    )
+
+
+def main(config: WorldConfig | None = None, n_runs: int = 5) -> Table1Result:
+    """Build the world, reproduce Table I, print it."""
+    world = build_world(config)
+    result = run_table1(world, n_runs=n_runs)
+    print(result.render())
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+"""Table II — precision of the top-v out-of-box predictions (PO@v).
+
+Paper's numbers:
+
+======================  =======  =======
+method                  PO@100   PO@1000
+======================  =======  =======
+Reconstruction          0.984    0.535
+Classification          1.000    0.949
+Classification (multi)  1.000    0.998
+Retrieval               0.970    0.569
+======================  =======  =======
+
+At reproduction scale the two inspection depths are
+``world.config.top_vs`` (defaults ``(25, 100)``): the corpus is ~3
+orders of magnitude smaller than the paper's 10M lines, so fixed
+v=100/1000 would exceed the number of out-of-box intrusions entirely
+(see EXPERIMENTS.md).  Run with ``python -m repro.experiments.table2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.evaluation.metrics import precision_at_top_outbox
+from repro.evaluation.reporting import format_table
+from repro.evaluation.runs import Aggregate, aggregate
+from repro.experiments.common import World, WorldConfig, build_world
+from repro.experiments.methods import (
+    run_classification,
+    run_multiline,
+    run_reconstruction,
+    run_retrieval,
+)
+
+PAPER_TABLE2 = {
+    "reconstruction": {"v1": "0.984 ± 0.032", "v2": "0.535 ± 0.092"},
+    "classification": {"v1": "1.000 ± 0.000", "v2": "0.949 ± 0.003"},
+    "classification (multi)": {"v1": "1.000 ± 0.000", "v2": "0.998 ± 0.001"},
+    "retrieval": {"v1": "0.970", "v2": "0.569"},
+}
+
+
+@dataclass
+class Table2Result:
+    """Aggregated PO@v metrics (keys are method names)."""
+
+    v1: int
+    v2: int
+    po_at_v1: dict[str, Aggregate | float] = field(default_factory=dict)
+    po_at_v2: dict[str, Aggregate | float] = field(default_factory=dict)
+    n_runs: int = 1
+
+    @staticmethod
+    def _fmt(value: Aggregate | float) -> str:
+        return str(value) if isinstance(value, Aggregate) else f"{value:.3f}"
+
+    def render(self) -> str:
+        """The comparison table as text."""
+        rows = []
+        paper_keys = {
+            "reconstruction": "reconstruction",
+            "classification": "classification",
+            "classification (multi)": "classification (multi)",
+            "retrieval": "retrieval",
+        }
+        for method in ("reconstruction", "classification", "classification (multi)", "retrieval"):
+            paper = PAPER_TABLE2[paper_keys[method]]
+            rows.append([
+                method,
+                self._fmt(self.po_at_v1[method]),
+                self._fmt(self.po_at_v2[method]),
+                paper["v1"],
+                paper["v2"],
+            ])
+        return format_table(
+            ["method", f"PO@{self.v1} (ours)", f"PO@{self.v2} (ours)",
+             "PO@100 (paper)", "PO@1000 (paper)"],
+            rows,
+            title=f"Table II — top-v out-of-box precision ({self.n_runs} runs)",
+        )
+
+
+def run_table2(world: World, n_runs: int = 5) -> Table2Result:
+    """Reproduce Table II on an already-built world."""
+    v1, v2 = world.config.top_vs
+    result = Table2Result(v1=v1, v2=v2, n_runs=n_runs)
+    collected: dict[str, tuple[list[float], list[float]]] = {
+        "reconstruction": ([], []),
+        "classification": ([], []),
+        "classification (multi)": ([], []),
+    }
+    for run in range(n_runs):
+        scores = run_reconstruction(world, seed=run)
+        collected["reconstruction"][0].append(
+            precision_at_top_outbox(scores, world.truth, world.inbox_mask, v1))
+        collected["reconstruction"][1].append(
+            precision_at_top_outbox(scores, world.truth, world.inbox_mask, v2))
+        scores = run_classification(world, seed=run)
+        collected["classification"][0].append(
+            precision_at_top_outbox(scores, world.truth, world.inbox_mask, v1))
+        collected["classification"][1].append(
+            precision_at_top_outbox(scores, world.truth, world.inbox_mask, v2))
+        scores, evaluation = run_multiline(world, seed=run)
+        collected["classification (multi)"][0].append(
+            precision_at_top_outbox(scores, evaluation.truth, evaluation.inbox_mask, v1))
+        collected["classification (multi)"][1].append(
+            precision_at_top_outbox(scores, evaluation.truth, evaluation.inbox_mask, v2))
+    for method, (v1_values, v2_values) in collected.items():
+        result.po_at_v1[method] = aggregate(v1_values)
+        result.po_at_v2[method] = aggregate(v2_values)
+    retrieval_scores = run_retrieval(world)
+    result.po_at_v1["retrieval"] = precision_at_top_outbox(
+        retrieval_scores, world.truth, world.inbox_mask, v1)
+    result.po_at_v2["retrieval"] = precision_at_top_outbox(
+        retrieval_scores, world.truth, world.inbox_mask, v2)
+    return result
+
+
+def main(config: WorldConfig | None = None, n_runs: int = 5) -> Table2Result:
+    """Build the world, reproduce Table II, print it."""
+    world = build_world(config)
+    result = run_table2(world, n_runs=n_runs)
+    print(result.render())
+    return result
+
+
+if __name__ == "__main__":
+    main()

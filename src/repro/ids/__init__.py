@@ -1,0 +1,28 @@
+"""The simulated commercial IDS and decision plumbing.
+
+Public surface:
+
+- :class:`CommercialIDS` / :class:`Alert` — the noisy supervision source.
+- :class:`Rule` / :class:`RuleSet` / :func:`default_rule_pack` — signatures.
+- :func:`calibrate_threshold` / :func:`achieved_inbox_recall` — the
+  recall-u thresholding protocol of Section V-A.
+"""
+
+from repro.ids.commercial import Alert, CommercialIDS
+from repro.ids.pipeline import IntrusionDetectionService, Verdict
+from repro.ids.rulepacks import default_rule_pack
+from repro.ids.rules import Rule, RuleMatch, RuleSet
+from repro.ids.threshold import achieved_inbox_recall, calibrate_threshold
+
+__all__ = [
+    "Alert",
+    "CommercialIDS",
+    "IntrusionDetectionService",
+    "Rule",
+    "RuleMatch",
+    "RuleSet",
+    "Verdict",
+    "achieved_inbox_recall",
+    "calibrate_threshold",
+    "default_rule_pack",
+]

@@ -1,0 +1,99 @@
+"""The simulated commercial IDS — the paper's noisy supervision source.
+
+The paper queries a commercial IDS "in a black-box manner ... just for
+labeling a number of command lines" and stresses that such supervision
+is *noisy*: real deployments drop alerts (sampling, rate limits, agent
+gaps), so some genuinely matching lines come back labeled benign.
+:class:`CommercialIDS` reproduces both aspects: signature matching via a
+rule pack, plus a configurable label-dropout rate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ids.rulepacks import default_rule_pack
+from repro.ids.rules import RuleMatch, RuleSet
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One alert emitted by the commercial IDS."""
+
+    index: int
+    line: str
+    rule_name: str
+    family: str
+
+
+class CommercialIDS:
+    """Black-box signature IDS with noisy labeling.
+
+    Parameters
+    ----------
+    rules:
+        Signature pack (defaults to :func:`default_rule_pack`).
+    label_noise:
+        Probability that a matching line is *not* reported (false
+        negative noise in the supervision, Section IV).  The paper
+        assumes the IDS's precision is ~100%, so no false-positive
+        noise is injected.
+    seed:
+        Seed for the noise draw (labels are deterministic per instance).
+    """
+
+    def __init__(self, rules: RuleSet | None = None, label_noise: float = 0.02, seed: int = 0):
+        if not 0.0 <= label_noise < 1.0:
+            raise ValueError("label_noise must be in [0, 1)")
+        self.rules = rules if rules is not None else default_rule_pack()
+        self.label_noise = label_noise
+        self._rng = np.random.default_rng(seed)
+
+    def detect(self, lines: Sequence[str]) -> np.ndarray:
+        """Noise-free signature decisions (1 = alert) — the IDS's *capability*."""
+        return self.rules.predict(lines)
+
+    def label(self, lines: Sequence[str]) -> np.ndarray:
+        """Noisy supervision labels: detections with random dropout applied."""
+        detections = self.detect(lines).astype(np.int64)
+        if self.label_noise > 0.0:
+            dropped = self._rng.random(len(detections)) < self.label_noise
+            detections[dropped & (detections == 1)] = 0
+        return detections
+
+    def alerts(self, lines: Sequence[str]) -> list[Alert]:
+        """Detailed alert objects (first matching rule per line)."""
+        result: list[Alert] = []
+        for index, line in enumerate(lines):
+            matches: list[RuleMatch] = self.rules.match(line)
+            if matches:
+                first = matches[0]
+                result.append(
+                    Alert(index=index, line=line, rule_name=first.rule.name, family=first.rule.family)
+                )
+        return result
+
+    def coverage_report(self, lines: Sequence[str], truth: np.ndarray) -> dict[str, float]:
+        """Detection precision/recall against ground truth *truth*.
+
+        Used by experiments to verify the simulated IDS behaves like the
+        paper's: ~perfect precision, imperfect recall.
+        """
+        predictions = self.detect(lines)
+        truth = np.asarray(truth)
+        true_positive = int(((predictions == 1) & (truth == 1)).sum())
+        false_positive = int(((predictions == 1) & (truth == 0)).sum())
+        false_negative = int(((predictions == 0) & (truth == 1)).sum())
+        precision = true_positive / max(true_positive + false_positive, 1)
+        recall = true_positive / max(true_positive + false_negative, 1)
+        return {
+            "precision": precision,
+            "recall": recall,
+            "alerts": int(predictions.sum()),
+            "true_positives": true_positive,
+            "false_positives": false_positive,
+            "false_negatives": false_negative,
+        }

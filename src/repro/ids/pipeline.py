@@ -1,0 +1,171 @@
+"""The deployable end-to-end IDS of Figure 1.
+
+:class:`IntrusionDetectionService` packages everything inference needs —
+normalizer, parser filter, tokenizer, language model, tuned
+classification head, calibrated threshold — behind a single
+``inspect()`` API, with save/load so a trained system can be shipped.
+
+This is the "inference path" of Figure 1: logging → pre-processing →
+tokenization → inference → intrusion yes/no.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import CheckpointError, NotFittedError
+from repro.lm.checkpoint import load_pretrained, save_pretrained
+from repro.lm.encoder_api import CommandEncoder
+from repro.nn.serialization import load_module, save_module
+from repro.preprocess.normalizer import Normalizer
+from repro.shell.validate import CommandLineValidator
+from repro.tuning.classification import ClassificationTuner
+
+_META_FILE = "service.json"
+_HEAD_FILE = "head.npz"
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """The service's decision for one command line.
+
+    Attributes
+    ----------
+    line:
+        The normalized command line that was scored (empty when the
+        line was dropped by pre-processing).
+    score:
+        Intrusion probability from the tuned head (0 when dropped).
+    is_intrusion:
+        Final yes/no decision at the calibrated threshold.
+    dropped:
+        True when pre-processing discarded the line (un-parseable noise
+        cannot be executed and is not scored — Section II-A).
+    """
+
+    line: str
+    score: float
+    is_intrusion: bool
+    dropped: bool = False
+
+
+class IntrusionDetectionService:
+    """Inference-path bundle: preprocess → embed → classify → threshold.
+
+    Build one with :meth:`from_tuner` after training, or restore a
+    shipped bundle with :meth:`load`.
+
+    Example
+    -------
+    >>> service = IntrusionDetectionService.from_tuner(tuner, 0.5)  # doctest: +SKIP
+    >>> service.inspect(["nc -ulp 31337"])[0].is_intrusion          # doctest: +SKIP
+    True
+    """
+
+    def __init__(
+        self,
+        encoder: CommandEncoder,
+        tuner: ClassificationTuner,
+        threshold: float,
+        normalizer: Normalizer | None = None,
+    ):
+        if tuner.head is None:
+            raise NotFittedError("classification tuner must be fitted before serving")
+        self.encoder = encoder
+        self.tuner = tuner
+        self.threshold = float(threshold)
+        self.normalizer = normalizer or Normalizer()
+        self._validator = CommandLineValidator()
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_tuner(cls, tuner: ClassificationTuner, threshold: float) -> "IntrusionDetectionService":
+        """Wrap a fitted tuner (reuses its encoder)."""
+        return cls(encoder=tuner.encoder, tuner=tuner, threshold=threshold)
+
+    # -- inference -----------------------------------------------------------
+
+    def inspect(self, lines: Sequence[str]) -> list[Verdict]:
+        """Run the full inference path over raw log lines."""
+        normalized: list[str] = []
+        keep: list[int] = []
+        verdicts: list[Verdict | None] = [None] * len(lines)
+        for index, raw in enumerate(lines):
+            line = self.normalizer(raw)
+            if not line or not self._validator.is_valid(line):
+                verdicts[index] = Verdict(line="", score=0.0, is_intrusion=False, dropped=True)
+                continue
+            keep.append(index)
+            normalized.append(line)
+        if normalized:
+            scores = self.tuner.score(normalized)
+            for position, index in enumerate(keep):
+                score = float(scores[position])
+                verdicts[index] = Verdict(
+                    line=normalized[position],
+                    score=score,
+                    is_intrusion=score >= self.threshold,
+                    dropped=False,
+                )
+        return [v for v in verdicts if v is not None]
+
+    def inspect_one(self, line: str) -> Verdict:
+        """Convenience wrapper for a single command line."""
+        return self.inspect([line])[0]
+
+    def alerts(self, lines: Sequence[str]) -> list[Verdict]:
+        """Only the intrusion verdicts, highest score first."""
+        flagged = [v for v in self.inspect(lines) if v.is_intrusion]
+        return sorted(flagged, key=lambda v: -v.score)
+
+    # -- persistence ------------------------------------------------------------
+
+    def save(self, directory: str | Path) -> None:
+        """Write the full service bundle (LM + tokenizer + head + meta)."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        save_pretrained(directory, self.encoder.model, self.encoder.tokenizer)
+        assert self.tuner.head is not None
+        save_module(self.tuner.head, directory / _HEAD_FILE)
+        meta = {
+            "threshold": self.threshold,
+            "pooling": self.tuner.pooling,
+            "head_hidden": self.tuner.hidden_size,
+            "encoder_pooling": self.encoder.pooling,
+        }
+        (directory / _META_FILE).write_text(json.dumps(meta, indent=2))
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "IntrusionDetectionService":
+        """Restore a bundle written by :meth:`save`."""
+        directory = Path(directory)
+        meta_path = directory / _META_FILE
+        if not meta_path.exists():
+            raise CheckpointError(f"missing {_META_FILE} in {directory}")
+        try:
+            meta = json.loads(meta_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(f"corrupt {_META_FILE}: {exc}") from exc
+        model, tokenizer = load_pretrained(directory)
+        encoder = CommandEncoder(model, tokenizer, pooling=meta["encoder_pooling"])
+        tuner = ClassificationTuner(
+            encoder, hidden_size=meta["head_hidden"], pooling=meta["pooling"]
+        )
+        # rebuild the head with the right geometry, then load weights
+        import numpy as _np
+
+        from repro.nn.layers import MLP
+
+        tuner.head = MLP(
+            encoder.embedding_dim, meta["head_hidden"], 2, _np.random.default_rng(0),
+            activation="relu", init_scheme="kaiming",
+        )
+        load_module(tuner.head, directory / _HEAD_FILE)
+        tuner._fitted = True
+        return cls(encoder=encoder, tuner=tuner, threshold=meta["threshold"])

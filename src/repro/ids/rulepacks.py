@@ -1,0 +1,119 @@
+"""The default signature pack of the simulated commercial IDS.
+
+Every rule is written against the *in-box* templates of
+:mod:`repro.loggen.attacks`; the *out-of-box* variants of the same
+families are deliberately outside the signatures — that asymmetry is the
+in-box / out-of-box structure the paper's evaluation is built on
+(flag variants, interpreter swaps, wrapper scripts, argument changes;
+see Table III).
+"""
+
+from __future__ import annotations
+
+from repro.ids.rules import Rule, RuleSet
+
+
+def default_rule_pack() -> RuleSet:
+    """The stock rule set wired to the attack library's in-box variants."""
+    rules = [
+        # --- reverse shells --------------------------------------------------
+        Rule(
+            "revshell.nc_listen",
+            r"\bnc\s+-l\S*\s+\d+",
+            "reverse_shell",
+            "netcat TCP listener (-l...); misses the UDP -ulp variant",
+        ),
+        Rule(
+            "revshell.nc_exec",
+            r"\bnc\s+-e\s+/bin/sh",
+            "reverse_shell",
+            "netcat -e classic bind shell",
+        ),
+        Rule(
+            "revshell.dev_tcp",
+            r"bash\s+-i\s*>&\s*/dev/tcp/",
+            "reverse_shell",
+            "bash -i over /dev/tcp; misses sh -i and /dev/udp variants",
+        ),
+        Rule(
+            "revshell.mkfifo_nc",
+            r"\bmkfifo\b.*\|\s*nc\b",
+            "reverse_shell",
+            "mkfifo-backed netcat pipe shell",
+        ),
+        # --- port scans --------------------------------------------------------
+        Rule(
+            "scan.masscan_fullrange",
+            r"(^|[;|&]\s*)masscan\s+\S+.*-p\s*0-65535",
+            "port_scan",
+            "masscan binary in command position with full port range; "
+            "misses wrapper scripts like `sh /root/masscan.sh`",
+        ),
+        Rule(
+            "scan.nmap_allports",
+            r"(^|[;|&]\s*)nmap\b.*-p-",
+            "port_scan",
+            "nmap all-ports SYN scan",
+        ),
+        # --- base64-camouflaged execution ------------------------------------------
+        Rule(
+            "b64.java_braces",
+            r"java\s.*\{base64,-d\}",
+            "base64_exec",
+            "java-launched brace-expansion base64 pipeline; misses python3 (Table III)",
+        ),
+        Rule(
+            "b64.echo_pipe_bash",
+            r"echo\s+\S+\s*\|\s*base64\s+-d\s*\|\s*bash",
+            "base64_exec",
+            "echo | base64 -d | bash; misses printf/openssl variants and | sh",
+        ),
+        # --- proxies / tunnels -------------------------------------------------
+        Rule(
+            "proxy.http_export",
+            r"export\s+https?_proxy=.?http:",
+            "proxy_tunnel",
+            "plain-HTTP proxy export; misses socks5 (Table III)",
+        ),
+        # --- download & execute -----------------------------------------------
+        Rule(
+            "dropper.pipe_to_bash",
+            r"(curl|wget)\s[^|]*http[^|]*\|\s*bash",
+            "download_exec",
+            "fetch piped straight into bash; misses fetch-chmod-run chains",
+        ),
+        Rule(
+            "dropper.wget_rename_python",
+            r"wget\s+-c\s+\S*http\S*\s+-o\s+python\b",
+            "download_exec",
+            "the wget→rename-to-python trick (Section IV-C)",
+        ),
+        # --- credential theft -------------------------------------------------
+        Rule(
+            "creds.cat_shadow",
+            r"\bcat\s+/etc/shadow\b",
+            "credential_theft",
+            "direct shadow read; misses tail/dd/cp indirection",
+        ),
+        Rule(
+            "creds.ssh_key_exfil",
+            r"\.ssh\b.*curl\s+-F",
+            "credential_theft",
+            "ssh key archive upload via curl -F",
+        ),
+        # --- miners -------------------------------------------------------------
+        Rule(
+            "miner.xmrig",
+            r"\bxmrig\b",
+            "crypto_miner",
+            "xmrig by name; misses renamed binaries (.kworker, .systemd-helper)",
+        ),
+        # --- persistence -----------------------------------------------------------
+        Rule(
+            "persist.cron_revshell",
+            r"crontab\b.*(/dev/tcp/|\|\s*bash)",
+            "persistence",
+            "cron-installed reverse shell or fetch-pipe; misses .bashrc/rc.local",
+        ),
+    ]
+    return RuleSet(rules)

@@ -1,0 +1,98 @@
+"""Signature rule engine for the simulated commercial IDS.
+
+Rules are regular expressions over raw command lines — "alerts triggered
+by off-the-shelf hand-crafted rules proposed by professionals"
+(Section IV).  The engine is deliberately a black box to the rest of the
+system: it consumes lines and emits binary alerts.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One detection signature.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier (``revshell.nc_listen``-style).
+    pattern:
+        Regular expression matched with :func:`re.search`.
+    family:
+        Attack family the rule targets (diagnostic).
+    description:
+        What the signature is meant to catch.
+    """
+
+    name: str
+    pattern: str
+    family: str
+    description: str = ""
+    _compiled: re.Pattern = field(init=False, repr=False, compare=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self):
+        object.__setattr__(self, "_compiled", re.compile(self.pattern))
+
+    def matches(self, line: str) -> bool:
+        """Whether *line* triggers this rule."""
+        return self._compiled.search(line) is not None
+
+
+@dataclass(frozen=True)
+class RuleMatch:
+    """A rule firing on a specific line."""
+
+    rule: Rule
+    line: str
+
+
+class RuleSet:
+    """An ordered collection of :class:`Rule` objects.
+
+    Example
+    -------
+    >>> rules = RuleSet([Rule("r1", r"cat /etc/shadow", "credential_theft")])
+    >>> rules.match("cat /etc/shadow")[0].rule.name
+    'r1'
+    """
+
+    def __init__(self, rules: Iterable[Rule] = ()):
+        self._rules: list[Rule] = list(rules)
+        names = [rule.name for rule in self._rules]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate rule names in rule set")
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self):
+        return iter(self._rules)
+
+    def add(self, rule: Rule) -> None:
+        """Append *rule*; names must stay unique."""
+        if any(existing.name == rule.name for existing in self._rules):
+            raise ValueError(f"duplicate rule name {rule.name!r}")
+        self._rules.append(rule)
+
+    def match(self, line: str) -> list[RuleMatch]:
+        """All rules firing on *line*."""
+        return [RuleMatch(rule, line) for rule in self._rules if rule.matches(line)]
+
+    def any_match(self, line: str) -> bool:
+        """Whether any rule fires on *line* (short-circuits)."""
+        return any(rule.matches(line) for rule in self._rules)
+
+    def predict(self, lines: Sequence[str]) -> np.ndarray:
+        """Binary alert vector over *lines* (1 = alert)."""
+        return np.array([int(self.any_match(line)) for line in lines])
+
+    def families(self) -> set[str]:
+        """Attack families covered by at least one rule."""
+        return {rule.family for rule in self._rules}

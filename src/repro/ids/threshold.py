@@ -1,0 +1,64 @@
+"""Threshold calibration for the paper's PO / PO&I evaluation protocol.
+
+Section V-A: "we also evaluate the precision when each method is able to
+recall u (for u ≈ 100%) of all intrusions detected by the commercial
+IDS.  This is achieved by setting a specific intrusion detection
+threshold for each method according to its prediction scores."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def calibrate_threshold(
+    scores: np.ndarray,
+    inbox_mask: np.ndarray,
+    recall_target: float = 1.0,
+) -> float:
+    """Pick the decision threshold that recalls ``recall_target`` of the
+    in-box intrusions.
+
+    Parameters
+    ----------
+    scores:
+        Prediction scores (larger = more suspicious).
+    inbox_mask:
+        Boolean mask of samples the commercial IDS flags (in-box).
+    recall_target:
+        Fraction ``u`` of in-box intrusions that must score at or above
+        the returned threshold.
+
+    Returns
+    -------
+    float
+        The threshold; classify ``score >= threshold`` as intrusion.
+
+    Raises
+    ------
+    ValueError
+        If there are no in-box samples or the target is out of range.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    inbox_mask = np.asarray(inbox_mask, dtype=bool)
+    if scores.shape != inbox_mask.shape:
+        raise ValueError("scores and inbox_mask must have identical shapes")
+    if not 0.0 < recall_target <= 1.0:
+        raise ValueError("recall_target must be in (0, 1]")
+    inbox_scores = np.sort(scores[inbox_mask])
+    if inbox_scores.size == 0:
+        raise ValueError("cannot calibrate: no in-box intrusions in the calibration data")
+    # To recall a fraction u we may let the lowest (1-u) of in-box scores
+    # fall below the threshold.
+    n_missable = int(np.floor((1.0 - recall_target) * inbox_scores.size))
+    return float(inbox_scores[n_missable])
+
+
+def achieved_inbox_recall(scores: np.ndarray, inbox_mask: np.ndarray, threshold: float) -> float:
+    """Fraction of in-box intrusions scoring at or above *threshold*."""
+    scores = np.asarray(scores, dtype=np.float64)
+    inbox_mask = np.asarray(inbox_mask, dtype=bool)
+    total = int(inbox_mask.sum())
+    if total == 0:
+        return 0.0
+    return float((scores[inbox_mask] >= threshold).sum() / total)

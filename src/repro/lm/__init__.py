@@ -1,0 +1,45 @@
+"""The command-line language model (Sections II-B and III).
+
+Public surface:
+
+- :class:`LMConfig` — architecture presets (``tiny``/``small``/``bert_base``).
+- :class:`CommandLineLM` — BERT-style MLM encoder.
+- :class:`MLMCollator` / :class:`MLMBatch` — dynamic RoBERTa masking.
+- :class:`Pretrainer` / :class:`PretrainReport` — the pre-training loop.
+- :class:`CommandEncoder` — text → embedding API.
+- :func:`save_pretrained` / :func:`load_pretrained` — bundle IO.
+- :func:`pool` / :func:`mean_pool` / :func:`cls_pool` — pooling.
+"""
+
+from repro.lm.analysis import EmbeddingExplorer, MaskedPredictor, MaskPrediction, pseudo_perplexity
+from repro.lm.checkpoint import load_pretrained, save_pretrained
+from repro.lm.continual import ContinualLearner, WeeklyUpdateReport
+from repro.lm.config import LMConfig
+from repro.lm.encoder_api import CommandEncoder
+from repro.lm.masking import IGNORE_INDEX, MLMBatch, MLMCollator
+from repro.lm.model import CommandLineLM, MLMHead
+from repro.lm.pooling import cls_pool, mean_pool, pool
+from repro.lm.pretrain import Pretrainer, PretrainReport
+
+__all__ = [
+    "CommandEncoder",
+    "ContinualLearner",
+    "WeeklyUpdateReport",
+    "EmbeddingExplorer",
+    "MaskPrediction",
+    "MaskedPredictor",
+    "CommandLineLM",
+    "IGNORE_INDEX",
+    "LMConfig",
+    "MLMBatch",
+    "MLMCollator",
+    "MLMHead",
+    "Pretrainer",
+    "PretrainReport",
+    "cls_pool",
+    "load_pretrained",
+    "mean_pool",
+    "pool",
+    "pseudo_perplexity",
+    "save_pretrained",
+]

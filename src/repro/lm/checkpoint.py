@@ -1,0 +1,39 @@
+"""Bundle persistence: config + model weights + tokenizer in one directory."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import CheckpointError
+from repro.lm.config import LMConfig
+from repro.lm.model import CommandLineLM
+from repro.nn.serialization import load_module, save_module
+from repro.tokenizer.bpe import BPETokenizer
+from repro.tokenizer.serialization import load_tokenizer, save_tokenizer
+
+_CONFIG_FILE = "config.json"
+_WEIGHTS_FILE = "weights.npz"
+_TOKENIZER_FILE = "tokenizer.json"
+
+
+def save_pretrained(directory: str | Path, model: CommandLineLM, tokenizer: BPETokenizer) -> None:
+    """Write model config, weights, and tokenizer under *directory*."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    model.config.to_json(directory / _CONFIG_FILE)
+    save_module(model, directory / _WEIGHTS_FILE)
+    save_tokenizer(tokenizer, directory / _TOKENIZER_FILE)
+
+
+def load_pretrained(directory: str | Path) -> tuple[CommandLineLM, BPETokenizer]:
+    """Restore the (model, tokenizer) bundle written by :func:`save_pretrained`."""
+    directory = Path(directory)
+    for filename in (_CONFIG_FILE, _WEIGHTS_FILE, _TOKENIZER_FILE):
+        if not (directory / filename).exists():
+            raise CheckpointError(f"missing {filename} in checkpoint directory {directory}")
+    config = LMConfig.from_json(directory / _CONFIG_FILE)
+    model = CommandLineLM(config)
+    load_module(model, directory / _WEIGHTS_FILE)
+    tokenizer = load_tokenizer(directory / _TOKENIZER_FILE)
+    model.eval()
+    return model, tokenizer

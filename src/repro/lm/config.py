@@ -1,0 +1,103 @@
+"""Configuration for the command-line language model.
+
+The paper's production model is BERT-base (12 blocks, 12 heads, hidden
+768, max 1024 tokens, BPE vocab 50k).  :meth:`LMConfig.bert_base`
+constructs exactly that; the scaled-down presets keep every mechanism
+while fitting CPU budgets (see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class LMConfig:
+    """Hyper-parameters of the MLM encoder.
+
+    Attributes
+    ----------
+    vocab_size:
+        Tokenizer vocabulary size (embedding rows).
+    hidden_size:
+        Transformer width.
+    n_layers / n_heads / intermediate_size:
+        Encoder depth, attention heads, and FFN width.
+    max_position:
+        Maximum sequence length (learned positional embeddings).
+    dropout:
+        Dropout probability applied to embeddings, attention weights,
+        and FFN outputs.
+    mask_prob:
+        MLM masking probability ``q`` (RoBERTa uses 0.15).
+    seed:
+        Seed for weight initialization.
+    """
+
+    vocab_size: int
+    hidden_size: int = 64
+    n_layers: int = 2
+    n_heads: int = 4
+    intermediate_size: int = 128
+    max_position: int = 64
+    dropout: float = 0.1
+    mask_prob: float = 0.15
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.vocab_size < 6:
+            raise ConfigError("vocab_size must cover at least the special tokens")
+        if self.hidden_size % self.n_heads != 0:
+            raise ConfigError(
+                f"hidden_size {self.hidden_size} must be divisible by n_heads {self.n_heads}"
+            )
+        if not 0.0 < self.mask_prob < 1.0:
+            raise ConfigError("mask_prob must be in (0, 1)")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ConfigError("dropout must be in [0, 1)")
+        if min(self.n_layers, self.max_position, self.intermediate_size) < 1:
+            raise ConfigError("n_layers, max_position, intermediate_size must be >= 1")
+
+    # -- presets -----------------------------------------------------------
+
+    @classmethod
+    def tiny(cls, vocab_size: int, **overrides) -> "LMConfig":
+        """Smallest useful model; default for unit tests."""
+        defaults = dict(hidden_size=32, n_layers=2, n_heads=2, intermediate_size=64, max_position=48)
+        defaults.update(overrides)
+        return cls(vocab_size=vocab_size, **defaults)
+
+    @classmethod
+    def small(cls, vocab_size: int, **overrides) -> "LMConfig":
+        """Default for experiments and benchmarks."""
+        defaults = dict(hidden_size=64, n_layers=3, n_heads=4, intermediate_size=128, max_position=64)
+        defaults.update(overrides)
+        return cls(vocab_size=vocab_size, **defaults)
+
+    @classmethod
+    def bert_base(cls, vocab_size: int = 50_000, **overrides) -> "LMConfig":
+        """The paper's production configuration (BERT-base, max 1024)."""
+        defaults = dict(
+            hidden_size=768, n_layers=12, n_heads=12, intermediate_size=3072, max_position=1024
+        )
+        defaults.update(overrides)
+        return cls(vocab_size=vocab_size, **defaults)
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_json(self, path: str | Path) -> None:
+        """Write this config as JSON."""
+        Path(path).write_text(json.dumps(asdict(self), indent=2))
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "LMConfig":
+        """Load a config written by :meth:`to_json`."""
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigError(f"cannot load LMConfig from {path}: {exc}") from exc
+        return cls(**payload)

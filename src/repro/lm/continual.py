@@ -1,0 +1,159 @@
+"""The weekly continual-learning loop from the paper's introduction.
+
+"Equipped with the command-line language model, we are capable of
+building an IDS to continuously learn from tens of millions of user
+command lines every week for digging out future attacks and
+intrusions."  This module implements that loop: each week's fresh
+telemetry continues MLM pre-training from the current checkpoint, the
+supervision source re-labels the new window, and the detection head is
+re-tuned — so the deployed system tracks both drifting benign behaviour
+and newly emerging attack tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ids.commercial import CommercialIDS
+from repro.lm.encoder_api import CommandEncoder
+from repro.lm.masking import MLMCollator
+from repro.lm.pretrain import Pretrainer, PretrainReport
+from repro.loggen.dataset import CommandDataset
+from repro.tuning.classification import ClassificationTuner
+from repro.tuning.labels import label_with_ids
+
+
+@dataclass
+class WeeklyUpdateReport:
+    """What one :meth:`ContinualLearner.update` pass did.
+
+    Attributes
+    ----------
+    week:
+        1-based update counter.
+    n_lines:
+        Telemetry volume consumed this week.
+    n_positive_labels:
+        Supervision positives the IDS produced on the new window.
+    pretrain:
+        The continued-pre-training history for this week.
+    """
+
+    week: int
+    n_lines: int
+    n_positive_labels: int
+    pretrain: PretrainReport = field(default_factory=PretrainReport)
+
+
+class ContinualLearner:
+    """Weekly update loop: continue pre-training, re-label, re-tune.
+
+    Parameters
+    ----------
+    encoder:
+        The deployed encoder; its model is updated **in place** (this
+        object owns the deployment, unlike the one-shot tuners).
+    ids:
+        The supervision source queried on each new window.
+    update_epochs / update_lr:
+        Continued-pre-training recipe per week (briefer and gentler than
+        the initial pre-training, as usual for continual LM updates).
+    head_lr / head_epochs:
+        Re-tuning recipe for the classification head.
+    mask_prob / seed:
+        Masking settings for the continued MLM.
+
+    Example
+    -------
+    >>> learner = ContinualLearner(encoder, ids)        # doctest: +SKIP
+    >>> learner.update(week3_telemetry)                 # doctest: +SKIP
+    >>> learner.tuner.score(["nohup ./xmrig ..."])      # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        encoder: CommandEncoder,
+        ids: CommercialIDS,
+        update_epochs: int = 1,
+        update_lr: float = 3e-4,
+        head_lr: float = 1e-2,
+        head_epochs: int = 5,
+        mask_prob: float = 0.15,
+        seed: int = 0,
+    ):
+        self.encoder = encoder
+        self.ids = ids
+        self.update_epochs = update_epochs
+        self.update_lr = update_lr
+        self.head_lr = head_lr
+        self.head_epochs = head_epochs
+        self.mask_prob = mask_prob
+        self.seed = seed
+        self.tuner: ClassificationTuner | None = None
+        self.history: list[WeeklyUpdateReport] = []
+        self._cumulative_labeled_lines: list[str] = []
+        self._cumulative_labels: list[int] = []
+
+    @property
+    def week(self) -> int:
+        """Number of completed weekly updates."""
+        return len(self.history)
+
+    def update(self, telemetry: CommandDataset, retune: bool = True) -> WeeklyUpdateReport:
+        """Consume one week of telemetry.
+
+        Continues MLM pre-training on the new lines, queries the
+        commercial IDS for fresh (noisy) labels, accumulates them with
+        previous weeks' supervision, and re-tunes the head.
+        """
+        lines = telemetry.lines()
+        if not lines:
+            raise ValueError("weekly telemetry is empty")
+        week = self.week + 1
+        collator = MLMCollator(
+            self.encoder.tokenizer,
+            mask_prob=self.mask_prob,
+            max_length=self.encoder.model.config.max_position,
+            seed=self.seed + week,
+        )
+        pretrainer = Pretrainer(
+            self.encoder.model,
+            collator,
+            lr=self.update_lr,
+            batch_size=32,
+            seed=self.seed + week,
+        )
+        report = WeeklyUpdateReport(week=week, n_lines=len(lines), n_positive_labels=0)
+        report.pretrain = pretrainer.train(lines, epochs=self.update_epochs)
+        labeled = label_with_ids(telemetry, self.ids)
+        report.n_positive_labels = labeled.n_positive
+        self._cumulative_labeled_lines.extend(labeled.lines)
+        self._cumulative_labels.extend(int(v) for v in labeled.labels)
+        if retune:
+            self.retune()
+        self.history.append(report)
+        return report
+
+    def retune(self) -> ClassificationTuner:
+        """Re-fit the classification head on all supervision seen so far."""
+        labels = np.asarray(self._cumulative_labels, dtype=np.int64)
+        if labels.sum() == 0:
+            raise ValueError("no positive supervision accumulated yet")
+        tuner = ClassificationTuner(
+            self.encoder,
+            lr=self.head_lr,
+            epochs=self.head_epochs,
+            pooling="mean",
+            seed=self.seed + self.week,
+        )
+        tuner.fit(self._cumulative_labeled_lines, labels)
+        self.tuner = tuner
+        return tuner
+
+    def score(self, lines: list[str]) -> np.ndarray:
+        """Score lines with the current head (after at least one update)."""
+        if self.tuner is None:
+            raise ValueError("no tuned head yet; call update() first")
+        return self.tuner.score(lines)

@@ -1,0 +1,108 @@
+"""High-level embedding API: command line text → fixed-size vector.
+
+The pre-trained model "can be regarded as a powerful encoder"
+(Section III); :class:`CommandEncoder` wraps tokenizer + model and
+exposes batched embedding extraction with mean or CLS pooling.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.lm.model import CommandLineLM
+from repro.lm.pooling import POOLERS, pool
+from repro.nn.module import no_grad
+from repro.tokenizer.bpe import BPETokenizer
+
+
+class CommandEncoder:
+    """Embed command lines with a (pre-)trained language model.
+
+    Parameters
+    ----------
+    model:
+        A :class:`CommandLineLM` (put into eval mode on construction).
+    tokenizer:
+        The matching trained :class:`BPETokenizer`.
+    pooling:
+        ``"mean"`` (Section III default) or ``"cls"``.
+    batch_size:
+        Lines embedded per forward pass.
+
+    Example
+    -------
+    >>> encoder = CommandEncoder(model, tokenizer)     # doctest: +SKIP
+    >>> vectors = encoder.embed(["ls -la", "nc -lvnp 4444"])  # doctest: +SKIP
+    >>> vectors.shape                                   # doctest: +SKIP
+    (2, 64)
+    """
+
+    def __init__(
+        self,
+        model: CommandLineLM,
+        tokenizer: BPETokenizer,
+        pooling: str = "mean",
+        batch_size: int = 32,
+    ):
+        if pooling not in POOLERS:
+            raise ValueError(f"unknown pooling {pooling!r}; choose from {POOLERS}")
+        if tokenizer.vocab is None:
+            raise ValueError("tokenizer must be trained")
+        if len(tokenizer.vocab) > model.config.vocab_size:
+            raise ValueError(
+                f"tokenizer vocab ({len(tokenizer.vocab)}) exceeds model vocab "
+                f"({model.config.vocab_size})"
+            )
+        self.model = model
+        self.tokenizer = tokenizer
+        self.pooling = pooling
+        self.batch_size = batch_size
+        self.model.eval()
+
+    @property
+    def embedding_dim(self) -> int:
+        """Width of produced embeddings."""
+        return self.model.config.hidden_size
+
+    def embed(self, lines: Sequence[str], pooling: str | None = None) -> np.ndarray:
+        """Embed *lines* into an ``(N, hidden_size)`` float array."""
+        strategy = pooling or self.pooling
+        if strategy not in POOLERS:
+            raise ValueError(f"unknown pooling {strategy!r}; choose from {POOLERS}")
+        if not lines:
+            return np.zeros((0, self.embedding_dim))
+        # Length-bucketed batching: embedding in length order avoids
+        # padding every batch to the corpus-wide maximum.
+        order = sorted(range(len(lines)), key=lambda i: len(lines[i]))
+        result = np.empty((len(lines), self.embedding_dim))
+        with no_grad(self.model):
+            for start in range(0, len(order), self.batch_size):
+                chunk_indices = order[start : start + self.batch_size]
+                ids, mask = self._encode_batch([lines[i] for i in chunk_indices])
+                hidden = self.model(ids, mask)
+                result[chunk_indices] = pool(hidden, mask, strategy).data
+        return result
+
+    def embed_tokens(self, line: str) -> np.ndarray:
+        """Per-token embeddings ``(T, hidden_size)`` for a single line."""
+        ids, mask = self._encode_batch([line])
+        with no_grad(self.model):
+            hidden = self.model(ids, mask)
+        return hidden.data[0, mask[0]]
+
+    def _encode_batch(self, lines: Sequence[str]) -> tuple[np.ndarray, np.ndarray]:
+        max_len = self.model.config.max_position
+        encodings = [
+            self.tokenizer.encode(line, add_special_tokens=True, max_length=max_len) for line in lines
+        ]
+        width = max(len(e) for e in encodings)
+        vocab = self.tokenizer.vocab
+        assert vocab is not None
+        ids = np.full((len(encodings), width), vocab.pad_id, dtype=np.int64)
+        mask = np.zeros((len(encodings), width), dtype=bool)
+        for row, encoding in enumerate(encodings):
+            ids[row, : len(encoding)] = encoding.ids
+            mask[row, : len(encoding)] = True
+        return ids, mask

@@ -1,0 +1,126 @@
+"""Dynamic MLM masking and batch collation (RoBERTa recipe, Section II-B).
+
+At every iteration each non-special token is selected for prediction
+with probability ``q``; of the selected tokens 80% are replaced by
+``[MASK]``, 10% by a random vocabulary token, and 10% kept unchanged.
+Masking is re-drawn every epoch ("dynamic", as in RoBERTa).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tokenizer.bpe import BPETokenizer
+
+#: Loss-ignored target value for positions that are not being predicted.
+IGNORE_INDEX = -100
+
+
+@dataclass
+class MLMBatch:
+    """One collated MLM training batch.
+
+    Attributes
+    ----------
+    input_ids:
+        ``(B, T)`` corrupted token ids fed to the model.
+    labels:
+        ``(B, T)`` original ids at masked positions, ``IGNORE_INDEX``
+        elsewhere.
+    attention_mask:
+        ``(B, T)`` boolean, true at non-padding positions.
+    """
+
+    input_ids: np.ndarray
+    labels: np.ndarray
+    attention_mask: np.ndarray
+
+    @property
+    def n_predictions(self) -> int:
+        """Number of positions contributing to the loss."""
+        return int((self.labels != IGNORE_INDEX).sum())
+
+
+class MLMCollator:
+    """Pad, mask, and batch tokenized command lines.
+
+    Parameters
+    ----------
+    tokenizer:
+        A trained :class:`BPETokenizer` (provides special-token ids).
+    mask_prob:
+        Per-token masking probability ``q``.
+    max_length:
+        Hard cap on sequence length (defaults to no extra cap).
+    seed:
+        Seed of the internal generator that draws masks.
+    """
+
+    def __init__(
+        self,
+        tokenizer: BPETokenizer,
+        mask_prob: float = 0.15,
+        max_length: int | None = None,
+        seed: int = 0,
+    ):
+        if not 0.0 < mask_prob < 1.0:
+            raise ValueError("mask_prob must be in (0, 1)")
+        vocab = tokenizer.vocab
+        if vocab is None:
+            raise ValueError("tokenizer must be trained before collation")
+        self.tokenizer = tokenizer
+        self.mask_prob = mask_prob
+        self.max_length = max_length
+        self._rng = np.random.default_rng(seed)
+        self._pad_id = vocab.pad_id
+        self._mask_id = vocab.mask_id
+        self._special_ids = np.array(sorted(vocab.special_ids))
+        self._vocab_size = len(vocab)
+
+    def encode_lines(self, lines: Sequence[str]) -> list[list[int]]:
+        """Tokenize *lines* with special tokens and truncation."""
+        return [
+            self.tokenizer.encode(line, add_special_tokens=True, max_length=self.max_length).ids
+            for line in lines
+        ]
+
+    def pad(self, sequences: Sequence[Sequence[int]]) -> tuple[np.ndarray, np.ndarray]:
+        """Right-pad *sequences* to a rectangle; return (ids, attention_mask)."""
+        if not sequences:
+            raise ValueError("cannot pad an empty batch")
+        width = max(len(seq) for seq in sequences)
+        ids = np.full((len(sequences), width), self._pad_id, dtype=np.int64)
+        mask = np.zeros((len(sequences), width), dtype=bool)
+        for row, seq in enumerate(sequences):
+            ids[row, : len(seq)] = seq
+            mask[row, : len(seq)] = True
+        return ids, mask
+
+    def mask_batch(self, ids: np.ndarray, attention_mask: np.ndarray) -> MLMBatch:
+        """Apply dynamic 80/10/10 masking to a padded id matrix."""
+        input_ids = ids.copy()
+        labels = np.full_like(ids, IGNORE_INDEX)
+        special = np.isin(ids, self._special_ids)
+        eligible = attention_mask & ~special
+        draw = self._rng.random(ids.shape)
+        selected = eligible & (draw < self.mask_prob)
+        labels[selected] = ids[selected]
+        # Split the selected positions 80/10/10.
+        action = self._rng.random(ids.shape)
+        mask_positions = selected & (action < 0.8)
+        random_positions = selected & (action >= 0.8) & (action < 0.9)
+        input_ids[mask_positions] = self._mask_id
+        n_random = int(random_positions.sum())
+        if n_random:
+            input_ids[random_positions] = self._rng.integers(
+                len(self._special_ids), self._vocab_size, size=n_random
+            )
+        return MLMBatch(input_ids=input_ids, labels=labels, attention_mask=attention_mask)
+
+    def collate(self, lines: Sequence[str]) -> MLMBatch:
+        """Tokenize, pad, and mask a batch of raw command lines."""
+        ids, mask = self.pad(self.encode_lines(lines))
+        return self.mask_batch(ids, mask)

@@ -1,0 +1,82 @@
+"""The command-line language model: a BERT-style MLM encoder.
+
+``CommandLineLM`` maps token-id sequences to per-token embeddings
+("token embeddings" in the paper's terminology); ``MLMHead`` projects
+them back to vocabulary logits for masked-token reconstruction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lm.config import LMConfig
+from repro.nn import functional as F
+from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Array, Tensor
+from repro.nn.transformer import TransformerEncoder
+
+
+class MLMHead(Module):
+    """Masked-language-modeling head: dense → GELU → LayerNorm → vocab."""
+
+    def __init__(self, config: LMConfig, rng: np.random.Generator):
+        super().__init__()
+        self.dense = Linear(config.hidden_size, config.hidden_size, rng)
+        self.norm = LayerNorm(config.hidden_size)
+        self.decoder = Linear(config.hidden_size, config.vocab_size, rng)
+
+    def forward(self, hidden: Tensor) -> Tensor:
+        return self.decoder(self.norm(F.gelu(self.dense(hidden))))
+
+
+class CommandLineLM(Module):
+    """BERT-style transformer encoder over command-line tokens.
+
+    Forward input is an integer id array ``(B, T)`` plus a boolean
+    attention mask ``(B, T)`` marking real (non-padding) tokens; output
+    is the final hidden states ``(B, T, hidden_size)``.
+
+    Example
+    -------
+    >>> config = LMConfig.tiny(vocab_size=100)
+    >>> model = CommandLineLM(config)
+    >>> hidden = model(np.zeros((2, 8), dtype=int))
+    >>> hidden.shape
+    (2, 8, 32)
+    """
+
+    def __init__(self, config: LMConfig):
+        super().__init__()
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        self.token_embedding = Embedding(config.vocab_size, config.hidden_size, rng)
+        self.position_embedding = Embedding(config.max_position, config.hidden_size, rng)
+        self.embedding_norm = LayerNorm(config.hidden_size)
+        self.embedding_dropout = Dropout(config.dropout, np.random.default_rng(rng.integers(2**31)))
+        self.encoder = TransformerEncoder(
+            n_layers=config.n_layers,
+            hidden_size=config.hidden_size,
+            n_heads=config.n_heads,
+            intermediate_size=config.intermediate_size,
+            rng=rng,
+            dropout=config.dropout,
+        )
+        self.mlm_head = MLMHead(config, rng)
+
+    def forward(self, ids: Array, attention_mask: Array | None = None) -> Tensor:
+        """Encode token ids into hidden states ``(B, T, D)``."""
+        ids = np.asarray(ids)
+        if ids.ndim != 2:
+            raise ValueError(f"ids must be (batch, seq), got shape {ids.shape}")
+        batch, seq = ids.shape
+        if seq > self.config.max_position:
+            raise ValueError(f"sequence length {seq} exceeds max_position {self.config.max_position}")
+        positions = np.broadcast_to(np.arange(seq), (batch, seq))
+        embedded = self.token_embedding(ids) + self.position_embedding(positions)
+        embedded = self.embedding_dropout(self.embedding_norm(embedded))
+        return self.encoder(embedded, attention_mask)
+
+    def mlm_logits(self, ids: Array, attention_mask: Array | None = None) -> Tensor:
+        """Vocabulary logits ``(B, T, V)`` for MLM training."""
+        return self.mlm_head(self.forward(ids, attention_mask))

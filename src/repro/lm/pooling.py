@@ -1,0 +1,50 @@
+"""Pooling strategies turning token embeddings into a command-line embedding.
+
+Section III: "one can simply perform average pooling to aggregate
+information in all token embeddings of the command line"; Section IV-B
+uses the ``[CLS]`` embedding for classification-based tuning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Array, Tensor
+
+
+def cls_pool(hidden: Tensor) -> Tensor:
+    """The ``[CLS]`` (first-position) embedding: ``(B, T, D) → (B, D)``."""
+    return hidden[:, 0, :]
+
+
+def mean_pool(hidden: Tensor, attention_mask: Array) -> Tensor:
+    """Average token embeddings over non-padding positions.
+
+    Parameters
+    ----------
+    hidden:
+        ``(B, T, D)`` token embeddings.
+    attention_mask:
+        ``(B, T)`` boolean validity mask; each row must contain at least
+        one true entry.
+    """
+    mask = np.asarray(attention_mask, dtype=np.float64)
+    counts = mask.sum(axis=1, keepdims=True)
+    if (counts == 0).any():
+        raise ValueError("attention_mask has rows with no valid positions")
+    weights = mask / counts  # (B, T)
+    # (B, 1, T) @ (B, T, D) -> (B, 1, D)
+    pooled = Tensor(weights[:, None, :]) @ hidden
+    return pooled.reshape(hidden.shape[0], hidden.shape[2])
+
+
+POOLERS = ("mean", "cls")
+
+
+def pool(hidden: Tensor, attention_mask: Array, strategy: str = "mean") -> Tensor:
+    """Dispatch to :func:`mean_pool` or :func:`cls_pool` by name."""
+    if strategy == "mean":
+        return mean_pool(hidden, attention_mask)
+    if strategy == "cls":
+        return cls_pool(hidden)
+    raise ValueError(f"unknown pooling strategy {strategy!r}; choose from {POOLERS}")

@@ -1,0 +1,47 @@
+"""Synthetic cloud command-line telemetry (substitute for the paper's
+proprietary 30M/10M-line production logs — see DESIGN.md §2).
+
+Public surface:
+
+- :class:`FleetSimulator` / :class:`FleetConfig` — the generator.
+- :func:`generate_paper_split` — the May-2022 train/test windows.
+- :class:`CommandDataset` / :class:`LogRecord` / :class:`Variant` — data.
+- :class:`AttackSampler` / :data:`ATTACK_FAMILIES` — attack library.
+- :class:`BenignSessionGenerator` — role-driven benign sessions.
+- :class:`TypoInjector` — telemetry noise.
+- :class:`GroundTruthOracle` — evaluation-side truth.
+"""
+
+from repro.loggen.attacks import ATTACK_FAMILIES, FAMILY_BY_NAME, AttackFamily, AttackSampler
+from repro.loggen.behavior import BenignSessionGenerator, SessionPlan
+from repro.loggen.benign import ROLE_MODELS, TemplateFiller
+from repro.loggen.dataset import CommandDataset
+from repro.loggen.entities import LogRecord, UserProfile, Variant
+from repro.loggen.fleet import DEFAULT_ROLE_WEIGHTS, FleetConfig, FleetSimulator, generate_paper_split
+from repro.loggen.groundtruth import GroundTruthOracle
+from repro.loggen.stats import CorpusStats, corpus_stats, fit_zipf_alpha
+from repro.loggen.typos import TypoInjector
+
+__all__ = [
+    "ATTACK_FAMILIES",
+    "AttackFamily",
+    "AttackSampler",
+    "BenignSessionGenerator",
+    "CommandDataset",
+    "CorpusStats",
+    "DEFAULT_ROLE_WEIGHTS",
+    "FAMILY_BY_NAME",
+    "FleetConfig",
+    "FleetSimulator",
+    "GroundTruthOracle",
+    "LogRecord",
+    "ROLE_MODELS",
+    "SessionPlan",
+    "TemplateFiller",
+    "TypoInjector",
+    "UserProfile",
+    "Variant",
+    "corpus_stats",
+    "fit_zipf_alpha",
+    "generate_paper_split",
+]

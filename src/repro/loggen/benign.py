@@ -1,0 +1,485 @@
+"""Benign command-line template library.
+
+Templates are grouped into role-specific *tasks* — short coherent
+sequences a real user would run together (build-and-test, log triage,
+container debugging) — plus singleton commands.  Placeholders are
+filled from realistic value pools so the corpus has heavy-tailed
+argument diversity like production telemetry.
+
+The library also produces the "abnormal yet benign" heavy-tail lines
+Section III calls out as PCA false positives: ``mv`` with dozens of
+complex filenames and ``echo`` with long weird but harmless text.
+"""
+
+from __future__ import annotations
+
+import string
+from dataclasses import dataclass, field
+
+import numpy as np
+
+# ---------------------------------------------------------------------------
+# Value pools for template placeholders
+# ---------------------------------------------------------------------------
+
+DIRS = [
+    "/tmp", "/var/log", "/opt/app", "/home/{user}", "/srv/data", "/etc/nginx",
+    "/usr/local/bin", "/data/jobs", "/mnt/share", "/opt/app/releases", "/var/www",
+]
+FILES = [
+    "main.py", "app.log", "config.yaml", "requirements.txt", "Makefile", "run.sh",
+    "train.py", "model.pt", "data.csv", "index.html", "service.conf", "notes.txt",
+    "backup.tgz", "error.log", "access.log", "deploy.sh", "metrics.json", "input.txt",
+]
+HOSTS = ["10.12.3.4", "10.0.8.15", "db-primary", "cache-01", "api.internal", "192.168.4.22"]
+PACKAGES = ["numpy", "requests", "flask", "pandas", "redis", "gunicorn", "pyyaml", "scipy"]
+SERVICES = ["nginx", "redis", "postgresql", "docker", "crond", "sshd", "kubelet"]
+BRANCHES = ["main", "develop", "feature/login", "hotfix/crash", "release/2.4"]
+CONTAINERS = ["web-1", "worker-3", "redis-cache", "batch-job", "api-gw"]
+PATTERNS = ["ERROR", "WARN", "timeout", "refused", "OOM", "exception", "failed"]
+PORTS = ["8080", "5432", "6379", "3000", "9200", "8443"]
+DATASETS = ["train.csv", "eval.parquet", "features.npz", "labels.json", "raw_dump.csv"]
+
+
+@dataclass(frozen=True)
+class Task:
+    """A coherent multi-command activity executed within one session."""
+
+    name: str
+    templates: tuple[str, ...]
+    weight: float = 1.0
+
+
+@dataclass
+class RoleModel:
+    """The behaviour model of one user role: weighted tasks + singletons."""
+
+    role: str
+    tasks: list[Task] = field(default_factory=list)
+    singletons: list[tuple[str, float]] = field(default_factory=list)
+
+
+def _hard_negative_singletons() -> list[tuple[str, float]]:
+    """Benign lines that are *lexically close* to attack tooling.
+
+    Production telemetry is full of these: port health checks with
+    ``nc``, base64 decoding of ordinary data, corporate proxy exports,
+    package installs that download-and-run.  They never match the
+    commercial IDS signatures (its precision stays ~100%) but they sit
+    near attacks in embedding space — which is precisely why similarity-
+    based retrieval is noisier than discriminative tuning (Section V-A).
+    """
+    return [
+        ("nc -z localhost {port}", 0.8),
+        ("nc -zv {host} {port}", 0.6),
+        ("nc -w 2 {host} {port} < /dev/null", 0.3),
+        ("echo dGVzdC1wYXlsb2Fk | base64 -d", 0.5),
+        ("base64 -d {dir}/{file}.b64 > {dir}/{file}", 0.4),
+        ("base64 {dir}/{file} | head -c 100", 0.3),
+        ("openssl base64 -d -in {dir}/{file}.b64 -out {dir}/{file}", 0.3),
+        ("export no_proxy=localhost,127.0.0.1", 0.5),
+        ("export https_proxy=", 0.3),
+        ("curl -x http://proxy.corp.internal:3128 http://{host}:{port}/status", 0.4),
+        ("curl -O https://releases.internal/{package}.tgz", 0.6),
+        ("wget https://mirror.internal/{package}.deb", 0.5),
+        ("wget -q https://mirror.internal/{package}.deb && sudo dpkg -i {package}.deb", 0.4),
+        ("curl -fsSL https://get.docker.internal -o get-docker.sh", 0.3),
+        ("sh get-docker.sh --dry-run", 0.2),
+        ("cat /etc/passwd | grep {user}", 0.5),
+        ("getent passwd {user}", 0.4),
+        ("sudo tail -5 /var/log/auth.log", 0.5),
+        ("nmap -p 22,80,443 {host}", 0.4),
+        ("nmap -sn 10.12.3.0/24", 0.3),
+        ("masscan --help", 0.1),
+        ("python3 -c \"import socket; print(socket.gethostbyname('{host}'))\"", 0.4),
+        ("ssh -L {port}:localhost:5432 {user}@{host}", 0.5),
+        ("ssh -N -f -L 8443:{host}:443 {user}@bastion", 0.3),
+        ("mkfifo /tmp/pipe-{num}", 0.2),
+        ("crontab -e", 0.4),
+        ("echo '0 3 * * * /opt/app/backup.sh' | sudo tee /etc/cron.d/backup", 0.3),
+        ("chmod +x /tmp/healthcheck.sh && /tmp/healthcheck.sh", 0.4),
+        ("curl http://{host}:{port}/metrics | grep -c up", 0.4),
+    ]
+
+
+def _common_singletons() -> list[tuple[str, float]]:
+    """Commands every role runs, weighted roughly by production frequency.
+
+    The weights induce the Zipf-like head (cd/echo/chmod/grep/ls...) the
+    paper's Figure 2 occurrence table shows.
+    """
+    return [
+        ("cd {dir}", 10.0),
+        ("ls", 8.0),
+        ("ls -la {dir}", 6.0),
+        ("ll", 4.0),
+        ("pwd", 3.0),
+        ("echo {word}", 6.0),
+        ("cat {dir}/{file}", 5.0),
+        ("grep {pattern} {dir}/{file}", 5.0),
+        ("chmod +x {dir}/run.sh", 4.0),
+        ("rm {dir}/{file}", 3.0),
+        ("rm -rf /tmp/build-{num}", 2.0),
+        ("cp {dir}/{file} {dir2}/", 2.5),
+        ("mv {dir}/{file} {dir2}/{file}", 2.5),
+        ("df -h", 2.0),
+        ("du -sh {dir}", 1.5),
+        ("ps aux | grep {service}", 2.5),
+        ("top -b -n 1 | head -20", 1.0),
+        ("free -m", 1.2),
+        ("uptime", 1.0),
+        ("whoami", 1.0),
+        ("hostname", 1.0),
+        ("date", 1.2),
+        ("history | tail -50", 0.8),
+        ("man {service}", 0.3),
+        ("which python3", 0.8),
+        ("env | grep PATH", 0.6),
+        ("export PATH=$PATH:/usr/local/bin", 0.8),
+        ("head -100 {dir}/{file}", 1.5),
+        ("tail -f {dir}/{file}", 2.0),
+        ("wc -l {dir}/{file}", 1.2),
+        ("find {dir} -name '*.log'", 1.2),
+        ("awk '{{print $1}}' {dir}/{file}", 1.0),
+        ("sed -i 's/{pattern}/FIXED/' {dir}/{file}", 0.8),
+        ("touch {dir}/{file}", 1.0),
+        ("ln -s {dir}/{file} /usr/local/bin/{file}", 0.4),
+        ("vim ~/.bashrc", 0.8),
+        ("vim {dir}/{file}", 2.0),
+        ("nano {dir}/{file}", 0.7),
+        ("less {dir}/{file}", 1.0),
+        ("scp {dir}/{file} {user}@{host}:{dir2}/", 0.8),
+        ("ssh {user}@{host}", 1.0),
+        ("ping -c 3 {host}", 0.8),
+        ("curl http://{host}:{port}/healthz", 1.2),
+        ("netstat -tlnp | grep {port}", 0.7),
+        ("kill -9 {num}", 0.8),
+        ("sleep {num}", 0.5),
+        ("clear", 1.5),
+        ("exit", 1.5),
+        ("watch -n 1 nvidia-smi", 0.5),
+        ("crontab -l", 0.5),
+        ("sudo systemctl status {service}", 1.2),
+        ("sudo systemctl restart {service}", 0.8),
+        ("journalctl -u {service} --since today", 0.6),
+        ("tar -czf backup-{num}.tgz {dir}", 0.8),
+        ("tar -xzf backup-{num}.tgz -C {dir2}", 0.6),
+        ("gzip {dir}/{file}", 0.5),
+        ("md5sum {dir}/{file}", 0.4),
+        ("diff {dir}/{file} {dir2}/{file}", 0.5),
+        ("sort {dir}/{file} | uniq -c | sort -rn | head", 0.6),
+        ("xargs -n 1 echo < {dir}/{file}", 0.3),
+    ]
+
+
+def _developer() -> RoleModel:
+    tasks = [
+        Task("build", (
+            "cd /opt/app",
+            "git pull origin {branch}",
+            "make clean",
+            "make -j{smallnum}",
+            "make test",
+        ), 2.0),
+        Task("debug_tests", (
+            "cd /opt/app",
+            "python -m pytest tests/ -q",
+            "python -m pytest tests/test_api.py -k {pattern} -v",
+            "grep -rn {pattern} src/",
+            "vim src/handlers.py",
+        ), 2.0),
+        Task("git_flow", (
+            "git status",
+            "git diff",
+            "git add -A",
+            "git commit -m 'fix {pattern} handling'",
+            "git push origin {branch}",
+        ), 2.5),
+        Task("venv", (
+            "python3 -m venv .venv",
+            "source .venv/bin/activate",
+            "pip install -r requirements.txt",
+            "pip install {package}",
+            "python main.py --verbose",
+        ), 1.5),
+        Task("profiling", (
+            "python -m cProfile -o prof.out main.py",
+            "python -c \"import pstats; pstats.Stats('prof.out').sort_stats('cumtime').print_stats(20)\"",
+        ), 0.5),
+        Task("php_dev", (
+            "php -r \"phpinfo();\"",
+            "php -l index.php",
+            "composer install",
+        ), 0.4),
+        Task("node_dev", (
+            "npm install",
+            "npm run build",
+            "npm test",
+            "node server.js --port {port}",
+        ), 0.8),
+    ]
+    singletons = _common_singletons() + _hard_negative_singletons() + [
+        ("git log --oneline -20", 1.5),
+        ("git branch -a", 1.0),
+        ("git checkout {branch}", 1.2),
+        ("git stash", 0.6),
+        ("python3 {file}", 2.0),
+        ("python main.py", 2.0),
+        ("pip list | grep {package}", 0.6),
+        ("java -version", 0.3),
+        ("javac Main.java && java Main", 0.3),
+        ("gcc -O2 -o app app.c", 0.4),
+        ("cargo build --release", 0.3),
+        ("go build ./...", 0.4),
+    ]
+    return RoleModel("developer", tasks, singletons)
+
+
+def _devops() -> RoleModel:
+    tasks = [
+        Task("container_debug", (
+            "docker ps -a",
+            "docker logs {container} --tail 100",
+            "docker exec -it {container} bash",
+            "docker stats --no-stream",
+            "docker restart {container}",
+        ), 2.5),
+        Task("deploy", (
+            "cd /opt/app/releases",
+            "tar -xzf release-{num}.tgz",
+            "sudo systemctl stop {service}",
+            "cp -r release-{num}/* /opt/app/",
+            "sudo systemctl start {service}",
+            "curl http://localhost:{port}/healthz",
+        ), 2.0),
+        Task("k8s", (
+            "kubectl get pods -n production",
+            "kubectl describe pod {container}",
+            "kubectl logs {container} --since=1h",
+            "kubectl rollout restart deployment/{service}",
+        ), 1.5),
+        Task("log_triage", (
+            "cd /var/log",
+            "tail -200 {file}",
+            "grep -c {pattern} {file}",
+            "zgrep {pattern} {file}.1.gz | head",
+            "awk '$9 >= 500' access.log | wc -l",
+        ), 2.0),
+        Task("docker_build", (
+            "docker build -t registry.internal/{service}:{num} .",
+            "docker push registry.internal/{service}:{num}",
+            "docker image prune -f",
+        ), 1.2),
+        Task("certs", (
+            "openssl x509 -in /etc/nginx/cert.pem -noout -dates",
+            "sudo nginx -t",
+            "sudo systemctl reload nginx",
+        ), 0.6),
+    ]
+    singletons = _common_singletons() + _hard_negative_singletons() + [
+        ("docker ps", 3.0),
+        ("docker images", 1.5),
+        ("docker attach --sig-proxy=false {container}", 0.6),
+        ("docker compose up -d", 1.0),
+        ("kubectl get nodes", 1.0),
+        ("terraform plan", 0.5),
+        ("ansible-playbook deploy.yml --check", 0.5),
+        ("iptables -L -n", 0.4),
+        ("ip addr show", 0.6),
+        ("ss -tlnp", 0.6),
+        ("dig {host}", 0.5),
+        ("traceroute {host}", 0.3),
+        ("rsync -avz {dir}/ {user}@{host}:{dir2}/", 0.7),
+    ]
+    return RoleModel("devops", tasks, singletons)
+
+
+def _data_scientist() -> RoleModel:
+    tasks = [
+        Task("training", (
+            "cd /data/jobs",
+            "source .venv/bin/activate",
+            "python train.py --epochs {smallnum} --lr 0.001",
+            "watch -n 1 nvidia-smi",
+            "tail -f train.log",
+        ), 2.0),
+        Task("data_prep", (
+            "wc -l {dataset}",
+            "head -5 {dataset}",
+            "python -c \"import pandas as pd; print(pd.read_csv('{dataset}').shape)\"",
+            "awk -F, '{{print NF}}' {dataset} | sort -u",
+        ), 1.5),
+        Task("notebook", (
+            "jupyter notebook --no-browser --port {port}",
+            "jupyter nbconvert --to script analysis.ipynb",
+        ), 1.0),
+        Task("experiment_sync", (
+            "rsync -avz results/ {user}@{host}:/srv/data/results/",
+            "md5sum results/*.npz | tee manifest.txt",
+        ), 0.6),
+    ]
+    singletons = _common_singletons() + _hard_negative_singletons() + [
+        ("python train.py", 1.5),
+        ("python eval.py --checkpoint model.pt", 1.0),
+        ("nvidia-smi", 2.0),
+        ("pip install {package}", 1.0),
+        ("conda activate ml", 0.8),
+        ("tensorboard --logdir runs/ --port {port}", 0.5),
+        ("du -sh /data/jobs/*", 0.6),
+    ]
+    return RoleModel("data_scientist", tasks, singletons)
+
+
+def _sysadmin() -> RoleModel:
+    tasks = [
+        Task("user_mgmt", (
+            "sudo useradd -m svc-{word}",
+            "sudo usermod -aG docker svc-{word}",
+            "sudo passwd svc-{word}",
+            "id svc-{word}",
+        ), 0.8),
+        Task("patching", (
+            "sudo apt update",
+            "sudo apt list --upgradable",
+            "sudo apt upgrade -y",
+            "sudo reboot",
+        ), 1.0),
+        Task("disk_triage", (
+            "df -h",
+            "du -sh /var/* | sort -rh | head",
+            "find /var/log -size +100M",
+            "sudo journalctl --vacuum-size=500M",
+        ), 1.5),
+        Task("backup", (
+            "tar -czf /mnt/share/backup-{num}.tgz /etc /home",
+            "md5sum /mnt/share/backup-{num}.tgz",
+            "scp /mnt/share/backup-{num}.tgz backup@{host}:/srv/data/",
+        ), 1.0),
+        Task("security_audit", (
+            "sudo lastlog | head -20",
+            "sudo grep 'Failed password' /var/log/auth.log | tail -20",
+            "sudo netstat -tlnp",
+            "sudo lsof -i :{port}",
+        ), 1.2),
+    ]
+    singletons = _common_singletons() + _hard_negative_singletons() + [
+        ("sudo su -", 1.0),
+        ("sudo visudo -c", 0.3),
+        ("mount | column -t", 0.4),
+        ("lsblk", 0.5),
+        ("systemctl list-units --failed", 0.8),
+        ("dmesg | tail -30", 0.8),
+        ("uname -a", 0.8),
+        ("cat /etc/os-release", 0.5),
+        ("w", 0.6),
+        ("last -10", 0.5),
+    ]
+    return RoleModel("sysadmin", tasks, singletons)
+
+
+def _db_admin() -> RoleModel:
+    tasks = [
+        Task("pg_health", (
+            "psql -h {host} -U admin -c 'SELECT count(*) FROM pg_stat_activity;'",
+            "psql -h {host} -U admin -c 'SELECT * FROM pg_stat_replication;'",
+            "pg_top -h {host}",
+        ), 1.5),
+        Task("dump_restore", (
+            "pg_dump -h {host} -U admin appdb | gzip > appdb-{num}.sql.gz",
+            "gunzip -c appdb-{num}.sql.gz | head -20",
+            "psql -h {host} -U admin staging < schema.sql",
+        ), 1.0),
+        Task("redis_ops", (
+            "redis-cli -h {host} info memory",
+            "redis-cli -h {host} --scan --pattern 'session:*' | wc -l",
+            "redis-cli -h {host} slowlog get 10",
+        ), 1.0),
+        Task("mysql_ops", (
+            "mysql -h {host} -u root -e 'SHOW PROCESSLIST;'",
+            "mysqldump -h {host} -u root appdb > dump-{num}.sql",
+        ), 0.7),
+    ]
+    singletons = _common_singletons() + _hard_negative_singletons() + [
+        ("psql -l", 0.8),
+        ("redis-cli ping", 0.8),
+        ("mongo --eval 'db.stats()'", 0.3),
+        ("sqlite3 local.db '.tables'", 0.3),
+    ]
+    return RoleModel("db_admin", tasks, singletons)
+
+
+#: All role models by name.
+ROLE_MODELS: dict[str, RoleModel] = {
+    model.role: model
+    for model in (_developer(), _devops(), _data_scientist(), _sysadmin(), _db_admin())
+}
+
+_WORDS = [
+    "done", "ok", "start", "restarting", "deploy", "hello", "test", "ready",
+    "build-finished", "cleanup", "retry", "sync",
+]
+
+
+class TemplateFiller:
+    """Fill ``{placeholder}`` slots in command templates with sampled values."""
+
+    def __init__(self, rng: np.random.Generator):
+        self._rng = rng
+
+    def _choice(self, pool: list[str]) -> str:
+        return pool[int(self._rng.integers(len(pool)))]
+
+    def fill(self, template: str, user: str = "alice") -> str:
+        """Instantiate *template*; unknown placeholders are left intact."""
+        dir1 = self._choice(DIRS).replace("{user}", user)
+        dir2 = self._choice(DIRS).replace("{user}", user)
+        values = {
+            "dir": dir1,
+            "dir2": dir2,
+            "file": self._choice(FILES),
+            "host": self._choice(HOSTS),
+            "package": self._choice(PACKAGES),
+            "service": self._choice(SERVICES),
+            "branch": self._choice(BRANCHES),
+            "container": self._choice(CONTAINERS),
+            "pattern": self._choice(PATTERNS),
+            "port": self._choice(PORTS),
+            "dataset": self._choice(DATASETS),
+            "word": self._choice(_WORDS),
+            "num": str(int(self._rng.integers(1, 10000))),
+            "smallnum": str(int(self._rng.integers(2, 16))),
+            "user": user,
+        }
+        try:
+            return template.format(**values)
+        except (KeyError, IndexError):
+            return template
+
+    # -- abnormal yet benign heavy-tail lines (Section III) -----------------
+
+    def abnormal_benign_mv(self, n_files: int | None = None) -> str:
+        """A ``mv`` with a very large number of complex filenames."""
+        count = n_files or int(self._rng.integers(15, 40))
+        names = [
+            f"report_{int(self._rng.integers(1000, 9999))}_"
+            f"{''.join(self._rng.choice(list(string.ascii_lowercase), size=8))}.csv"
+            for _ in range(count)
+        ]
+        return "mv " + " ".join(names) + " /srv/data/archive/"
+
+    def abnormal_benign_echo(self, length: int | None = None) -> str:
+        """An ``echo`` of long, weird (yet harmless) repeated text."""
+        n = length or int(self._rng.integers(40, 120))
+        letters = "abc"
+        body = "".join(
+            letters[i % 3] * int(self._rng.integers(2, 6)) for i in range(n // 3)
+        )
+        return f"echo {body}"
+
+    def abnormal_benign_oneliner(self) -> str:
+        """A long but benign shell one-liner (log crunching)."""
+        pattern = self._choice(PATTERNS)
+        return (
+            f"cat /var/log/access.log | awk '{{print $1}}' | sort | uniq -c "
+            f"| sort -rn | head -20 && grep -c {pattern} /var/log/error.log"
+        )

@@ -1,0 +1,185 @@
+"""Dataset container for command-line telemetry.
+
+:class:`CommandDataset` wraps a list of :class:`LogRecord` rows with the
+operations the experiments need: splitting by date, de-duplication,
+label extraction, JSONL persistence, and summary statistics.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from datetime import datetime
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.loggen.entities import LogRecord, Variant
+from repro.preprocess.dedup import deduplicate
+
+_TIME_FORMAT = "%Y-%m-%dT%H:%M:%S"
+
+
+class CommandDataset:
+    """An ordered collection of :class:`LogRecord` rows.
+
+    Example
+    -------
+    >>> ds = CommandDataset([])
+    >>> len(ds)
+    0
+    """
+
+    def __init__(self, records: Iterable[LogRecord]):
+        self._records: list[LogRecord] = list(records)
+
+    # -- sequence protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __getitem__(self, index: int) -> LogRecord:
+        return self._records[index]
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> list[LogRecord]:
+        """The underlying record list (do not mutate)."""
+        return self._records
+
+    # -- projections -----------------------------------------------------------
+
+    def lines(self) -> list[str]:
+        """All command lines, in order."""
+        return [record.line for record in self._records]
+
+    def labels(self) -> np.ndarray:
+        """Ground-truth malicious flags as an int array (1 = malicious)."""
+        return np.array([int(record.is_malicious) for record in self._records])
+
+    def variants(self) -> list[Variant]:
+        """Per-record :class:`Variant`."""
+        return [record.variant for record in self._records]
+
+    def timestamps(self) -> list[datetime]:
+        """Per-record timestamps."""
+        return [record.timestamp for record in self._records]
+
+    # -- transforms ---------------------------------------------------------
+
+    def filter(self, predicate: Callable[[LogRecord], bool]) -> "CommandDataset":
+        """Records satisfying *predicate*, as a new dataset."""
+        return CommandDataset(record for record in self._records if predicate(record))
+
+    def subset(self, indices: Sequence[int]) -> "CommandDataset":
+        """Records at *indices*, as a new dataset."""
+        return CommandDataset(self._records[i] for i in indices)
+
+    def sorted_by_time(self) -> "CommandDataset":
+        """Records ordered by timestamp (stable)."""
+        return CommandDataset(sorted(self._records, key=lambda record: record.timestamp))
+
+    def deduplicated(self) -> "CommandDataset":
+        """First occurrence of each distinct command line (Section V)."""
+        return CommandDataset(deduplicate(self._records, key=lambda record: record.line))
+
+    def split_by_date(self, boundary: datetime) -> tuple["CommandDataset", "CommandDataset"]:
+        """Records strictly before *boundary* vs at-or-after it."""
+        before = [record for record in self._records if record.timestamp < boundary]
+        after = [record for record in self._records if record.timestamp >= boundary]
+        return CommandDataset(before), CommandDataset(after)
+
+    def sample(self, n: int, rng: np.random.Generator) -> "CommandDataset":
+        """A uniform sample of *n* records without replacement."""
+        if n > len(self._records):
+            raise DataError(f"cannot sample {n} from {len(self._records)} records")
+        indices = rng.choice(len(self._records), size=n, replace=False)
+        return self.subset(sorted(int(i) for i in indices))
+
+    def merged_with(self, other: "CommandDataset") -> "CommandDataset":
+        """Concatenation of two datasets."""
+        return CommandDataset([*self._records, *other._records])
+
+    # -- statistics ----------------------------------------------------------
+
+    def n_malicious(self) -> int:
+        """Number of ground-truth malicious records."""
+        return sum(record.is_malicious for record in self._records)
+
+    def variant_counts(self) -> Counter:
+        """Histogram of :class:`Variant` values."""
+        return Counter(record.variant for record in self._records)
+
+    def scenario_counts(self) -> Counter:
+        """Histogram of scenario labels."""
+        return Counter(record.scenario for record in self._records)
+
+    def summary(self) -> dict[str, object]:
+        """A compact description used in experiment logs."""
+        variants = self.variant_counts()
+        return {
+            "records": len(self),
+            "users": len({record.user for record in self._records}),
+            "machines": len({record.machine for record in self._records}),
+            "malicious": self.n_malicious(),
+            "inbox": variants.get(Variant.INBOX, 0),
+            "outbox": variants.get(Variant.OUTBOX, 0),
+            "unique_lines": len({record.line for record in self._records}),
+        }
+
+    # -- persistence -----------------------------------------------------------
+
+    def to_jsonl(self, path: str | Path) -> None:
+        """Write the dataset as JSON Lines."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in self._records:
+                handle.write(
+                    json.dumps(
+                        {
+                            "line": record.line,
+                            "user": record.user,
+                            "machine": record.machine,
+                            "timestamp": record.timestamp.strftime(_TIME_FORMAT),
+                            "session": record.session,
+                            "scenario": record.scenario,
+                            "is_malicious": record.is_malicious,
+                            "variant": record.variant.value,
+                        },
+                        ensure_ascii=False,
+                    )
+                    + "\n"
+                )
+
+    @classmethod
+    def from_jsonl(cls, path: str | Path) -> "CommandDataset":
+        """Load a dataset written by :meth:`to_jsonl`."""
+        records: list[LogRecord] = []
+        try:
+            with open(path, encoding="utf-8") as handle:
+                for line_no, raw in enumerate(handle, start=1):
+                    raw = raw.strip()
+                    if not raw:
+                        continue
+                    try:
+                        payload = json.loads(raw)
+                        records.append(
+                            LogRecord(
+                                line=payload["line"],
+                                user=payload["user"],
+                                machine=payload["machine"],
+                                timestamp=datetime.strptime(payload["timestamp"], _TIME_FORMAT),
+                                session=payload.get("session", ""),
+                                scenario=payload.get("scenario", "benign"),
+                                is_malicious=payload.get("is_malicious", False),
+                                variant=Variant(payload.get("variant", "benign")),
+                            )
+                        )
+                    except (KeyError, ValueError) as exc:
+                        raise DataError(f"{path}:{line_no}: malformed record: {exc}") from exc
+        except OSError as exc:
+            raise DataError(f"cannot read dataset from {path}: {exc}") from exc
+        return cls(records)

@@ -1,0 +1,101 @@
+"""Core entities of the synthetic cloud fleet: records, users, machines.
+
+The paper logs "the command lines of all the users on ~100 000 machines"
+in a production cloud.  Our substitute models that telemetry as a stream
+of :class:`LogRecord` rows carrying everything the downstream methods
+consume — the raw line, user/machine identity, timestamp — plus
+generator-side ground truth used only for evaluation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from datetime import datetime
+
+
+class Variant(enum.Enum):
+    """How an injected attack relates to the simulated commercial IDS.
+
+    ``INBOX`` lines match one of the IDS's signatures ("in-box"
+    intrusions in the paper); ``OUTBOX`` lines are functional siblings
+    engineered to evade the signatures ("out-of-box"); ``BENIGN`` lines
+    carry no attack at all.
+    """
+
+    BENIGN = "benign"
+    INBOX = "inbox"
+    OUTBOX = "outbox"
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One logged command-line execution.
+
+    Attributes
+    ----------
+    line:
+        The raw command line.
+    user:
+        User identifier (``u0001``-style).
+    machine:
+        Machine identifier (``m000001``-style).
+    timestamp:
+        Execution time.
+    session:
+        Session identifier grouping temporally contiguous commands of
+        one user (the unit multi-line classification consumes).
+    scenario:
+        Generator scenario label (e.g. ``benign.devops.build`` or
+        ``attack.reverse_shell``); diagnostic only.
+    is_malicious:
+        Ground-truth oracle: whether the line belongs to an intrusion.
+    variant:
+        :class:`Variant` of the line (benign / in-box / out-of-box).
+    """
+
+    line: str
+    user: str
+    machine: str
+    timestamp: datetime
+    session: str = ""
+    scenario: str = "benign"
+    is_malicious: bool = False
+    variant: Variant = Variant.BENIGN
+
+    def replace_line(self, line: str) -> "LogRecord":
+        """Copy of this record with a different command line."""
+        return LogRecord(
+            line=line,
+            user=self.user,
+            machine=self.machine,
+            timestamp=self.timestamp,
+            session=self.session,
+            scenario=self.scenario,
+            is_malicious=self.is_malicious,
+            variant=self.variant,
+        )
+
+
+@dataclass
+class UserProfile:
+    """A simulated cloud user.
+
+    Attributes
+    ----------
+    user_id:
+        Stable identifier.
+    role:
+        Behaviour-model key (see :mod:`repro.loggen.behavior`).
+    machines:
+        Machines this user operates on.
+    activity:
+        Relative likelihood of the user producing a session (weights
+        the per-user traffic distribution; heavy users dominate, as in
+        production logs).
+    """
+
+    user_id: str
+    role: str
+    machines: list[str] = field(default_factory=list)
+    activity: float = 1.0

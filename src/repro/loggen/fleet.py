@@ -1,0 +1,238 @@
+"""The cloud-fleet simulator: the paper's telemetry source, synthesised.
+
+:class:`FleetSimulator` generates week-long command-line logs for a
+fleet of machines and users, mixing benign role-driven sessions with
+injected attack sessions (in-box and out-of-box variants), typos, and
+un-parseable garbage.  :func:`generate_paper_split` mirrors the paper's
+setup: a training week (May 1–7, 2022) and a test window (May 29–31,
+2022).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.loggen.attacks import ATTACK_FAMILIES, AttackSampler
+from repro.loggen.behavior import BenignSessionGenerator
+from repro.loggen.dataset import CommandDataset
+from repro.loggen.entities import LogRecord, UserProfile, Variant
+from repro.loggen.typos import TypoInjector
+
+#: Role mix of the simulated organisation.
+DEFAULT_ROLE_WEIGHTS: dict[str, float] = {
+    "developer": 0.35,
+    "devops": 0.25,
+    "data_scientist": 0.15,
+    "sysadmin": 0.15,
+    "db_admin": 0.10,
+}
+
+
+@dataclass
+class FleetConfig:
+    """Knobs of the fleet simulator.
+
+    Attributes
+    ----------
+    n_users / n_machines:
+        Fleet size; each user operates on 1–3 machines.
+    role_weights:
+        Role mix (normalised internally).
+    attack_session_rate:
+        Fraction of generated sessions that are attack sessions.
+    outbox_fraction:
+        Among attack sessions, fraction using out-of-box variants.
+    attack_families:
+        Families to draw from (default: all).
+    typo_prob / garbage_prob:
+        Per-line probability of a command-name typo / un-parseable junk.
+    abnormal_benign_prob:
+        Per-session probability of a heavy-tail benign line.
+    seed:
+        Master seed; every generator stream derives from it.
+    """
+
+    n_users: int = 60
+    n_machines: int = 150
+    role_weights: dict[str, float] = field(default_factory=lambda: dict(DEFAULT_ROLE_WEIGHTS))
+    attack_session_rate: float = 0.008
+    outbox_fraction: float = 0.45
+    attack_families: list[str] | None = None
+    typo_prob: float = 0.01
+    garbage_prob: float = 0.004
+    abnormal_benign_prob: float = 0.01
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.n_users < 1 or self.n_machines < 1:
+            raise ConfigError("fleet must have at least one user and machine")
+        if not 0.0 <= self.attack_session_rate < 1.0:
+            raise ConfigError("attack_session_rate must be in [0, 1)")
+        if not 0.0 <= self.outbox_fraction <= 1.0:
+            raise ConfigError("outbox_fraction must be in [0, 1]")
+
+
+class FleetSimulator:
+    """Generate telemetry for a simulated fleet.
+
+    Example
+    -------
+    >>> sim = FleetSimulator(FleetConfig(seed=7))
+    >>> data = sim.generate(datetime(2022, 5, 1), days=1, target_lines=500)
+    >>> len(data) >= 500
+    True
+    """
+
+    def __init__(self, config: FleetConfig | None = None):
+        self.config = config or FleetConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+        self.users = self._build_users()
+        self._benign = BenignSessionGenerator(
+            np.random.default_rng(self._rng.integers(2**31)),
+            abnormal_benign_prob=self.config.abnormal_benign_prob,
+        )
+        self._attacks = AttackSampler(np.random.default_rng(self._rng.integers(2**31)))
+        self._typos = TypoInjector(np.random.default_rng(self._rng.integers(2**31)))
+        self._session_counter = 0
+
+    def _build_users(self) -> list[UserProfile]:
+        roles = list(self.config.role_weights)
+        weights = np.array([self.config.role_weights[role] for role in roles], dtype=float)
+        weights /= weights.sum()
+        machines = [f"m{index:06d}" for index in range(self.config.n_machines)]
+        users = []
+        for index in range(self.config.n_users):
+            role = roles[int(self._rng.choice(len(roles), p=weights))]
+            owned = [
+                machines[int(i)]
+                for i in self._rng.choice(len(machines), size=int(self._rng.integers(1, 4)), replace=False)
+            ]
+            # log-normal activity → a heavy-tailed user traffic distribution
+            activity = float(self._rng.lognormal(mean=0.0, sigma=1.0))
+            users.append(UserProfile(user_id=f"u{index:04d}", role=role, machines=owned, activity=activity))
+        return users
+
+    def _pick_user(self) -> UserProfile:
+        weights = np.array([user.activity for user in self.users])
+        return self.users[int(self._rng.choice(len(self.users), p=weights / weights.sum()))]
+
+    def _session_id(self) -> str:
+        self._session_counter += 1
+        return f"s{self._session_counter:08d}"
+
+    def _session_records(
+        self,
+        lines: list[str],
+        scenario: str,
+        malicious: bool,
+        variant: Variant,
+        start: datetime,
+        user: UserProfile,
+    ) -> list[LogRecord]:
+        machine = user.machines[int(self._rng.integers(len(user.machines)))]
+        session = self._session_id()
+        records = []
+        cursor = start
+        for line in lines:
+            cursor = cursor + timedelta(seconds=float(self._rng.integers(2, 90)))
+            records.append(
+                LogRecord(
+                    line=line,
+                    user=user.user_id,
+                    machine=machine,
+                    timestamp=cursor,
+                    session=session,
+                    scenario=scenario,
+                    is_malicious=malicious,
+                    variant=variant,
+                )
+            )
+        return records
+
+    def generate(
+        self,
+        start: datetime,
+        days: int,
+        target_lines: int,
+        attack_session_rate: float | None = None,
+        outbox_fraction: float | None = None,
+    ) -> CommandDataset:
+        """Generate at least *target_lines* records across *days* days.
+
+        ``attack_session_rate`` / ``outbox_fraction`` override the config
+        for this call (used to give train and test windows different
+        attack mixes).
+        """
+        if target_lines < 1 or days < 1:
+            raise ConfigError("target_lines and days must be positive")
+        rate = self.config.attack_session_rate if attack_session_rate is None else attack_session_rate
+        outbox = self.config.outbox_fraction if outbox_fraction is None else outbox_fraction
+        period_seconds = days * 86_400
+        records: list[LogRecord] = []
+        while len(records) < target_lines:
+            user = self._pick_user()
+            offset = timedelta(seconds=float(self._rng.uniform(0, period_seconds)))
+            begin = start + offset
+            if self._rng.random() < rate:
+                is_outbox = self._rng.random() < outbox
+                family, lines = self._attacks.sample_any(
+                    inbox=not is_outbox, families=self.config.attack_families
+                )
+                records.extend(
+                    self._session_records(
+                        lines,
+                        scenario=f"attack.{family}",
+                        malicious=True,
+                        variant=Variant.OUTBOX if is_outbox else Variant.INBOX,
+                        start=begin,
+                        user=user,
+                    )
+                )
+            else:
+                plan = self._benign.generate(user.role, user.user_id)
+                noisy = [
+                    self._typos.maybe_corrupt(line, self.config.typo_prob, self.config.garbage_prob)
+                    for line in plan.lines
+                ]
+                records.extend(
+                    self._session_records(
+                        noisy,
+                        scenario=plan.scenario,
+                        malicious=False,
+                        variant=Variant.BENIGN,
+                        start=begin,
+                        user=user,
+                    )
+                )
+        return CommandDataset(records).sorted_by_time()
+
+
+def generate_paper_split(
+    train_lines: int = 30_000,
+    test_lines: int = 10_000,
+    config: FleetConfig | None = None,
+    test_attack_session_rate: float = 0.02,
+    test_outbox_fraction: float = 0.5,
+) -> tuple[CommandDataset, CommandDataset]:
+    """Generate the paper's train/test windows at reproduction scale.
+
+    Training data covers May 1–7, 2022 (the paper's 30M-line week) and
+    the test data May 29–31, 2022 (the 10M-line window), scaled down by
+    default to 30k/10k lines.  The test window uses a higher attack rate
+    and a 50/50 in-box/out-of-box mix so that the top-v precision metrics
+    have enough support after de-duplication.
+    """
+    simulator = FleetSimulator(config)
+    train = simulator.generate(datetime(2022, 5, 1), days=7, target_lines=train_lines)
+    test = simulator.generate(
+        datetime(2022, 5, 29),
+        days=3,
+        target_lines=test_lines,
+        attack_session_rate=test_attack_session_rate,
+        outbox_fraction=test_outbox_fraction,
+    )
+    return train, test

@@ -1,0 +1,43 @@
+"""Ground-truth oracle helpers.
+
+The paper's evaluation required security analysts to label the model's
+top predictions.  Our generator records scenario-level truth on every
+row; this module exposes it in the shapes the metrics code consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.loggen.dataset import CommandDataset
+from repro.loggen.entities import Variant
+
+
+class GroundTruthOracle:
+    """Answer "is this record truly malicious?" and variant queries."""
+
+    def __init__(self, dataset: CommandDataset):
+        self._dataset = dataset
+
+    def labels(self) -> np.ndarray:
+        """1/0 malicious flags per record."""
+        return self._dataset.labels()
+
+    def is_inbox(self) -> np.ndarray:
+        """Boolean mask: record is an in-box (signature-matching) intrusion."""
+        return np.array([record.variant is Variant.INBOX for record in self._dataset])
+
+    def is_outbox(self) -> np.ndarray:
+        """Boolean mask: record is an out-of-box intrusion."""
+        return np.array([record.variant is Variant.OUTBOX for record in self._dataset])
+
+    def malicious_indices(self) -> np.ndarray:
+        """Indices of all truly malicious records."""
+        return np.nonzero(self.labels() == 1)[0]
+
+    def attack_family(self, index: int) -> str | None:
+        """Attack family of record *index*, or ``None`` when benign."""
+        scenario = self._dataset[index].scenario
+        if scenario.startswith("attack."):
+            return scenario.split(".", 1)[1]
+        return None

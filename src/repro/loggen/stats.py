@@ -1,0 +1,90 @@
+"""Corpus statistics for validating the synthetic telemetry.
+
+DESIGN.md §2 claims the generator reproduces the statistical properties
+the paper's methods depend on: Zipf-like command-frequency heads, heavy
+duplication requiring test-set dedup, rare anomalies, and session
+structure.  This module measures them so tests (and users swapping in
+their own telemetry) can check those properties hold.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.loggen.dataset import CommandDataset
+from repro.shell.extract import CommandExtractor
+
+
+@dataclass(frozen=True)
+class CorpusStats:
+    """Summary statistics of a command-line corpus.
+
+    Attributes
+    ----------
+    n_lines / n_unique_lines:
+        Volume and distinct-line count (their ratio drives dedup).
+    duplicate_fraction:
+        1 − unique/total.
+    n_commands:
+        Distinct primary command names.
+    zipf_alpha:
+        Fitted slope of log-frequency vs log-rank over the head of the
+        command distribution (≈1 for natural command logs).
+    top_commands:
+        The Figure-2-style occurrence head.
+    malicious_fraction:
+        Ground-truth intrusion rate.
+    mean_session_length / n_sessions:
+        Session structure (the unit multi-line classification uses).
+    """
+
+    n_lines: int
+    n_unique_lines: int
+    duplicate_fraction: float
+    n_commands: int
+    zipf_alpha: float
+    top_commands: list[tuple[str, int]]
+    malicious_fraction: float
+    mean_session_length: float
+    n_sessions: int
+
+
+def fit_zipf_alpha(counts: list[int], head: int = 30) -> float:
+    """Least-squares slope of log(count) on log(rank) over the top *head*.
+
+    Returns the positive exponent alpha; 0.0 when under two points.
+    """
+    ranked = sorted((c for c in counts if c > 0), reverse=True)[:head]
+    if len(ranked) < 2:
+        return 0.0
+    ranks = np.log(np.arange(1, len(ranked) + 1, dtype=np.float64))
+    values = np.log(np.asarray(ranked, dtype=np.float64))
+    slope = np.polyfit(ranks, values, deg=1)[0]
+    return float(-slope)
+
+
+def corpus_stats(dataset: CommandDataset) -> CorpusStats:
+    """Compute :class:`CorpusStats` for *dataset*."""
+    extractor = CommandExtractor()
+    lines = dataset.lines()
+    name_counts: Counter[str] = Counter()
+    for line in lines:
+        summary = extractor.try_summarize(line)
+        if summary is not None and summary.primary_name is not None:
+            name_counts[summary.primary_name] += 1
+    session_lengths = Counter(record.session for record in dataset)
+    unique = len(set(lines))
+    return CorpusStats(
+        n_lines=len(lines),
+        n_unique_lines=unique,
+        duplicate_fraction=1.0 - unique / max(len(lines), 1),
+        n_commands=len(name_counts),
+        zipf_alpha=fit_zipf_alpha(list(name_counts.values())),
+        top_commands=name_counts.most_common(10),
+        malicious_fraction=float(dataset.labels().mean()) if len(dataset) else 0.0,
+        mean_session_length=float(np.mean(list(session_lengths.values()))) if session_lengths else 0.0,
+        n_sessions=len(session_lengths),
+    )

@@ -1,0 +1,68 @@
+"""Typo and garbage injection for realistic noisy telemetry.
+
+Section II-A motivates pre-processing with exactly this noise: command
+names with transposed/duplicated/dropped characters (``dcoker``,
+``chdmod``) and outright un-parseable junk such as the invalid
+``/*/*/* -> /*/*/* ->`` redirection.  The injector reproduces both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_GARBAGE_LINES = [
+    "/a/b/c -> /d/e/f ->",
+    "ls | | grep x",
+    "echo 'unterminated",
+    'cat "half quoted',
+    "| head -5",
+    "&& make",
+    "echo $(unclosed substitution",
+    "grep pattern file >",
+    "tar -xzf archive.tgz &&",
+    "((",
+]
+
+
+class TypoInjector:
+    """Corrupt command lines the way real operators do.
+
+    Parameters
+    ----------
+    rng:
+        Randomness source.
+    """
+
+    def __init__(self, rng: np.random.Generator):
+        self._rng = rng
+
+    def typo_command_name(self, line: str) -> str:
+        """Corrupt the first word of *line* (transpose/duplicate/drop)."""
+        parts = line.split(" ", 1)
+        name = parts[0]
+        if len(name) < 3:
+            return line
+        mode = int(self._rng.integers(3))
+        index = int(self._rng.integers(1, len(name) - 1))
+        if mode == 0:  # transpose two adjacent characters: docker -> dcoker
+            chars = list(name)
+            chars[index], chars[index - 1] = chars[index - 1], chars[index]
+            name = "".join(chars)
+        elif mode == 1:  # duplicate a character: chmod -> chmmod
+            name = name[:index] + name[index] + name[index:]
+        else:  # drop a character: grep -> gep
+            name = name[:index] + name[index + 1 :]
+        return name + (" " + parts[1] if len(parts) > 1 else "")
+
+    def garbage_line(self) -> str:
+        """An un-parseable line (fails the parser filter)."""
+        return _GARBAGE_LINES[int(self._rng.integers(len(_GARBAGE_LINES)))]
+
+    def maybe_corrupt(self, line: str, typo_prob: float, garbage_prob: float) -> str:
+        """Apply a typo or replace with garbage, by the given probabilities."""
+        draw = self._rng.random()
+        if draw < garbage_prob:
+            return self.garbage_line()
+        if draw < garbage_prob + typo_prob:
+            return self.typo_command_name(line)
+        return line

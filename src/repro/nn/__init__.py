@@ -1,0 +1,61 @@
+"""A numpy-based deep-learning substrate with reverse-mode autodiff.
+
+This package supplies everything the command-line language model needs:
+tensors with backpropagation, transformer layers, optimizers, learning
+rate schedules, initialization, and checkpoint IO — with no dependency
+beyond numpy.
+
+Public surface:
+
+- :class:`Tensor` and :mod:`repro.nn.functional` — autograd core.
+- :class:`Module` / :class:`Parameter` — model containers.
+- :class:`Linear`, :class:`Embedding`, :class:`LayerNorm`,
+  :class:`Dropout`, :class:`MLP` — layers.
+- :class:`MultiHeadSelfAttention`, :class:`TransformerBlock`,
+  :class:`TransformerEncoder` — the transformer (Vaswani et al.).
+- :class:`SGD`, :class:`AdamW`, :func:`clip_grad_norm` — optimizers.
+- :class:`WarmupLinearSchedule`, :class:`CosineSchedule` — LR schedules.
+- :func:`save_module` / :func:`load_module` — checkpointing.
+- :func:`check_gradient` — numerical gradient validation.
+"""
+
+from repro.nn import functional
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.gradcheck import check_gradient, numerical_gradient
+from repro.nn.layers import MLP, Dropout, Embedding, LayerNorm, Linear
+from repro.nn.module import Module, Parameter, no_grad
+from repro.nn.optim import SGD, AdamW, Optimizer, clip_grad_norm
+from repro.nn.schedule import ConstantSchedule, CosineSchedule, LRSchedule, WarmupLinearSchedule
+from repro.nn.serialization import load_module, save_module
+from repro.nn.tensor import Tensor, ones, zeros
+from repro.nn.transformer import TransformerBlock, TransformerEncoder
+
+__all__ = [
+    "AdamW",
+    "ConstantSchedule",
+    "CosineSchedule",
+    "Dropout",
+    "Embedding",
+    "LRSchedule",
+    "LayerNorm",
+    "Linear",
+    "MLP",
+    "Module",
+    "MultiHeadSelfAttention",
+    "Optimizer",
+    "Parameter",
+    "SGD",
+    "Tensor",
+    "TransformerBlock",
+    "TransformerEncoder",
+    "WarmupLinearSchedule",
+    "check_gradient",
+    "clip_grad_norm",
+    "functional",
+    "load_module",
+    "no_grad",
+    "numerical_gradient",
+    "ones",
+    "save_module",
+    "zeros",
+]

@@ -1,0 +1,58 @@
+"""Multi-head self-attention (Vaswani et al., 2017)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import Dropout, Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Array, Tensor
+
+#: Additive mask value for padded key positions (large negative, finite
+#: to keep float64 softmax well-behaved).
+NEG_INF = -1e9
+
+
+class MultiHeadSelfAttention(Module):
+    """Scaled dot-product self-attention with ``n_heads`` heads.
+
+    Input ``(B, T, D)`` → output ``(B, T, D)``; an optional boolean
+    attention mask of shape ``(B, T)`` marks *valid* (non-padding)
+    positions.
+    """
+
+    def __init__(self, hidden_size: int, n_heads: int, rng: np.random.Generator, dropout: float = 0.0):
+        super().__init__()
+        if hidden_size % n_heads != 0:
+            raise ValueError(f"hidden_size {hidden_size} not divisible by n_heads {n_heads}")
+        self.hidden_size = hidden_size
+        self.n_heads = n_heads
+        self.head_dim = hidden_size // n_heads
+        self.query = Linear(hidden_size, hidden_size, rng)
+        self.key = Linear(hidden_size, hidden_size, rng)
+        self.value = Linear(hidden_size, hidden_size, rng)
+        self.output = Linear(hidden_size, hidden_size, rng)
+        self.attn_dropout = Dropout(dropout, np.random.default_rng(rng.integers(2**31)))
+
+    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        # (B, T, D) -> (B, H, T, d)
+        return x.reshape(batch, seq, self.n_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor, attention_mask: Array | None = None) -> Tensor:
+        batch, seq, _ = x.shape
+        q = self._split_heads(self.query(x), batch, seq)
+        k = self._split_heads(self.key(x), batch, seq)
+        v = self._split_heads(self.value(x), batch, seq)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / math.sqrt(self.head_dim))
+        if attention_mask is not None:
+            mask = np.asarray(attention_mask, dtype=bool)
+            additive = np.where(mask, 0.0, NEG_INF)[:, None, None, :]
+            scores = F.add_bias(scores, additive)
+        weights = F.softmax(scores, axis=-1)
+        weights = self.attn_dropout(weights)
+        context = weights @ v  # (B, H, T, d)
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.hidden_size)
+        return self.output(merged)

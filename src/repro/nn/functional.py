@@ -1,0 +1,209 @@
+"""Fused differentiable operations built on :class:`~repro.nn.tensor.Tensor`.
+
+These primitives get hand-derived backward rules either for numerical
+stability (softmax, cross-entropy, layer norm) or because they cannot be
+composed from arithmetic (embedding gather, dropout masking).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn.tensor import Array, Tensor
+
+_SQRT_2_OVER_PI = math.sqrt(2.0 / math.pi)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian Error Linear Unit (tanh approximation, as in BERT)."""
+    inner_data = _SQRT_2_OVER_PI * (x.data + 0.044715 * x.data**3)
+    tanh_inner = np.tanh(inner_data)
+    data = 0.5 * x.data * (1.0 + tanh_inner)
+
+    def backward(grad: Array):
+        sech2 = 1.0 - tanh_inner**2
+        d_inner = _SQRT_2_OVER_PI * (1.0 + 3 * 0.044715 * x.data**2)
+        local = 0.5 * (1.0 + tanh_inner) + 0.5 * x.data * sech2 * d_inner
+        return (grad * local,)
+
+    return Tensor._make(data, (x,), backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along *axis*."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    data = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad: Array):
+        dot = (grad * data).sum(axis=axis, keepdims=True)
+        return (data * (grad - dot),)
+
+    return Tensor._make(data, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along *axis*."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    data = shifted - log_norm
+
+    def backward(grad: Array):
+        soft = np.exp(data)
+        return (grad - soft * grad.sum(axis=axis, keepdims=True),)
+
+    return Tensor._make(data, (x,), backward)
+
+
+def cross_entropy(logits: Tensor, targets: Array, ignore_index: int | None = None) -> Tensor:
+    """Mean cross-entropy of *logits* against integer *targets*.
+
+    Parameters
+    ----------
+    logits:
+        Shape ``(..., n_classes)``.
+    targets:
+        Integer array of shape ``(...,)`` (same leading shape as logits).
+    ignore_index:
+        Target value excluded from the loss (used for non-masked MLM
+        positions and padding).
+
+    Returns
+    -------
+    Tensor
+        Scalar mean loss over the non-ignored positions.  When every
+        position is ignored the loss is exactly zero.
+    """
+    targets = np.asarray(targets)
+    flat_logits = logits.data.reshape(-1, logits.shape[-1])
+    flat_targets = targets.reshape(-1)
+    if ignore_index is not None:
+        valid = flat_targets != ignore_index
+    else:
+        valid = np.ones(flat_targets.shape, dtype=bool)
+    count = int(valid.sum())
+    shifted = flat_logits - flat_logits.max(axis=-1, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    log_probs = shifted - log_norm
+    if count == 0:
+        data = np.zeros(())
+    else:
+        rows = np.nonzero(valid)[0]
+        picked = log_probs[rows, flat_targets[rows]]
+        data = -picked.sum() / count
+
+    def backward(grad: Array):
+        if count == 0:
+            return (np.zeros_like(logits.data),)
+        soft = np.exp(log_probs)
+        rows = np.nonzero(valid)[0]
+        soft[rows, flat_targets[rows]] -= 1.0
+        soft[~valid] = 0.0
+        out = (soft / count) * np.asarray(grad)
+        return (out.reshape(logits.shape),)
+
+    return Tensor._make(data, (logits,), backward)
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: Array) -> Tensor:
+    """Mean binary cross-entropy on raw *logits* against 0/1 *targets*."""
+    targets = np.asarray(targets, dtype=np.float64)
+    z = logits.data
+    # log(1 + exp(-|z|)) formulation for stability
+    data = (np.maximum(z, 0.0) - z * targets + np.log1p(np.exp(-np.abs(z)))).mean()
+
+    def backward(grad: Array):
+        sig = 1.0 / (1.0 + np.exp(-z))
+        return ((sig - targets) * np.asarray(grad) / z.size,)
+
+    return Tensor._make(np.asarray(data), (logits,), backward)
+
+
+def embedding(weight: Tensor, ids: Array) -> Tensor:
+    """Row gather: ``weight[ids]`` with sparse gradient accumulation."""
+    ids = np.asarray(ids)
+    data = weight.data[ids]
+
+    def backward(grad: Array):
+        full = np.zeros_like(weight.data)
+        np.add.at(full, ids.reshape(-1), grad.reshape(-1, weight.shape[-1]))
+        return (full,)
+
+    return Tensor._make(data, (weight,), backward)
+
+
+def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalization over the last axis with scale/shift."""
+    mu = x.data.mean(axis=-1, keepdims=True)
+    centered = x.data - mu
+    var = (centered**2).mean(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = centered * inv_std
+    data = x_hat * gamma.data + beta.data
+
+    def backward(grad: Array):
+        n = x.shape[-1]
+        d_xhat = grad * gamma.data
+        d_var_term = (d_xhat * x_hat).sum(axis=-1, keepdims=True)
+        d_mean_term = d_xhat.sum(axis=-1, keepdims=True)
+        dx = inv_std * (d_xhat - d_mean_term / n - x_hat * d_var_term / n)
+        d_gamma = (grad * x_hat).reshape(-1, n).sum(axis=0)
+        d_beta = grad.reshape(-1, n).sum(axis=0)
+        return (dx, d_gamma.reshape(gamma.shape), d_beta.reshape(beta.shape))
+
+    return Tensor._make(data, (x, gamma, beta), backward)
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout: zero elements with probability *p* during training."""
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError("dropout probability must be in [0, 1)")
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep).astype(np.float64) / keep
+    data = x.data * mask
+
+    def backward(grad: Array):
+        return (grad * mask,)
+
+    return Tensor._make(data, (x,), backward)
+
+
+def add_bias(x: Tensor, mask_value: Array) -> Tensor:
+    """Add a constant (non-differentiated) array, e.g. an attention mask."""
+    data = x.data + mask_value
+
+    def backward(grad: Array):
+        return (grad,)
+
+    return Tensor._make(data, (x,), backward)
+
+
+def concatenate(tensors: list[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along *axis*, differentiable."""
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0, *sizes])
+
+    def backward(grad: Array):
+        slices = []
+        for i in range(len(tensors)):
+            index: list = [slice(None)] * grad.ndim
+            index[axis] = slice(offsets[i], offsets[i + 1])
+            slices.append(grad[tuple(index)])
+        return tuple(slices)
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def stack(tensors: list[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new *axis*, differentiable."""
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: Array):
+        return tuple(np.take(grad, i, axis=axis) for i in range(len(tensors)))
+
+    return Tensor._make(data, tuple(tensors), backward)

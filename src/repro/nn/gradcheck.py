@@ -1,0 +1,56 @@
+"""Numerical gradient checking for the autograd engine.
+
+Used by the test suite to validate every fused backward rule against
+central finite differences.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def numerical_gradient(
+    fn: Callable[[Tensor], Tensor],
+    value: np.ndarray,
+    epsilon: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of scalar-valued *fn* at *value*."""
+    value = np.asarray(value, dtype=np.float64)
+    grad = np.zeros_like(value)
+    flat = value.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        upper = fn(Tensor(value.copy())).item()
+        flat[index] = original - epsilon
+        lower = fn(Tensor(value.copy())).item()
+        flat[index] = original
+        grad_flat[index] = (upper - lower) / (2 * epsilon)
+    return grad
+
+
+def check_gradient(
+    fn: Callable[[Tensor], Tensor],
+    value: np.ndarray,
+    epsilon: float = 1e-6,
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+) -> tuple[bool, float]:
+    """Compare autograd and numerical gradients of *fn* at *value*.
+
+    Returns ``(ok, max_abs_difference)``.
+    """
+    tensor = Tensor(np.asarray(value, dtype=np.float64).copy(), requires_grad=True)
+    output = fn(tensor)
+    output.backward()
+    assert tensor.grad is not None, "fn does not depend on its input"
+    analytic = tensor.grad
+    numeric = numerical_gradient(fn, np.asarray(value, dtype=np.float64), epsilon=epsilon)
+    difference = float(np.max(np.abs(analytic - numeric)))
+    ok = bool(np.allclose(analytic, numeric, atol=atol, rtol=rtol))
+    return ok, difference

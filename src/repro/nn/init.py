@@ -1,0 +1,45 @@
+"""Weight initialization schemes.
+
+Includes Kaiming (He et al., 2015) initialization, which the paper uses
+for the classification head, plus Xavier/Glorot and truncated-normal
+(BERT's default) schemes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator, fan_in: int | None = None) -> np.ndarray:
+    """He-uniform initialization: ``U(-b, b)`` with ``b = sqrt(6 / fan_in)``."""
+    if fan_in is None:
+        fan_in = shape[0]
+    bound = math.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def kaiming_normal(shape: tuple[int, ...], rng: np.random.Generator, fan_in: int | None = None) -> np.ndarray:
+    """He-normal initialization: ``N(0, 2 / fan_in)``."""
+    if fan_in is None:
+        fan_in = shape[0]
+    std = math.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot-uniform initialization over (fan_in + fan_out)."""
+    fan_in, fan_out = shape[0], shape[-1]
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def truncated_normal(shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.02) -> np.ndarray:
+    """BERT-style truncated normal: resample draws beyond two std devs."""
+    values = rng.normal(0.0, std, size=shape)
+    bad = np.abs(values) > 2 * std
+    while bad.any():
+        values[bad] = rng.normal(0.0, std, size=int(bad.sum()))
+        bad = np.abs(values) > 2 * std
+    return values

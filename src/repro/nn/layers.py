@@ -1,0 +1,139 @@
+"""Core neural-network layers: Linear, Embedding, LayerNorm, Dropout, MLP."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Array, Tensor
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input/output widths.
+    rng:
+        Generator used for initialization.
+    bias:
+        Whether to learn an additive bias (default true).
+    init_scheme:
+        ``"kaiming"`` (He-uniform, used by the paper's classification
+        head), ``"xavier"``, or ``"bert"`` (truncated normal, std 0.02).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+        init_scheme: str = "bert",
+    ):
+        super().__init__()
+        if init_scheme == "kaiming":
+            weight = init.kaiming_uniform((in_features, out_features), rng)
+        elif init_scheme == "xavier":
+            weight = init.xavier_uniform((in_features, out_features), rng)
+        elif init_scheme == "bert":
+            weight = init.truncated_normal((in_features, out_features), rng)
+        else:
+            raise ValueError(f"unknown init scheme {init_scheme!r}")
+        self.weight = Parameter(weight, name="weight")
+        self.bias = Parameter(np.zeros(out_features), name="bias") if bias else None
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int, rng: np.random.Generator, std: float = 0.02):
+        super().__init__()
+        self.weight = Parameter(init.truncated_normal((num_embeddings, embedding_dim), rng, std=std), name="weight")
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+
+    def forward(self, ids: Array) -> Tensor:
+        ids = np.asarray(ids)
+        if ids.size and (ids.min() < 0 or ids.max() >= self.num_embeddings):
+            raise IndexError(
+                f"embedding ids out of range [0, {self.num_embeddings}): "
+                f"min={ids.min()}, max={ids.max()}"
+            )
+        return F.embedding(self.weight, ids)
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis with learned scale/shift."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5):
+        super().__init__()
+        self.gamma = Parameter(np.ones(normalized_shape), name="gamma")
+        self.beta = Parameter(np.zeros(normalized_shape), name="beta")
+        self.eps = eps
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.gamma, self.beta, eps=self.eps)
+
+
+class Dropout(Module):
+    """Inverted dropout; inactive in ``eval`` mode.
+
+    Each instance owns a :class:`numpy.random.Generator` so masks are
+    reproducible given the construction seed.
+    """
+
+    def __init__(self, p: float, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self._rng, training=self.training)
+
+
+class MLP(Module):
+    """A two-layer perceptron head: ``Linear → activation → Linear``.
+
+    This is the classification head of Section IV-B: "a two-layer
+    perceptron initialized by Kaiming's method".
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        activation: str = "relu",
+        init_scheme: str = "kaiming",
+    ):
+        super().__init__()
+        self.fc1 = Linear(in_features, hidden_features, rng, init_scheme=init_scheme)
+        self.fc2 = Linear(hidden_features, out_features, rng, init_scheme=init_scheme)
+        if activation not in ("relu", "gelu", "tanh"):
+            raise ValueError(f"unknown activation {activation!r}")
+        self.activation = activation
+
+    def forward(self, x: Tensor) -> Tensor:
+        hidden = self.fc1(x)
+        if self.activation == "relu":
+            hidden = hidden.relu()
+        elif self.activation == "gelu":
+            hidden = F.gelu(hidden)
+        else:
+            hidden = hidden.tanh()
+        return self.fc2(hidden)

@@ -1,0 +1,148 @@
+"""Module/Parameter containers for the numpy NN substrate.
+
+A :class:`Module` discovers its parameters by introspecting attributes:
+any :class:`Parameter`, nested :class:`Module`, or list of modules is
+collected recursively, yielding dotted names for checkpoints.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.errors import CheckpointError
+from repro.nn.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor (``requires_grad=True`` by construction)."""
+
+    def __init__(self, data, name: str | None = None):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for neural-network building blocks.
+
+    Subclasses assign :class:`Parameter` and nested :class:`Module`
+    instances as attributes; :meth:`parameters` and :meth:`state_dict`
+    find them automatically.  ``training`` toggles dropout behaviour via
+    :meth:`train` / :meth:`eval`.
+    """
+
+    def __init__(self):
+        self.training = True
+
+    # -- traversal ------------------------------------------------------
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs, depth first."""
+        for attr, value in vars(self).items():
+            if attr.startswith("_module_cache"):
+                continue
+            name = f"{prefix}{attr}"
+            if isinstance(value, Parameter):
+                yield name, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(f"{name}.")
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(f"{name}.{index}.")
+                    elif isinstance(item, Parameter):
+                        yield f"{name}.{index}", item
+
+    def parameters(self) -> list[Parameter]:
+        """All parameters of this module and its children."""
+        return [p for _, p in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and every descendant module."""
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    # -- training state --------------------------------------------------
+
+    def train(self) -> "Module":
+        """Put this module (and children) in training mode."""
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        """Put this module (and children) in evaluation mode."""
+        for module in self.modules():
+            module.training = False
+        return self
+
+    def zero_grad(self) -> None:
+        """Clear gradients of all parameters."""
+        for parameter in self.parameters():
+            parameter.grad = None
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.size for p in self.parameters())
+
+    # -- checkpointing ----------------------------------------------------
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every parameter array, keyed by dotted name."""
+        return {name: parameter.data.copy() for name, parameter in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore parameters from :meth:`state_dict` output.
+
+        Raises
+        ------
+        CheckpointError
+            On missing keys or shape mismatches.
+        """
+        own = dict(self.named_parameters())
+        missing = sorted(set(own) - set(state))
+        unexpected = sorted(set(state) - set(own))
+        if missing or unexpected:
+            raise CheckpointError(f"state mismatch: missing={missing}, unexpected={unexpected}")
+        for name, parameter in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != parameter.data.shape:
+                raise CheckpointError(
+                    f"shape mismatch for {name}: checkpoint {value.shape}, model {parameter.data.shape}"
+                )
+            parameter.data = value.copy()
+
+    # -- call protocol ----------------------------------------------------
+
+    def forward(self, *args, **kwargs):
+        """Compute the module output; subclasses must override."""
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+@contextmanager
+def no_grad(*modules: Module):
+    """Temporarily disable gradient tracking for the given modules.
+
+    Inside the context, forward passes build no autograd graph, which
+    makes inference-only workloads (e.g. embedding extraction) faster
+    and lighter on memory.
+    """
+    parameters = [p for module in modules for p in module.parameters()]
+    saved = [p.requires_grad for p in parameters]
+    for parameter in parameters:
+        parameter.requires_grad = False
+    try:
+        yield
+    finally:
+        for parameter, flag in zip(parameters, saved):
+            parameter.requires_grad = flag

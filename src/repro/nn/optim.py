@@ -1,0 +1,122 @@
+"""Optimizers: SGD with momentum and AdamW (decoupled weight decay).
+
+The paper tunes with AdamW; pre-training uses stochastic gradient
+methods per Section II-B.  Both optimizers skip parameters without
+gradients and support gradient clipping via :func:`clip_grad_norm`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base optimizer over a fixed list of parameters."""
+
+    def __init__(self, parameters: list[Parameter], lr: float):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.parameters = list(parameters)
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        """Clear gradients of all managed parameters."""
+        for parameter in self.parameters:
+            parameter.grad = None
+
+    def step(self) -> None:
+        """Apply one update; subclasses must override."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and L2 decay."""
+
+    def __init__(self, parameters: list[Parameter], lr: float, momentum: float = 0.0, weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: list[np.ndarray | None] = [None] * len(self.parameters)
+
+    def step(self) -> None:
+        for index, parameter in enumerate(self.parameters):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            if self.momentum:
+                if self._velocity[index] is None:
+                    self._velocity[index] = np.zeros_like(parameter.data)
+                velocity = self._velocity[index]
+                velocity *= self.momentum
+                velocity += grad
+                grad = velocity
+            parameter.data -= self.lr * grad
+
+
+class AdamW(Optimizer):
+    """Adam with decoupled weight decay (Loshchilov & Hutter)."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        lr: float = 5e-5,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.01,
+    ):
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m: list[np.ndarray | None] = [None] * len(self.parameters)
+        self._v: list[np.ndarray | None] = [None] * len(self.parameters)
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1**self._step_count
+        bias2 = 1.0 - self.beta2**self._step_count
+        for index, parameter in enumerate(self.parameters):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            if self._m[index] is None:
+                self._m[index] = np.zeros_like(parameter.data)
+                self._v[index] = np.zeros_like(parameter.data)
+            m, v = self._m[index], self._v[index]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            update = m_hat / (np.sqrt(v_hat) + self.eps)
+            if self.weight_decay:
+                update = update + self.weight_decay * parameter.data
+            parameter.data -= self.lr * update
+
+
+def clip_grad_norm(parameters: list[Parameter], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most *max_norm*.
+
+    Returns the pre-clipping norm.
+    """
+    total = 0.0
+    for parameter in parameters:
+        if parameter.grad is not None:
+            total += float((parameter.grad**2).sum())
+    norm = math.sqrt(total)
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for parameter in parameters:
+            if parameter.grad is not None:
+                parameter.grad *= scale
+    return norm

@@ -1,0 +1,112 @@
+"""Recurrent layers (LSTM / GRU) on the autograd substrate.
+
+These back the sequence-to-sequence baseline of Liu & Mao (2022), which
+the paper cites as representative prior work: an RNN that predicts the
+next command given the history, flagging users whose behaviour the model
+finds surprising.  Cells are written step-wise over the autograd ops, so
+backpropagation-through-time falls out of the tape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.init import xavier_uniform
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Array, Tensor
+
+
+class LSTMCell(Module):
+    """A single LSTM cell: input (B, I), state ((B, H), (B, H))."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        # gates stacked as [input, forget, cell, output] for one matmul
+        self.w_x = Parameter(xavier_uniform((input_size, 4 * hidden_size), rng), name="w_x")
+        self.w_h = Parameter(xavier_uniform((hidden_size, 4 * hidden_size), rng), name="w_h")
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size : 2 * hidden_size] = 1.0  # forget-gate bias trick
+        self.bias = Parameter(bias, name="bias")
+
+    def forward(self, x: Tensor, state: tuple[Tensor, Tensor]) -> tuple[Tensor, Tensor]:
+        hidden, cell = state
+        gates = x @ self.w_x + hidden @ self.w_h + self.bias
+        h = self.hidden_size
+        i_gate = gates[:, 0 * h : 1 * h].sigmoid()
+        f_gate = gates[:, 1 * h : 2 * h].sigmoid()
+        g_gate = gates[:, 2 * h : 3 * h].tanh()
+        o_gate = gates[:, 3 * h : 4 * h].sigmoid()
+        new_cell = f_gate * cell + i_gate * g_gate
+        new_hidden = o_gate * new_cell.tanh()
+        return new_hidden, new_cell
+
+    def initial_state(self, batch: int) -> tuple[Tensor, Tensor]:
+        """Zero state for a batch of the given size."""
+        return Tensor(np.zeros((batch, self.hidden_size))), Tensor(np.zeros((batch, self.hidden_size)))
+
+
+class GRUCell(Module):
+    """A single GRU cell: input (B, I), state (B, H)."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_x = Parameter(xavier_uniform((input_size, 3 * hidden_size), rng), name="w_x")
+        self.w_h = Parameter(xavier_uniform((hidden_size, 3 * hidden_size), rng), name="w_h")
+        self.bias = Parameter(np.zeros(3 * hidden_size), name="bias")
+
+    def forward(self, x: Tensor, hidden: Tensor) -> Tensor:
+        h = self.hidden_size
+        projected_x = x @ self.w_x + self.bias
+        projected_h = hidden @ self.w_h
+        reset = (projected_x[:, 0:h] + projected_h[:, 0:h]).sigmoid()
+        update = (projected_x[:, h : 2 * h] + projected_h[:, h : 2 * h]).sigmoid()
+        candidate = (projected_x[:, 2 * h : 3 * h] + reset * projected_h[:, 2 * h : 3 * h]).tanh()
+        return update * hidden + (1.0 - update) * candidate
+
+    def initial_state(self, batch: int) -> Tensor:
+        """Zero state for a batch of the given size."""
+        return Tensor(np.zeros((batch, self.hidden_size)))
+
+
+class LSTM(Module):
+    """Unidirectional LSTM over (B, T, I); returns all hidden states.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> lstm = LSTM(4, 8, np.random.default_rng(0))
+    >>> out = lstm(Tensor(np.zeros((2, 5, 4))))
+    >>> out.shape
+    (2, 5, 8)
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        super().__init__()
+        self.cell = LSTMCell(input_size, hidden_size, rng)
+        self.hidden_size = hidden_size
+
+    def forward(
+        self, x: Tensor, state: tuple[Tensor, Tensor] | None = None
+    ) -> Tensor:
+        batch, steps, _ = x.shape
+        if state is None:
+            state = self.cell.initial_state(batch)
+        hidden, cell = state
+        outputs: list[Tensor] = []
+        for t in range(steps):
+            hidden, cell = self.cell(x[:, t, :], (hidden, cell))
+            outputs.append(hidden)
+        return F.stack(outputs, axis=1)
+
+    def last_hidden(self, x: Tensor, lengths: Array | None = None) -> Tensor:
+        """Hidden state at the final (or per-row ``lengths``-th) step."""
+        outputs = self.forward(x)
+        if lengths is None:
+            return outputs[:, -1, :]
+        rows = np.arange(outputs.shape[0])
+        return outputs[rows, np.asarray(lengths) - 1, :]

@@ -1,0 +1,62 @@
+"""Learning-rate schedules for pre-training and fine-tuning."""
+
+from __future__ import annotations
+
+import math
+
+
+class LRSchedule:
+    """Base class: maps a step index to a learning rate."""
+
+    def lr_at(self, step: int) -> float:
+        """Learning rate for optimizer step *step* (0-based)."""
+        raise NotImplementedError
+
+
+class ConstantSchedule(LRSchedule):
+    """A fixed learning rate."""
+
+    def __init__(self, lr: float):
+        self.lr = lr
+
+    def lr_at(self, step: int) -> float:
+        return self.lr
+
+
+class WarmupLinearSchedule(LRSchedule):
+    """Linear warmup to ``peak_lr`` then linear decay to zero (BERT's recipe)."""
+
+    def __init__(self, peak_lr: float, warmup_steps: int, total_steps: int):
+        if warmup_steps < 0 or total_steps <= 0:
+            raise ValueError("warmup_steps must be >= 0 and total_steps > 0")
+        if warmup_steps > total_steps:
+            raise ValueError("warmup_steps cannot exceed total_steps")
+        self.peak_lr = peak_lr
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+
+    def lr_at(self, step: int) -> float:
+        if self.warmup_steps and step < self.warmup_steps:
+            return self.peak_lr * (step + 1) / self.warmup_steps
+        remaining = max(self.total_steps - step, 0)
+        denominator = max(self.total_steps - self.warmup_steps, 1)
+        return self.peak_lr * remaining / denominator
+
+
+class CosineSchedule(LRSchedule):
+    """Linear warmup followed by cosine decay to ``floor_lr``."""
+
+    def __init__(self, peak_lr: float, warmup_steps: int, total_steps: int, floor_lr: float = 0.0):
+        if warmup_steps > total_steps:
+            raise ValueError("warmup_steps cannot exceed total_steps")
+        self.peak_lr = peak_lr
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self.floor_lr = floor_lr
+
+    def lr_at(self, step: int) -> float:
+        if self.warmup_steps and step < self.warmup_steps:
+            return self.peak_lr * (step + 1) / self.warmup_steps
+        progress = min(max(step - self.warmup_steps, 0) / max(self.total_steps - self.warmup_steps, 1), 1.0)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.floor_lr + (self.peak_lr - self.floor_lr) * cosine

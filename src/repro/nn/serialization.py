@@ -1,0 +1,41 @@
+"""Checkpoint IO for modules (``.npz`` on disk)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import CheckpointError
+from repro.nn.module import Module
+
+
+def save_module(module: Module, path: str | Path) -> None:
+    """Write *module*'s parameters to *path* as a compressed ``.npz``."""
+    state = module.state_dict()
+    try:
+        np.savez_compressed(Path(path), **state)
+    except OSError as exc:
+        raise CheckpointError(f"cannot write checkpoint to {path}: {exc}") from exc
+
+
+def load_module(module: Module, path: str | Path) -> None:
+    """Restore *module*'s parameters from a checkpoint written by
+    :func:`save_module`.
+
+    Raises
+    ------
+    CheckpointError
+        If the file is unreadable or incompatible with the module.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        candidate = path.with_suffix(path.suffix + ".npz")
+        if candidate.exists():
+            path = candidate
+    try:
+        with np.load(path) as archive:
+            state = {key: archive[key] for key in archive.files}
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint from {path}: {exc}") from exc
+    module.load_state_dict(state)

@@ -1,0 +1,440 @@
+"""A small reverse-mode automatic-differentiation engine over numpy.
+
+The paper pre-trains and fine-tunes a transformer with backpropagation
+and stochastic gradient descent (Section II-B).  Rather than mocking the
+training stack, this module implements it: a :class:`Tensor` records the
+operations applied to it and :meth:`Tensor.backward` replays the tape in
+reverse topological order, accumulating gradients.
+
+Design notes
+------------
+- ``float64`` is the default dtype: the models in this reproduction are
+  small, and double precision keeps numerical gradient checks tight.
+- Broadcasting follows numpy; :func:`_unbroadcast` folds gradients back
+  onto parameter shapes.
+- Fused primitives (softmax, layer-norm statistics, cross-entropy) get
+  hand-written backward rules for speed and stability; everything else
+  composes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+Array = np.ndarray
+
+
+def _as_array(value: "Tensor | Array | float | int", dtype=np.float64) -> Array:
+    if isinstance(value, Tensor):
+        raise TypeError("expected raw array/scalar, got Tensor")
+    return np.asarray(value, dtype=dtype)
+
+
+def _unbroadcast(grad: Array, shape: tuple[int, ...]) -> Array:
+    """Sum *grad* over axes that were broadcast to reach ``grad.shape``."""
+    if grad.shape == shape:
+        return grad
+    # Sum leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum axes where the original dimension was 1.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array with gradient tracking.
+
+    Attributes
+    ----------
+    data:
+        The underlying ``numpy.ndarray``.
+    grad:
+        Accumulated gradient (same shape as ``data``), or ``None``.
+    requires_grad:
+        Whether backward passes should accumulate into ``grad``.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data: "Array | float | int | Sequence",
+        requires_grad: bool = False,
+        name: str | None = None,
+    ):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Array | None = None
+        self.requires_grad = requires_grad
+        self._backward = None
+        self._parents: tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of array dimensions."""
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        return self.data.size
+
+    def item(self) -> float:
+        """The scalar value of a single-element tensor.
+
+        Raises
+        ------
+        ValueError
+            If the tensor holds more than one element.
+        """
+        if self.data.size != 1:
+            raise ValueError(f"item() requires a single-element tensor, got shape {self.shape}")
+        return float(self.data.reshape(-1)[0])
+
+    def numpy(self) -> Array:
+        """The raw data array (no copy)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """A new tensor sharing data but outside the autograd graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def __repr__(self) -> str:
+        label = f" name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad}{label})"
+
+    # ------------------------------------------------------------------
+    # Graph bookkeeping
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _make(data: Array, parents: tuple["Tensor", ...], backward) -> "Tensor":
+        out = Tensor(data)
+        if any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: Array) -> None:
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    def backward(self, grad: Array | None = None) -> None:
+        """Backpropagate from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Seed gradient; defaults to ones (scalar outputs use 1.0).
+        """
+        if grad is None:
+            grad = np.ones_like(self.data)
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        grads: dict[int, Array] = {id(self): np.asarray(grad, dtype=np.float64)}
+        for node in reversed(topo):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad and node._backward is None:
+                node._accumulate(node_grad)
+            if node._backward is None:
+                continue
+            parent_grads = node._backward(node_grad)
+            for parent, pgrad in zip(node._parents, parent_grads):
+                if pgrad is None or not (parent.requires_grad or parent._backward is not None):
+                    continue
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + pgrad
+                else:
+                    grads[key] = pgrad
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+
+    def _coerce(self, other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def __add__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data + other.data
+
+        def backward(grad: Array):
+            return (_unbroadcast(grad, self.shape), _unbroadcast(grad, other.shape))
+
+        return Tensor._make(data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: Array):
+            return (-grad,)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data - other.data
+
+        def backward(grad: Array):
+            return (_unbroadcast(grad, self.shape), _unbroadcast(-grad, other.shape))
+
+        return Tensor._make(data, (self, other), backward)
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._coerce(other).__sub__(self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data * other.data
+
+        def backward(grad: Array):
+            return (
+                _unbroadcast(grad * other.data, self.shape),
+                _unbroadcast(grad * self.data, other.shape),
+            )
+
+        return Tensor._make(data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data / other.data
+
+        def backward(grad: Array):
+            return (
+                _unbroadcast(grad / other.data, self.shape),
+                _unbroadcast(-grad * self.data / (other.data**2), other.shape),
+            )
+
+        return Tensor._make(data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return self._coerce(other).__truediv__(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        data = self.data**exponent
+
+        def backward(grad: Array):
+            return (grad * exponent * self.data ** (exponent - 1),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data @ other.data
+
+        def backward(grad: Array):
+            a, b = self.data, other.data
+            if a.ndim == 1 and b.ndim == 1:
+                return (grad * b, grad * a)
+            if a.ndim == 1:  # (k,) @ (..., k, n)
+                ga = _unbroadcast((np.expand_dims(grad, -2) @ np.swapaxes(b, -1, -2)).squeeze(-2), a.shape)
+                gb = _unbroadcast(np.expand_dims(a, -1) @ np.expand_dims(grad, -2), b.shape)
+                return (ga, gb)
+            if b.ndim == 1:  # (..., m, k) @ (k,)
+                ga = _unbroadcast(np.expand_dims(grad, -1) @ np.expand_dims(b, -2), a.shape)
+                gb = _unbroadcast((np.swapaxes(a, -1, -2) @ np.expand_dims(grad, -1)).squeeze(-1), b.shape)
+                return (ga, gb)
+            ga = _unbroadcast(grad @ np.swapaxes(b, -1, -2), a.shape)
+            gb = _unbroadcast(np.swapaxes(a, -1, -2) @ grad, b.shape)
+            return (ga, gb)
+
+        return Tensor._make(data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Shape ops
+    # ------------------------------------------------------------------
+
+    def reshape(self, *shape: int) -> "Tensor":
+        """Reshape, differentiable."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.shape
+        data = self.data.reshape(shape)
+
+        def backward(grad: Array):
+            return (grad.reshape(original),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        """Permute axes, differentiable."""
+        order = axes if axes else tuple(reversed(range(self.ndim)))
+        if len(order) == 1 and isinstance(order[0], (tuple, list)):
+            order = tuple(order[0])
+        inverse = np.argsort(order)
+        data = self.data.transpose(order)
+
+        def backward(grad: Array):
+            return (grad.transpose(inverse),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        """Swap two axes, differentiable."""
+        data = np.swapaxes(self.data, axis1, axis2)
+
+        def backward(grad: Array):
+            return (np.swapaxes(grad, axis1, axis2),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def __getitem__(self, key) -> "Tensor":
+        data = self.data[key]
+        shape = self.shape
+
+        def backward(grad: Array):
+            full = np.zeros(shape, dtype=np.float64)
+            np.add.at(full, key, grad)
+            return (full,)
+
+        return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Sum over *axis*, differentiable."""
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+        shape = self.shape
+
+        def backward(grad: Array):
+            g = np.asarray(grad)
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                for ax in sorted(a % len(shape) for a in axes):
+                    g = np.expand_dims(g, ax)
+            return (np.broadcast_to(g, shape).copy(),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Mean over *axis*, differentiable."""
+        if axis is None:
+            count = self.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = 1
+            for ax in axes:
+                count *= self.shape[ax]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int, keepdims: bool = False) -> "Tensor":
+        """Maximum along one axis, differentiable (gradient to argmax)."""
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: Array):
+            expanded = grad if keepdims else np.expand_dims(grad, axis)
+            maxed = self.data.max(axis=axis, keepdims=True)
+            mask = (self.data == maxed).astype(np.float64)
+            mask /= mask.sum(axis=axis, keepdims=True)
+            return (mask * expanded,)
+
+        return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Elementwise nonlinearities
+    # ------------------------------------------------------------------
+
+    def exp(self) -> "Tensor":
+        """Elementwise exponential."""
+        data = np.exp(self.data)
+
+        def backward(grad: Array):
+            return (grad * data,)
+
+        return Tensor._make(data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        """Elementwise natural logarithm."""
+        data = np.log(self.data)
+
+        def backward(grad: Array):
+            return (grad / self.data,)
+
+        return Tensor._make(data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        """Elementwise square root."""
+        data = np.sqrt(self.data)
+
+        def backward(grad: Array):
+            return (grad * 0.5 / data,)
+
+        return Tensor._make(data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        """Elementwise hyperbolic tangent."""
+        data = np.tanh(self.data)
+
+        def backward(grad: Array):
+            return (grad * (1.0 - data**2),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        """Rectified linear unit."""
+        data = np.maximum(self.data, 0.0)
+
+        def backward(grad: Array):
+            return (grad * (self.data > 0.0),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        """Logistic sigmoid."""
+        data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: Array):
+            return (grad * data * (1.0 - data),)
+
+        return Tensor._make(data, (self,), backward)
+
+
+def zeros(*shape: int, requires_grad: bool = False) -> Tensor:
+    """A tensor of zeros."""
+    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+
+def ones(*shape: int, requires_grad: bool = False) -> Tensor:
+    """A tensor of ones."""
+    return Tensor(np.ones(shape), requires_grad=requires_grad)

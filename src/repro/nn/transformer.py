@@ -1,0 +1,63 @@
+"""Transformer encoder blocks and stacks (post-norm, as in BERT)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.layers import Dropout, LayerNorm, Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Array, Tensor
+
+
+class TransformerBlock(Module):
+    """One encoder block: self-attention and a GELU feed-forward network,
+    each wrapped in residual + post-layer-norm (the BERT arrangement)."""
+
+    def __init__(
+        self,
+        hidden_size: int,
+        n_heads: int,
+        intermediate_size: int,
+        rng: np.random.Generator,
+        dropout: float = 0.0,
+    ):
+        super().__init__()
+        self.attention = MultiHeadSelfAttention(hidden_size, n_heads, rng, dropout=dropout)
+        self.attention_norm = LayerNorm(hidden_size)
+        self.ffn_in = Linear(hidden_size, intermediate_size, rng)
+        self.ffn_out = Linear(intermediate_size, hidden_size, rng)
+        self.ffn_norm = LayerNorm(hidden_size)
+        self.dropout1 = Dropout(dropout, np.random.default_rng(rng.integers(2**31)))
+        self.dropout2 = Dropout(dropout, np.random.default_rng(rng.integers(2**31)))
+
+    def forward(self, x: Tensor, attention_mask: Array | None = None) -> Tensor:
+        attended = self.dropout1(self.attention(x, attention_mask))
+        x = self.attention_norm(x + attended)
+        transformed = self.dropout2(self.ffn_out(F.gelu(self.ffn_in(x))))
+        return self.ffn_norm(x + transformed)
+
+
+class TransformerEncoder(Module):
+    """A stack of :class:`TransformerBlock` modules."""
+
+    def __init__(
+        self,
+        n_layers: int,
+        hidden_size: int,
+        n_heads: int,
+        intermediate_size: int,
+        rng: np.random.Generator,
+        dropout: float = 0.0,
+    ):
+        super().__init__()
+        self.blocks = [
+            TransformerBlock(hidden_size, n_heads, intermediate_size, rng, dropout=dropout)
+            for _ in range(n_layers)
+        ]
+
+    def forward(self, x: Tensor, attention_mask: Array | None = None) -> Tensor:
+        for block in self.blocks:
+            x = block(x, attention_mask)
+        return x

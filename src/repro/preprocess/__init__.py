@@ -1,0 +1,33 @@
+"""Pre-processing of raw command-line logs (Section II-A / Figure 2).
+
+Public surface:
+
+- :class:`Normalizer` — whitespace/control-character canonicalisation.
+- :class:`ParserFilter` — drop lines the shell parser rejects.
+- :class:`CommandFrequencyTable` / :class:`ConcernedCommandFilter` —
+  frequency-based typo filtering.
+- :class:`PreprocessingPipeline` — the full Figure-2 pipeline with stats.
+- :func:`deduplicate` — test-set de-duplication (Section V).
+"""
+
+from repro.preprocess.dedup import deduplicate, duplicate_indices, unique_fraction
+from repro.preprocess.filters import (
+    CommandFrequencyTable,
+    ConcernedCommandFilter,
+    ParserFilter,
+)
+from repro.preprocess.normalizer import Normalizer, normalize_command_line
+from repro.preprocess.pipeline import PreprocessingPipeline, PreprocessingStats
+
+__all__ = [
+    "CommandFrequencyTable",
+    "ConcernedCommandFilter",
+    "Normalizer",
+    "ParserFilter",
+    "PreprocessingPipeline",
+    "PreprocessingStats",
+    "deduplicate",
+    "duplicate_indices",
+    "normalize_command_line",
+    "unique_fraction",
+]

@@ -1,0 +1,55 @@
+"""De-duplication of command-line corpora.
+
+The paper de-duplicates the 10M-line test set before computing metrics
+"to avoid focusing only on common threats in evaluation" (Section V).
+This module provides order-preserving exact de-duplication, optionally
+keyed by a normalizing function.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from typing import TypeVar
+
+T = TypeVar("T")
+
+
+def deduplicate(items: Iterable[T], key: Callable[[T], object] | None = None) -> list[T]:
+    """Return *items* with duplicates removed, first occurrence kept.
+
+    Parameters
+    ----------
+    items:
+        Any iterable; order is preserved.
+    key:
+        Optional projection used for equality (default: the item itself).
+    """
+    seen: set[object] = set()
+    result: list[T] = []
+    for item in items:
+        marker = key(item) if key is not None else item
+        if marker in seen:
+            continue
+        seen.add(marker)
+        result.append(item)
+    return result
+
+
+def duplicate_indices(items: Sequence[T], key: Callable[[T], object] | None = None) -> list[int]:
+    """Indices of items that are duplicates of an earlier item."""
+    seen: set[object] = set()
+    duplicates: list[int] = []
+    for index, item in enumerate(items):
+        marker = key(item) if key is not None else item
+        if marker in seen:
+            duplicates.append(index)
+        else:
+            seen.add(marker)
+    return duplicates
+
+
+def unique_fraction(items: Sequence[T], key: Callable[[T], object] | None = None) -> float:
+    """Fraction of *items* that are first occurrences (1.0 when empty)."""
+    if not items:
+        return 1.0
+    return len(deduplicate(items, key=key)) / len(items)

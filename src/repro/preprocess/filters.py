@@ -1,0 +1,128 @@
+"""Pre-processing filters from Section II-A of the paper.
+
+Two filters are described:
+
+1. **Parser filter** — command lines that fail to parse (typos such as
+   the invalid ``->`` redirection) "can hardly be harmful" and are
+   dropped.
+2. **Concerned-command filter** — a list of command names of interest,
+   built either from an allow-list of valid host commands or by keeping
+   only names above a minimum corpus frequency, removes lines whose
+   command name is a rare typo (``dcoker``, ``chdmod``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+from repro.shell.extract import CommandExtractor
+from repro.shell.validate import CommandLineValidator
+
+
+class ParserFilter:
+    """Keep only command lines that parse into a valid shell AST."""
+
+    def __init__(self, validator: CommandLineValidator | None = None):
+        self._validator = validator or CommandLineValidator()
+
+    def accepts(self, line: str) -> bool:
+        """Return ``True`` when *line* parses successfully."""
+        return self._validator.is_valid(line)
+
+    def filter(self, lines: Iterable[str]) -> list[str]:
+        """Return the subset of *lines* that parse successfully."""
+        return [line for line in lines if self.accepts(line)]
+
+
+class CommandFrequencyTable:
+    """Occurrence counts of command names across a corpus (Figure 2).
+
+    The table counts the *primary* command name of each line (the first
+    command invoked), which is what the typo filter cares about: a typo'd
+    name appears as the head of its line.
+    """
+
+    def __init__(self, extractor: CommandExtractor | None = None):
+        self._extractor = extractor or CommandExtractor()
+        self._counts: Counter[str] = Counter()
+        self._total_lines = 0
+
+    def update(self, lines: Iterable[str]) -> None:
+        """Count command names over *lines*; unparseable lines are skipped."""
+        for line in lines:
+            self._total_lines += 1
+            summary = self._extractor.try_summarize(line)
+            if summary is None or summary.primary_name is None:
+                continue
+            self._counts[summary.primary_name] += 1
+
+    def count(self, name: str) -> int:
+        """Occurrences of command *name* seen so far."""
+        return self._counts[name]
+
+    def most_common(self, n: int | None = None) -> list[tuple[str, int]]:
+        """The occurrence table, most frequent first (Figure 2's table)."""
+        return self._counts.most_common(n)
+
+    def names_above(self, min_count: int) -> frozenset[str]:
+        """Names whose occurrence count is at least *min_count*."""
+        return frozenset(name for name, count in self._counts.items() if count >= min_count)
+
+    def names_above_fraction(self, min_fraction: float) -> frozenset[str]:
+        """Names occurring in at least *min_fraction* of counted lines."""
+        if not 0.0 <= min_fraction <= 1.0:
+            raise ValueError("min_fraction must be within [0, 1]")
+        threshold = min_fraction * max(self._total_lines, 1)
+        return frozenset(name for name, count in self._counts.items() if count >= threshold)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+
+class ConcernedCommandFilter:
+    """Keep lines whose primary command is on the concerned-command list.
+
+    The list can be provided explicitly (``allowed``) — "exhaustively
+    collecting all valid commands in the host environment" — or derived
+    from a :class:`CommandFrequencyTable` with a minimum count —
+    "filtering out data that shows extremely low frequency".
+
+    Lines with no command name at all (pure assignments, pure
+    redirections) are kept: they are valid shell and carry signal
+    (e.g. ``export https_proxy=...`` appears in Table III).
+    """
+
+    def __init__(
+        self,
+        allowed: Iterable[str] | None = None,
+        frequency_table: CommandFrequencyTable | None = None,
+        min_count: int = 2,
+        extractor: CommandExtractor | None = None,
+    ):
+        if allowed is None and frequency_table is None:
+            raise ValueError("provide either an explicit allow-list or a frequency table")
+        self._extractor = extractor or CommandExtractor()
+        if allowed is not None:
+            self._allowed = frozenset(allowed)
+        else:
+            assert frequency_table is not None
+            self._allowed = frequency_table.names_above(min_count)
+
+    @property
+    def allowed(self) -> frozenset[str]:
+        """The concerned-command list in effect."""
+        return self._allowed
+
+    def accepts(self, line: str) -> bool:
+        """Return ``True`` when the line's primary command is concerned."""
+        summary = self._extractor.try_summarize(line)
+        if summary is None:
+            return False
+        if summary.primary_name is None:
+            return True
+        return summary.primary_name in self._allowed
+
+    def filter(self, lines: Iterable[str]) -> list[str]:
+        """Return the subset of *lines* whose command name is concerned."""
+        return [line for line in lines if self.accepts(line)]

@@ -1,0 +1,52 @@
+"""Light-weight textual normalization of command lines.
+
+Normalization happens *before* parsing and tokenization: it canonicalises
+whitespace and strips control characters so that logging artifacts do not
+fragment the BPE vocabulary.  It deliberately does **not** rewrite command
+content — the language model must see realistic text.
+"""
+
+from __future__ import annotations
+
+import re
+
+_CONTROL_CHARS_RE = re.compile(r"[\x00-\x08\x0b-\x1f\x7f]")
+_WHITESPACE_RE = re.compile(r"[ \t]+")
+
+
+class Normalizer:
+    """Canonicalise raw log text.
+
+    Parameters
+    ----------
+    max_length:
+        Lines longer than this many characters are truncated (the paper
+        trims inputs to the model's maximum token count; an upstream
+        character cap keeps parser cost bounded on adversarial inputs).
+    collapse_whitespace:
+        When true (default), runs of spaces/tabs become a single space.
+    """
+
+    def __init__(self, max_length: int = 4096, collapse_whitespace: bool = True):
+        if max_length <= 0:
+            raise ValueError("max_length must be positive")
+        self.max_length = max_length
+        self.collapse_whitespace = collapse_whitespace
+
+    def normalize(self, line: str) -> str:
+        """Return the canonical form of *line*."""
+        text = _CONTROL_CHARS_RE.sub(" ", line)
+        if self.collapse_whitespace:
+            text = _WHITESPACE_RE.sub(" ", text)
+        text = text.strip()
+        if len(text) > self.max_length:
+            text = text[: self.max_length]
+        return text
+
+    def __call__(self, line: str) -> str:
+        return self.normalize(line)
+
+
+def normalize_command_line(line: str) -> str:
+    """Normalize *line* with default :class:`Normalizer` settings."""
+    return Normalizer().normalize(line)

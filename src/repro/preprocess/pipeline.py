@@ -1,0 +1,151 @@
+"""The end-to-end pre-processing pipeline of Figure 2.
+
+``raw logs → normalize → parser filter → concerned-command filter``
+
+The pipeline records per-stage statistics so the Figure-2 experiment can
+report how many lines each stage removed and the resulting command
+occurrence table.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.preprocess.filters import (
+    CommandFrequencyTable,
+    ConcernedCommandFilter,
+    ParserFilter,
+)
+from repro.preprocess.normalizer import Normalizer
+from repro.shell.extract import CommandExtractor
+from repro.shell.validate import CommandLineValidator
+
+
+@dataclass
+class PreprocessingStats:
+    """Counters describing one pipeline run (the numbers behind Figure 2)."""
+
+    total: int = 0
+    empty_after_normalize: int = 0
+    parse_failures: int = 0
+    unconcerned_command: int = 0
+    kept: int = 0
+    occurrence_table: list[tuple[str, int]] = field(default_factory=list)
+
+    @property
+    def removed(self) -> int:
+        """Total lines removed by all stages."""
+        return self.empty_after_normalize + self.parse_failures + self.unconcerned_command
+
+    def as_rows(self) -> list[tuple[str, int]]:
+        """Stage-by-stage counts, suitable for tabular display."""
+        return [
+            ("total", self.total),
+            ("empty after normalize", self.empty_after_normalize),
+            ("parser filter removed", self.parse_failures),
+            ("command filter removed", self.unconcerned_command),
+            ("kept", self.kept),
+        ]
+
+
+class PreprocessingPipeline:
+    """Normalize, validate, and frequency-filter raw command lines.
+
+    Parameters
+    ----------
+    min_command_count:
+        Minimum corpus frequency for a command name to be "concerned".
+        ``fit`` derives the concerned list from the corpus it is given;
+        alternatively pass an explicit ``allowed_commands`` list.
+    allowed_commands:
+        Explicit concerned-command list.  When provided, ``fit`` does not
+        need to be called before ``transform``.
+    normalizer:
+        Textual normalizer applied before parsing.
+
+    Example
+    -------
+    >>> pipe = PreprocessingPipeline(min_command_count=1)
+    >>> kept, stats = pipe.fit_transform(["ls -l", "ls |", "dcoker ps", "ls /x"])
+    >>> kept
+    ['ls -l', 'ls /x']
+    """
+
+    def __init__(
+        self,
+        min_command_count: int = 2,
+        allowed_commands: Iterable[str] | None = None,
+        normalizer: Normalizer | None = None,
+    ):
+        if min_command_count < 1:
+            raise ValueError("min_command_count must be >= 1")
+        self.min_command_count = min_command_count
+        self.normalizer = normalizer or Normalizer()
+        self._validator = CommandLineValidator()
+        self._extractor = CommandExtractor()
+        self._parser_filter = ParserFilter(self._validator)
+        self._frequency_table = CommandFrequencyTable(self._extractor)
+        self._explicit_allowed = frozenset(allowed_commands) if allowed_commands is not None else None
+        self._command_filter: ConcernedCommandFilter | None = None
+        if self._explicit_allowed is not None:
+            self._command_filter = ConcernedCommandFilter(
+                allowed=self._explicit_allowed, extractor=self._extractor
+            )
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether a concerned-command list is available."""
+        return self._command_filter is not None
+
+    @property
+    def concerned_commands(self) -> frozenset[str]:
+        """The concerned-command list (raises if not yet fitted)."""
+        if self._command_filter is None:
+            raise RuntimeError("pipeline is not fitted; call fit() first")
+        return self._command_filter.allowed
+
+    @property
+    def frequency_table(self) -> CommandFrequencyTable:
+        """The command-occurrence table accumulated by :meth:`fit`."""
+        return self._frequency_table
+
+    def fit(self, lines: Iterable[str]) -> "PreprocessingPipeline":
+        """Build the command-occurrence table and concerned list from *lines*."""
+        normalized = (self.normalizer(line) for line in lines)
+        valid = (line for line in normalized if line and self._validator.is_valid(line))
+        self._frequency_table.update(valid)
+        if self._explicit_allowed is None:
+            self._command_filter = ConcernedCommandFilter(
+                frequency_table=self._frequency_table,
+                min_count=self.min_command_count,
+                extractor=self._extractor,
+            )
+        return self
+
+    def transform(self, lines: Sequence[str]) -> tuple[list[str], PreprocessingStats]:
+        """Apply all stages to *lines*; return kept lines and stats."""
+        if self._command_filter is None:
+            raise RuntimeError("pipeline is not fitted; call fit() first")
+        stats = PreprocessingStats()
+        kept: list[str] = []
+        for raw in lines:
+            stats.total += 1
+            line = self.normalizer(raw)
+            if not line:
+                stats.empty_after_normalize += 1
+                continue
+            if not self._validator.is_valid(line):
+                stats.parse_failures += 1
+                continue
+            if not self._command_filter.accepts(line):
+                stats.unconcerned_command += 1
+                continue
+            stats.kept += 1
+            kept.append(line)
+        stats.occurrence_table = self._frequency_table.most_common(20)
+        return kept, stats
+
+    def fit_transform(self, lines: Sequence[str]) -> tuple[list[str], PreprocessingStats]:
+        """Fit on *lines*, then transform the same lines."""
+        return self.fit(lines).transform(lines)

@@ -1,0 +1,53 @@
+"""A from-scratch Bash command-line parser (the ``bashlex`` substrate).
+
+Public surface:
+
+- :func:`tokenize` / :class:`Lexer` — lexical analysis with full quote
+  and substitution awareness.
+- :func:`parse` / :class:`Parser` — recursive-descent parsing into the
+  AST of :mod:`repro.shell.ast_nodes`.
+- :class:`CommandExtractor` — command-name / flag / argument extraction.
+- :class:`CommandLineValidator` — validity filtering for pre-processing.
+"""
+
+from repro.shell.ast_nodes import (
+    Assignment,
+    BraceGroup,
+    CommandList,
+    Pipeline,
+    Redirect,
+    SimpleCommand,
+    Subshell,
+    Word,
+    walk_simple_commands,
+)
+from repro.shell.extract import CommandExtractor, CommandSummary, extract_command_names
+from repro.shell.lexer import Lexer, Token, TokenKind, tokenize
+from repro.shell.parser import Parser, parse
+from repro.shell.unparse import structural_key, unparse
+from repro.shell.validate import CommandLineValidator, is_valid_command_line
+
+__all__ = [
+    "Assignment",
+    "BraceGroup",
+    "CommandExtractor",
+    "CommandLineValidator",
+    "CommandList",
+    "CommandSummary",
+    "Lexer",
+    "Parser",
+    "Pipeline",
+    "Redirect",
+    "SimpleCommand",
+    "Subshell",
+    "Token",
+    "TokenKind",
+    "Word",
+    "extract_command_names",
+    "is_valid_command_line",
+    "parse",
+    "structural_key",
+    "tokenize",
+    "unparse",
+    "walk_simple_commands",
+]

@@ -1,0 +1,150 @@
+"""AST node types produced by the shell parser.
+
+The node hierarchy intentionally mirrors the small slice of the POSIX
+grammar needed for command-line log analysis: lists of pipelines of
+simple commands, with subshells/brace groups, assignments, and
+redirections.  Each simple command separates its *name*, *flags*
+(words starting with ``-``), and positional *arguments* — the
+separation Figure 2 of the paper relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+
+@dataclass(frozen=True)
+class Word:
+    """A single shell word with quoting preserved in ``raw``.
+
+    Attributes
+    ----------
+    raw:
+        Original text of the word including quotes and escapes.
+    position:
+        Character offset in the source line.
+    """
+
+    raw: str
+    position: int = 0
+
+    @property
+    def is_flag(self) -> bool:
+        """Words beginning with ``-`` (but not bare ``-``/``--``) are flags."""
+        return self.raw.startswith("-") and self.raw not in ("-", "--")
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """A variable assignment prefix such as ``FOO=bar``."""
+
+    name: str
+    value: str
+    position: int = 0
+
+    @property
+    def raw(self) -> str:
+        """The assignment re-assembled as ``name=value``."""
+        return f"{self.name}={self.value}"
+
+
+@dataclass(frozen=True)
+class Redirect:
+    """An I/O redirection such as ``2> /dev/null`` or ``>> out.log``."""
+
+    operator: str
+    target: Word
+    fd: int | None = None
+    position: int = 0
+
+
+@dataclass
+class SimpleCommand:
+    """A simple command: assignments, a name, flags/arguments, redirects."""
+
+    name: Word | None
+    words: list[Word] = field(default_factory=list)
+    assignments: list[Assignment] = field(default_factory=list)
+    redirects: list[Redirect] = field(default_factory=list)
+
+    @property
+    def command_name(self) -> str | None:
+        """The command name as plain text, or ``None`` for bare assignments."""
+        return self.name.raw if self.name is not None else None
+
+    @property
+    def flags(self) -> list[str]:
+        """All flag words (``-x``, ``--long``) following the name."""
+        return [w.raw for w in self.words if w.is_flag]
+
+    @property
+    def arguments(self) -> list[str]:
+        """All non-flag words following the name."""
+        return [w.raw for w in self.words if not w.is_flag]
+
+
+@dataclass
+class Subshell:
+    """A parenthesised subshell ``( ... )`` with optional redirections."""
+
+    body: "CommandList"
+    redirects: list[Redirect] = field(default_factory=list)
+
+
+@dataclass
+class BraceGroup:
+    """A brace group ``{ ...; }`` with optional redirections."""
+
+    body: "CommandList"
+    redirects: list[Redirect] = field(default_factory=list)
+
+
+Command = Union[SimpleCommand, Subshell, BraceGroup]
+
+
+@dataclass
+class Pipeline:
+    """One or more commands joined by ``|`` (or ``|&``), possibly negated."""
+
+    commands: list[Command]
+    negated: bool = False
+    pipe_stderr: list[bool] = field(default_factory=list)
+
+
+@dataclass
+class CommandList:
+    """Pipelines joined by control operators (``&&``, ``||``, ``;``, ``&``).
+
+    ``operators[i]`` is the operator between ``pipelines[i]`` and
+    ``pipelines[i + 1]``; a trailing ``&`` or ``;`` appears as
+    ``terminator``.
+    """
+
+    pipelines: list[Pipeline] = field(default_factory=list)
+    operators: list[str] = field(default_factory=list)
+    terminator: str | None = None
+
+    def __iter__(self) -> Iterator[Pipeline]:
+        return iter(self.pipelines)
+
+    def __len__(self) -> int:
+        return len(self.pipelines)
+
+
+def walk_simple_commands(node: object) -> Iterator[SimpleCommand]:
+    """Yield every :class:`SimpleCommand` in *node*, depth first.
+
+    Accepts any AST node (:class:`CommandList`, :class:`Pipeline`,
+    :class:`Subshell`, :class:`BraceGroup`, or :class:`SimpleCommand`).
+    """
+    if isinstance(node, SimpleCommand):
+        yield node
+    elif isinstance(node, Pipeline):
+        for command in node.commands:
+            yield from walk_simple_commands(command)
+    elif isinstance(node, (Subshell, BraceGroup)):
+        yield from walk_simple_commands(node.body)
+    elif isinstance(node, CommandList):
+        for pipeline in node.pipelines:
+            yield from walk_simple_commands(pipeline)

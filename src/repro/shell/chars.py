@@ -1,0 +1,74 @@
+"""Character classification tables for the shell lexer.
+
+The lexer in :mod:`repro.shell.lexer` consults these small helpers to
+decide where words end and operators begin.  They follow the POSIX shell
+grammar's notion of metacharacters.
+"""
+
+from __future__ import annotations
+
+#: Characters that terminate a word and may begin an operator.
+METACHARACTERS = frozenset("|&;<>() \t\n")
+
+#: Characters that can start a control/redirect operator.
+OPERATOR_START = frozenset("|&;<>()")
+
+#: Multi-character operators recognised by the lexer, longest first so the
+#: lexer can greedily match.
+OPERATORS = (
+    "<<<",
+    "<<-",
+    "&&",
+    "||",
+    ";;",
+    "<<",
+    ">>",
+    "<&",
+    ">&",
+    "<>",
+    "|&",
+    ">|",
+    "|",
+    "&",
+    ";",
+    "<",
+    ">",
+    "(",
+    ")",
+)
+
+#: Operators that introduce a redirection and therefore require a WORD
+#: operand to follow them.
+REDIRECT_OPERATORS = frozenset({"<", ">", ">>", "<<", "<<-", "<<<", "<&", ">&", "<>", ">|"})
+
+#: Control operators that separate commands.
+CONTROL_OPERATORS = frozenset({"&&", "||", ";;", ";", "&", "|", "|&"})
+
+#: Characters allowed in a shell variable / function name.
+NAME_FIRST = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+NAME_REST = NAME_FIRST | frozenset("0123456789")
+
+
+def is_metacharacter(ch: str) -> bool:
+    """Return ``True`` when *ch* unquoted would terminate a shell word."""
+    return ch in METACHARACTERS
+
+
+def is_blank(ch: str) -> bool:
+    """Return ``True`` for space and tab (the shell's ``blank`` class)."""
+    return ch in (" ", "\t")
+
+
+def is_name(text: str) -> bool:
+    """Return ``True`` when *text* is a valid shell identifier (``NAME``)."""
+    if not text or text[0] not in NAME_FIRST:
+        return False
+    return all(ch in NAME_REST for ch in text)
+
+
+def match_operator(text: str, pos: int) -> str | None:
+    """Return the longest operator starting at ``text[pos]``, if any."""
+    for op in OPERATORS:
+        if text.startswith(op, pos):
+            return op
+    return None

@@ -1,0 +1,120 @@
+"""Extraction of structured information from parsed command lines.
+
+The pre-processing pipeline (Section II-A of the paper) needs two
+things from the parser: which lines are valid, and what command names
+each line invokes so typo'd names (``dcoker``, ``chdmod``) can be
+filtered by frequency.  This module also exposes flag/argument
+extraction used by analyses and by the telemetry generator's tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ShellSyntaxError
+from repro.shell.ast_nodes import CommandList, walk_simple_commands
+from repro.shell.parser import Parser
+
+#: Shell wrappers whose *first non-flag argument* is itself a command we
+#: should surface, e.g. ``sudo docker ps`` invokes ``docker``.  Wrappers
+#: whose flags take arguments (``watch -n 1``, ``timeout 5``) are
+#: deliberately excluded: unwrapping them is unreliable on raw logs.
+_COMMAND_WRAPPERS = frozenset({"sudo", "nohup", "exec", "command", "builtin", "doas", "time"})
+
+
+@dataclass
+class CommandSummary:
+    """Flat summary of a parsed command line.
+
+    Attributes
+    ----------
+    names:
+        Every command name invoked, in execution order, wrappers
+        unwrapped (``sudo docker ps`` yields ``["sudo", "docker"]``).
+    flags:
+        All flag words across all simple commands.
+    arguments:
+        All non-flag argument words across all simple commands.
+    assignments:
+        All ``NAME=value`` assignment prefixes.
+    n_commands:
+        Number of simple commands in the line.
+    """
+
+    names: list[str] = field(default_factory=list)
+    flags: list[str] = field(default_factory=list)
+    arguments: list[str] = field(default_factory=list)
+    assignments: list[tuple[str, str]] = field(default_factory=list)
+    n_commands: int = 0
+
+    @property
+    def primary_name(self) -> str | None:
+        """The first command name in the line, or ``None``."""
+        return self.names[0] if self.names else None
+
+
+class CommandExtractor:
+    """Parse command lines and extract :class:`CommandSummary` objects."""
+
+    def __init__(self, parser: Parser | None = None):
+        self._parser = parser or Parser()
+
+    def summarize(self, line: str) -> CommandSummary:
+        """Parse *line* and summarize it.
+
+        Raises
+        ------
+        ShellSyntaxError
+            If the line cannot be parsed.
+        """
+        ast = self._parser.parse(line)
+        return self.summarize_ast(ast)
+
+    def summarize_ast(self, ast: CommandList) -> CommandSummary:
+        """Summarize an already-parsed :class:`CommandList`."""
+        summary = CommandSummary()
+        for command in walk_simple_commands(ast):
+            summary.n_commands += 1
+            summary.assignments.extend((a.name, a.value) for a in command.assignments)
+            name = command.command_name
+            if name is not None:
+                summary.names.append(_basename(name))
+                # Unwrap `sudo cmd ...`-style wrappers one level at a time.
+                rest = list(command.words)
+                while rest and _basename(name) in _COMMAND_WRAPPERS:
+                    inner = None
+                    for index, word in enumerate(rest):
+                        if not word.is_flag and "=" not in word.raw:
+                            inner = index
+                            break
+                    if inner is None:
+                        break
+                    name = rest[inner].raw
+                    summary.names.append(_basename(name))
+                    rest = rest[inner + 1 :]
+            summary.flags.extend(command.flags)
+            summary.arguments.extend(command.arguments)
+        return summary
+
+    def command_names(self, line: str) -> list[str]:
+        """Return the command names invoked by *line* (parsing it first)."""
+        return self.summarize(line).names
+
+    def try_summarize(self, line: str) -> CommandSummary | None:
+        """Like :meth:`summarize` but returning ``None`` on syntax errors."""
+        try:
+            return self.summarize(line)
+        except ShellSyntaxError:
+            return None
+
+
+def _basename(name: str) -> str:
+    """Reduce ``/usr/bin/python3`` to ``python3``; keep bare names as-is."""
+    if "/" in name and not name.endswith("/"):
+        return name.rsplit("/", 1)[-1]
+    return name
+
+
+def extract_command_names(line: str) -> list[str]:
+    """Convenience wrapper: command names of *line* using a fresh extractor."""
+    return CommandExtractor().command_names(line)

@@ -1,0 +1,277 @@
+"""Recursive-descent parser for shell command lines.
+
+The parser consumes the token stream produced by
+:mod:`repro.shell.lexer` and builds the AST defined in
+:mod:`repro.shell.ast_nodes`.  It enforces the syntactic constraints
+that the paper's pre-processing step depends on: redirections must have
+targets, pipes must join two commands, parentheses must balance, and so
+on.  Any violation raises :class:`~repro.errors.ShellSyntaxError`,
+which marks the line as un-executable noise to be filtered out.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ShellSyntaxError
+from repro.shell import chars
+from repro.shell.ast_nodes import (
+    Assignment,
+    BraceGroup,
+    Command,
+    CommandList,
+    Pipeline,
+    Redirect,
+    SimpleCommand,
+    Subshell,
+    Word,
+)
+from repro.shell.lexer import Lexer, Token, TokenKind
+
+_ASSIGNMENT_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*)=(.*)$", re.DOTALL)
+
+#: Reserved words that introduce compound constructs we treat as plain
+#: words (single-line logs rarely carry multi-line compound statements,
+#: and bashlex similarly degrades on partial input).
+_RESERVED_AS_WORDS = frozenset({"if", "then", "else", "elif", "fi", "for", "while", "until", "do", "done", "case", "esac", "function", "in", "!", "[[", "]]", "time"})
+
+
+class _TokenStream:
+    """Cursor over the token list with one-token lookahead."""
+
+    def __init__(self, tokens: list[Token], source: str):
+        self.tokens = [t for t in tokens if t.kind is not TokenKind.COMMENT]
+        self.index = 0
+        self.source = source
+
+    def peek(self) -> Token | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self) -> Token | None:
+        token = self.peek()
+        if token is not None:
+            self.index += 1
+        return token
+
+    @property
+    def exhausted(self) -> bool:
+        return self.index >= len(self.tokens)
+
+
+class Parser:
+    """Parse shell command lines into :class:`CommandList` ASTs.
+
+    Example
+    -------
+    >>> ast = Parser().parse("curl https://x/s.sh | bash")
+    >>> [c.command_name for p in ast for c in p.commands]
+    ['curl', 'bash']
+    """
+
+    def __init__(self, lexer: Lexer | None = None):
+        self._lexer = lexer or Lexer()
+
+    def parse(self, line: str) -> CommandList:
+        """Parse *line* and return its AST.
+
+        Raises
+        ------
+        ShellSyntaxError
+            If the line is not a syntactically valid command list.
+        """
+        if not line or not line.strip():
+            raise ShellSyntaxError("empty command line", 0, line)
+        tokens = self._lexer.tokenize(line)
+        stream = _TokenStream(tokens, line)
+        if stream.exhausted:
+            raise ShellSyntaxError("command line contains only comments/whitespace", 0, line)
+        result = self._parse_list(stream, stop_values=frozenset(), stop_words=frozenset())
+        if not stream.exhausted:
+            token = stream.peek()
+            assert token is not None
+            raise ShellSyntaxError(f"unexpected token {token.value!r}", token.position, line)
+        return result
+
+    # ------------------------------------------------------------------
+    # Grammar rules
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _at_stop(token: Token | None, stop_values: frozenset[str], stop_words: frozenset[str]) -> bool:
+        if token is None:
+            return True
+        if token.is_operator() and token.value in stop_values:
+            return True
+        return token.kind is TokenKind.WORD and token.value in stop_words
+
+    def _parse_list(
+        self, stream: _TokenStream, stop_values: frozenset[str], stop_words: frozenset[str]
+    ) -> CommandList:
+        result = CommandList()
+        while True:
+            pipeline = self._parse_pipeline(stream, stop_values, stop_words)
+            result.pipelines.append(pipeline)
+            token = stream.peek()
+            if self._at_stop(token, stop_values, stop_words):
+                break
+            assert token is not None
+            if token.is_operator("&&", "||", ";", "&"):
+                stream.next()
+                if self._at_stop(stream.peek(), stop_values, stop_words):
+                    if token.value in ("&&", "||"):
+                        raise ShellSyntaxError(
+                            f"operator {token.value!r} requires a following command", token.position, stream.source
+                        )
+                    result.terminator = token.value
+                    break
+                result.operators.append(token.value)
+                continue
+            raise ShellSyntaxError(f"unexpected token {token.value!r}", token.position, stream.source)
+        return result
+
+    def _parse_pipeline(
+        self, stream: _TokenStream, stop_values: frozenset[str], stop_words: frozenset[str]
+    ) -> Pipeline:
+        negated = False
+        token = stream.peek()
+        if token is not None and token.kind is TokenKind.WORD and token.value == "!":
+            negated = True
+            stream.next()
+        commands: list[Command] = [self._parse_command(stream, stop_values, stop_words)]
+        pipe_stderr: list[bool] = []
+        while True:
+            token = stream.peek()
+            if token is None or not token.is_operator("|", "|&"):
+                break
+            stream.next()
+            nxt = stream.peek()
+            if nxt is None or (nxt.is_operator() and nxt.value not in ("(",)):
+                raise ShellSyntaxError(
+                    f"pipe operator {token.value!r} requires a following command", token.position, stream.source
+                )
+            pipe_stderr.append(token.value == "|&")
+            commands.append(self._parse_command(stream, stop_values, stop_words))
+        return Pipeline(commands=commands, negated=negated, pipe_stderr=pipe_stderr)
+
+    def _parse_command(
+        self, stream: _TokenStream, stop_values: frozenset[str], stop_words: frozenset[str]
+    ) -> Command:
+        token = stream.peek()
+        if token is None:
+            raise ShellSyntaxError("expected a command", len(stream.source), stream.source)
+        if token.is_operator("("):
+            return self._with_trailing_redirects(self._parse_subshell(stream), stream)
+        if token.kind is TokenKind.WORD and token.value == "{":
+            return self._with_trailing_redirects(self._parse_brace_group(stream), stream)
+        return self._parse_simple_command(stream, stop_words)
+
+    def _with_trailing_redirects(self, command: Subshell | BraceGroup, stream: _TokenStream) -> Command:
+        """Attach redirections following a compound command, if any."""
+        while True:
+            token = stream.peek()
+            is_redirect = token is not None and (
+                token.kind is TokenKind.IO_NUMBER
+                or (token.is_operator() and token.value in chars.REDIRECT_OPERATORS)
+            )
+            if not is_redirect:
+                return command
+            command.redirects.append(self._parse_redirect(stream))
+
+    def _parse_subshell(self, stream: _TokenStream) -> Subshell:
+        open_token = stream.next()
+        assert open_token is not None
+        body = self._parse_list(stream, stop_values=frozenset({")"}), stop_words=frozenset())
+        close_token = stream.next()
+        if close_token is None or not close_token.is_operator(")"):
+            raise ShellSyntaxError("unbalanced parenthesis: expected ')'", open_token.position, stream.source)
+        return Subshell(body=body)
+
+    def _parse_brace_group(self, stream: _TokenStream) -> BraceGroup:
+        open_token = stream.next()
+        assert open_token is not None
+        # The closing } arrives as an ordinary word; parsing the body with
+        # "}" as a stop word leaves it in the stream for us to consume.
+        body = self._parse_list(stream, stop_values=frozenset(), stop_words=frozenset({"}"}))
+        token = stream.peek()
+        if token is None or token.kind is not TokenKind.WORD or token.value != "}":
+            raise ShellSyntaxError("unbalanced brace group: expected '}'", open_token.position, stream.source)
+        stream.next()
+        return BraceGroup(body=body)
+
+    def _parse_simple_command(self, stream: _TokenStream, stop_words: frozenset[str] = frozenset()) -> SimpleCommand:
+        command = SimpleCommand(name=None)
+        saw_any = False
+        while True:
+            token = stream.peek()
+            if token is None:
+                break
+            if token.kind is TokenKind.IO_NUMBER:
+                command.redirects.append(self._parse_redirect(stream))
+                saw_any = True
+                continue
+            if token.is_operator():
+                if token.value in chars.REDIRECT_OPERATORS:
+                    command.redirects.append(self._parse_redirect(stream))
+                    saw_any = True
+                    continue
+                if token.value == "(":
+                    # `foo (` is a syntax error unless it is a function
+                    # definition with a body, which one-line logs lack.
+                    raise ShellSyntaxError(
+                        "unexpected '(' after command word", token.position, stream.source
+                    )
+                break  # control operator or ')' ends the simple command
+            if token.kind is TokenKind.WORD:
+                if token.value in stop_words:
+                    # leave the closer (e.g. `}`) for the enclosing parser
+                    break
+                match = _ASSIGNMENT_RE.match(token.value)
+                if match and command.name is None and chars.is_name(match.group(1)):
+                    stream.next()
+                    command.assignments.append(Assignment(match.group(1), match.group(2), token.position))
+                    saw_any = True
+                    continue
+                stream.next()
+                word = Word(token.value, token.position)
+                if command.name is None:
+                    command.name = word
+                else:
+                    command.words.append(word)
+                saw_any = True
+                continue
+            break
+        if not saw_any:
+            token = stream.peek()
+            position = token.position if token is not None else len(stream.source)
+            raise ShellSyntaxError("expected a command", position, stream.source)
+        if command.name is None and not command.assignments and not command.redirects:
+            raise ShellSyntaxError("empty command", 0, stream.source)
+        return command
+
+    def _parse_redirect(self, stream: _TokenStream) -> Redirect:
+        token = stream.next()
+        assert token is not None
+        fd: int | None = None
+        if token.kind is TokenKind.IO_NUMBER:
+            fd = int(token.value)
+            op_token = stream.next()
+            if op_token is None or not op_token.is_operator():
+                raise ShellSyntaxError("expected redirection operator after fd number", token.position, stream.source)
+            token = op_token
+        operator = token.value
+        if operator not in chars.REDIRECT_OPERATORS:
+            raise ShellSyntaxError(f"invalid redirection operator {operator!r}", token.position, stream.source)
+        target = stream.peek()
+        if target is None or target.kind not in (TokenKind.WORD, TokenKind.IO_NUMBER):
+            raise ShellSyntaxError(
+                f"redirection {operator!r} requires a target word", token.position, stream.source
+            )
+        stream.next()
+        return Redirect(operator=operator, target=Word(target.value, target.position), fd=fd, position=token.position)
+
+
+def parse(line: str) -> CommandList:
+    """Parse *line* with a default :class:`Parser` instance."""
+    return Parser().parse(line)

@@ -1,0 +1,43 @@
+"""Validity checking for raw command lines.
+
+Implements the first pre-processing decision from Section II-A: a
+command line that cannot be parsed "can hardly be harmful to the
+system" and is removed from further analysis.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ShellSyntaxError
+from repro.shell.ast_nodes import CommandList
+from repro.shell.parser import Parser
+
+
+class CommandLineValidator:
+    """Reusable validator wrapping a single :class:`Parser` instance."""
+
+    def __init__(self, parser: Parser | None = None):
+        self._parser = parser or Parser()
+
+    def is_valid(self, line: str) -> bool:
+        """Return ``True`` when *line* parses as a shell command list."""
+        return self.parse_or_none(line) is not None
+
+    def parse_or_none(self, line: str) -> CommandList | None:
+        """Parse *line*, returning ``None`` instead of raising on errors."""
+        try:
+            return self._parser.parse(line)
+        except ShellSyntaxError:
+            return None
+
+    def explain(self, line: str) -> str | None:
+        """Return the syntax-error message for *line*, or ``None`` if valid."""
+        try:
+            self._parser.parse(line)
+        except ShellSyntaxError as exc:
+            return exc.message
+        return None
+
+
+def is_valid_command_line(line: str) -> bool:
+    """Validate *line* with a fresh :class:`CommandLineValidator`."""
+    return CommandLineValidator().is_valid(line)

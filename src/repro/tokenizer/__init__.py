@@ -1,0 +1,24 @@
+"""BPE tokenization for command lines (Section II-B).
+
+Public surface:
+
+- :class:`BPETokenizer` — trainable byte-pair encoder with BERT-style
+  special tokens and truncation.
+- :class:`Vocab` / :class:`SpecialTokens` — vocabulary plumbing.
+- :func:`save_tokenizer` / :func:`load_tokenizer` — JSON persistence.
+"""
+
+from repro.tokenizer.bpe import BPETokenizer, Encoding
+from repro.tokenizer.serialization import load_tokenizer, save_tokenizer
+from repro.tokenizer.special import WORD_BOUNDARY, SpecialTokens
+from repro.tokenizer.vocab import Vocab
+
+__all__ = [
+    "BPETokenizer",
+    "Encoding",
+    "SpecialTokens",
+    "Vocab",
+    "WORD_BOUNDARY",
+    "load_tokenizer",
+    "save_tokenizer",
+]

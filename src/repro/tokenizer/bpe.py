@@ -1,0 +1,296 @@
+"""Byte-pair-encoding tokenizer trained on command lines (Section II-B).
+
+The implementation follows Sennrich et al. (2016): pre-tokenize on
+whitespace, represent each pre-token as a character sequence with a
+word-boundary marker, and repeatedly merge the most frequent adjacent
+symbol pair until the requested number of merges is reached.  Encoding
+replays the learned merges in rank order.
+
+Command lines differ from natural language in that punctuation carries
+syntax (``|``, ``>``, ``;``), so no punctuation stripping is performed:
+every character of the line is preserved, and BPE alone decides the
+units — exactly the paper's setup.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter, defaultdict
+from collections.abc import Iterable, Sequence
+
+from repro.errors import NotFittedError, TokenizerError
+from repro.tokenizer.special import WORD_BOUNDARY, SpecialTokens
+from repro.tokenizer.vocab import Vocab
+
+
+class Encoding:
+    """Result of tokenizing one command line.
+
+    Attributes
+    ----------
+    ids:
+        Token ids, including special tokens when requested.
+    tokens:
+        Token strings aligned with ``ids``.
+    """
+
+    __slots__ = ("ids", "tokens")
+
+    def __init__(self, ids: list[int], tokens: list[str]):
+        self.ids = ids
+        self.tokens = tokens
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __repr__(self) -> str:
+        return f"Encoding(ids={self.ids!r})"
+
+
+class BPETokenizer:
+    """Trainable BPE tokenizer with BERT-style special-token handling.
+
+    Parameters
+    ----------
+    vocab_size:
+        Upper bound on total vocabulary size (special tokens + single
+        characters + merged symbols).  The paper uses 50 000; scaled-down
+        experiments use a few thousand.
+    min_pair_frequency:
+        Pairs occurring fewer times than this are never merged.
+    lowercase:
+        Optionally lowercase input (off by default — case matters in
+        shell commands).
+
+    Example
+    -------
+    >>> tok = BPETokenizer(vocab_size=300)
+    >>> tok.train(["ls -la /tmp", "ls /home"] * 10)
+    >>> tok.decode(tok.encode("ls -la").ids)
+    'ls -la'
+    """
+
+    def __init__(
+        self,
+        vocab_size: int = 4096,
+        min_pair_frequency: int = 2,
+        lowercase: bool = False,
+        special: SpecialTokens | None = None,
+    ):
+        if vocab_size < 16:
+            raise TokenizerError("vocab_size must be at least 16")
+        if min_pair_frequency < 1:
+            raise TokenizerError("min_pair_frequency must be >= 1")
+        self.vocab_size = vocab_size
+        self.min_pair_frequency = min_pair_frequency
+        self.lowercase = lowercase
+        self.special = special or SpecialTokens()
+        self.vocab: Vocab | None = None
+        self._merges: dict[tuple[str, str], int] = {}
+        self._encode_cache: dict[str, tuple[str, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+
+    def train(self, corpus: Iterable[str]) -> "BPETokenizer":
+        """Learn merges from *corpus* and build the vocabulary."""
+        word_freqs = self._count_pretokens(corpus)
+        if not word_freqs:
+            raise TokenizerError("cannot train BPE on an empty corpus")
+        vocab = Vocab(special=self.special)
+        alphabet = sorted({ch for word in word_freqs for ch in word})
+        for ch in alphabet:
+            vocab.add(ch)
+
+        # Words as mutable symbol sequences, weighted by frequency.
+        words: list[list[str]] = [list(word) for word in word_freqs]
+        freqs: list[int] = list(word_freqs.values())
+        pair_counts, pair_to_words = self._initial_pair_stats(words, freqs)
+        heap: list[tuple[int, tuple[str, str]]] = [
+            (-count, pair) for pair, count in pair_counts.items()
+        ]
+        heapq.heapify(heap)
+
+        merges: list[tuple[str, str]] = []
+        budget = self.vocab_size - len(vocab)
+        while budget > 0 and heap:
+            neg_count, pair = heapq.heappop(heap)
+            current = pair_counts.get(pair, 0)
+            if current != -neg_count:
+                continue  # stale heap entry
+            if current < self.min_pair_frequency:
+                break
+            merged = pair[0] + pair[1]
+            merges.append(pair)
+            vocab.add(merged)
+            budget -= 1
+            touched = self._apply_merge(pair, merged, words, freqs, pair_counts, pair_to_words)
+            for changed_pair in touched:
+                count = pair_counts.get(changed_pair, 0)
+                if count > 0:
+                    heapq.heappush(heap, (-count, changed_pair))
+        self._merges = {pair: rank for rank, pair in enumerate(merges)}
+        self.vocab = vocab
+        self._encode_cache.clear()
+        return self
+
+    def _count_pretokens(self, corpus: Iterable[str]) -> Counter[tuple[str, ...]]:
+        counts: Counter[tuple[str, ...]] = Counter()
+        for line in corpus:
+            for word in self._pretokenize(line):
+                counts[tuple(word)] += 1
+        return counts
+
+    def _pretokenize(self, line: str) -> list[str]:
+        if self.lowercase:
+            line = line.lower()
+        return [WORD_BOUNDARY + part for part in line.split()]
+
+    @staticmethod
+    def _initial_pair_stats(
+        words: list[list[str]], freqs: list[int]
+    ) -> tuple[dict[tuple[str, str], int], dict[tuple[str, str], set[int]]]:
+        pair_counts: dict[tuple[str, str], int] = defaultdict(int)
+        pair_to_words: dict[tuple[str, str], set[int]] = defaultdict(set)
+        for index, (word, freq) in enumerate(zip(words, freqs)):
+            for left, right in zip(word, word[1:]):
+                pair_counts[(left, right)] += freq
+                pair_to_words[(left, right)].add(index)
+        return pair_counts, pair_to_words
+
+    @staticmethod
+    def _apply_merge(
+        pair: tuple[str, str],
+        merged: str,
+        words: list[list[str]],
+        freqs: list[int],
+        pair_counts: dict[tuple[str, str], int],
+        pair_to_words: dict[tuple[str, str], set[int]],
+    ) -> set[tuple[str, str]]:
+        """Merge *pair* in every word containing it; update pair stats."""
+        touched: set[tuple[str, str]] = set()
+        affected = pair_to_words.pop(pair, set())
+        pair_counts.pop(pair, None)
+        for index in affected:
+            word = words[index]
+            freq = freqs[index]
+            i = 0
+            new_word: list[str] = []
+            while i < len(word):
+                if i + 1 < len(word) and word[i] == pair[0] and word[i + 1] == pair[1]:
+                    # decrement neighbours of the consumed pair
+                    if new_word:
+                        old_left = (new_word[-1], pair[0])
+                        pair_counts[old_left] = pair_counts.get(old_left, 0) - freq
+                        touched.add(old_left)
+                    if i + 2 < len(word):
+                        old_right = (pair[1], word[i + 2])
+                        pair_counts[old_right] = pair_counts.get(old_right, 0) - freq
+                        touched.add(old_right)
+                    new_word.append(merged)
+                    i += 2
+                else:
+                    new_word.append(word[i])
+                    i += 1
+            # increment pairs adjacent to each merged symbol
+            for left, right in zip(new_word, new_word[1:]):
+                if merged in (left, right):
+                    pair_counts[(left, right)] = pair_counts.get((left, right), 0) + freq
+                    touched.add((left, right))
+                pair_to_words[(left, right)].add(index)
+            words[index] = new_word
+        return touched
+
+    # ------------------------------------------------------------------
+    # Encoding / decoding
+    # ------------------------------------------------------------------
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether :meth:`train` (or deserialization) has run."""
+        return self.vocab is not None
+
+    def _require_vocab(self) -> Vocab:
+        if self.vocab is None:
+            raise NotFittedError("tokenizer has not been trained; call train() first")
+        return self.vocab
+
+    def segment_word(self, word: str) -> tuple[str, ...]:
+        """Apply learned merges to one pre-token (boundary marker included)."""
+        cached = self._encode_cache.get(word)
+        if cached is not None:
+            return cached
+        symbols = list(word)
+        while len(symbols) > 1:
+            best_rank = None
+            best_index = -1
+            for i, pair in enumerate(zip(symbols, symbols[1:])):
+                rank = self._merges.get(pair)
+                if rank is not None and (best_rank is None or rank < best_rank):
+                    best_rank = rank
+                    best_index = i
+            if best_rank is None:
+                break
+            symbols[best_index : best_index + 2] = [symbols[best_index] + symbols[best_index + 1]]
+        result = tuple(symbols)
+        if len(self._encode_cache) < 1_000_000:
+            self._encode_cache[word] = result
+        return result
+
+    def encode(
+        self,
+        line: str,
+        add_special_tokens: bool = True,
+        max_length: int | None = None,
+    ) -> Encoding:
+        """Tokenize *line* into an :class:`Encoding`.
+
+        When ``max_length`` is given the sequence (including specials) is
+        truncated to that many tokens, mirroring the paper's trimming of
+        over-long command lines.
+        """
+        vocab = self._require_vocab()
+        tokens: list[str] = []
+        for word in self._pretokenize(line):
+            tokens.extend(self.segment_word(word))
+        if add_special_tokens:
+            budget = None if max_length is None else max(max_length - 2, 0)
+            if budget is not None:
+                tokens = tokens[:budget]
+            tokens = [self.special.cls, *tokens, self.special.sep]
+        elif max_length is not None:
+            tokens = tokens[:max_length]
+        ids = [vocab.id_of(token) for token in tokens]
+        return Encoding(ids=ids, tokens=tokens)
+
+    def encode_batch(
+        self,
+        lines: Sequence[str],
+        add_special_tokens: bool = True,
+        max_length: int | None = None,
+    ) -> list[Encoding]:
+        """Encode every line in *lines*."""
+        return [self.encode(line, add_special_tokens, max_length) for line in lines]
+
+    def decode(self, ids: Sequence[int], skip_special_tokens: bool = True) -> str:
+        """Reconstruct text from token *ids* (inverse of :meth:`encode`)."""
+        vocab = self._require_vocab()
+        pieces: list[str] = []
+        for index in ids:
+            token = vocab.token_of(index)
+            if skip_special_tokens and token in self.special.as_list():
+                continue
+            pieces.append(token)
+        text = "".join(pieces)
+        return text.replace(WORD_BOUNDARY, " ").strip()
+
+    def token_count(self, line: str) -> int:
+        """Number of non-special tokens *line* encodes to."""
+        return len(self.encode(line, add_special_tokens=False))
+
+    @property
+    def merges(self) -> list[tuple[str, str]]:
+        """Learned merges in rank order."""
+        ordered = sorted(self._merges.items(), key=lambda item: item[1])
+        return [pair for pair, _ in ordered]

@@ -1,0 +1,57 @@
+"""Save/load support for the BPE tokenizer (JSON on disk)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import CheckpointError
+from repro.tokenizer.bpe import BPETokenizer
+from repro.tokenizer.special import SpecialTokens
+from repro.tokenizer.vocab import Vocab
+
+_FORMAT_VERSION = 1
+
+
+def save_tokenizer(tokenizer: BPETokenizer, path: str | Path) -> None:
+    """Serialize *tokenizer* (vocabulary + merges + settings) to *path*."""
+    if tokenizer.vocab is None:
+        raise CheckpointError("cannot save an untrained tokenizer")
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "vocab_size": tokenizer.vocab_size,
+        "min_pair_frequency": tokenizer.min_pair_frequency,
+        "lowercase": tokenizer.lowercase,
+        "special": {
+            "pad": tokenizer.special.pad,
+            "unk": tokenizer.special.unk,
+            "cls": tokenizer.special.cls,
+            "sep": tokenizer.special.sep,
+            "mask": tokenizer.special.mask,
+        },
+        "tokens": tokenizer.vocab.tokens(),
+        "merges": [[a, b] for a, b in tokenizer.merges],
+    }
+    Path(path).write_text(json.dumps(payload, ensure_ascii=False))
+
+
+def load_tokenizer(path: str | Path) -> BPETokenizer:
+    """Restore a tokenizer previously written by :func:`save_tokenizer`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"cannot load tokenizer from {path}: {exc}") from exc
+    if payload.get("format_version") != _FORMAT_VERSION:
+        raise CheckpointError(f"unsupported tokenizer format: {payload.get('format_version')!r}")
+    special = SpecialTokens(**payload["special"])
+    tokenizer = BPETokenizer(
+        vocab_size=payload["vocab_size"],
+        min_pair_frequency=payload["min_pair_frequency"],
+        lowercase=payload["lowercase"],
+        special=special,
+    )
+    specials = set(special.as_list())
+    learned = [t for t in payload["tokens"] if t not in specials]
+    tokenizer.vocab = Vocab(tokens=learned, special=special)
+    tokenizer._merges = {(a, b): rank for rank, (a, b) in enumerate(payload["merges"])}
+    return tokenizer

@@ -1,0 +1,31 @@
+"""Special-token definitions shared across the tokenizer and the LM."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SpecialTokens:
+    """Names of the special tokens used by the command-line LM.
+
+    The defaults mirror BERT/RoBERTa conventions: ``[PAD]`` for padding,
+    ``[UNK]`` for out-of-vocabulary symbols, ``[CLS]`` as the sequence
+    summary position used by classification-based tuning, ``[SEP]`` as
+    the end-of-sequence marker, and ``[MASK]`` for MLM pre-training.
+    """
+
+    pad: str = "[PAD]"
+    unk: str = "[UNK]"
+    cls: str = "[CLS]"
+    sep: str = "[SEP]"
+    mask: str = "[MASK]"
+
+    def as_list(self) -> list[str]:
+        """All special tokens, in canonical id order (pad first)."""
+        return [self.pad, self.unk, self.cls, self.sep, self.mask]
+
+
+#: Marker glued to the front of each whitespace-delimited pre-token so that
+#: word boundaries survive BPE segmentation (SentencePiece convention).
+WORD_BOUNDARY = "▁"

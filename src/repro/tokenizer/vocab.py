@@ -1,0 +1,95 @@
+"""Token ↔ id vocabulary for the BPE tokenizer."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import TokenizerError
+from repro.tokenizer.special import SpecialTokens
+
+
+class Vocab:
+    """A bidirectional token ↔ integer-id mapping with special tokens.
+
+    Special tokens always occupy the lowest ids, in the order returned by
+    :meth:`SpecialTokens.as_list`, so ``pad_id == 0`` regardless of the
+    learned vocabulary.
+    """
+
+    def __init__(self, tokens: Iterable[str] = (), special: SpecialTokens | None = None):
+        self.special = special or SpecialTokens()
+        self._token_to_id: dict[str, int] = {}
+        self._id_to_token: list[str] = []
+        for token in self.special.as_list():
+            self._add(token)
+        for token in tokens:
+            self.add(token)
+
+    def _add(self, token: str) -> int:
+        index = len(self._id_to_token)
+        self._token_to_id[token] = index
+        self._id_to_token.append(token)
+        return index
+
+    def add(self, token: str) -> int:
+        """Add *token* if absent; return its id."""
+        existing = self._token_to_id.get(token)
+        if existing is not None:
+            return existing
+        return self._add(token)
+
+    def id_of(self, token: str) -> int:
+        """Id of *token*, falling back to the ``[UNK]`` id."""
+        return self._token_to_id.get(token, self.unk_id)
+
+    def token_of(self, index: int) -> str:
+        """Token text for *index*.
+
+        Raises
+        ------
+        TokenizerError
+            If *index* is outside the vocabulary.
+        """
+        if not 0 <= index < len(self._id_to_token):
+            raise TokenizerError(f"token id {index} outside vocabulary of size {len(self)}")
+        return self._id_to_token[index]
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    @property
+    def pad_id(self) -> int:
+        """Id of the padding token (always 0)."""
+        return self._token_to_id[self.special.pad]
+
+    @property
+    def unk_id(self) -> int:
+        """Id of the unknown token."""
+        return self._token_to_id[self.special.unk]
+
+    @property
+    def cls_id(self) -> int:
+        """Id of the ``[CLS]`` token."""
+        return self._token_to_id[self.special.cls]
+
+    @property
+    def sep_id(self) -> int:
+        """Id of the ``[SEP]`` token."""
+        return self._token_to_id[self.special.sep]
+
+    @property
+    def mask_id(self) -> int:
+        """Id of the ``[MASK]`` token."""
+        return self._token_to_id[self.special.mask]
+
+    @property
+    def special_ids(self) -> frozenset[int]:
+        """Ids of all special tokens."""
+        return frozenset(self._token_to_id[t] for t in self.special.as_list())
+
+    def tokens(self) -> list[str]:
+        """All tokens in id order (including specials)."""
+        return list(self._id_to_token)

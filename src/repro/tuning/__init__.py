@@ -1,0 +1,42 @@
+"""Supervised adaptation of the command-line LM (Section IV).
+
+Public surface:
+
+- :class:`ClassificationTuner` — probing head on ``[CLS]`` (Sec. IV-B).
+- :class:`MultiLineClassificationTuner` / :class:`MultiLineComposer` —
+  context-window classification (Sec. IV-C).
+- :class:`ReconstructionTuner` — Eq. 2 alternating optimisation (Sec. IV-A).
+- :class:`RetrievalDetector` — modified malicious-kNN (Sec. IV-D);
+  :class:`MajorityVoteKNN` — the vanilla baseline it improves on.
+- :class:`ScoreEnsemble` — future-work score fusion (Sec. V-C).
+- :class:`LabeledDataset` / :func:`label_with_ids` — noisy supervision.
+"""
+
+from repro.tuning.base import IntrusionScorer
+from repro.tuning.classification import ClassificationTuner
+from repro.tuning.ensemble import ScoreEnsemble, rank_normalize
+from repro.tuning.labels import LabeledDataset, label_with_ids
+from repro.tuning.multiline import (
+    SEPARATOR,
+    ComposedSample,
+    MultiLineClassificationTuner,
+    MultiLineComposer,
+)
+from repro.tuning.reconstruction import ReconstructionTuner
+from repro.tuning.retrieval import MajorityVoteKNN, RetrievalDetector
+
+__all__ = [
+    "ClassificationTuner",
+    "ComposedSample",
+    "IntrusionScorer",
+    "LabeledDataset",
+    "MajorityVoteKNN",
+    "MultiLineClassificationTuner",
+    "MultiLineComposer",
+    "RetrievalDetector",
+    "ReconstructionTuner",
+    "SEPARATOR",
+    "ScoreEnsemble",
+    "label_with_ids",
+    "rank_normalize",
+]

@@ -1,0 +1,32 @@
+"""Common interface for the supervised adaptation methods (Section IV)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import NotFittedError
+
+
+class IntrusionScorer:
+    """Base: fit on (noisily) labeled lines, then score new lines.
+
+    Scores are continuous with larger = more intrusion-like; the
+    evaluation layer applies thresholds (:mod:`repro.ids.threshold`).
+    """
+
+    method_name: str = "base"
+    _fitted: bool = False
+
+    def fit(self, lines: Sequence[str], labels: np.ndarray) -> "IntrusionScorer":
+        """Adapt to supervision; returns ``self``."""
+        raise NotImplementedError
+
+    def score(self, lines: Sequence[str]) -> np.ndarray:
+        """Intrusion scores for *lines*."""
+        raise NotImplementedError
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(f"{type(self).__name__} must be fitted before scoring")

@@ -1,0 +1,91 @@
+"""Score ensembling across detection methods.
+
+Section V-C closes with: "these methods complement each other, and an
+ensemble of all these methods can further boost the out-of-box intrusion
+detection performance, which should be explored in future work."  This
+module implements that future-work suggestion: rank-normalised score
+fusion over any set of fitted :class:`IntrusionScorer` objects.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.tuning.base import IntrusionScorer
+
+
+def rank_normalize(scores: np.ndarray) -> np.ndarray:
+    """Map scores to (0, 1] by fractional rank (ties share the mean rank).
+
+    Rank normalisation makes heterogeneous score scales (probabilities,
+    reconstruction errors, similarities) commensurable before fusion.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.size == 0:
+        return scores.copy()
+    order = np.argsort(scores, kind="stable")
+    ranks = np.empty_like(order, dtype=np.float64)
+    ranks[order] = np.arange(1, scores.size + 1)
+    # average ranks over ties for determinism
+    unique, inverse = np.unique(scores, return_inverse=True)
+    sums = np.zeros(unique.size)
+    counts = np.zeros(unique.size)
+    np.add.at(sums, inverse, ranks)
+    np.add.at(counts, inverse, 1.0)
+    return (sums / counts)[inverse] / scores.size
+
+
+class ScoreEnsemble(IntrusionScorer):
+    """Fuse several fitted scorers by rank-normalised aggregation.
+
+    Parameters
+    ----------
+    scorers:
+        Already-fitted member methods.
+    weights:
+        Optional per-member weights (default: uniform).
+    aggregation:
+        ``"mean"`` (robust default) or ``"max"`` (recall-oriented).
+    """
+
+    method_name = "ensemble"
+
+    def __init__(
+        self,
+        scorers: Sequence[IntrusionScorer],
+        weights: Sequence[float] | None = None,
+        aggregation: str = "mean",
+    ):
+        if not scorers:
+            raise ValueError("ensemble needs at least one member")
+        if aggregation not in ("mean", "max"):
+            raise ValueError("aggregation must be 'mean' or 'max'")
+        if weights is not None and len(weights) != len(scorers):
+            raise ValueError("weights must align with scorers")
+        self.scorers = list(scorers)
+        self.weights = np.asarray(weights, dtype=np.float64) if weights is not None else None
+        self.aggregation = aggregation
+        self._fitted = True  # members are fitted by contract
+
+    def fit(self, lines: Sequence[str], labels: np.ndarray) -> "ScoreEnsemble":
+        """Fit every member on the same supervision."""
+        for scorer in self.scorers:
+            scorer.fit(lines, labels)
+        self._fitted = True
+        return self
+
+    def score(self, lines: Sequence[str]) -> np.ndarray:
+        self._check_fitted()
+        normalized = np.stack([rank_normalize(s.score(lines)) for s in self.scorers])
+        return self.aggregate(normalized)
+
+    def aggregate(self, normalized: np.ndarray) -> np.ndarray:
+        """Fuse a ``(n_members, n_samples)`` matrix of normalised scores."""
+        if self.aggregation == "max":
+            return normalized.max(axis=0)
+        if self.weights is not None:
+            weights = self.weights / self.weights.sum()
+            return (normalized * weights[:, None]).sum(axis=0)
+        return normalized.mean(axis=0)

@@ -1,0 +1,85 @@
+"""Supervised datasets built from noisy commercial-IDS labels (Section IV).
+
+``LabeledDataset`` pairs command lines with binary labels obtained by
+querying the supervision source; it is what all four adaptation methods
+consume.  The labels are *noisy by construction*: out-of-box intrusions
+are labeled benign because the commercial IDS cannot see them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.ids.commercial import CommercialIDS
+from repro.loggen.dataset import CommandDataset
+
+
+@dataclass
+class LabeledDataset:
+    """Command lines with (noisy) binary intrusion labels.
+
+    Attributes
+    ----------
+    lines:
+        The command lines.
+    labels:
+        1 = labeled intrusion-related by the supervision source.
+    """
+
+    lines: list[str]
+    labels: np.ndarray
+
+    def __post_init__(self):
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if len(self.lines) != len(self.labels):
+            raise DataError(
+                f"lines ({len(self.lines)}) and labels ({len(self.labels)}) length mismatch"
+            )
+        if self.labels.size and not np.isin(self.labels, (0, 1)).all():
+            raise DataError("labels must be binary (0/1)")
+
+    def __len__(self) -> int:
+        return len(self.lines)
+
+    @property
+    def n_positive(self) -> int:
+        """Number of positive (intrusion-labeled) samples."""
+        return int(self.labels.sum())
+
+    def positives(self) -> "LabeledDataset":
+        """The positive subset."""
+        mask = self.labels == 1
+        return LabeledDataset([l for l, keep in zip(self.lines, mask) if keep], self.labels[mask])
+
+    def subsample(self, n: int, rng: np.random.Generator, keep_all_positives: bool = True) -> "LabeledDataset":
+        """A subset of *n* samples, by default keeping every positive.
+
+        Fine-tuning does not need the full corpus; the paper labels "a
+        number of command lines".  Stratified subsampling keeps the rare
+        positives while bounding compute.
+        """
+        if n >= len(self):
+            return self
+        indices = np.arange(len(self))
+        if keep_all_positives:
+            positive = indices[self.labels == 1]
+            negative = indices[self.labels == 0]
+            n_negative = max(n - positive.size, 0)
+            chosen_negative = rng.choice(negative, size=min(n_negative, negative.size), replace=False)
+            chosen = np.sort(np.concatenate([positive, chosen_negative]))
+        else:
+            chosen = np.sort(rng.choice(indices, size=n, replace=False))
+        return LabeledDataset([self.lines[i] for i in chosen], self.labels[chosen])
+
+
+def label_with_ids(
+    dataset: CommandDataset | Sequence[str],
+    ids: CommercialIDS,
+) -> LabeledDataset:
+    """Query the commercial IDS to label a dataset (black-box supervision)."""
+    lines = dataset.lines() if isinstance(dataset, CommandDataset) else list(dataset)
+    return LabeledDataset(lines, ids.label(lines))

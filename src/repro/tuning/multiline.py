@@ -1,0 +1,128 @@
+"""Multi-line classification (Section IV-C): context-aware tuning.
+
+"For classifying a particular command-line operation, several command
+lines in the most recent past from the same user are additionally served
+for reference, if their execution time is not too long ago.  These
+command lines are concatenated with a shell command separator ';'."
+
+:class:`MultiLineComposer` builds those context windows from a
+:class:`~repro.loggen.dataset.CommandDataset`;
+:class:`MultiLineClassificationTuner` is the probing classifier applied
+to the composed inputs (the paper uses three temporally contiguous
+lines).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from datetime import timedelta
+
+import numpy as np
+
+from repro.lm.encoder_api import CommandEncoder
+from repro.loggen.dataset import CommandDataset
+from repro.tuning.classification import ClassificationTuner
+
+#: Separator used to join context lines — "a shell command separator ';'".
+SEPARATOR = " ; "
+
+
+@dataclass(frozen=True)
+class ComposedSample:
+    """A context-augmented input for multi-line classification.
+
+    Attributes
+    ----------
+    text:
+        Up to ``window`` lines of the same user joined with ``;`` —
+        oldest first, the line being classified last.
+    record_index:
+        Index of the classified (last) line in the source dataset.
+    n_context:
+        Number of context lines actually available (0 ≤ n < window).
+    """
+
+    text: str
+    record_index: int
+    n_context: int
+
+
+class MultiLineComposer:
+    """Build per-record context windows from user history.
+
+    Parameters
+    ----------
+    window:
+        Total lines per composed input ("three temporally contiguous
+        command lines" in the paper's experiments).
+    max_gap:
+        Maximum age of a context line relative to the classified line
+        ("if their execution time is not too long ago").  The default is
+        deliberately tight: a generous gap lets a user's earlier attack
+        session leak into the context of their later benign commands,
+        which poisons composed labels.
+    """
+
+    def __init__(self, window: int = 3, max_gap: timedelta = timedelta(minutes=3)):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.max_gap = max_gap
+
+    def compose(self, dataset: CommandDataset) -> list[ComposedSample]:
+        """One :class:`ComposedSample` per record, in dataset order."""
+        # per-user rolling history of (timestamp, line)
+        history: dict[str, list[tuple]] = {}
+        samples: list[ComposedSample] = []
+        for index, record in enumerate(dataset):
+            past = history.setdefault(record.user, [])
+            recent = past[len(past) - (self.window - 1) :] if self.window > 1 else []
+            context = [
+                line for stamp, line in recent if record.timestamp - stamp <= self.max_gap
+            ]
+            text = SEPARATOR.join([*context, record.line])
+            samples.append(ComposedSample(text=text, record_index=index, n_context=len(context)))
+            past.append((record.timestamp, record.line))
+            if len(past) > self.window * 4:  # bound memory per user
+                del past[: len(past) - self.window * 2]
+        return samples
+
+    def compose_lines(self, dataset: CommandDataset) -> list[str]:
+        """Just the composed texts, aligned with the dataset."""
+        return [sample.text for sample in self.compose(dataset)]
+
+
+class MultiLineClassificationTuner(ClassificationTuner):
+    """Probing classifier over composed multi-line inputs.
+
+    Identical head and recipe to single-line classification; only the
+    input representation changes.  ``fit_dataset`` / ``score_dataset``
+    accept :class:`CommandDataset` objects and run composition
+    internally.
+    """
+
+    method_name = "classification_multi"
+
+    def __init__(
+        self,
+        encoder: CommandEncoder,
+        composer: MultiLineComposer | None = None,
+        **head_kwargs,
+    ):
+        super().__init__(encoder, **head_kwargs)
+        self.composer = composer or MultiLineComposer()
+
+    def fit_dataset(self, dataset: CommandDataset, labels: np.ndarray) -> "MultiLineClassificationTuner":
+        """Fit on composed windows of *dataset* with per-record labels."""
+        labels = np.asarray(labels, dtype=np.int64)
+        if len(labels) != len(dataset):
+            raise ValueError("labels must align with dataset records")
+        composed = self.composer.compose_lines(dataset)
+        self.fit(composed, labels)
+        return self
+
+    def score_dataset(self, dataset: CommandDataset) -> np.ndarray:
+        """Scores aligned with *dataset* records (composition inside)."""
+        composed = self.composer.compose_lines(dataset)
+        return self.score(composed)

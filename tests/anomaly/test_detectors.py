@@ -1,0 +1,180 @@
+"""Tests for the unsupervised anomaly detectors."""
+
+import numpy as np
+import pytest
+
+from repro.anomaly import (
+    IsolationForest,
+    KNNNoveltyDetector,
+    OneClassSVM,
+    PCAReconstructionDetector,
+    average_path_length,
+    pca_projection_matrix,
+)
+from repro.errors import NotFittedError
+
+
+@pytest.fixture(scope="module")
+def subspace_data():
+    """Inliers on a 3-d subspace of 10-d space plus off-subspace outliers."""
+    rng = np.random.default_rng(0)
+    basis = rng.normal(size=(3, 10))
+    inliers = rng.normal(size=(400, 3)) @ basis + 0.01 * rng.normal(size=(400, 10))
+    outliers = rng.normal(size=(20, 10)) * 3.0
+    return inliers, outliers
+
+
+def auc(scores, labels):
+    order = np.argsort(scores)
+    ranks = np.empty(len(scores))
+    ranks[order] = np.arange(len(scores))
+    n_pos = int(labels.sum())
+    n_neg = len(labels) - n_pos
+    pos_rank_sum = ranks[labels == 1].sum()
+    return (pos_rank_sum - n_pos * (n_pos - 1) / 2) / (n_pos * n_neg)
+
+
+class TestPCA:
+    def test_detects_off_subspace_outliers(self, subspace_data):
+        inliers, outliers = subspace_data
+        detector = PCAReconstructionDetector(variance_kept=0.95).fit(inliers)
+        test = np.vstack([inliers[:100], outliers])
+        labels = np.array([0] * 100 + [1] * 20)
+        assert auc(detector.score(test), labels) > 0.95
+
+    def test_component_count_matches_subspace(self, subspace_data):
+        inliers, _ = subspace_data
+        detector = PCAReconstructionDetector(variance_kept=0.95).fit(inliers)
+        assert detector.n_components_ == 3
+
+    def test_explicit_component_count(self, subspace_data):
+        inliers, _ = subspace_data
+        detector = PCAReconstructionDetector(n_components=2).fit(inliers)
+        assert detector.n_components_ == 2
+
+    def test_reconstruction_near_perfect_on_subspace(self, subspace_data):
+        inliers, _ = subspace_data
+        detector = PCAReconstructionDetector(variance_kept=0.95).fit(inliers)
+        scores = detector.score(inliers)
+        assert np.median(scores) < 0.01
+
+    def test_score_is_squared_l2_of_residual(self, subspace_data):
+        inliers, _ = subspace_data
+        detector = PCAReconstructionDetector(variance_kept=0.95).fit(inliers)
+        sample = inliers[:5]
+        residual = sample - detector.reconstruct(sample)
+        np.testing.assert_allclose(detector.score(sample), (residual**2).sum(axis=1))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            PCAReconstructionDetector().score(np.ones((2, 3)))
+
+    def test_degenerate_constant_data(self):
+        detector = PCAReconstructionDetector().fit(np.ones((10, 4)))
+        assert (detector.score(np.ones((3, 4))) < 1e-18).all()
+
+    def test_validates_shape(self):
+        with pytest.raises(ValueError):
+            PCAReconstructionDetector().fit(np.ones(5))
+
+    def test_invalid_variance(self):
+        with pytest.raises(ValueError):
+            PCAReconstructionDetector(variance_kept=0.0)
+
+    def test_projection_matrix_helper(self, subspace_data):
+        inliers, _ = subspace_data
+        w = pca_projection_matrix(inliers, variance_kept=0.95)
+        assert w.shape == (3, 10)
+        # rows orthonormal
+        np.testing.assert_allclose(w @ w.T, np.eye(3), atol=1e-10)
+
+    def test_fit_score_shortcut(self, subspace_data):
+        inliers, _ = subspace_data
+        scores = PCAReconstructionDetector().fit_score(inliers)
+        assert scores.shape == (inliers.shape[0],)
+
+
+class TestIsolationForest:
+    def test_detects_outliers(self, subspace_data):
+        inliers, outliers = subspace_data
+        forest = IsolationForest(n_trees=50, seed=0).fit(inliers)
+        test = np.vstack([inliers[:100], outliers])
+        labels = np.array([0] * 100 + [1] * 20)
+        assert auc(forest.score(test), labels) > 0.85
+
+    def test_scores_in_unit_interval(self, subspace_data):
+        inliers, _ = subspace_data
+        forest = IsolationForest(n_trees=20, seed=0).fit(inliers)
+        scores = forest.score(inliers[:50])
+        assert (scores > 0).all() and (scores < 1).all()
+
+    def test_deterministic_given_seed(self, subspace_data):
+        inliers, _ = subspace_data
+        a = IsolationForest(n_trees=10, seed=7).fit(inliers).score(inliers[:10])
+        b = IsolationForest(n_trees=10, seed=7).fit(inliers).score(inliers[:10])
+        np.testing.assert_array_equal(a, b)
+
+    def test_average_path_length_known_values(self):
+        assert average_path_length(1) == 0.0
+        assert average_path_length(2) == 1.0
+        assert average_path_length(256) > average_path_length(16)
+
+    def test_small_sample_ok(self):
+        forest = IsolationForest(n_trees=5, subsample_size=8, seed=0).fit(np.random.default_rng(0).normal(size=(8, 2)))
+        assert forest.score(np.zeros((1, 2))).shape == (1,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IsolationForest(n_trees=0)
+        with pytest.raises(ValueError):
+            IsolationForest(subsample_size=1)
+
+
+class TestOneClassSVM:
+    def test_detects_outliers(self, subspace_data):
+        inliers, outliers = subspace_data
+        svm = OneClassSVM(seed=0, epochs=5).fit(inliers)
+        test = np.vstack([inliers[:100], outliers])
+        labels = np.array([0] * 100 + [1] * 20)
+        assert auc(svm.score(test), labels) > 0.85
+
+    def test_linear_mode(self, subspace_data):
+        inliers, outliers = subspace_data
+        svm = OneClassSVM(rff_features=0, seed=0, epochs=5).fit(inliers)
+        assert svm.score(outliers).mean() > svm.score(inliers).mean()
+
+    def test_nu_validation(self):
+        with pytest.raises(ValueError):
+            OneClassSVM(nu=0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            OneClassSVM().score(np.ones((2, 3)))
+
+
+class TestKNNNovelty:
+    def test_detects_outliers(self, subspace_data):
+        inliers, outliers = subspace_data
+        knn = KNNNoveltyDetector(k=5).fit(inliers)
+        test = np.vstack([inliers[:100], outliers])
+        labels = np.array([0] * 100 + [1] * 20)
+        assert auc(knn.score(test), labels) > 0.95
+
+    def test_training_points_score_near_zero(self, subspace_data):
+        inliers, _ = subspace_data
+        knn = KNNNoveltyDetector(k=1).fit(inliers)
+        assert knn.score(inliers[:20]).max() < 1e-6
+
+    def test_chunked_equals_unchunked(self, subspace_data):
+        inliers, outliers = subspace_data
+        small = KNNNoveltyDetector(k=3, chunk_size=7).fit(inliers)
+        big = KNNNoveltyDetector(k=3, chunk_size=10_000).fit(inliers)
+        np.testing.assert_allclose(small.score(outliers), big.score(outliers))
+
+    def test_k_capped_at_train_size(self):
+        knn = KNNNoveltyDetector(k=100).fit(np.zeros((3, 2)))
+        assert knn.score(np.ones((1, 2))).shape == (1,)
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            KNNNoveltyDetector(k=0)

@@ -1,0 +1,50 @@
+"""Tests for the Local Outlier Factor detector."""
+
+import numpy as np
+import pytest
+
+from repro.anomaly import LocalOutlierFactor
+from repro.errors import NotFittedError
+
+
+@pytest.fixture(scope="module")
+def clustered():
+    rng = np.random.default_rng(3)
+    dense = rng.normal(size=(300, 4)) * 0.5
+    sparse_outliers = rng.normal(size=(12, 4)) * 8 + 20
+    return dense, sparse_outliers
+
+
+class TestLOF:
+    def test_outliers_score_higher(self, clustered):
+        dense, outliers = clustered
+        lof = LocalOutlierFactor(k=10).fit(dense)
+        assert lof.score(outliers).min() > lof.score(dense[:50]).mean()
+
+    def test_inliers_near_one(self, clustered):
+        dense, _ = clustered
+        lof = LocalOutlierFactor(k=10).fit(dense)
+        scores = lof.score(dense[:100])
+        assert 0.8 < np.median(scores) < 1.5
+
+    def test_chunked_equals_unchunked(self, clustered):
+        dense, outliers = clustered
+        small = LocalOutlierFactor(k=5, chunk_size=3).fit(dense)
+        big = LocalOutlierFactor(k=5, chunk_size=10_000).fit(dense)
+        np.testing.assert_allclose(small.score(outliers), big.score(outliers))
+
+    def test_tiny_training_set(self):
+        lof = LocalOutlierFactor(k=50).fit(np.random.default_rng(0).normal(size=(5, 2)))
+        assert lof.score(np.zeros((2, 2))).shape == (2,)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            LocalOutlierFactor().score(np.ones((2, 2)))
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            LocalOutlierFactor(k=0)
+
+    def test_validates_input_shape(self):
+        with pytest.raises(ValueError):
+            LocalOutlierFactor().fit(np.ones(5))

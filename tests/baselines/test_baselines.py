@@ -1,0 +1,146 @@
+"""Tests for the Section-VI related-work baselines."""
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.baselines import DiscreteHMM, HMMProfileDetector, LaneBrodleyProfiler, Seq2SeqBaseline
+from repro.errors import NotFittedError
+from repro.loggen import CommandDataset, LogRecord
+
+
+def make_dataset(rows, start=None):
+    start = start or datetime(2022, 5, 1)
+    return CommandDataset(
+        [
+            LogRecord(line, user, "m1", start + timedelta(minutes=i), session=f"s{user}",
+                      is_malicious=mal)
+            for i, (user, line, mal) in enumerate(rows)
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def history():
+    rows = []
+    for _ in range(30):
+        rows.extend(
+            [
+                ("alice", "git status", False),
+                ("alice", "git diff", False),
+                ("alice", "make test", False),
+                ("bob", "docker ps", False),
+                ("bob", "docker logs web-1 --tail 100", False),
+                ("bob", "kubectl get pods", False),
+            ]
+        )
+    return make_dataset(rows)
+
+
+class TestLaneBrodley:
+    def test_familiar_commands_score_low(self, history):
+        profiler = LaneBrodleyProfiler(min_history=5).fit(history)
+        familiar = profiler.score_record("alice", "git status")
+        foreign = profiler.score_record("alice", "nc -lvnp 4444")
+        assert familiar < foreign
+
+    def test_cross_user_profiles_differ(self, history):
+        profiler = LaneBrodleyProfiler(min_history=5).fit(history)
+        # docker is bob's habit, not alice's
+        assert profiler.score_record("alice", "docker ps") > profiler.score_record("bob", "docker ps")
+
+    def test_unknown_user_falls_back_to_global(self, history):
+        profiler = LaneBrodleyProfiler(min_history=5).fit(history)
+        score = profiler.score_record("mallory", "git status")
+        assert 0.0 <= score <= 1.0
+
+    def test_score_alignment(self, history):
+        profiler = LaneBrodleyProfiler().fit(history)
+        scores = profiler.score(history)
+        assert scores.shape == (len(history),)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            LaneBrodleyProfiler().score_record("alice", "ls")
+
+    def test_known_users(self, history):
+        assert LaneBrodleyProfiler().fit(history).known_users() == {"alice", "bob"}
+
+    def test_smoothing_validation(self):
+        with pytest.raises(ValueError):
+            LaneBrodleyProfiler(smoothing=0.0)
+
+
+class TestDiscreteHMM:
+    def test_learns_deterministic_cycle(self):
+        # alternating 0/1 symbols: a 2-state HMM should model this well
+        sequences = [[0, 1] * 10 for _ in range(5)]
+        hmm = DiscreteHMM(n_states=2, n_symbols=2, seed=0).fit(sequences, iterations=30)
+        cyclic = hmm.per_symbol_log_likelihood([0, 1] * 10)
+        broken = hmm.per_symbol_log_likelihood([0, 0] * 10)
+        assert cyclic > broken
+
+    def test_log_likelihood_finite(self):
+        hmm = DiscreteHMM(n_states=3, n_symbols=5, seed=0)
+        assert np.isfinite(hmm.log_likelihood([0, 1, 2, 3, 4]))
+
+    def test_empty_sequence_zero(self):
+        hmm = DiscreteHMM(n_states=2, n_symbols=2)
+        assert hmm.log_likelihood([]) == 0.0
+
+    def test_rows_remain_stochastic_after_fit(self):
+        hmm = DiscreteHMM(n_states=3, n_symbols=4, seed=1).fit([[0, 1, 2, 3] * 5], iterations=5)
+        np.testing.assert_allclose(hmm.transition.sum(axis=1), 1.0)
+        np.testing.assert_allclose(hmm.emission.sum(axis=1), 1.0)
+        np.testing.assert_allclose(hmm.start.sum(), 1.0)
+
+    def test_fit_requires_data(self):
+        with pytest.raises(ValueError):
+            DiscreteHMM(2, 2).fit([])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiscreteHMM(0, 2)
+
+
+class TestHMMProfileDetector:
+    def test_routine_less_surprising_than_novel(self, history):
+        detector = HMMProfileDetector(min_history=10, em_iterations=5).fit(history)
+        routine = detector.score_record("alice", "git status")
+        novel = detector.score_record("alice", "nc -lvnp 4444")
+        assert routine < novel
+
+    def test_profiled_users(self, history):
+        detector = HMMProfileDetector(min_history=10, em_iterations=3).fit(history)
+        assert detector.profiled_users() == {"alice", "bob"}
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            HMMProfileDetector().score_record("x", "ls")
+
+    def test_score_alignment(self, history):
+        detector = HMMProfileDetector(min_history=10, em_iterations=3).fit(history)
+        assert detector.score(history).shape == (len(history),)
+
+
+class TestSeq2Seq:
+    def test_predictable_sequences_score_low(self, history):
+        baseline = Seq2SeqBaseline(epochs=5, seed=0).fit(history)
+        scores = baseline.score(history)
+        # an unseen command name in an unseen position is more surprising
+        novel = make_dataset([("alice", "masscan 1.2.3.4 -p 0-65535", True)])
+        novel_scores = baseline.score(novel)
+        assert novel_scores[0] > np.median(scores)
+
+    def test_vocab_capped(self, history):
+        baseline = Seq2SeqBaseline(max_vocab=5, epochs=1, seed=0).fit(history)
+        assert baseline.vocab_size <= 5
+
+    def test_unfitted_raises(self, history):
+        with pytest.raises(NotFittedError):
+            Seq2SeqBaseline().score(history)
+
+    def test_score_alignment(self, history):
+        baseline = Seq2SeqBaseline(epochs=1, seed=0).fit(history)
+        assert baseline.score(history).shape == (len(history),)

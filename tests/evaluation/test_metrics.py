@@ -1,0 +1,182 @@
+"""Tests for the PO/PO&I/PO@v metrics and the Section V-B algebra."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    Aggregate,
+    aggregate,
+    aggregate_metric_dicts,
+    commercial_ids_recall,
+    compare_with_commercial_ids,
+    evaluate_method,
+    f1_from,
+    format_table,
+    po_precision,
+    poi_precision,
+    precision_at_top_outbox,
+    precision_recall_f1,
+    repeat_runs,
+)
+
+
+@pytest.fixture
+def toy():
+    """10 samples: 2 in-box intrusions, 3 out-of-box intrusions, 5 benign."""
+    scores = np.array([0.99, 0.95, 0.90, 0.85, 0.80, 0.40, 0.30, 0.20, 0.10, 0.05])
+    truth = np.array([1, 1, 1, 1, 0, 1, 0, 0, 0, 0])
+    inbox = np.array([True, True, False, False, False, False, False, False, False, False])
+    return scores, truth, inbox
+
+
+class TestPOAtV:
+    def test_excludes_inbox_from_ranking(self, toy):
+        scores, truth, inbox = toy
+        # top-2 out-of-box candidates are idx 2 (mal) and 3 (mal)
+        assert precision_at_top_outbox(scores, truth, inbox, 2) == 1.0
+
+    def test_counts_benign_in_prefix(self, toy):
+        scores, truth, inbox = toy
+        # top-3 outbox candidates: idx 2, 3 (mal), 4 (benign)
+        assert precision_at_top_outbox(scores, truth, inbox, 3) == pytest.approx(2 / 3)
+
+    def test_v_larger_than_candidates(self, toy):
+        scores, truth, inbox = toy
+        value = precision_at_top_outbox(scores, truth, inbox, 100)
+        assert value == pytest.approx(3 / 8)
+
+    def test_v_validation(self, toy):
+        scores, truth, inbox = toy
+        with pytest.raises(ValueError):
+            precision_at_top_outbox(scores, truth, inbox, 0)
+
+    def test_all_inbox_returns_zero(self):
+        assert precision_at_top_outbox(np.ones(2), np.ones(2), np.ones(2, dtype=bool), 1) == 0.0
+
+
+class TestPOAndPOI:
+    def test_po_excludes_inbox(self, toy):
+        scores, truth, inbox = toy
+        # threshold 0.85: predicted = idx 0..3; out-of-box predicted = 2,3 both malicious
+        assert po_precision(scores, truth, inbox, 0.85) == 1.0
+
+    def test_poi_includes_all_predictions(self, toy):
+        scores, truth, inbox = toy
+        # threshold 0.80: predicted idx 0..4, four of five malicious
+        assert poi_precision(scores, truth, 0.80) == pytest.approx(4 / 5)
+
+    def test_empty_predictions_return_zero(self, toy):
+        scores, truth, inbox = toy
+        assert po_precision(scores, truth, inbox, 2.0) == 0.0
+        assert poi_precision(scores, truth, 2.0) == 0.0
+
+
+class TestEvaluateMethod:
+    def test_full_protocol(self, toy):
+        scores, truth, inbox = toy
+        ev = evaluate_method("toy", scores, truth, inbox, recall_target=1.0, top_vs=(2, 3))
+        # threshold = min in-box intrusion score = 0.95
+        assert ev.threshold == pytest.approx(0.95)
+        assert ev.inbox_recall == 1.0
+        assert ev.n_predicted_positive == 2
+        assert ev.poi == 1.0
+        assert ev.po_at[2] == 1.0
+
+    def test_row_formatting(self, toy):
+        scores, truth, inbox = toy
+        ev = evaluate_method("toy", scores, truth, inbox, top_vs=(2,))
+        row = ev.row((2,))
+        assert row[0] == "toy"
+        assert len(row) == 4
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            evaluate_method("x", np.ones(3), np.ones(2), np.zeros(3, dtype=bool))
+
+
+class TestF1Algebra:
+    def test_paper_numbers_reproduced(self):
+        """Check our implementation of the Sec. V-B algebra emits ~97.4%
+        recall / 98.7% F1 for an (S, T) consistent with the paper.
+
+        Solving uS/(xT + u(1-x)S) = 0.974 with x = 0.832 and u = 1 gives
+        S ≈ 0.969 T, i.e. the predicted-positive set is dominated by
+        in-box intrusions at production scale.
+        """
+        comparison = compare_with_commercial_ids(
+            poi=0.994, po=0.832, n_predicted_positive=4000, s_commercial_detections=3876, u=1.0
+        )
+        assert comparison.ours_f1 == pytest.approx(0.997, abs=0.0005)
+        assert comparison.ids_recall == pytest.approx(0.974, abs=0.01)
+        assert comparison.ids_f1 == pytest.approx(0.987, abs=0.005)
+        assert comparison.model_wins
+
+    def test_f1_from_edge_cases(self):
+        assert f1_from(0.0, 0.0) == 0.0
+        assert f1_from(1.0, 1.0) == 1.0
+
+    def test_recall_capped_at_one(self):
+        assert commercial_ids_recall(s=100, t=1, x=0.0, u=1.0) == 1.0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            commercial_ids_recall(s=-1, t=5, x=0.5)
+
+    def test_zero_denominator(self):
+        assert commercial_ids_recall(s=0, t=0, x=0.0) == 0.0
+
+
+class TestPrecisionRecallF1:
+    def test_known_values(self):
+        predictions = np.array([1, 1, 0, 0])
+        truth = np.array([1, 0, 1, 0])
+        precision, recall, f1 = precision_recall_f1(predictions, truth)
+        assert precision == 0.5
+        assert recall == 0.5
+        assert f1 == 0.5
+
+    def test_degenerate_all_negative(self):
+        precision, recall, f1 = precision_recall_f1(np.zeros(4), np.zeros(4))
+        assert (precision, recall, f1) == (0.0, 0.0, 0.0)
+
+
+class TestAggregation:
+    def test_aggregate_mean_std(self):
+        agg = aggregate([1.0, 2.0, 3.0])
+        assert agg.mean == 2.0
+        assert agg.std == pytest.approx(np.std([1, 2, 3]))
+        assert "±" in str(agg)
+
+    def test_aggregate_empty_raises(self):
+        with pytest.raises(ValueError):
+            aggregate([])
+
+    def test_aggregate_metric_dicts(self):
+        runs = [{"po": 0.8, "poi": 0.9}, {"po": 0.6, "poi": 1.0}]
+        result = aggregate_metric_dicts(runs)
+        assert result["po"].mean == pytest.approx(0.7)
+
+    def test_mismatched_keys_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_metric_dicts([{"a": 1.0}, {"b": 2.0}])
+
+    def test_repeat_runs(self):
+        result = repeat_runs(lambda seed: {"value": float(seed)}, n_runs=3, base_seed=10)
+        assert result["value"].mean == 11.0
+        assert result["value"].n_runs == 3
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a ")
+        assert "-+-" in lines[1]
+
+    def test_title(self):
+        text = format_table(["x"], [["1"]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_row_width_validation(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])

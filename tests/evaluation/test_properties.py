@@ -1,0 +1,80 @@
+"""Property-based tests for metric invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.evaluation import (
+    po_precision,
+    poi_precision,
+    precision_at_top_outbox,
+    precision_recall_f1,
+)
+from repro.ids.threshold import achieved_inbox_recall, calibrate_threshold
+from repro.tuning.ensemble import rank_normalize
+
+N = 40
+scores_strategy = arrays(np.float64, (N,), elements=st.floats(0, 1, allow_nan=False))
+labels_strategy = arrays(np.int64, (N,), elements=st.integers(0, 1))
+
+
+@given(scores_strategy, labels_strategy, labels_strategy)
+@settings(max_examples=100, deadline=None)
+def test_metrics_bounded(scores, truth, inbox):
+    inbox = inbox.astype(bool)
+    for v in (1, 5, N):
+        assert 0.0 <= precision_at_top_outbox(scores, truth, inbox, v) <= 1.0
+    for threshold in (0.0, 0.5, 1.1):
+        assert 0.0 <= po_precision(scores, truth, inbox, threshold) <= 1.0
+        assert 0.0 <= poi_precision(scores, truth, threshold) <= 1.0
+
+
+@given(scores_strategy, labels_strategy)
+@settings(max_examples=100, deadline=None)
+def test_calibrated_threshold_achieves_target(scores, inbox):
+    inbox = inbox.astype(bool)
+    if not inbox.any():
+        return
+    for target in (1.0, 0.9, 0.5):
+        threshold = calibrate_threshold(scores, inbox, recall_target=target)
+        assert achieved_inbox_recall(scores, inbox, threshold) >= target - 1e-12
+
+
+@given(scores_strategy, labels_strategy)
+@settings(max_examples=100, deadline=None)
+def test_poi_at_minus_inf_threshold_is_base_rate(scores, truth):
+    value = poi_precision(scores, truth, -np.inf)
+    assert value == truth.mean()
+
+
+@given(labels_strategy, labels_strategy)
+@settings(max_examples=100, deadline=None)
+def test_precision_recall_f1_bounds(predictions, truth):
+    precision, recall, f1 = precision_recall_f1(predictions, truth)
+    assert 0.0 <= precision <= 1.0
+    assert 0.0 <= recall <= 1.0
+    assert min(precision, recall) <= f1 <= max(precision, recall) or f1 == 0.0
+
+
+@given(arrays(np.float64, (25,), elements=st.floats(-100, 100, allow_nan=False)))
+@settings(max_examples=100, deadline=None)
+def test_rank_normalize_order_preserving(scores):
+    normalized = rank_normalize(scores)
+    assert normalized.shape == scores.shape
+    assert (normalized > 0).all() and (normalized <= 1.0 + 1e-12).all()
+    # order preservation: strictly larger scores get >= normalized rank
+    order = np.argsort(scores)
+    ranked = normalized[order]
+    assert all(a <= b + 1e-12 for a, b in zip(ranked, ranked[1:]))
+
+
+@given(arrays(np.int64, (25,), elements=st.integers(-1000, 1000)))
+@settings(max_examples=100, deadline=None)
+def test_rank_normalize_invariant_to_monotone_transform(int_scores):
+    # integer-valued floats stay exactly representable under *3+7, so the
+    # tie structure is preserved (arbitrary floats can collapse ties)
+    scores = int_scores.astype(np.float64)
+    a = rank_normalize(scores)
+    b = rank_normalize(scores * 3.0 + 7.0)
+    np.testing.assert_allclose(a, b, atol=1e-12)

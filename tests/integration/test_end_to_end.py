@@ -1,0 +1,151 @@
+"""End-to-end integration tests: the full Figure-1 pipeline at tiny scale."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import evaluate_method
+from repro.experiments.common import WorldConfig, build_world, preprocess_dataset
+from repro.experiments.methods import (
+    build_multiline_eval,
+    run_classification,
+    run_retrieval,
+    training_subset,
+)
+from repro.tuning.multiline import MultiLineComposer
+
+TINY = WorldConfig(
+    train_lines=1_500,
+    test_lines=900,
+    vocab_size=500,
+    pretrain_epochs=1,
+    tuning_subsample=1_000,
+    top_vs=(5, 25),
+    seed=7,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(TINY, use_cache=False)
+
+
+class TestWorldConstruction:
+    def test_pipeline_filters_noise(self, world):
+        assert world.preprocess_stats.parse_failures > 0
+        assert len(world.train) <= len(world.train_raw)
+
+    def test_dedup_shrinks_test(self, world):
+        assert len(world.test_dedup) < len(world.test)
+
+    def test_truth_and_inbox_aligned(self, world):
+        assert world.truth.shape[0] == len(world.test_dedup)
+        assert world.inbox_mask.shape[0] == len(world.test_dedup)
+
+    def test_inbox_is_subset_of_malicious(self, world):
+        """The simulated IDS has ~100% precision: everything it flags in
+        the dedup test set is truly malicious."""
+        flagged_truths = world.truth[world.inbox_mask]
+        assert flagged_truths.mean() > 0.95
+
+    def test_outbox_intrusions_exist(self, world):
+        assert world.outbox_truth_count() > 0
+
+    def test_pretraining_learned_something(self, world):
+        report = world.pretrain_report
+        assert report.smoothed_loss() < report.losses[0]
+
+    def test_labeled_train_has_positives(self, world):
+        assert world.labeled_train.n_positive > 0
+
+    def test_world_cache_returns_same_object(self):
+        first = build_world(TINY)
+        second = build_world(TINY)
+        assert first is second
+
+    def test_preprocess_dataset_keeps_metadata(self, world):
+        processed = preprocess_dataset(world.pipeline, world.test_raw)
+        assert all(record.user.startswith("u") for record in processed)
+
+
+class TestMethodsEndToEnd:
+    def test_classification_pipeline(self, world):
+        scores = run_classification(world, seed=0)
+        assert scores.shape == (len(world.test_dedup),)
+        evaluation = evaluate_method(
+            "clf", scores, world.truth, world.inbox_mask,
+            recall_target=0.9, top_vs=(5, 25),
+        )
+        assert 0.0 <= evaluation.po <= 1.0
+        assert evaluation.inbox_recall >= 0.9
+        # even at tiny scale the top-5 out-of-box should be mostly real
+        assert evaluation.po_at[5] >= 0.4
+
+    def test_retrieval_pipeline(self, world):
+        scores = run_retrieval(world)
+        assert scores.shape == (len(world.test_dedup),)
+        assert (scores >= -1.0).all() and (scores <= 1.0 + 1e-9).all()
+
+    def test_training_subset_stratified(self, world):
+        subset = training_subset(world, seed=0)
+        assert subset.n_positive == world.labeled_train.n_positive
+
+    def test_multiline_eval_set(self, world):
+        evaluation = build_multiline_eval(world, MultiLineComposer(window=3))
+        assert len(evaluation.texts) == len(set(evaluation.texts))
+        assert evaluation.truth.shape[0] == len(evaluation.texts)
+        assert any(" ; " in text for text in evaluation.texts)
+
+
+class TestExperimentDrivers:
+    def test_figure2_driver(self, world):
+        from repro.experiments.figure2 import run_figure2
+
+        result = run_figure2(world)
+        assert result.stats.total > 0
+        assert "command" in result.render()
+
+    def test_table3_driver(self, world):
+        from repro.experiments.table3 import run_table3
+
+        result = run_table3(world, seed=0)
+        assert len(result.pairs) == 8
+        # the structural half of Table III is deterministic: the IDS
+        # flags every in-box and no out-of-box example
+        assert all(pair.ids_flags_inbox for pair in result.pairs)
+        assert not any(pair.ids_flags_outbox for pair in result.pairs)
+
+    def test_f1_driver(self, world):
+        from repro.experiments.f1_comparison import run_f1_comparison
+
+        result = run_f1_comparison(world, seed=0)
+        assert 0.0 <= result.comparison.ours_f1 <= 1.0
+        assert result.comparison.ids_precision == 1.0
+
+    def test_figure1_driver(self, world):
+        from repro.experiments.figure1 import run_figure1
+
+        result = run_figure1(world, seed=0)
+        assert len(result.verdicts) > 0
+        assert "fine-tuning" in result.stage_seconds
+
+    def test_unsupervised_driver(self, world):
+        from repro.experiments.unsupervised import run_unsupervised
+
+        result = run_unsupervised(world)
+        assert len(result.top10) == 10
+        assert result.masscan_best_rank is not None
+
+
+class TestPublicAPI:
+    def test_star_imports_work(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_cli_parser(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["table1", "--runs", "2"])
+        assert args.experiment == "table1"
+        assert args.runs == 2

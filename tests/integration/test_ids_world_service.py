@@ -1,0 +1,71 @@
+"""Integration: train a service from a world and ship it (Figure-1 loop)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import WorldConfig, build_world
+from repro.experiments.methods import training_subset
+from repro.ids import IntrusionDetectionService, calibrate_threshold
+from repro.tuning import ClassificationTuner
+
+TINY = WorldConfig(
+    train_lines=1_500,
+    test_lines=900,
+    vocab_size=500,
+    pretrain_epochs=1,
+    tuning_subsample=1_000,
+    top_vs=(5, 25),
+    seed=7,
+)
+
+
+@pytest.fixture(scope="module")
+def shipped(tmp_path_factory):
+    world = build_world(TINY)
+    subset = training_subset(world, seed=0)
+    tuner = ClassificationTuner(world.encoder, lr=1e-2, epochs=5, pooling="mean", seed=0)
+    tuner.fit(subset.lines, subset.labels)
+    scores = tuner.score(world.test_lines_dedup)
+    threshold = calibrate_threshold(
+        scores, world.inbox_mask & world.truth.astype(bool), recall_target=0.9
+    )
+    service = IntrusionDetectionService.from_tuner(tuner, threshold)
+    bundle = tmp_path_factory.mktemp("bundle") / "ids"
+    service.save(bundle)
+    return world, service, bundle
+
+
+class TestShippedService:
+    def test_bundle_restores_identically(self, shipped):
+        world, service, bundle = shipped
+        restored = IntrusionDetectionService.load(bundle)
+        probes = world.test_lines_dedup[:25]
+        original = [v.score for v in service.inspect(probes)]
+        loaded = [v.score for v in restored.inspect(probes)]
+        np.testing.assert_allclose(original, loaded, atol=1e-10)
+
+    def test_service_catches_inbox_intrusions(self, shipped):
+        world, service, _ = shipped
+        inbox_lines = [
+            line for line, is_inbox, mal in zip(
+                world.test_lines_dedup, world.inbox_mask, world.truth.astype(bool)
+            ) if is_inbox and mal
+        ]
+        verdicts = service.inspect(inbox_lines)
+        recall = np.mean([v.is_intrusion for v in verdicts])
+        assert recall >= 0.8
+
+    def test_service_passes_most_benign(self, shipped):
+        world, service, _ = shipped
+        benign = [
+            line for line, mal in zip(world.test_lines_dedup, world.truth.astype(bool))
+            if not mal
+        ][:200]
+        verdicts = service.inspect(benign)
+        false_positive_rate = np.mean([v.is_intrusion for v in verdicts])
+        assert false_positive_rate < 0.3
+
+    def test_garbage_dropped_not_flagged(self, shipped):
+        _, service, _ = shipped
+        verdict = service.inspect_one("/a/b -> /c/d ->")
+        assert verdict.dropped and not verdict.is_intrusion

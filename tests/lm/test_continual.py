@@ -1,0 +1,84 @@
+"""Tests for the weekly continual-learning loop."""
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.ids import CommercialIDS
+from repro.lm import CommandEncoder, CommandLineLM, LMConfig, MLMCollator, Pretrainer
+from repro.lm.continual import ContinualLearner
+from repro.loggen import CommandDataset, FleetConfig, FleetSimulator
+from repro.tokenizer import BPETokenizer
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    sim = FleetSimulator(FleetConfig(seed=21, attack_session_rate=0.08, outbox_fraction=0.0))
+    week1 = sim.generate(datetime(2022, 5, 1), 2, 1200)
+    week2 = sim.generate(datetime(2022, 5, 8), 2, 800)
+    tokenizer = BPETokenizer(vocab_size=500).train(week1.lines())
+    config = LMConfig.tiny(vocab_size=len(tokenizer.vocab))
+    model = CommandLineLM(config)
+    collator = MLMCollator(tokenizer, max_length=config.max_position, seed=0)
+    Pretrainer(model, collator, lr=3e-3, batch_size=32, seed=0).train(week1.lines(), epochs=1)
+    encoder = CommandEncoder(model, tokenizer, pooling="mean")
+    return encoder, week1, week2
+
+
+class TestContinualLearner:
+    def test_update_produces_report_and_head(self, deployment):
+        encoder, week1, week2 = deployment
+        learner = ContinualLearner(encoder, CommercialIDS(seed=0), update_epochs=1, seed=0)
+        report = learner.update(week2)
+        assert report.week == 1
+        assert report.n_lines == len(week2)
+        assert report.n_positive_labels > 0
+        assert learner.tuner is not None
+        assert learner.week == 1
+
+    def test_scores_after_update(self, deployment):
+        encoder, _, week2 = deployment
+        learner = ContinualLearner(encoder, CommercialIDS(seed=0), update_epochs=1, seed=0)
+        learner.update(week2)
+        scores = learner.score(["nc -lvnp 4444", "ls -la"])
+        assert scores.shape == (2,)
+        assert scores[0] > scores[1]
+
+    def test_supervision_accumulates_across_weeks(self, deployment):
+        encoder, week1, week2 = deployment
+        learner = ContinualLearner(encoder, CommercialIDS(seed=0), update_epochs=1, seed=0)
+        learner.update(week1.subset(range(400)))
+        first_total = len(learner._cumulative_labeled_lines)
+        learner.update(week2.subset(range(400)))
+        assert len(learner._cumulative_labeled_lines) > first_total
+        assert learner.week == 2
+
+    def test_empty_week_rejected(self, deployment):
+        encoder, _, _ = deployment
+        learner = ContinualLearner(encoder, CommercialIDS(seed=0))
+        with pytest.raises(ValueError):
+            learner.update(CommandDataset([]))
+
+    def test_score_before_update_rejected(self, deployment):
+        encoder, _, _ = deployment
+        learner = ContinualLearner(encoder, CommercialIDS(seed=0))
+        with pytest.raises(ValueError):
+            learner.score(["ls"])
+
+    def test_retune_without_positives_rejected(self, deployment):
+        encoder, _, _ = deployment
+        learner = ContinualLearner(encoder, CommercialIDS(seed=0))
+        learner._cumulative_labeled_lines = ["ls", "pwd"]
+        learner._cumulative_labels = [0, 0]
+        with pytest.raises(ValueError):
+            learner.retune()
+
+    def test_update_moves_the_language_model(self, deployment):
+        encoder, _, week2 = deployment
+        before = {k: v.copy() for k, v in encoder.model.state_dict().items()}
+        learner = ContinualLearner(encoder, CommercialIDS(seed=0), update_epochs=1, seed=0)
+        learner.update(week2, retune=False)
+        after = encoder.model.state_dict()
+        changed = any(not np.allclose(before[k], after[k]) for k in before)
+        assert changed

@@ -1,0 +1,70 @@
+"""Property-based tests for MLM masking invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lm import IGNORE_INDEX, MLMCollator
+from repro.tokenizer import BPETokenizer
+
+CORPUS = [
+    "ls -la /tmp",
+    "docker ps -a",
+    "grep error /var/log/app.log",
+    "python main.py --verbose",
+    "cat /etc/passwd",
+    "curl http://host:8080/healthz",
+] * 5
+
+TOKENIZER = BPETokenizer(vocab_size=400).train(CORPUS)
+
+lines_strategy = st.lists(st.sampled_from(CORPUS), min_size=1, max_size=12)
+prob_strategy = st.floats(min_value=0.05, max_value=0.9)
+seed_strategy = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@given(lines_strategy, prob_strategy, seed_strategy)
+@settings(max_examples=60, deadline=None)
+def test_labels_match_originals_exactly_at_selected_positions(lines, prob, seed):
+    collator = MLMCollator(TOKENIZER, mask_prob=prob, seed=seed)
+    original, mask = collator.pad(collator.encode_lines(lines))
+    batch = collator.mask_batch(original, mask)
+    selected = batch.labels != IGNORE_INDEX
+    np.testing.assert_array_equal(batch.labels[selected], original[selected])
+
+
+@given(lines_strategy, prob_strategy, seed_strategy)
+@settings(max_examples=60, deadline=None)
+def test_unselected_positions_unchanged(lines, prob, seed):
+    collator = MLMCollator(TOKENIZER, mask_prob=prob, seed=seed)
+    original, mask = collator.pad(collator.encode_lines(lines))
+    batch = collator.mask_batch(original, mask)
+    unselected = batch.labels == IGNORE_INDEX
+    np.testing.assert_array_equal(batch.input_ids[unselected], original[unselected])
+
+
+@given(lines_strategy, seed_strategy)
+@settings(max_examples=60, deadline=None)
+def test_padding_never_selected(lines, seed):
+    collator = MLMCollator(TOKENIZER, mask_prob=0.9, seed=seed)
+    batch = collator.collate(lines)
+    assert (batch.labels[~batch.attention_mask] == IGNORE_INDEX).all()
+
+
+@given(lines_strategy, seed_strategy)
+@settings(max_examples=60, deadline=None)
+def test_input_ids_stay_in_vocab(lines, seed):
+    collator = MLMCollator(TOKENIZER, mask_prob=0.5, seed=seed)
+    batch = collator.collate(lines)
+    assert batch.input_ids.min() >= 0
+    assert batch.input_ids.max() < len(TOKENIZER.vocab)
+
+
+@given(lines_strategy, seed_strategy)
+@settings(max_examples=40, deadline=None)
+def test_attention_mask_matches_lengths(lines, seed):
+    collator = MLMCollator(TOKENIZER, mask_prob=0.15, seed=seed)
+    encodings = collator.encode_lines(lines)
+    batch = collator.collate(lines)
+    for row, ids in enumerate(encodings):
+        assert batch.attention_mask[row].sum() == len(ids)

@@ -1,0 +1,188 @@
+"""Tests for the command-line LM: config, model, masking, pooling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.lm import (
+    IGNORE_INDEX,
+    CommandLineLM,
+    LMConfig,
+    MLMCollator,
+    cls_pool,
+    load_pretrained,
+    mean_pool,
+    pool,
+    save_pretrained,
+)
+from repro.nn import Tensor
+from repro.tokenizer import BPETokenizer
+
+CORPUS = ["ls -la /tmp", "docker ps -a", "grep error app.log", "python main.py"] * 10
+
+
+@pytest.fixture(scope="module")
+def tokenizer():
+    return BPETokenizer(vocab_size=300).train(CORPUS)
+
+
+@pytest.fixture(scope="module")
+def model(tokenizer):
+    return CommandLineLM(LMConfig.tiny(vocab_size=len(tokenizer.vocab)))
+
+
+class TestConfig:
+    def test_presets(self):
+        assert LMConfig.tiny(100).hidden_size == 32
+        assert LMConfig.small(100).n_layers == 3
+
+    def test_bert_base_matches_paper(self):
+        config = LMConfig.bert_base()
+        assert config.n_layers == 12
+        assert config.n_heads == 12
+        assert config.hidden_size == 768
+        assert config.max_position == 1024
+        assert config.vocab_size == 50_000
+
+    def test_head_divisibility_enforced(self):
+        with pytest.raises(ConfigError):
+            LMConfig(vocab_size=100, hidden_size=30, n_heads=4)
+
+    def test_mask_prob_validated(self):
+        with pytest.raises(ConfigError):
+            LMConfig(vocab_size=100, mask_prob=0.0)
+
+    def test_json_roundtrip(self, tmp_path):
+        config = LMConfig.tiny(200)
+        config.to_json(tmp_path / "c.json")
+        assert LMConfig.from_json(tmp_path / "c.json") == config
+
+    def test_overrides(self):
+        assert LMConfig.tiny(100, n_layers=5).n_layers == 5
+
+
+class TestModel:
+    def test_forward_shape(self, model):
+        hidden = model(np.zeros((2, 8), dtype=int))
+        assert hidden.shape == (2, 8, model.config.hidden_size)
+
+    def test_mlm_logits_shape(self, model):
+        logits = model.mlm_logits(np.zeros((2, 8), dtype=int))
+        assert logits.shape == (2, 8, model.config.vocab_size)
+
+    def test_rejects_1d_input(self, model):
+        with pytest.raises(ValueError):
+            model(np.zeros(8, dtype=int))
+
+    def test_rejects_overlong_sequence(self, model):
+        with pytest.raises(ValueError):
+            model(np.zeros((1, model.config.max_position + 1), dtype=int))
+
+    def test_deterministic_in_eval(self, model):
+        model.eval()
+        ids = np.ones((1, 6), dtype=int)
+        a = model(ids).data
+        b = model(ids).data
+        np.testing.assert_array_equal(a, b)
+
+    def test_padding_does_not_change_valid_positions(self, model):
+        model.eval()
+        ids = np.array([[1, 2, 3]])
+        hidden_short = model(ids, np.array([[True, True, True]]))
+        padded = np.array([[1, 2, 3, 0, 0]])
+        mask = np.array([[True, True, True, False, False]])
+        hidden_padded = model(padded, mask)
+        np.testing.assert_allclose(hidden_short.data, hidden_padded.data[:, :3], atol=1e-8)
+
+
+class TestMasking:
+    def test_labels_only_on_selected(self, tokenizer):
+        collator = MLMCollator(tokenizer, mask_prob=0.5, seed=0)
+        batch = collator.collate(CORPUS[:8])
+        changed = batch.labels != IGNORE_INDEX
+        assert changed.any()
+        # labels store the ORIGINAL ids at selected positions
+        ids, _ = collator.pad(collator.encode_lines(CORPUS[:8]))
+        np.testing.assert_array_equal(batch.labels[changed], ids[changed])
+
+    def test_specials_never_masked(self, tokenizer):
+        collator = MLMCollator(tokenizer, mask_prob=0.9, seed=0)
+        batch = collator.collate(CORPUS[:8])
+        cls_id = tokenizer.vocab.cls_id
+        sep_id = tokenizer.vocab.sep_id
+        original_ids, _ = collator.pad(collator.encode_lines(CORPUS[:8]))
+        special_positions = np.isin(original_ids, [cls_id, sep_id, tokenizer.vocab.pad_id])
+        assert (batch.labels[special_positions] == IGNORE_INDEX).all()
+
+    def test_masking_rate_near_q(self, tokenizer):
+        collator = MLMCollator(tokenizer, mask_prob=0.15, seed=1)
+        batch = collator.collate(CORPUS * 8)
+        eligible = batch.attention_mask.sum() - 2 * len(CORPUS * 8)  # minus CLS/SEP
+        rate = batch.n_predictions / eligible
+        assert 0.10 < rate < 0.20
+
+    def test_dynamic_masking_differs_between_calls(self, tokenizer):
+        collator = MLMCollator(tokenizer, mask_prob=0.3, seed=2)
+        first = collator.collate(CORPUS[:8]).input_ids
+        second = collator.collate(CORPUS[:8]).input_ids
+        assert (first != second).any()
+
+    def test_mask_token_applied(self, tokenizer):
+        collator = MLMCollator(tokenizer, mask_prob=0.9, seed=3)
+        batch = collator.collate(CORPUS[:8])
+        assert (batch.input_ids == tokenizer.vocab.mask_id).any()
+
+    def test_pad_shapes(self, tokenizer):
+        collator = MLMCollator(tokenizer, seed=0)
+        ids, mask = collator.pad([[1, 2, 3], [4]])
+        assert ids.shape == (2, 3)
+        assert mask[1, 1] == False  # noqa: E712
+
+    def test_empty_batch_raises(self, tokenizer):
+        with pytest.raises(ValueError):
+            MLMCollator(tokenizer).pad([])
+
+    def test_invalid_mask_prob(self, tokenizer):
+        with pytest.raises(ValueError):
+            MLMCollator(tokenizer, mask_prob=1.5)
+
+
+class TestPooling:
+    def test_cls_pool_takes_first_position(self):
+        hidden = Tensor(np.arange(24, dtype=float).reshape(2, 3, 4))
+        pooled = cls_pool(hidden)
+        np.testing.assert_array_equal(pooled.data, hidden.data[:, 0, :])
+
+    def test_mean_pool_ignores_padding(self):
+        hidden = Tensor(np.ones((1, 3, 2)) * np.array([1.0, 2.0, 300.0]).reshape(1, 3, 1))
+        mask = np.array([[True, True, False]])
+        pooled = mean_pool(hidden, mask)
+        np.testing.assert_allclose(pooled.data, [[1.5, 1.5]])
+
+    def test_mean_pool_requires_valid_rows(self):
+        with pytest.raises(ValueError):
+            mean_pool(Tensor(np.ones((1, 2, 2))), np.array([[False, False]]))
+
+    def test_pool_dispatch(self):
+        hidden = Tensor(np.ones((1, 2, 2)))
+        mask = np.array([[True, True]])
+        assert pool(hidden, mask, "mean").shape == (1, 2)
+        assert pool(hidden, mask, "cls").shape == (1, 2)
+        with pytest.raises(ValueError):
+            pool(hidden, mask, "sum")
+
+
+class TestCheckpointBundle:
+    def test_save_load_roundtrip(self, tmp_path, tokenizer, model):
+        save_pretrained(tmp_path / "bundle", model, tokenizer)
+        restored_model, restored_tokenizer = load_pretrained(tmp_path / "bundle")
+        ids = np.ones((1, 5), dtype=int)
+        model.eval()
+        np.testing.assert_allclose(model(ids).data, restored_model(ids).data)
+        assert restored_tokenizer.encode("ls").ids == tokenizer.encode("ls").ids
+
+    def test_missing_file_raises(self, tmp_path):
+        from repro.errors import CheckpointError
+
+        with pytest.raises(CheckpointError):
+            load_pretrained(tmp_path / "nothing")

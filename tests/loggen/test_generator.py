@@ -1,0 +1,235 @@
+"""Tests for the synthetic telemetry generator."""
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, DataError
+from repro.loggen import (
+    ATTACK_FAMILIES,
+    AttackSampler,
+    BenignSessionGenerator,
+    CommandDataset,
+    FleetConfig,
+    FleetSimulator,
+    LogRecord,
+    ROLE_MODELS,
+    TemplateFiller,
+    TypoInjector,
+    Variant,
+    generate_paper_split,
+)
+from repro.shell import is_valid_command_line
+
+
+@pytest.fixture(scope="module")
+def small_fleet():
+    sim = FleetSimulator(FleetConfig(seed=42, attack_session_rate=0.05))
+    return sim.generate(datetime(2022, 5, 1), days=2, target_lines=2000)
+
+
+class TestBenignGeneration:
+    def test_all_roles_have_models(self):
+        assert set(ROLE_MODELS) == {"developer", "devops", "data_scientist", "sysadmin", "db_admin"}
+
+    def test_sessions_are_nonempty(self):
+        generator = BenignSessionGenerator(np.random.default_rng(0))
+        for role in ROLE_MODELS:
+            plan = generator.generate(role, "u01")
+            assert len(plan.lines) >= 1
+            assert plan.scenario.startswith(f"benign.{role}")
+
+    def test_unknown_role_raises(self):
+        with pytest.raises(KeyError):
+            BenignSessionGenerator(np.random.default_rng(0)).generate("pirate", "u01")
+
+    def test_templates_fill_placeholders(self):
+        filler = TemplateFiller(np.random.default_rng(0))
+        line = filler.fill("ls -la {dir}/{file}", user="bob")
+        assert "{" not in line
+
+    def test_abnormal_mv_has_many_files(self):
+        filler = TemplateFiller(np.random.default_rng(0))
+        line = filler.abnormal_benign_mv(n_files=20)
+        assert line.startswith("mv ")
+        assert line.count(".csv") == 20
+
+    def test_abnormal_echo_is_long_and_weird(self):
+        filler = TemplateFiller(np.random.default_rng(0))
+        line = filler.abnormal_benign_echo(length=60)
+        assert line.startswith("echo ")
+        assert set(line[5:]) <= set("abc")
+
+    def test_most_benign_lines_parse(self):
+        generator = BenignSessionGenerator(np.random.default_rng(1))
+        lines = []
+        for _ in range(50):
+            for role in ROLE_MODELS:
+                lines.extend(generator.generate(role, "u01").lines)
+        valid = sum(is_valid_command_line(line) for line in lines)
+        assert valid / len(lines) > 0.98
+
+
+class TestAttackLibrary:
+    def test_every_family_has_both_variants(self):
+        for family in ATTACK_FAMILIES:
+            assert family.inbox and family.outbox
+
+    def test_sampler_fills_placeholders(self):
+        sampler = AttackSampler(np.random.default_rng(0))
+        for family in ATTACK_FAMILIES:
+            for inbox in (True, False):
+                for line in sampler.sample(family.name, inbox=inbox):
+                    assert "{host}" not in line and "{port}" not in line
+
+    def test_attack_lines_parse(self):
+        sampler = AttackSampler(np.random.default_rng(0))
+        for family in ATTACK_FAMILIES:
+            for inbox in (True, False):
+                for _ in range(5):
+                    for line in sampler.sample(family.name, inbox=inbox):
+                        assert is_valid_command_line(line), line
+
+    def test_argument_diversity(self):
+        sampler = AttackSampler(np.random.default_rng(0))
+        lines = {sampler.sample("reverse_shell", inbox=True)[0] for _ in range(100)}
+        assert len(lines) > 30
+
+    def test_sample_any_respects_family_filter(self):
+        sampler = AttackSampler(np.random.default_rng(0))
+        family, _ = sampler.sample_any(inbox=True, families=["port_scan"])
+        assert family == "port_scan"
+
+
+class TestTypos:
+    def test_typo_changes_command_name(self):
+        injector = TypoInjector(np.random.default_rng(0))
+        corrupted = injector.typo_command_name("docker ps -a")
+        name = corrupted.split()[0]
+        assert name != "docker"
+        assert corrupted.endswith("ps -a")
+
+    def test_short_names_left_alone(self):
+        injector = TypoInjector(np.random.default_rng(0))
+        assert injector.typo_command_name("ls -la") == "ls -la"
+
+    def test_garbage_lines_fail_parsing(self):
+        injector = TypoInjector(np.random.default_rng(0))
+        for _ in range(20):
+            assert not is_valid_command_line(injector.garbage_line())
+
+    def test_maybe_corrupt_probabilities(self):
+        injector = TypoInjector(np.random.default_rng(0))
+        outputs = [injector.maybe_corrupt("docker ps", 0.0, 0.0) for _ in range(50)]
+        assert all(line == "docker ps" for line in outputs)
+
+
+class TestFleetSimulator:
+    def test_reaches_target_lines(self, small_fleet):
+        assert len(small_fleet) >= 2000
+
+    def test_sorted_by_time(self, small_fleet):
+        stamps = small_fleet.timestamps()
+        assert all(a <= b for a, b in zip(stamps, stamps[1:]))
+
+    def test_attack_lines_marked_malicious(self, small_fleet):
+        for record in small_fleet:
+            if record.scenario.startswith("attack."):
+                assert record.is_malicious
+                assert record.variant in (Variant.INBOX, Variant.OUTBOX)
+            else:
+                assert not record.is_malicious
+
+    def test_sessions_share_user_and_machine(self, small_fleet):
+        by_session = {}
+        for record in small_fleet:
+            by_session.setdefault(record.session, []).append(record)
+        for records in by_session.values():
+            assert len({r.user for r in records}) == 1
+            assert len({r.machine for r in records}) == 1
+
+    def test_deterministic_given_seed(self):
+        a = FleetSimulator(FleetConfig(seed=5)).generate(datetime(2022, 5, 1), 1, 300)
+        b = FleetSimulator(FleetConfig(seed=5)).generate(datetime(2022, 5, 1), 1, 300)
+        assert a.lines() == b.lines()
+
+    def test_different_seeds_differ(self):
+        a = FleetSimulator(FleetConfig(seed=5)).generate(datetime(2022, 5, 1), 1, 300)
+        b = FleetSimulator(FleetConfig(seed=6)).generate(datetime(2022, 5, 1), 1, 300)
+        assert a.lines() != b.lines()
+
+    def test_zero_attack_rate_means_all_benign(self):
+        sim = FleetSimulator(FleetConfig(seed=1, attack_session_rate=0.0))
+        data = sim.generate(datetime(2022, 5, 1), 1, 500)
+        assert data.n_malicious() == 0
+
+    def test_timestamps_inside_window(self, small_fleet):
+        start = datetime(2022, 5, 1)
+        end = start + timedelta(days=2, minutes=30)
+        assert all(start <= t <= end for t in small_fleet.timestamps())
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            FleetConfig(n_users=0)
+        with pytest.raises(ConfigError):
+            FleetConfig(attack_session_rate=1.5)
+        sim = FleetSimulator(FleetConfig(seed=0))
+        with pytest.raises(ConfigError):
+            sim.generate(datetime(2022, 5, 1), 0, 100)
+
+    def test_paper_split_windows(self):
+        train, test = generate_paper_split(train_lines=600, test_lines=300)
+        assert min(train.timestamps()) >= datetime(2022, 5, 1)
+        assert max(train.timestamps()) <= datetime(2022, 5, 8, 1)
+        assert min(test.timestamps()) >= datetime(2022, 5, 29)
+
+
+class TestCommandDataset:
+    def test_jsonl_roundtrip(self, small_fleet, tmp_path):
+        path = tmp_path / "data.jsonl"
+        small_fleet.to_jsonl(path)
+        restored = CommandDataset.from_jsonl(path)
+        assert restored.lines() == small_fleet.lines()
+        assert (restored.labels() == small_fleet.labels()).all()
+        assert restored.variants() == small_fleet.variants()
+
+    def test_malformed_jsonl_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"line": "ls"}\n')
+        with pytest.raises(DataError):
+            CommandDataset.from_jsonl(path)
+
+    def test_deduplicated_keeps_first(self):
+        records = [
+            LogRecord("ls", "u1", "m1", datetime(2022, 5, 1), is_malicious=False),
+            LogRecord("ls", "u2", "m2", datetime(2022, 5, 2), is_malicious=True),
+        ]
+        dedup = CommandDataset(records).deduplicated()
+        assert len(dedup) == 1
+        assert dedup[0].user == "u1"
+
+    def test_split_by_date(self, small_fleet):
+        boundary = datetime(2022, 5, 2)
+        before, after = small_fleet.split_by_date(boundary)
+        assert len(before) + len(after) == len(small_fleet)
+        assert all(r.timestamp < boundary for r in before)
+
+    def test_filter_and_subset(self, small_fleet):
+        malicious = small_fleet.filter(lambda r: r.is_malicious)
+        assert all(r.is_malicious for r in malicious)
+        subset = small_fleet.subset([0, 1, 2])
+        assert len(subset) == 3
+
+    def test_sample_too_large_raises(self):
+        data = CommandDataset([LogRecord("ls", "u", "m", datetime(2022, 5, 1))])
+        with pytest.raises(DataError):
+            data.sample(5, np.random.default_rng(0))
+
+    def test_summary_keys(self, small_fleet):
+        summary = small_fleet.summary()
+        assert {"records", "users", "machines", "malicious", "inbox", "outbox", "unique_lines"} <= set(summary)
+
+    def test_merged_with(self, small_fleet):
+        merged = small_fleet.merged_with(small_fleet)
+        assert len(merged) == 2 * len(small_fleet)

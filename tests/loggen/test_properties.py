@@ -1,0 +1,66 @@
+"""Property-based tests for the telemetry generator."""
+
+from datetime import datetime
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.loggen import ATTACK_FAMILIES, AttackSampler, FleetConfig, FleetSimulator, Variant
+
+family_names = st.sampled_from([f.name for f in ATTACK_FAMILIES])
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+@given(family_names, st.booleans(), seeds)
+@settings(max_examples=80, deadline=None)
+def test_attack_sessions_are_nonempty_and_filled(family, inbox, seed):
+    sampler = AttackSampler(np.random.default_rng(seed))
+    lines = sampler.sample(family, inbox=inbox)
+    assert lines
+    for line in lines:
+        assert "{" not in line.replace("{echo,", "").replace("{base64,", "").replace(
+            "{bash,", ""
+        ).replace("{base,", "").replace("{ cat", "").replace("{}", ""), line
+
+
+@given(seeds)
+@settings(max_examples=10, deadline=None)
+def test_fleet_generation_invariants(seed):
+    config = FleetConfig(seed=seed, n_users=10, n_machines=20, attack_session_rate=0.1)
+    data = FleetSimulator(config).generate(datetime(2022, 5, 1), 1, 300)
+    # time ordering
+    stamps = data.timestamps()
+    assert all(a <= b for a, b in zip(stamps, stamps[1:]))
+    # malicious <=> attack scenario <=> non-benign variant
+    for record in data:
+        assert record.is_malicious == record.scenario.startswith("attack.")
+        assert record.is_malicious == (record.variant is not Variant.BENIGN)
+        assert record.user.startswith("u")
+        assert record.machine.startswith("m")
+        assert record.session
+
+
+@given(seeds, st.floats(min_value=0.0, max_value=0.5))
+@settings(max_examples=10, deadline=None)
+def test_outbox_fraction_controls_variant_mix(seed, outbox_fraction):
+    config = FleetConfig(seed=seed, attack_session_rate=0.3, outbox_fraction=outbox_fraction)
+    data = FleetSimulator(config).generate(datetime(2022, 5, 1), 1, 400)
+    counts = data.variant_counts()
+    inbox = counts.get(Variant.INBOX, 0)
+    outbox = counts.get(Variant.OUTBOX, 0)
+    if outbox_fraction == 0.0:
+        assert outbox == 0
+    if inbox + outbox > 30:
+        measured = outbox / (inbox + outbox)
+        assert abs(measured - outbox_fraction) < 0.3
+
+
+@given(seeds)
+@settings(max_examples=10, deadline=None)
+def test_dedup_idempotent(seed):
+    config = FleetConfig(seed=seed, n_users=5)
+    data = FleetSimulator(config).generate(datetime(2022, 5, 1), 1, 200)
+    once = data.deduplicated()
+    twice = once.deduplicated()
+    assert once.lines() == twice.lines()

@@ -1,0 +1,55 @@
+"""Tests for corpus statistics (the DESIGN.md §2 property checks)."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.loggen import CommandDataset, FleetConfig, FleetSimulator, corpus_stats, fit_zipf_alpha
+
+
+@pytest.fixture(scope="module")
+def fleet_data():
+    sim = FleetSimulator(FleetConfig(seed=8, attack_session_rate=0.03))
+    return sim.generate(datetime(2022, 5, 1), 2, 4000)
+
+
+class TestZipfFit:
+    def test_perfect_zipf_recovers_alpha(self):
+        counts = [int(1000 / rank) for rank in range(1, 31)]
+        assert fit_zipf_alpha(counts) == pytest.approx(1.0, abs=0.05)
+
+    def test_uniform_counts_give_zero(self):
+        assert fit_zipf_alpha([10] * 20) == pytest.approx(0.0, abs=1e-9)
+
+    def test_degenerate_inputs(self):
+        assert fit_zipf_alpha([]) == 0.0
+        assert fit_zipf_alpha([5]) == 0.0
+
+
+class TestCorpusStats:
+    def test_generator_matches_design_claims(self, fleet_data):
+        stats = corpus_stats(fleet_data)
+        # Zipf-like head (production command logs have alpha around 1)
+        assert 0.5 < stats.zipf_alpha < 2.5
+        # heavy duplication motivating the paper's test-set dedup
+        assert stats.duplicate_fraction > 0.3
+        # rare anomalies
+        assert 0.0 < stats.malicious_fraction < 0.05
+        # session structure for multi-line classification
+        assert stats.mean_session_length > 1.5
+        assert stats.n_sessions > 100
+
+    def test_top_commands_are_shell_staples(self, fleet_data):
+        stats = corpus_stats(fleet_data)
+        head = {name for name, _ in stats.top_commands[:5]}
+        assert head & {"cd", "ls", "echo", "sudo", "cat", "grep"}
+
+    def test_empty_dataset(self):
+        stats = corpus_stats(CommandDataset([]))
+        assert stats.n_lines == 0
+        assert stats.malicious_fraction == 0.0
+
+    def test_counts_consistent(self, fleet_data):
+        stats = corpus_stats(fleet_data)
+        assert stats.n_unique_lines <= stats.n_lines
+        assert 0.0 <= stats.duplicate_fraction <= 1.0

@@ -1,0 +1,291 @@
+"""Gradient checks for every autograd primitive."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, check_gradient
+from repro.nn import functional as F
+
+RNG = np.random.default_rng(1234)
+
+
+def assert_gradcheck(fn, shape, **kwargs):
+    ok, diff = check_gradient(fn, RNG.normal(size=shape), **kwargs)
+    assert ok, f"gradient mismatch: max abs diff {diff:.3e}"
+
+
+class TestArithmetic:
+    def test_add(self):
+        other = Tensor(RNG.normal(size=(3, 4)))
+        assert_gradcheck(lambda t: (t + other).sum(), (3, 4))
+
+    def test_add_broadcast(self):
+        other = Tensor(RNG.normal(size=(4,)))
+        assert_gradcheck(lambda t: (t + other).sum(), (3, 4))
+
+    def test_add_broadcast_to_small(self):
+        other = Tensor(RNG.normal(size=(3, 4)))
+        assert_gradcheck(lambda t: (t + other).sum(), (4,))
+
+    def test_sub(self):
+        other = Tensor(RNG.normal(size=(3, 4)))
+        assert_gradcheck(lambda t: (other - t * 2).sum(), (3, 4))
+
+    def test_mul(self):
+        other = Tensor(RNG.normal(size=(3, 4)))
+        assert_gradcheck(lambda t: (t * other).sum(), (3, 4))
+
+    def test_div(self):
+        other = Tensor(np.abs(RNG.normal(size=(3, 4))) + 1.0)
+        assert_gradcheck(lambda t: (t / other).sum(), (3, 4))
+
+    def test_rdiv(self):
+        assert_gradcheck(lambda t: (2.0 / (t * t + 1.0)).sum(), (3,))
+
+    def test_pow(self):
+        assert_gradcheck(lambda t: ((t * t + 1.0) ** 3).sum(), (3, 4))
+
+    def test_neg(self):
+        assert_gradcheck(lambda t: (-t).sum(), (5,))
+
+    def test_scalar_ops(self):
+        assert_gradcheck(lambda t: (t * 3.0 + 2.0 - 0.5).sum(), (2, 2))
+
+
+class TestMatmul:
+    def test_mat_mat(self):
+        other = Tensor(RNG.normal(size=(4, 2)))
+        assert_gradcheck(lambda t: (t @ other).sum(), (3, 4))
+
+    def test_mat_mat_right(self):
+        other = Tensor(RNG.normal(size=(5, 3)))
+        assert_gradcheck(lambda t: (other @ t).sum(), (3, 4))
+
+    def test_batched(self):
+        other = Tensor(RNG.normal(size=(2, 4, 3)))
+        assert_gradcheck(lambda t: (t @ other).sum(), (2, 5, 4))
+
+    def test_broadcast_weight(self):
+        x = Tensor(RNG.normal(size=(2, 5, 4)))
+        assert_gradcheck(lambda t: (x @ t).sum(), (4, 3))
+
+    def test_mat_vec(self):
+        vec = Tensor(RNG.normal(size=4))
+        assert_gradcheck(lambda t: (t @ vec).sum(), (3, 4))
+
+    def test_vec_input_right(self):
+        mat = Tensor(RNG.normal(size=(5, 4)))
+        assert_gradcheck(lambda t: (mat @ t).sum(), (4,))
+
+    def test_vec_mat(self):
+        vec = Tensor(RNG.normal(size=3))
+        assert_gradcheck(lambda t: (vec @ t).sum(), (3, 4))
+
+    def test_vec_vec(self):
+        vec = Tensor(RNG.normal(size=4))
+        assert_gradcheck(lambda t: t @ vec, (4,))
+
+    def test_batched_mat_vec(self):
+        vec = Tensor(RNG.normal(size=4))
+        assert_gradcheck(lambda t: (t @ vec).sum(), (2, 3, 4))
+
+
+class TestShapes:
+    def test_reshape(self):
+        weight = Tensor(RNG.normal(size=6))
+        assert_gradcheck(lambda t: (t.reshape(6) * weight).sum(), (2, 3))
+
+    def test_transpose(self):
+        other = Tensor(RNG.normal(size=(4, 3)))
+        assert_gradcheck(lambda t: (t.transpose() * other).sum(), (3, 4))
+
+    def test_transpose_axes(self):
+        other = Tensor(RNG.normal(size=(4, 2, 3)))
+        assert_gradcheck(lambda t: (t.transpose(2, 0, 1) * other).sum(), (2, 3, 4))
+
+    def test_swapaxes(self):
+        other = Tensor(RNG.normal(size=(4, 3, 2)))
+        assert_gradcheck(lambda t: (t.swapaxes(0, 2) * other).sum(), (2, 3, 4))
+
+    def test_getitem_slice(self):
+        assert_gradcheck(lambda t: (t[1:3] ** 2).sum(), (5, 2))
+
+    def test_getitem_fancy(self):
+        idx = np.array([0, 2, 2])
+        assert_gradcheck(lambda t: (t[idx] ** 2).sum(), (4, 3))
+
+
+class TestReductions:
+    def test_sum_all(self):
+        assert_gradcheck(lambda t: (t * t).sum(), (3, 4))
+
+    def test_sum_axis(self):
+        weight = Tensor(RNG.normal(size=3))
+        assert_gradcheck(lambda t: (t.sum(axis=1) * weight).sum(), (3, 4))
+
+    def test_sum_keepdims(self):
+        assert_gradcheck(lambda t: (t - t.sum(axis=1, keepdims=True)).sum() + (t * t).sum(), (3, 4))
+
+    def test_mean(self):
+        assert_gradcheck(lambda t: (t.mean(axis=0) ** 2).sum(), (3, 4))
+
+    def test_mean_all(self):
+        assert_gradcheck(lambda t: (t * t).mean(), (3, 4))
+
+    def test_max(self):
+        # use distinct values to avoid tie-splitting subgradient issues
+        base = np.arange(12, dtype=float).reshape(3, 4)
+        ok, diff = check_gradient(lambda t: t.max(axis=1).sum(), base)
+        assert ok, diff
+
+
+class TestNonlinearities:
+    def test_exp(self):
+        assert_gradcheck(lambda t: t.exp().sum(), (3, 3))
+
+    def test_log(self):
+        value = np.abs(RNG.normal(size=(3, 3))) + 0.5
+        ok, diff = check_gradient(lambda t: t.log().sum(), value)
+        assert ok, diff
+
+    def test_sqrt(self):
+        value = np.abs(RNG.normal(size=(3,))) + 0.5
+        ok, diff = check_gradient(lambda t: t.sqrt().sum(), value)
+        assert ok, diff
+
+    def test_tanh(self):
+        assert_gradcheck(lambda t: t.tanh().sum(), (3, 3))
+
+    def test_relu(self):
+        value = RNG.normal(size=(4, 4)) + 0.05  # avoid kink at 0
+        ok, diff = check_gradient(lambda t: t.relu().sum(), value)
+        assert ok, diff
+
+    def test_sigmoid(self):
+        assert_gradcheck(lambda t: t.sigmoid().sum(), (3, 3))
+
+    def test_gelu(self):
+        assert_gradcheck(lambda t: F.gelu(t).sum(), (3, 4))
+
+
+class TestFusedOps:
+    def test_softmax(self):
+        weight = Tensor(RNG.normal(size=(2, 5)))
+        assert_gradcheck(lambda t: (F.softmax(t) * weight).sum(), (2, 5))
+
+    def test_softmax_axis0(self):
+        weight = Tensor(RNG.normal(size=(4, 3)))
+        assert_gradcheck(lambda t: (F.softmax(t, axis=0) * weight).sum(), (4, 3))
+
+    def test_log_softmax(self):
+        weight = Tensor(RNG.normal(size=(2, 5)))
+        assert_gradcheck(lambda t: (F.log_softmax(t) * weight).sum(), (2, 5))
+
+    def test_cross_entropy(self):
+        targets = np.array([1, 0, 3])
+        assert_gradcheck(lambda t: F.cross_entropy(t, targets), (3, 4))
+
+    def test_cross_entropy_ignore_index(self):
+        targets = np.array([1, -100, 3])
+        assert_gradcheck(lambda t: F.cross_entropy(t, targets, ignore_index=-100), (3, 4))
+
+    def test_cross_entropy_all_ignored_is_zero(self):
+        logits = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+        loss = F.cross_entropy(logits, np.array([-100, -100]), ignore_index=-100)
+        assert loss.item() == 0.0
+        loss.backward()
+        assert np.allclose(logits.grad, 0.0)
+
+    def test_bce_with_logits(self):
+        targets = np.array([1.0, 0.0, 1.0, 0.0])
+        assert_gradcheck(lambda t: F.binary_cross_entropy_with_logits(t, targets), (4,))
+
+    def test_layer_norm(self):
+        gamma = Tensor(RNG.normal(size=5))
+        beta = Tensor(RNG.normal(size=5))
+        assert_gradcheck(lambda t: (F.layer_norm(t, gamma, beta) ** 2).sum(), (3, 5))
+
+    def test_layer_norm_gamma_grad(self):
+        x = Tensor(RNG.normal(size=(3, 5)))
+        ok, diff = check_gradient(
+            lambda g: (F.layer_norm(x, g, Tensor(np.zeros(5))) ** 2).sum(), RNG.normal(size=5)
+        )
+        assert ok, diff
+
+    def test_embedding(self):
+        ids = np.array([[0, 2], [1, 1]])
+        assert_gradcheck(lambda w: (F.embedding(w, ids) ** 2).sum(), (4, 3))
+
+    def test_concatenate(self):
+        other = Tensor(RNG.normal(size=(2, 3)))
+        assert_gradcheck(lambda t: (F.concatenate([t, other], axis=0) ** 2).sum(), (2, 3))
+
+    def test_stack(self):
+        other = Tensor(RNG.normal(size=(2, 3)))
+        assert_gradcheck(lambda t: (F.stack([t, other], axis=1) ** 2).sum(), (2, 3))
+
+    def test_add_bias_constant_not_differentiated(self):
+        bias = np.full((2, 3), 5.0)
+        assert_gradcheck(lambda t: (F.add_bias(t, bias) ** 2).sum(), (2, 3))
+
+    def test_dropout_eval_is_identity(self):
+        x = Tensor(RNG.normal(size=(4, 4)), requires_grad=True)
+        out = F.dropout(x, 0.5, np.random.default_rng(0), training=False)
+        assert out is x
+
+    def test_dropout_scales_by_keep_probability(self):
+        rng = np.random.default_rng(7)
+        x = Tensor(np.ones((1000,)))
+        out = F.dropout(x, 0.25, rng, training=True)
+        kept = out.data[out.data > 0]
+        assert np.allclose(kept, 1.0 / 0.75)
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), 1.0, np.random.default_rng(0))
+
+
+class TestBackwardMechanics:
+    def test_grad_accumulates_over_multiple_uses(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * 3.0 + x * 4.0
+        y.backward()
+        assert np.allclose(x.grad, [7.0])
+
+    def test_grad_accumulates_over_backward_calls(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        (x * 3.0).backward()
+        (x * 4.0).backward()
+        assert np.allclose(x.grad, [7.0])
+
+    def test_no_grad_without_requires_grad(self):
+        x = Tensor(np.ones(3))
+        y = (x * 2).sum()
+        y.backward()
+        assert x.grad is None
+
+    def test_detach_stops_gradient(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = (x.detach() * 2).sum()
+        y.backward()
+        assert x.grad is None
+
+    def test_diamond_graph(self):
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        a = x * 2
+        b = x + 1
+        y = a * b  # y = 2x(x+1) = 2x^2+2x; dy/dx = 4x+2 = 14
+        y.backward()
+        assert np.allclose(x.grad, [14.0])
+
+    def test_item_raises_on_non_scalar(self):
+        with pytest.raises(ValueError):
+            Tensor(np.ones(3)).item()
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(2000):
+            y = y + 0.001
+        y.backward()
+        assert np.allclose(x.grad, [1.0])

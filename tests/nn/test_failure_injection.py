@@ -1,0 +1,68 @@
+"""Failure-injection tests: corrupted state, hostile inputs, misuse."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError, NotFittedError
+from repro.nn import Linear, Tensor, load_module, save_module
+from repro.nn.module import no_grad
+
+
+class TestCorruptedCheckpoints:
+    def test_truncated_npz(self, tmp_path):
+        layer = Linear(3, 3, np.random.default_rng(0))
+        path = tmp_path / "w.npz"
+        save_module(layer, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises((CheckpointError, Exception)):
+            load_module(Linear(3, 3, np.random.default_rng(1)), path)
+
+    def test_nonexistent_path(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_module(Linear(2, 2, np.random.default_rng(0)), tmp_path / "missing.npz")
+
+    def test_extra_keys_rejected(self, tmp_path):
+        layer = Linear(2, 2, np.random.default_rng(0))
+        state = layer.state_dict()
+        state["bogus"] = np.zeros(3)
+        np.savez(tmp_path / "w.npz", **state)
+        with pytest.raises(CheckpointError):
+            load_module(Linear(2, 2, np.random.default_rng(1)), tmp_path / "w.npz")
+
+
+class TestHostileInputs:
+    def test_nan_inputs_do_not_crash_forward(self):
+        layer = Linear(3, 3, np.random.default_rng(0))
+        out = layer(Tensor(np.full((1, 3), np.nan)))
+        assert np.isnan(out.data).all()
+
+    def test_huge_values_overflow_gracefully(self):
+        from repro.nn import functional as F
+
+        out = F.softmax(Tensor(np.array([[1e300, -1e300, 0.0]])))
+        assert np.isfinite(out.data).all()
+        np.testing.assert_allclose(out.data.sum(), 1.0)
+
+    def test_empty_tensor_ops(self):
+        x = Tensor(np.zeros((0, 3)), requires_grad=True)
+        (x * 2).sum().backward()
+        assert x.grad.shape == (0, 3)
+
+
+class TestNoGradContext:
+    def test_restores_flags_after_exception(self):
+        layer = Linear(2, 2, np.random.default_rng(0))
+        with pytest.raises(RuntimeError):
+            with no_grad(layer):
+                assert not layer.weight.requires_grad
+                raise RuntimeError("boom")
+        assert layer.weight.requires_grad
+
+    def test_nested_modules(self):
+        a = Linear(2, 2, np.random.default_rng(0))
+        b = Linear(2, 2, np.random.default_rng(1))
+        with no_grad(a, b):
+            assert not a.weight.requires_grad
+            assert not b.weight.requires_grad
+        assert a.weight.requires_grad and b.weight.requires_grad

@@ -1,0 +1,235 @@
+"""Tests for Module containers, layers, and the transformer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError
+from repro.nn import (
+    MLP,
+    AdamW,
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    MultiHeadSelfAttention,
+    Parameter,
+    Tensor,
+    TransformerBlock,
+    TransformerEncoder,
+    load_module,
+    save_module,
+)
+
+
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(4, 3, rng())
+        out = layer(Tensor(np.ones((2, 4))))
+        assert out.shape == (2, 3)
+
+    def test_no_bias(self):
+        layer = Linear(4, 3, rng(), bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_batched_input(self):
+        layer = Linear(4, 3, rng())
+        out = layer(Tensor(np.ones((2, 5, 4))))
+        assert out.shape == (2, 5, 3)
+
+    def test_kaiming_init_bounds(self):
+        layer = Linear(100, 50, rng(), init_scheme="kaiming")
+        bound = np.sqrt(6.0 / 100)
+        assert np.abs(layer.weight.data).max() <= bound
+
+    def test_unknown_init_raises(self):
+        with pytest.raises(ValueError):
+            Linear(4, 3, rng(), init_scheme="bogus")
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = Embedding(10, 4, rng())
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_out_of_range_raises(self):
+        emb = Embedding(10, 4, rng())
+        with pytest.raises(IndexError):
+            emb(np.array([10]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_gradient_sparsity(self):
+        emb = Embedding(10, 4, rng())
+        out = emb(np.array([1, 1, 3]))
+        out.sum().backward()
+        grad_rows = np.abs(emb.weight.grad).sum(axis=1)
+        assert grad_rows[1] > 0 and grad_rows[3] > 0
+        assert grad_rows[0] == 0 and grad_rows[2] == 0
+
+
+class TestLayerNormModule:
+    def test_normalizes_last_axis(self):
+        norm = LayerNorm(8)
+        x = Tensor(np.arange(16, dtype=float).reshape(2, 8) * 3 + 5)
+        out = norm(x)
+        assert np.allclose(out.data.mean(axis=-1), 0.0, atol=1e-9)
+        assert np.allclose(out.data.std(axis=-1), 1.0, atol=1e-2)
+
+
+class TestDropoutModule:
+    def test_eval_mode_identity(self):
+        drop = Dropout(0.5)
+        drop.eval()
+        x = Tensor(np.ones((4, 4)))
+        assert drop(x) is x
+
+    def test_train_mode_zeroes_elements(self):
+        drop = Dropout(0.5, np.random.default_rng(0))
+        out = drop(Tensor(np.ones((100, 100))))
+        zero_fraction = float((out.data == 0).mean())
+        assert 0.4 < zero_fraction < 0.6
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.5)
+
+
+class TestMLP:
+    def test_forward_shape(self):
+        head = MLP(8, 16, 2, rng())
+        out = head(Tensor(np.ones((3, 8))))
+        assert out.shape == (3, 2)
+
+    @pytest.mark.parametrize("activation", ["relu", "gelu", "tanh"])
+    def test_activations(self, activation):
+        head = MLP(4, 8, 2, rng(), activation=activation)
+        assert head(Tensor(np.ones((1, 4)))).shape == (1, 2)
+
+    def test_unknown_activation_raises(self):
+        with pytest.raises(ValueError):
+            MLP(4, 8, 2, rng(), activation="swish")
+
+
+class TestModuleTraversal:
+    def test_named_parameters_dotted(self):
+        block = TransformerBlock(8, 2, 16, rng())
+        names = [name for name, _ in block.named_parameters()]
+        assert "attention.query.weight" in names
+        assert "ffn_norm.gamma" in names
+
+    def test_list_of_modules_discovered(self):
+        encoder = TransformerEncoder(3, 8, 2, 16, rng())
+        names = [name for name, _ in encoder.named_parameters()]
+        assert any(name.startswith("blocks.0.") for name in names)
+        assert any(name.startswith("blocks.2.") for name in names)
+
+    def test_zero_grad(self):
+        layer = Linear(3, 3, rng())
+        layer(Tensor(np.ones((1, 3)))).sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_train_eval_propagates(self):
+        encoder = TransformerEncoder(2, 8, 2, 16, rng(), dropout=0.1)
+        encoder.eval()
+        assert all(not m.training for m in encoder.modules())
+        encoder.train()
+        assert all(m.training for m in encoder.modules())
+
+    def test_num_parameters(self):
+        layer = Linear(4, 3, rng())
+        assert layer.num_parameters() == 4 * 3 + 3
+
+
+class TestCheckpointing:
+    def test_state_dict_roundtrip(self, tmp_path):
+        encoder = TransformerEncoder(2, 8, 2, 16, rng())
+        path = tmp_path / "model.npz"
+        save_module(encoder, path)
+        clone = TransformerEncoder(2, 8, 2, 16, np.random.default_rng(999))
+        load_module(clone, path)
+        x = Tensor(np.ones((1, 4, 8)))
+        np.testing.assert_allclose(encoder(x).data, clone(x).data)
+
+    def test_load_rejects_mismatched_architecture(self, tmp_path):
+        encoder = TransformerEncoder(2, 8, 2, 16, rng())
+        path = tmp_path / "model.npz"
+        save_module(encoder, path)
+        other = TransformerEncoder(3, 8, 2, 16, rng())
+        with pytest.raises(CheckpointError):
+            load_module(other, path)
+
+    def test_load_rejects_shape_mismatch(self, tmp_path):
+        layer = Linear(4, 3, rng())
+        path = tmp_path / "layer.npz"
+        save_module(layer, path)
+        wrong = Linear(4, 5, rng())
+        with pytest.raises(CheckpointError):
+            load_module(wrong, path)
+
+    def test_state_dict_is_a_copy(self):
+        layer = Linear(2, 2, rng())
+        state = layer.state_dict()
+        state["weight"][:] = 0.0
+        assert not np.allclose(layer.weight.data, 0.0)
+
+
+class TestAttention:
+    def test_output_shape(self):
+        attn = MultiHeadSelfAttention(8, 2, rng())
+        out = attn(Tensor(np.ones((2, 5, 8))))
+        assert out.shape == (2, 5, 8)
+
+    def test_indivisible_heads_raise(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(8, 3, rng())
+
+    def test_padding_mask_blocks_information(self):
+        attn = MultiHeadSelfAttention(8, 2, rng())
+        attn.eval()
+        base = np.random.default_rng(3).normal(size=(1, 4, 8))
+        variant = base.copy()
+        variant[0, 3, :] += 100.0  # perturb a masked position
+        mask = np.array([[True, True, True, False]])
+        out_base = attn(Tensor(base), mask).data
+        out_variant = attn(Tensor(variant), mask).data
+        # outputs at non-masked positions must not change
+        np.testing.assert_allclose(out_base[0, :3], out_variant[0, :3], atol=1e-8)
+
+    def test_gradients_flow_to_all_projections(self):
+        attn = MultiHeadSelfAttention(8, 2, rng())
+        out = attn(Tensor(np.random.default_rng(0).normal(size=(2, 3, 8))))
+        (out**2).sum().backward()
+        for parameter in attn.parameters():
+            assert parameter.grad is not None
+
+
+class TestTransformer:
+    def test_encoder_shapes(self):
+        encoder = TransformerEncoder(2, 8, 2, 16, rng())
+        out = encoder(Tensor(np.ones((2, 6, 8))))
+        assert out.shape == (2, 6, 8)
+
+    def test_training_reduces_loss(self):
+        generator = np.random.default_rng(0)
+        encoder = TransformerEncoder(1, 8, 2, 16, np.random.default_rng(5))
+        target = Tensor(generator.normal(size=(2, 4, 8)))
+        x = Tensor(generator.normal(size=(2, 4, 8)))
+        optimizer = AdamW(encoder.parameters(), lr=1e-2)
+        losses = []
+        for _ in range(20):
+            optimizer.zero_grad()
+            out = encoder(x)
+            loss = ((out - target) ** 2).mean()
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0] * 0.9

@@ -1,0 +1,144 @@
+"""Tests for optimizers and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    AdamW,
+    ConstantSchedule,
+    CosineSchedule,
+    Parameter,
+    Tensor,
+    WarmupLinearSchedule,
+    clip_grad_norm,
+)
+
+
+def quadratic_parameter():
+    return Parameter(np.array([5.0, -3.0]))
+
+
+def loss_of(p):
+    return (p * p).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = quadratic_parameter()
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            loss_of(p).backward()
+            opt.step()
+        assert np.abs(p.data).max() < 1e-4
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            p = quadratic_parameter()
+            opt = SGD([p], lr=0.02, momentum=momentum)
+            for _ in range(30):
+                opt.zero_grad()
+                loss_of(p).backward()
+                opt.step()
+            return float(np.abs(p.data).max())
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks_parameters(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()  # zero task gradient
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_parameter()], lr=0.0)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_parameter()], lr=0.1, momentum=1.0)
+
+    def test_skips_parameters_without_grad(self):
+        p = quadratic_parameter()
+        before = p.data.copy()
+        SGD([p], lr=0.1).step()
+        np.testing.assert_array_equal(p.data, before)
+
+
+class TestAdamW:
+    def test_converges_on_quadratic(self):
+        p = quadratic_parameter()
+        opt = AdamW([p], lr=0.1, weight_decay=0.0)
+        for _ in range(200):
+            opt.zero_grad()
+            loss_of(p).backward()
+            opt.step()
+        assert np.abs(p.data).max() < 1e-3
+
+    def test_decoupled_weight_decay(self):
+        p = Parameter(np.array([2.0]))
+        opt = AdamW([p], lr=0.1, weight_decay=0.1)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()
+        opt.step()
+        # pure decay step: p <- p - lr * wd * p
+        assert np.isclose(p.data[0], 2.0 - 0.1 * 0.1 * 2.0)
+
+    def test_first_step_magnitude_bounded_by_lr(self):
+        # Adam's bias-corrected first step is ~lr regardless of grad scale.
+        p = Parameter(np.array([1000.0]))
+        opt = AdamW([p], lr=0.01, weight_decay=0.0)
+        opt.zero_grad()
+        (p * 1e6).sum().backward()
+        opt.step()
+        assert np.isclose(1000.0 - p.data[0], 0.01, rtol=1e-3)
+
+
+class TestClipGradNorm:
+    def test_clips_to_max_norm(self):
+        p = Parameter(np.array([3.0, 4.0]))
+        p.grad = np.array([3.0, 4.0])
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert np.isclose(norm, 5.0)
+        assert np.isclose(np.linalg.norm(p.grad), 1.0)
+
+    def test_no_clip_below_max(self):
+        p = Parameter(np.array([0.3, 0.4]))
+        p.grad = np.array([0.3, 0.4])
+        clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(p.grad, [0.3, 0.4])
+
+    def test_handles_missing_grads(self):
+        p = Parameter(np.array([1.0]))
+        assert clip_grad_norm([p], max_norm=1.0) == 0.0
+
+
+class TestSchedules:
+    def test_constant(self):
+        schedule = ConstantSchedule(0.1)
+        assert schedule.lr_at(0) == schedule.lr_at(1000) == 0.1
+
+    def test_warmup_linear_shape(self):
+        schedule = WarmupLinearSchedule(peak_lr=1.0, warmup_steps=10, total_steps=110)
+        assert schedule.lr_at(0) == pytest.approx(0.1)
+        assert schedule.lr_at(9) == pytest.approx(1.0)
+        assert schedule.lr_at(110) == pytest.approx(0.0)
+        assert schedule.lr_at(60) == pytest.approx(0.5)
+
+    def test_warmup_validation(self):
+        with pytest.raises(ValueError):
+            WarmupLinearSchedule(1.0, warmup_steps=20, total_steps=10)
+
+    def test_cosine_endpoints(self):
+        schedule = CosineSchedule(peak_lr=1.0, warmup_steps=0, total_steps=100, floor_lr=0.1)
+        assert schedule.lr_at(0) == pytest.approx(1.0)
+        assert schedule.lr_at(100) == pytest.approx(0.1)
+        assert schedule.lr_at(50) == pytest.approx(0.55)
+
+    def test_cosine_monotone_after_warmup(self):
+        schedule = CosineSchedule(peak_lr=1.0, warmup_steps=5, total_steps=50)
+        values = [schedule.lr_at(step) for step in range(5, 50)]
+        assert all(a >= b for a, b in zip(values, values[1:]))

@@ -1,0 +1,95 @@
+"""Property-based tests (hypothesis) for autograd invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+finite_floats = st.floats(min_value=-10, max_value=10, allow_nan=False, allow_infinity=False)
+
+
+def small_arrays(max_dims=2, max_side=5):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=1, max_dims=max_dims, min_side=1, max_side=max_side),
+        elements=finite_floats,
+    )
+
+
+@given(small_arrays())
+@settings(max_examples=50, deadline=None)
+def test_softmax_rows_sum_to_one(values):
+    out = F.softmax(Tensor(values), axis=-1)
+    np.testing.assert_allclose(out.data.sum(axis=-1), 1.0, atol=1e-9)
+
+
+@given(small_arrays())
+@settings(max_examples=50, deadline=None)
+def test_softmax_invariant_to_shift(values):
+    a = F.softmax(Tensor(values), axis=-1).data
+    b = F.softmax(Tensor(values + 100.0), axis=-1).data
+    np.testing.assert_allclose(a, b, atol=1e-9)
+
+@given(small_arrays())
+@settings(max_examples=50, deadline=None)
+def test_log_softmax_matches_log_of_softmax(values):
+    log_direct = F.log_softmax(Tensor(values), axis=-1).data
+    log_composed = np.log(F.softmax(Tensor(values), axis=-1).data + 1e-300)
+    np.testing.assert_allclose(log_direct, log_composed, atol=1e-6)
+
+
+@given(small_arrays(max_dims=2))
+@settings(max_examples=50, deadline=None)
+def test_addition_gradient_is_ones(values):
+    x = Tensor(values, requires_grad=True)
+    (x + 1.0).sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones_like(values))
+
+
+@given(small_arrays(max_dims=2))
+@settings(max_examples=50, deadline=None)
+def test_sum_then_backward_matches_elementwise_count(values):
+    x = Tensor(values, requires_grad=True)
+    (x * 2.0 + x).sum().backward()
+    np.testing.assert_allclose(x.grad, np.full_like(values, 3.0))
+
+
+@given(small_arrays(max_dims=2), finite_floats)
+@settings(max_examples=50, deadline=None)
+def test_linear_in_gradient(values, scale):
+    x1 = Tensor(values, requires_grad=True)
+    (x1 * scale).sum().backward()
+    np.testing.assert_allclose(x1.grad, np.full_like(values, scale), atol=1e-9)
+
+
+@given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=6))
+@settings(max_examples=30, deadline=None)
+def test_matmul_grad_shapes(m, n):
+    rng = np.random.default_rng(0)
+    a = Tensor(rng.normal(size=(m, 4)), requires_grad=True)
+    b = Tensor(rng.normal(size=(4, n)), requires_grad=True)
+    (a @ b).sum().backward()
+    assert a.grad.shape == a.shape
+    assert b.grad.shape == b.shape
+
+
+@given(small_arrays(max_dims=2))
+@settings(max_examples=50, deadline=None)
+def test_layer_norm_output_statistics(values):
+    if values.shape[-1] < 2 or np.ptp(values) < 1e-6:
+        return  # degenerate rows have undefined normalized variance
+    gamma = Tensor(np.ones(values.shape[-1]))
+    beta = Tensor(np.zeros(values.shape[-1]))
+    out = F.layer_norm(Tensor(values), gamma, beta).data
+    np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-7)
+
+
+@given(arrays(np.float64, st.integers(2, 20).map(lambda n: (n,)), elements=finite_floats))
+@settings(max_examples=50, deadline=None)
+def test_reshape_roundtrip_preserves_grad(values):
+    x = Tensor(values, requires_grad=True)
+    x.reshape(-1, 1).reshape(values.shape[0]).sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones_like(values))

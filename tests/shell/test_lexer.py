@@ -1,0 +1,183 @@
+"""Unit tests for the shell lexer."""
+
+import pytest
+
+from repro.errors import ShellSyntaxError
+from repro.shell import Lexer, TokenKind, tokenize
+
+
+def values(line):
+    return [t.value for t in tokenize(line)]
+
+
+def kinds(line):
+    return [t.kind for t in tokenize(line)]
+
+
+class TestBasicTokenization:
+    def test_simple_words(self):
+        assert values("ls -la /tmp") == ["ls", "-la", "/tmp"]
+
+    def test_empty_line(self):
+        assert tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert tokenize("   \t  ") == []
+
+    def test_pipe_operator(self):
+        assert values("a | b") == ["a", "|", "b"]
+
+    def test_pipe_without_spaces(self):
+        assert values("a|b") == ["a", "|", "b"]
+
+    def test_and_or_operators(self):
+        assert values("a && b || c") == ["a", "&&", "b", "||", "c"]
+
+    def test_semicolon(self):
+        assert values("a; b;c") == ["a", ";", "b", ";", "c"]
+
+    def test_background_ampersand(self):
+        assert values("sleep 10 &") == ["sleep", "10", "&"]
+
+    def test_redirections(self):
+        assert values("cmd > out 2> err >> app") == ["cmd", ">", "out", "2", ">", "err", ">>", "app"]
+
+    def test_io_number_kind(self):
+        toks = tokenize("cmd 2>/dev/null")
+        assert toks[1].kind is TokenKind.IO_NUMBER
+        assert toks[1].value == "2"
+
+    def test_digit_word_not_io_number(self):
+        toks = tokenize("echo 2 3")
+        assert all(t.kind is TokenKind.WORD for t in toks)
+
+    def test_stderr_to_stdout(self):
+        assert values("cmd 2>&1") == ["cmd", "2", ">&", "1"]
+
+    def test_herestring(self):
+        assert values("cat <<< hello") == ["cat", "<<<", "hello"]
+
+    def test_subshell_parens(self):
+        assert values("(ls)") == ["(", "ls", ")"]
+
+    def test_positions_recorded(self):
+        toks = tokenize("ls  -la")
+        assert toks[0].position == 0
+        assert toks[1].position == 4
+
+
+class TestQuoting:
+    def test_single_quotes_preserved_in_value(self):
+        assert values("echo 'hello world'") == ["echo", "'hello world'"]
+
+    def test_double_quotes_preserved(self):
+        assert values('echo "a b"') == ["echo", '"a b"']
+
+    def test_quoted_pipe_is_not_operator(self):
+        assert values("echo 'a | b'") == ["echo", "'a | b'"]
+
+    def test_quoted_semicolon_stays_in_word(self):
+        assert values('php -r "phpinfo();"') == ["php", "-r", '"phpinfo();"']
+
+    def test_escaped_space_joins_word(self):
+        assert values("cat my\\ file") == ["cat", "my\\ file"]
+
+    def test_escaped_quote_inside_double(self):
+        assert values('echo "say \\"hi\\""') == ["echo", '"say \\"hi\\""']
+
+    def test_adjacent_quoted_parts_single_word(self):
+        assert values("echo 'a''b'") == ["echo", "'a''b'"]
+
+    def test_mixed_quote_word(self):
+        assert values('echo pre"mid"post') == ["echo", 'pre"mid"post']
+
+    def test_unterminated_single_quote_raises(self):
+        with pytest.raises(ShellSyntaxError):
+            tokenize("echo 'oops")
+
+    def test_unterminated_double_quote_raises(self):
+        with pytest.raises(ShellSyntaxError):
+            tokenize('echo "oops')
+
+    def test_single_quote_keeps_dollar_literal(self):
+        toks = tokenize("echo '$HOME'")
+        assert toks[1].value == "'$HOME'"
+
+
+class TestExpansions:
+    def test_command_substitution_single_word(self):
+        assert values("echo $(hostname -f)") == ["echo", "$(hostname -f)"]
+
+    def test_nested_command_substitution(self):
+        assert values("echo $(dirname $(which python))") == ["echo", "$(dirname $(which python))"]
+
+    def test_backtick_substitution(self):
+        assert values("echo `date`") == ["echo", "`date`"]
+
+    def test_parameter_expansion(self):
+        assert values("echo ${HOME}/bin") == ["echo", "${HOME}/bin"]
+
+    def test_arithmetic_expansion(self):
+        assert values("echo $((1 + 2))") == ["echo", "$((1 + 2))"]
+
+    def test_simple_variable(self):
+        assert values("echo $HOME/x") == ["echo", "$HOME/x"]
+
+    def test_special_parameter(self):
+        assert values("echo $?") == ["echo", "$?"]
+
+    def test_unterminated_cmdsub_raises(self):
+        with pytest.raises(ShellSyntaxError):
+            tokenize("echo $(ls")
+
+    def test_unterminated_paramexp_raises(self):
+        with pytest.raises(ShellSyntaxError):
+            tokenize("echo ${HOME")
+
+    def test_unterminated_backtick_raises(self):
+        with pytest.raises(ShellSyntaxError):
+            tokenize("echo `date")
+
+    def test_cmdsub_with_quoted_paren(self):
+        assert values("echo $(echo ')')") == ["echo", "$(echo ')')"]
+
+    def test_dollar_inside_double_quotes(self):
+        assert values('echo "v=$V"') == ["echo", '"v=$V"']
+
+
+class TestComments:
+    def test_trailing_comment_tokenized_separately(self):
+        toks = tokenize("ls # list files")
+        assert toks[0].value == "ls"
+        assert toks[1].kind is TokenKind.COMMENT
+
+    def test_hash_inside_word_not_comment(self):
+        assert values("echo a#b") == ["echo", "a#b"]
+
+    def test_line_starting_with_comment(self):
+        toks = tokenize("# just a comment")
+        assert len(toks) == 1
+        assert toks[0].kind is TokenKind.COMMENT
+
+
+class TestOperatorEdgeCases:
+    def test_double_semicolon(self):
+        assert values("a ;; b") == ["a", ";;", "b"]
+
+    def test_pipe_amp(self):
+        assert values("a |& b") == ["a", "|&", "b"]
+
+    def test_append_vs_write(self):
+        assert values("a>>b") == ["a", ">>", "b"]
+
+    def test_heredoc_lexes_delimiter(self):
+        assert values("cat << EOF") == ["cat", "<<", "EOF"]
+
+    def test_heredoc_without_delimiter_raises(self):
+        with pytest.raises(ShellSyntaxError):
+            tokenize("cat <<")
+
+    def test_lexer_reusable(self):
+        lexer = Lexer()
+        assert [t.value for t in lexer.tokenize("a b")] == ["a", "b"]
+        assert [t.value for t in lexer.tokenize("c")] == ["c"]

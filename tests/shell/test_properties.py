@@ -1,0 +1,141 @@
+"""Property-based tests for the shell lexer/parser."""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShellSyntaxError
+from repro.shell import (
+    CommandExtractor,
+    CommandLineValidator,
+    Lexer,
+    Parser,
+    TokenKind,
+    tokenize,
+    walk_simple_commands,
+)
+
+_PRINTABLE = string.ascii_letters + string.digits + string.punctuation + " "
+arbitrary_text = st.text(alphabet=_PRINTABLE, min_size=0, max_size=80)
+
+# words free of quotes/operators/expansion triggers — always safe
+safe_word = st.text(
+    alphabet=string.ascii_letters + string.digits + "-_./:=+,", min_size=1, max_size=12
+)
+safe_command = st.lists(safe_word, min_size=1, max_size=6).map(" ".join)
+
+
+@given(arbitrary_text)
+@settings(max_examples=300, deadline=None)
+def test_lexer_total_or_syntax_error(text):
+    """The lexer either tokenizes or raises ShellSyntaxError — never
+    anything else, never an infinite loop."""
+    try:
+        tokens = tokenize(text)
+    except ShellSyntaxError:
+        return
+    assert all(isinstance(t.value, str) for t in tokens)
+
+
+@given(arbitrary_text)
+@settings(max_examples=300, deadline=None)
+def test_parser_total_or_syntax_error(text):
+    try:
+        ast = Parser().parse(text)
+    except ShellSyntaxError:
+        return
+    assert len(ast.pipelines) >= 1
+
+
+@given(arbitrary_text)
+@settings(max_examples=200, deadline=None)
+def test_validator_never_raises(text):
+    assert CommandLineValidator().is_valid(text) in (True, False)
+
+
+@given(safe_command)
+@settings(max_examples=200, deadline=None)
+def test_safe_commands_always_parse(command):
+    ast = Parser().parse(command)
+    simple = list(walk_simple_commands(ast))
+    assert len(simple) == 1
+
+
+@given(safe_command)
+@settings(max_examples=200, deadline=None)
+def test_token_concatenation_preserves_content(command):
+    """For operator-free commands, token values joined by spaces equal
+    the whitespace-normalised input."""
+    tokens = tokenize(command)
+    assert " ".join(t.value for t in tokens) == " ".join(command.split())
+
+
+@given(safe_command, safe_command)
+@settings(max_examples=100, deadline=None)
+def test_pipeline_composition(left, right):
+    """Joining two valid commands with a pipe yields a 2-stage pipeline."""
+    ast = Parser().parse(f"{left} | {right}")
+    assert len(ast.pipelines[0].commands) == 2
+
+
+@given(safe_command, st.sampled_from(["&&", "||", ";"]))
+@settings(max_examples=100, deadline=None)
+def test_list_composition(command, operator):
+    ast = Parser().parse(f"{command} {operator} {command}")
+    assert ast.operators == [operator]
+
+
+@given(safe_command)
+@settings(max_examples=100, deadline=None)
+def test_quoting_makes_one_word(command):
+    """A single-quoted arbitrary safe command is always exactly one
+    argument word."""
+    ast = Parser().parse(f"echo '{command}'")
+    simple = next(walk_simple_commands(ast))
+    assert len(simple.words) == 1
+
+
+@given(safe_command)
+@settings(max_examples=100, deadline=None)
+def test_extractor_primary_name_is_first_token(command):
+    summary = CommandExtractor().summarize(command)
+    first = command.split()[0]
+    match = first.rsplit("/", 1)[-1] if "/" in first and not first.endswith("/") else first
+    expected = None if "=" in first and first.split("=", 1)[0].isidentifier() else match
+    if expected is not None:
+        assert summary.primary_name == expected
+
+
+@given(st.lists(safe_command, min_size=1, max_size=4))
+@settings(max_examples=100, deadline=None)
+def test_semicolon_join_counts_commands(commands):
+    joined = "; ".join(commands)
+    ast = Parser().parse(joined)
+    assert len(list(walk_simple_commands(ast))) == len(commands)
+
+
+@given(arbitrary_text)
+@settings(max_examples=200, deadline=None)
+def test_lexer_deterministic(text):
+    lexer = Lexer()
+    try:
+        first = [(t.kind, t.value) for t in lexer.tokenize(text)]
+    except ShellSyntaxError:
+        with pytest.raises(ShellSyntaxError):
+            lexer.tokenize(text)
+        return
+    second = [(t.kind, t.value) for t in lexer.tokenize(text)]
+    assert first == second
+
+
+@given(arbitrary_text)
+@settings(max_examples=200, deadline=None)
+def test_positions_monotone(text):
+    try:
+        tokens = tokenize(text)
+    except ShellSyntaxError:
+        return
+    positions = [t.position for t in tokens if t.kind is not TokenKind.EOF]
+    assert positions == sorted(positions)

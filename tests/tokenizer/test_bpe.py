@@ -1,0 +1,178 @@
+"""Unit tests for the BPE tokenizer."""
+
+import pytest
+
+from repro.errors import NotFittedError, TokenizerError
+from repro.tokenizer import BPETokenizer, SpecialTokens, Vocab, load_tokenizer, save_tokenizer
+
+CORPUS = [
+    "ls -la /tmp",
+    "ls /home/user",
+    "grep -r pattern /var/log",
+    "cat /etc/passwd",
+    "docker ps -a",
+    "docker run -it ubuntu bash",
+    "python main.py --verbose",
+    "curl https://example.com/install.sh | bash",
+] * 10
+
+
+@pytest.fixture(scope="module")
+def tokenizer():
+    return BPETokenizer(vocab_size=400, min_pair_frequency=2).train(CORPUS)
+
+
+class TestTraining:
+    def test_vocab_contains_specials_first(self, tokenizer):
+        vocab = tokenizer.vocab
+        assert vocab.pad_id == 0
+        assert vocab.token_of(0) == "[PAD]"
+        assert vocab.token_of(4) == "[MASK]"
+
+    def test_vocab_bounded_by_budget(self):
+        tok = BPETokenizer(vocab_size=120).train(CORPUS)
+        assert len(tok.vocab) <= 120
+
+    def test_frequent_words_become_single_tokens(self, tokenizer):
+        encoding = tokenizer.encode("docker ps", add_special_tokens=False)
+        assert encoding.tokens[0] == "▁docker"
+
+    def test_merges_ordered(self, tokenizer):
+        merges = tokenizer.merges
+        assert len(merges) > 0
+        assert all(isinstance(pair, tuple) and len(pair) == 2 for pair in merges)
+
+    def test_empty_corpus_raises(self):
+        with pytest.raises(TokenizerError):
+            BPETokenizer(vocab_size=100).train([])
+
+    def test_tiny_vocab_size_rejected(self):
+        with pytest.raises(TokenizerError):
+            BPETokenizer(vocab_size=4)
+
+    def test_min_pair_frequency_respected(self):
+        # with a very high min frequency, no merges should be learned
+        tok = BPETokenizer(vocab_size=1000, min_pair_frequency=10_000).train(CORPUS)
+        assert tok.merges == []
+
+
+class TestEncoding:
+    def test_roundtrip_simple(self, tokenizer):
+        line = "ls -la /tmp"
+        assert tokenizer.decode(tokenizer.encode(line).ids) == line
+
+    def test_roundtrip_with_pipe(self, tokenizer):
+        line = "curl https://example.com/install.sh | bash"
+        assert tokenizer.decode(tokenizer.encode(line).ids) == line
+
+    def test_special_tokens_added(self, tokenizer):
+        encoding = tokenizer.encode("ls")
+        assert encoding.tokens[0] == "[CLS]"
+        assert encoding.tokens[-1] == "[SEP]"
+
+    def test_no_special_tokens_option(self, tokenizer):
+        encoding = tokenizer.encode("ls", add_special_tokens=False)
+        assert "[CLS]" not in encoding.tokens
+
+    def test_truncation(self, tokenizer):
+        encoding = tokenizer.encode("docker run -it ubuntu bash " * 10, max_length=8)
+        assert len(encoding) == 8
+        assert encoding.tokens[-1] == "[SEP]"
+
+    def test_truncation_without_specials(self, tokenizer):
+        encoding = tokenizer.encode("docker run " * 10, add_special_tokens=False, max_length=5)
+        assert len(encoding) == 5
+
+    def test_unknown_characters_map_to_unk(self, tokenizer):
+        encoding = tokenizer.encode("ls ☃☃", add_special_tokens=False)
+        assert tokenizer.vocab.unk_id in encoding.ids
+
+    def test_empty_line(self, tokenizer):
+        encoding = tokenizer.encode("")
+        assert encoding.tokens == ["[CLS]", "[SEP]"]
+
+    def test_batch_encoding(self, tokenizer):
+        encodings = tokenizer.encode_batch(["ls", "docker ps"])
+        assert len(encodings) == 2
+
+    def test_token_count(self, tokenizer):
+        assert tokenizer.token_count("ls -la /tmp") == len(
+            tokenizer.encode("ls -la /tmp", add_special_tokens=False)
+        )
+
+    def test_untrained_encode_raises(self):
+        with pytest.raises(NotFittedError):
+            BPETokenizer(vocab_size=100).encode("ls")
+
+    def test_whitespace_normalised_in_roundtrip(self, tokenizer):
+        # multiple spaces collapse (word-boundary marker carries one space)
+        assert tokenizer.decode(tokenizer.encode("ls   -la").ids) == "ls -la"
+
+    def test_deterministic(self, tokenizer):
+        a = tokenizer.encode("docker run -it ubuntu bash").ids
+        b = tokenizer.encode("docker run -it ubuntu bash").ids
+        assert a == b
+
+
+class TestVocab:
+    def test_add_and_lookup(self):
+        vocab = Vocab(["alpha"])
+        index = vocab.id_of("alpha")
+        assert vocab.token_of(index) == "alpha"
+
+    def test_unknown_maps_to_unk(self):
+        vocab = Vocab()
+        assert vocab.id_of("nope") == vocab.unk_id
+
+    def test_duplicate_add_is_idempotent(self):
+        vocab = Vocab()
+        first = vocab.add("x")
+        second = vocab.add("x")
+        assert first == second
+
+    def test_out_of_range_token_of_raises(self):
+        with pytest.raises(TokenizerError):
+            Vocab().token_of(9999)
+
+    def test_special_ids_complete(self):
+        vocab = Vocab()
+        assert len(vocab.special_ids) == 5
+
+    def test_contains(self):
+        vocab = Vocab(["a"])
+        assert "a" in vocab
+        assert "[CLS]" in vocab
+        assert "zzz" not in vocab
+
+
+class TestSerialization:
+    def test_roundtrip(self, tokenizer, tmp_path):
+        path = tmp_path / "tok.json"
+        save_tokenizer(tokenizer, path)
+        restored = load_tokenizer(path)
+        line = "docker run -it ubuntu bash"
+        assert restored.encode(line).ids == tokenizer.encode(line).ids
+        assert len(restored.vocab) == len(tokenizer.vocab)
+
+    def test_save_untrained_raises(self, tmp_path):
+        from repro.errors import CheckpointError
+
+        with pytest.raises(CheckpointError):
+            save_tokenizer(BPETokenizer(vocab_size=100), tmp_path / "x.json")
+
+    def test_load_garbage_raises(self, tmp_path):
+        from repro.errors import CheckpointError
+
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(CheckpointError):
+            load_tokenizer(path)
+
+    def test_custom_special_tokens_survive(self, tmp_path):
+        special = SpecialTokens(pad="<pad>", unk="<unk>", cls="<s>", sep="</s>", mask="<mask>")
+        tok = BPETokenizer(vocab_size=200, special=special).train(CORPUS)
+        path = tmp_path / "tok.json"
+        save_tokenizer(tok, path)
+        restored = load_tokenizer(path)
+        assert restored.special.cls == "<s>"
+        assert restored.encode("ls").tokens[0] == "<s>"

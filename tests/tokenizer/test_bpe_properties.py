@@ -1,0 +1,73 @@
+"""Property-based tests for BPE invariants."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tokenizer import BPETokenizer
+
+# printable command-ish alphabet (no exotic whitespace)
+_ALPHABET = string.ascii_letters + string.digits + "-_./|&;<>'\"$() "
+
+lines = st.text(alphabet=_ALPHABET, min_size=1, max_size=60).filter(lambda s: s.strip())
+
+
+def make_tokenizer(corpus):
+    return BPETokenizer(vocab_size=600, min_pair_frequency=2).train(corpus)
+
+
+BASE_CORPUS = [
+    "ls -la /tmp",
+    "docker ps -a",
+    "grep error /var/log/app.log",
+    "python main.py",
+    "cat file | sort | uniq",
+] * 5
+
+TOKENIZER = make_tokenizer(BASE_CORPUS)
+
+
+@given(lines)
+@settings(max_examples=150, deadline=None)
+def test_roundtrip_normalises_whitespace_only(line):
+    """decode(encode(x)) equals x up to whitespace collapsing."""
+    decoded = TOKENIZER.decode(TOKENIZER.encode(line).ids)
+    expected = " ".join(line.split())
+    # characters absent from the training alphabet become [UNK]
+    if all(ch in set("".join(BASE_CORPUS)) or ch == " " for ch in line):
+        assert decoded == expected
+
+
+@given(lines)
+@settings(max_examples=100, deadline=None)
+def test_encoding_is_deterministic(line):
+    assert TOKENIZER.encode(line).ids == TOKENIZER.encode(line).ids
+
+
+@given(lines)
+@settings(max_examples=100, deadline=None)
+def test_special_token_frame(line):
+    encoding = TOKENIZER.encode(line)
+    assert encoding.tokens[0] == "[CLS]"
+    assert encoding.tokens[-1] == "[SEP]"
+
+
+@given(lines, st.integers(min_value=3, max_value=20))
+@settings(max_examples=100, deadline=None)
+def test_max_length_is_respected(line, max_length):
+    assert len(TOKENIZER.encode(line, max_length=max_length)) <= max_length
+
+
+@given(st.lists(lines, min_size=1, max_size=10))
+@settings(max_examples=50, deadline=None)
+def test_training_never_exceeds_budget(corpus):
+    tok = BPETokenizer(vocab_size=64, min_pair_frequency=1).train(corpus)
+    assert len(tok.vocab) <= 64
+
+
+@given(lines)
+@settings(max_examples=100, deadline=None)
+def test_all_ids_within_vocab(line):
+    encoding = TOKENIZER.encode(line)
+    assert all(0 <= i < len(TOKENIZER.vocab) for i in encoding.ids)

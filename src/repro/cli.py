@@ -9,6 +9,13 @@ regenerated from a shell:
    $ repro-ids table2 --runs 3
    $ REPRO_SCALE=full repro-ids f1
    $ repro-ids all
+
+``repro-ids serve`` dispatches to the streaming detection server
+instead (see :mod:`repro.serving.cli`):
+
+.. code-block:: console
+
+   $ repro-ids serve --input telemetry.log --alerts-out alerts.jsonl
 """
 
 from __future__ import annotations
@@ -49,6 +56,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-ids",
         description="Regenerate the paper's tables and figures at reproduction scale.",
+        epilog="'repro-ids serve' runs the streaming detection server instead "
+        "('repro-ids serve --help' for its options).",
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     parser.add_argument(
@@ -64,6 +73,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "serve":
+        # serving has its own parser and heavy imports — dispatch early
+        from repro.serving.cli import serve_main
+
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

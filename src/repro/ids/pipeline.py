@@ -21,7 +21,7 @@ import numpy as np
 from repro.errors import CheckpointError, NotFittedError
 from repro.lm.checkpoint import load_pretrained, save_pretrained
 from repro.lm.encoder_api import CommandEncoder
-from repro.nn.serialization import load_module, save_module
+from repro.nn.serialization import save_module
 from repro.preprocess.normalizer import Normalizer
 from repro.shell.validate import CommandLineValidator
 from repro.tuning.classification import ClassificationTuner
@@ -46,12 +46,17 @@ class Verdict:
     dropped:
         True when pre-processing discarded the line (un-parseable noise
         cannot be executed and is not scored — Section II-A).
+    index:
+        Position of the line in the batch handed to :meth:`inspect`
+        (``-1`` when the verdict was produced outside a batch); used as
+        the deterministic tie-break when ranking alerts.
     """
 
     line: str
     score: float
     is_intrusion: bool
     dropped: bool = False
+    index: int = -1
 
 
 class IntrusionDetectionService:
@@ -91,20 +96,47 @@ class IntrusionDetectionService:
 
     # -- inference -----------------------------------------------------------
 
+    def preprocess(self, raw: str) -> str | None:
+        """Normalize and validate one raw log line.
+
+        Returns the normalized command line, or ``None`` when the line
+        is dropped (empty after normalization or un-parseable —
+        Section II-A).  This is the per-event entry point the streaming
+        server (:mod:`repro.serving`) calls before consulting its cache.
+        """
+        line = self.normalizer(raw)
+        if not line or not self._validator.is_valid(line):
+            return None
+        return line
+
+    def score_normalized(self, lines: Sequence[str]) -> np.ndarray:
+        """Score lines that already passed :meth:`preprocess`.
+
+        Fast path for callers that do their own per-event preprocessing
+        (the micro-batching server): skips normalization/validation and
+        runs tokenize → embed → head directly at the encoder's batch
+        width.
+        """
+        if not lines:
+            return np.zeros(0)
+        return self.tuner.score(list(lines))
+
     def inspect(self, lines: Sequence[str]) -> list[Verdict]:
         """Run the full inference path over raw log lines."""
         normalized: list[str] = []
         keep: list[int] = []
         verdicts: list[Verdict | None] = [None] * len(lines)
         for index, raw in enumerate(lines):
-            line = self.normalizer(raw)
-            if not line or not self._validator.is_valid(line):
-                verdicts[index] = Verdict(line="", score=0.0, is_intrusion=False, dropped=True)
+            line = self.preprocess(raw)
+            if line is None:
+                verdicts[index] = Verdict(
+                    line="", score=0.0, is_intrusion=False, dropped=True, index=index
+                )
                 continue
             keep.append(index)
             normalized.append(line)
         if normalized:
-            scores = self.tuner.score(normalized)
+            scores = self.score_normalized(normalized)
             for position, index in enumerate(keep):
                 score = float(scores[position])
                 verdicts[index] = Verdict(
@@ -112,6 +144,7 @@ class IntrusionDetectionService:
                     score=score,
                     is_intrusion=score >= self.threshold,
                     dropped=False,
+                    index=index,
                 )
         return [v for v in verdicts if v is not None]
 
@@ -120,9 +153,13 @@ class IntrusionDetectionService:
         return self.inspect([line])[0]
 
     def alerts(self, lines: Sequence[str]) -> list[Verdict]:
-        """Only the intrusion verdicts, highest score first."""
+        """Only the intrusion verdicts, highest score first.
+
+        Equal scores break ties on input position so the ordering is
+        fully deterministic across runs.
+        """
         flagged = [v for v in self.inspect(lines) if v.is_intrusion]
-        return sorted(flagged, key=lambda v: -v.score)
+        return sorted(flagged, key=lambda v: (-v.score, v.index))
 
     # -- persistence ------------------------------------------------------------
 
@@ -157,15 +194,5 @@ class IntrusionDetectionService:
         tuner = ClassificationTuner(
             encoder, hidden_size=meta["head_hidden"], pooling=meta["pooling"]
         )
-        # rebuild the head with the right geometry, then load weights
-        import numpy as _np
-
-        from repro.nn.layers import MLP
-
-        tuner.head = MLP(
-            encoder.embedding_dim, meta["head_hidden"], 2, _np.random.default_rng(0),
-            activation="relu", init_scheme="kaiming",
-        )
-        load_module(tuner.head, directory / _HEAD_FILE)
-        tuner._fitted = True
+        tuner.restore_head(directory / _HEAD_FILE)
         return cls(encoder=encoder, tuner=tuner, threshold=meta["threshold"])

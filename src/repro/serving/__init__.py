@@ -1,0 +1,55 @@
+"""Streaming detection service: the always-on inference path of Figure 1.
+
+Public surface:
+
+- :class:`DetectionServer` / :func:`serve_stream` — the asyncio server
+  and its synchronous driver.
+- :class:`MicroBatcher` — flush-on-size-or-deadline batching queue.
+- :class:`ScoreCache` — LRU normalized-line → score cache.
+- :class:`SessionAggregator` / :class:`HostSession` — per-host rolling
+  windows with escalation.
+- :class:`AlertSink` and friends — pluggable alert fan-out.
+- :class:`ServingMetrics` — throughput / latency / hit-rate counters.
+- Event model: :class:`CommandEvent`, :class:`DetectionResult`,
+  :class:`DetectionAlert`, :class:`Severity`, :class:`AlertStatus`.
+"""
+
+from repro.serving.cache import ScoreCache
+from repro.serving.events import (
+    AlertStatus,
+    CommandEvent,
+    DetectionAlert,
+    DetectionResult,
+    Severity,
+)
+from repro.serving.metrics import ServingMetrics
+from repro.serving.microbatch import MicroBatcher
+from repro.serving.server import DetectionServer, serve_stream
+from repro.serving.sessions import HostSession, SessionAggregator
+from repro.serving.sinks import (
+    AlertSink,
+    CallbackSink,
+    JsonlSink,
+    RingBufferSink,
+    SinkFanout,
+)
+
+__all__ = [
+    "AlertSink",
+    "AlertStatus",
+    "CallbackSink",
+    "CommandEvent",
+    "DetectionAlert",
+    "DetectionResult",
+    "DetectionServer",
+    "HostSession",
+    "JsonlSink",
+    "MicroBatcher",
+    "RingBufferSink",
+    "ScoreCache",
+    "ServingMetrics",
+    "SessionAggregator",
+    "Severity",
+    "SinkFanout",
+    "serve_stream",
+]

@@ -1,0 +1,75 @@
+"""LRU score cache keyed by normalized command line.
+
+Command-line telemetry is dominated by exact repeats (SCADE reports
+dedup/caching as the decisive scaling lever for command-stream anomaly
+detection): once ``ls -la`` has been scored, every later occurrence can
+skip tokenize + forward entirely.  The cache sits between per-event
+preprocessing and the micro-batcher, so only *distinct* normalized
+lines ever reach the language model.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class ScoreCache:
+    """Bounded LRU map from normalized command line to intrusion score.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries; the least-recently-used entry is
+        evicted when a ``put`` would exceed it.  ``0`` disables caching
+        (every ``get`` misses, ``put`` is a no-op) — useful for
+        cold-path benchmarking.
+
+    Hit/miss/eviction counters are maintained so serving metrics can
+    report the hit rate the paper-scale deployment depends on.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._entries: OrderedDict[str, float] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, line: str) -> bool:
+        return line in self._entries
+
+    def get(self, line: str) -> float | None:
+        """Return the cached score for *line* (marking it recently used)."""
+        score = self._entries.get(line)
+        if score is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(line)
+        self.hits += 1
+        return score
+
+    def put(self, line: str, score: float) -> None:
+        """Insert or refresh *line*, evicting the LRU entry when full."""
+        if self.capacity == 0:
+            return
+        if line in self._entries:
+            self._entries.move_to_end(line)
+        self._entries[line] = float(score)
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0 when never queried)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        self._entries.clear()

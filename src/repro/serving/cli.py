@@ -1,0 +1,203 @@
+"""``repro-ids serve`` — stream a file or stdin through the detection server.
+
+Input is one event per line: either a bare command line, or a JSON
+object ``{"line": ..., "host": ..., "timestamp": ...}`` (``host`` and
+``timestamp`` optional).  The input is read to EOF, then streamed
+through the server by concurrent producers; alerts print to stdout as
+they are confirmed and a metrics report prints at the end.  For an
+unbounded pipe, bound the read with ``--limit`` (a true follow/tail
+mode is a ROADMAP follow-up).
+
+.. code-block:: console
+
+   $ repro-ids serve --input telemetry.log
+   $ repro-ids serve --bundle ./bundle --input - --alerts-out alerts.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Iterable, Iterator
+from typing import TextIO
+
+from repro.errors import ReproError
+from repro.serving.cache import ScoreCache
+from repro.serving.events import CommandEvent
+from repro.serving.microbatch import MicroBatcher
+from repro.serving.server import serve_stream
+from repro.serving.sessions import SessionAggregator
+from repro.serving.sinks import AlertSink, CallbackSink, JsonlSink, RingBufferSink
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    """Argument definition for the ``serve`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-ids serve",
+        description="Stream command-line events through the detection server.",
+    )
+    parser.add_argument(
+        "--input",
+        default="-",
+        help="event file, one event per line ('-' = stdin; default). The stream "
+        "is read to EOF before serving starts — pair '-' with --limit when "
+        "piping from an unbounded source",
+    )
+    parser.add_argument(
+        "--bundle",
+        default=None,
+        help="saved IntrusionDetectionService bundle to serve "
+        "(default: train a small demo service first)",
+    )
+    parser.add_argument("--max-batch", type=int, default=32, help="micro-batch flush size")
+    parser.add_argument(
+        "--max-latency-ms", type=float, default=25.0, help="micro-batch flush deadline"
+    )
+    parser.add_argument("--cache-size", type=int, default=4096, help="LRU score-cache capacity")
+    parser.add_argument(
+        "--concurrency", type=int, default=8, help="in-process producer tasks feeding the server"
+    )
+    parser.add_argument(
+        "--alerts-out", default=None, help="also append alerts to this JSONL file"
+    )
+    parser.add_argument(
+        "--window-seconds", type=float, default=300.0, help="per-host escalation window"
+    )
+    parser.add_argument(
+        "--escalate-after", type=int, default=5, help="alerts in window that escalate a host"
+    )
+    parser.add_argument(
+        "--limit", type=int, default=None, help="stop after this many input events"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-alert output (metrics only)"
+    )
+    return parser
+
+
+def parse_event(text: str) -> CommandEvent | None:
+    """One input line → event (``None`` for blank lines).
+
+    JSON-object lines carry explicit host/timestamp; anything else is a
+    bare command line from an anonymous host.
+    """
+    text = text.rstrip("\n")
+    if not text.strip():
+        return None
+    if text.lstrip().startswith("{"):
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError:
+            record = None
+        if isinstance(record, dict) and "line" in record:
+            try:
+                timestamp = float(record["timestamp"])
+            except (KeyError, TypeError, ValueError):
+                timestamp = None
+            return CommandEvent(
+                line=str(record["line"]),
+                host=str(record.get("host", "-")),
+                timestamp=timestamp,
+            )
+    return CommandEvent(line=text)
+
+
+def read_events(stream: TextIO, limit: int | None = None) -> Iterator[CommandEvent]:
+    """Parse events from *stream*, skipping blanks, up to *limit*."""
+    if limit is not None and limit <= 0:
+        return
+    count = 0
+    for raw in stream:
+        event = parse_event(raw)
+        if event is None:
+            continue
+        yield event
+        count += 1
+        if limit is not None and count >= limit:
+            return
+
+
+def serve_main(argv: Iterable[str] | None = None, stdout: TextIO | None = None) -> int:
+    """Entry point for ``repro-ids serve``; returns a process exit code."""
+    out = stdout or sys.stdout
+    args = build_serve_parser().parse_args(list(argv) if argv is not None else None)
+
+    # read the stream before building the (possibly slow-to-train)
+    # service, so input mistakes fail fast and cleanly
+    try:
+        if args.input == "-":
+            events = list(read_events(sys.stdin, args.limit))
+        else:
+            with open(args.input, encoding="utf-8") as handle:
+                events = list(read_events(handle, args.limit))
+    except OSError as exc:
+        print(f"error: cannot read --input {args.input}: {exc}", file=sys.stderr)
+        return 2
+
+    # validate serving knobs with the real constructors before the
+    # (possibly slow) service build
+    try:
+        MicroBatcher(
+            lambda items: items, max_batch=args.max_batch, max_latency_ms=args.max_latency_ms
+        )
+        ScoreCache(args.cache_size)
+        SessionAggregator(
+            window_seconds=args.window_seconds, escalation_threshold=args.escalate_after
+        )
+        if args.concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.bundle is not None:
+        from repro.ids.pipeline import IntrusionDetectionService
+
+        try:
+            service = IntrusionDetectionService.load(args.bundle)
+        except ReproError as exc:
+            print(f"error: cannot load --bundle {args.bundle}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        from repro.serving.demo import build_demo_service
+
+        print("no --bundle given; training a small demo service ...", file=out)
+        try:
+            service = build_demo_service()
+        except ReproError as exc:
+            print(f"error: demo service training failed: {exc}", file=sys.stderr)
+            return 2
+
+    sinks: list[AlertSink] = [RingBufferSink(capacity=4096)]
+    if args.alerts_out is not None:
+        sinks.append(JsonlSink(args.alerts_out))
+    if not args.quiet:
+        sinks.append(
+            CallbackSink(
+                lambda alert: print(
+                    f"ALERT {alert.severity.value:>8} {alert.status.value:>9} "
+                    f"host={alert.host} score={alert.score:.3f} {alert.line}",
+                    file=out,
+                )
+            )
+        )
+
+    results, server = serve_stream(
+        service,
+        events,
+        concurrency=args.concurrency,
+        max_batch=args.max_batch,
+        max_latency_ms=args.max_latency_ms,
+        cache_size=args.cache_size,
+        sinks=sinks,
+        session_window_seconds=args.window_seconds,
+        escalation_threshold=args.escalate_after,
+    )
+
+    escalated = server.sessions.escalated_hosts()
+    if escalated:
+        print(f"escalated hosts: {', '.join(sorted(escalated))}", file=out)
+    print(f"\nprocessed {len(results)} events", file=out)
+    print(server.metrics.render(), file=out)
+    return 0

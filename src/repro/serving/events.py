@@ -1,0 +1,122 @@
+"""Data model of the streaming detection service.
+
+The serving layer deals in *events* — one command line observed on one
+host at one time — rather than the batch-of-lines view of the offline
+pipeline.  Confirmed detections become :class:`DetectionAlert` records
+with an explicit severity/status lifecycle (motivated by the
+alert-to-intelligence framing of Sun et al., 2025: downstream consumers
+need structured alerts, not bare scores).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(enum.Enum):
+    """How far above the calibrated threshold a detection landed."""
+
+    LOW = "low"
+    MEDIUM = "medium"
+    HIGH = "high"
+    CRITICAL = "critical"
+
+    @classmethod
+    def from_score(cls, score: float, threshold: float) -> "Severity":
+        """Band the score's margin over *threshold* into a severity.
+
+        The interval ``[threshold, 1]`` is split into four equal bands;
+        scores below the threshold map to ``LOW`` (such alerts only
+        arise through escalation, never from a raw verdict).
+        """
+        headroom = 1.0 - threshold
+        if headroom <= 0:
+            return cls.CRITICAL if score >= threshold else cls.LOW
+        fraction = (score - threshold) / headroom
+        if fraction < 0.25:
+            return cls.LOW
+        if fraction < 0.5:
+            return cls.MEDIUM
+        if fraction < 0.75:
+            return cls.HIGH
+        return cls.CRITICAL
+
+
+class AlertStatus(enum.Enum):
+    """Lifecycle state of an alert as it moves through triage."""
+
+    OPEN = "open"
+    ESCALATED = "escalated"
+    ACKNOWLEDGED = "acknowledged"
+    CLOSED = "closed"
+
+
+@dataclass(frozen=True)
+class CommandEvent:
+    """One command-line observation submitted to the server.
+
+    Attributes
+    ----------
+    line:
+        The raw (un-normalized) command line.
+    host:
+        Origin host identifier; drives per-host session aggregation.
+    timestamp:
+        Event time in seconds (any monotonic-enough clock; the session
+        aggregator only compares timestamps to each other).  ``None``
+        means "stamp with wall time on submission".
+    """
+
+    line: str
+    host: str = "-"
+    timestamp: float | None = None
+
+
+@dataclass(frozen=True)
+class DetectionAlert:
+    """A confirmed detection, ready for fan-out to alert sinks."""
+
+    alert_id: int
+    event_id: int
+    host: str
+    line: str
+    score: float
+    severity: Severity
+    status: AlertStatus
+    timestamp: float
+
+    def to_json(self) -> dict:
+        """JSON-serialisable form (used by the JSONL sink)."""
+        return {
+            "alert_id": self.alert_id,
+            "event_id": self.event_id,
+            "host": self.host,
+            "line": self.line,
+            "score": round(self.score, 6),
+            "severity": self.severity.value,
+            "status": self.status.value,
+            "timestamp": self.timestamp,
+        }
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """The server's answer for one submitted event.
+
+    Mirrors :class:`repro.ids.Verdict` but adds the serving-side
+    bookkeeping a caller needs to reason about the streaming path:
+    whether the score came from the cache and how long the event spent
+    in the server.
+    """
+
+    event_id: int
+    host: str
+    raw_line: str
+    line: str
+    score: float
+    is_intrusion: bool
+    dropped: bool
+    cache_hit: bool
+    latency_ms: float
+    alert: DetectionAlert | None = None

@@ -1,0 +1,139 @@
+"""Serving-side observability: throughput, latency percentiles, cache stats.
+
+The counters here are what the serving benchmark asserts against —
+events/sec with the cache cold vs. warm, p50/p95/p99 per-event latency,
+batch-size distribution, and the cache hit rate that makes streaming
+over repeat-heavy command telemetry tractable at all.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter, deque
+
+import numpy as np
+
+
+class ServingMetrics:
+    """Mutable counter bundle updated by the :class:`DetectionServer`.
+
+    Parameters
+    ----------
+    latency_reservoir:
+        How many of the most recent per-event latencies to keep for the
+        percentile estimates (a bounded deque, so a long-running server
+        reports recent behaviour, not its whole history).
+    """
+
+    def __init__(self, latency_reservoir: int = 10_000):
+        if latency_reservoir < 1:
+            raise ValueError("latency_reservoir must be >= 1")
+        self.events_total = 0
+        self.dropped = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.alerts = 0
+        self.escalations = 0
+        self.batches = 0
+        self.batched_events = 0
+        self.unique_scored = 0
+        self.flush_reasons: Counter[str] = Counter()
+        self._latencies_ms: deque[float] = deque(maxlen=latency_reservoir)
+        self._started_at: float | None = None
+        self._accumulated_seconds = 0.0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def mark_start(self) -> None:
+        """Resume the throughput clock (active time accumulates across
+        start/stop cycles, so counters and elapsed time stay consistent
+        when a server is reused)."""
+        if self._started_at is None:
+            self._started_at = time.perf_counter()
+
+    def mark_stop(self) -> None:
+        """Pause the throughput clock."""
+        if self._started_at is not None:
+            self._accumulated_seconds += time.perf_counter() - self._started_at
+            self._started_at = None
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Total *active* serving time the throughput figures cover."""
+        running = (
+            time.perf_counter() - self._started_at if self._started_at is not None else 0.0
+        )
+        return self._accumulated_seconds + running
+
+    # -- recording ---------------------------------------------------------
+
+    def record_event(self, latency_ms: float, *, dropped: bool, cache_hit: bool) -> None:
+        """Account one completed submission."""
+        self.events_total += 1
+        if dropped:
+            self.dropped += 1
+        elif cache_hit:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+        self._latencies_ms.append(float(latency_ms))
+
+    def record_batch(self, size: int, reason: str) -> None:
+        """Account one micro-batch flush (``on_flush`` hook)."""
+        self.batches += 1
+        self.batched_events += size
+        self.flush_reasons[reason] += 1
+
+    # -- derived figures ---------------------------------------------------
+
+    def latency_percentile(self, p: float) -> float:
+        """The *p*-th percentile of recent per-event latency (ms)."""
+        if not self._latencies_ms:
+            return 0.0
+        return float(np.percentile(np.asarray(self._latencies_ms), p))
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hit fraction among scored (non-dropped) events."""
+        scored = self.cache_hits + self.cache_misses
+        return self.cache_hits / scored if scored else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average events per micro-batch flush."""
+        return self.batched_events / self.batches if self.batches else 0.0
+
+    @property
+    def events_per_second(self) -> float:
+        """Throughput over :attr:`elapsed_seconds`."""
+        elapsed = self.elapsed_seconds
+        return self.events_total / elapsed if elapsed > 0 else 0.0
+
+    def snapshot(self) -> dict:
+        """All figures as a plain dict (stable keys, JSON-serialisable)."""
+        return {
+            "events_total": self.events_total,
+            "dropped": self.dropped,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "alerts": self.alerts,
+            "escalations": self.escalations,
+            "batches": self.batches,
+            "mean_batch_size": round(self.mean_batch_size, 2),
+            "unique_scored": self.unique_scored,
+            "flush_reasons": dict(self.flush_reasons),
+            "latency_p50_ms": round(self.latency_percentile(50), 3),
+            "latency_p95_ms": round(self.latency_percentile(95), 3),
+            "latency_p99_ms": round(self.latency_percentile(99), 3),
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "events_per_second": round(self.events_per_second, 1),
+        }
+
+    def render(self) -> str:
+        """Human-readable report (printed by ``repro-ids serve``)."""
+        snap = self.snapshot()
+        lines = ["serving metrics", "---------------"]
+        for key, value in snap.items():
+            lines.append(f"{key:>20}: {value}")
+        return "\n".join(lines)

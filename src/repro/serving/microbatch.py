@@ -1,0 +1,153 @@
+"""Micro-batching queue: many concurrent producers, one batched consumer.
+
+The LM encoder is far more efficient at its native batch width than at
+batch size 1, but streaming producers submit one event at a time.  The
+:class:`MicroBatcher` bridges the two: submissions are coalesced and
+flushed to a batch handler when either ``max_batch`` items have
+accumulated or the oldest item has waited ``max_latency_ms`` —
+whichever comes first.  This is the standard inference-serving
+micro-batch policy (bounded batching delay, full batches under load).
+
+The handler runs synchronously inside the event loop — the repo's LM is
+CPU/numpy-bound, so there is no separate executor to hand off to; while
+a batch is being scored, new submissions simply queue up and form the
+next batch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import Callable, Sequence
+from typing import Any
+
+#: Flush cause reported to the ``on_flush`` observer.
+FLUSH_SIZE = "size"
+FLUSH_DEADLINE = "deadline"
+FLUSH_DRAIN = "drain"
+
+
+class MicroBatcher:
+    """Coalesce single-item submissions into handler-sized batches.
+
+    Parameters
+    ----------
+    handler:
+        ``handler(items) -> results`` with ``len(results) == len(items)``,
+        called with at most ``max_batch`` items.  May be any synchronous
+        callable (the LM scoring path here).
+    max_batch:
+        Flush as soon as this many items are pending.
+    max_latency_ms:
+        Flush when the oldest pending item has waited this long, even if
+        the batch is not full — bounds per-event queueing delay under
+        light traffic.
+    on_flush:
+        Optional observer ``on_flush(batch_size, reason)`` invoked after
+        every flush (serving metrics hook).
+
+    Example
+    -------
+    >>> batcher = MicroBatcher(lambda xs: [x * 2 for x in xs])  # doctest: +SKIP
+    >>> await batcher.start()                                   # doctest: +SKIP
+    >>> await batcher.submit(21)                                # doctest: +SKIP
+    42
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[list[Any]], Sequence[Any]],
+        max_batch: int = 32,
+        max_latency_ms: float = 25.0,
+        on_flush: Callable[[int, str], None] | None = None,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_latency_ms <= 0:
+            raise ValueError("max_latency_ms must be positive")
+        self.handler = handler
+        self.max_batch = max_batch
+        self.max_latency_ms = max_latency_ms
+        self.on_flush = on_flush
+        self._queue: asyncio.Queue[tuple[Any, asyncio.Future]] = asyncio.Queue()
+        self._worker: asyncio.Task | None = None
+
+    @property
+    def running(self) -> bool:
+        """Whether the consumer task is active."""
+        return self._worker is not None and not self._worker.done()
+
+    async def start(self) -> None:
+        """Spawn the consumer task (idempotent; re-startable after stop)."""
+        if self.running:
+            return
+        if self._queue.empty():
+            # an asyncio.Queue binds to the loop it is first used on;
+            # rebuild it so a stopped batcher can restart on a new loop
+            self._queue = asyncio.Queue()
+        self._worker = asyncio.get_running_loop().create_task(self._consume())
+
+    async def stop(self) -> None:
+        """Cancel the consumer, flushing anything still pending."""
+        if self._worker is not None:
+            self._worker.cancel()
+            try:
+                await self._worker
+            except asyncio.CancelledError:
+                pass
+            self._worker = None
+        leftovers = []
+        while not self._queue.empty():
+            leftovers.append(self._queue.get_nowait())
+        # honour the handler's max_batch contract even on drain
+        for start in range(0, len(leftovers), self.max_batch):
+            self._flush(leftovers[start : start + self.max_batch], FLUSH_DRAIN)
+
+    async def submit(self, item: Any) -> Any:
+        """Enqueue *item* and wait for its slot of the batch result."""
+        if not self.running:
+            raise RuntimeError("MicroBatcher is not running; call start() first")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        await self._queue.put((item, future))
+        return await future
+
+    async def _consume(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = [await self._queue.get()]
+            deadline = loop.time() + self.max_latency_ms / 1000.0
+            reason = FLUSH_SIZE
+            try:
+                while len(batch) < self.max_batch:
+                    remaining = deadline - loop.time()
+                    if remaining <= 0:
+                        reason = FLUSH_DEADLINE
+                        break
+                    try:
+                        batch.append(await asyncio.wait_for(self._queue.get(), remaining))
+                    except asyncio.TimeoutError:
+                        reason = FLUSH_DEADLINE
+                        break
+            except asyncio.CancelledError:
+                # stop() mid-collection: don't strand producers already batched
+                self._flush(batch, FLUSH_DRAIN)
+                raise
+            self._flush(batch, reason)
+
+    def _flush(self, batch: list[tuple[Any, asyncio.Future]], reason: str) -> None:
+        items = [item for item, _ in batch]
+        try:
+            results = self.handler(items)
+            if len(results) != len(items):
+                raise RuntimeError(
+                    f"batch handler returned {len(results)} results for {len(items)} items"
+                )
+        except Exception as exc:  # propagate to every waiting producer
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for (_, future), result in zip(batch, results):
+            if not future.done():
+                future.set_result(result)
+        if self.on_flush is not None:
+            self.on_flush(len(items), reason)

@@ -1,0 +1,267 @@
+"""The asyncio streaming detection server (the always-on path of Figure 1).
+
+Per event, the flow is::
+
+    submit(line, host) ──► preprocess (normalize + parse-validate)
+                              │ dropped? ──► DetectionResult(dropped=True)
+                              ▼
+                           ScoreCache ── hit ──► score
+                              │ miss
+                              ▼
+                           MicroBatcher ──► service.score_normalized(batch)
+                              ▼
+                           threshold ── intrusion? ──► DetectionAlert
+                                                         │
+                                         SessionAggregator + SinkFanout
+
+Many producers may ``await submit(...)`` concurrently; the micro-batcher
+coalesces their misses so the LM encoder always runs near its efficient
+batch width, and within-batch duplicates are scored once.  Everything is
+in-process and unit-testable without sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections.abc import Iterable
+
+from repro.ids.pipeline import IntrusionDetectionService
+from repro.serving.cache import ScoreCache
+from repro.serving.events import (
+    AlertStatus,
+    CommandEvent,
+    DetectionAlert,
+    DetectionResult,
+    Severity,
+)
+from repro.serving.metrics import ServingMetrics
+from repro.serving.microbatch import MicroBatcher
+from repro.serving.sessions import SessionAggregator
+from repro.serving.sinks import AlertSink, SinkFanout
+
+
+class DetectionServer:
+    """Streaming front-end over an :class:`IntrusionDetectionService`.
+
+    Parameters
+    ----------
+    service:
+        A fitted detection service (only its ``preprocess``,
+        ``score_normalized`` and ``threshold`` surface is used, so tests
+        may substitute a lightweight stub).
+    max_batch / max_latency_ms:
+        Micro-batch policy: flush on size or on the oldest event's
+        queueing deadline, whichever first.
+    cache_size:
+        LRU capacity of the normalized-line score cache (0 disables).
+    sinks:
+        Alert sinks to fan confirmed detections out to.
+    session_window_seconds / escalation_threshold:
+        Per-host rolling-window escalation policy.
+    metrics:
+        Optional externally-owned :class:`ServingMetrics` bundle.
+
+    Example
+    -------
+    >>> async with DetectionServer(service) as server:      # doctest: +SKIP
+    ...     result = await server.submit("nc -lvnp 4444", host="web-3")
+    ...     result.is_intrusion
+    True
+    """
+
+    def __init__(
+        self,
+        service: IntrusionDetectionService,
+        *,
+        max_batch: int = 32,
+        max_latency_ms: float = 25.0,
+        cache_size: int = 4096,
+        sinks: Iterable[AlertSink] = (),
+        session_window_seconds: float = 300.0,
+        escalation_threshold: int = 5,
+        metrics: ServingMetrics | None = None,
+    ):
+        self.service = service
+        self.cache = ScoreCache(cache_size)
+        self.metrics = metrics or ServingMetrics()
+        self.sessions = SessionAggregator(
+            window_seconds=session_window_seconds,
+            escalation_threshold=escalation_threshold,
+        )
+        self.sinks = SinkFanout(list(sinks))
+        self.batcher = MicroBatcher(
+            self._score_batch,
+            max_batch=max_batch,
+            max_latency_ms=max_latency_ms,
+            on_flush=self.metrics.record_batch,
+        )
+        self._event_seq = 0
+        self._alert_seq = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start the micro-batch consumer and the throughput clock."""
+        self.metrics.mark_start()
+        await self.batcher.start()
+
+    async def stop(self) -> None:
+        """Drain the batcher, close sinks, freeze the clock."""
+        await self.batcher.stop()
+        self.sinks.close()
+        self.metrics.mark_stop()
+
+    async def __aenter__(self) -> "DetectionServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- event path --------------------------------------------------------
+
+    async def submit(
+        self, line: str, host: str = "-", timestamp: float | None = None
+    ) -> DetectionResult:
+        """Score one raw command line from *host*; full serving path."""
+        started = time.perf_counter()
+        self._event_seq += 1
+        event_id = self._event_seq
+        when = time.time() if timestamp is None else float(timestamp)
+
+        normalized = self.service.preprocess(line)
+        if normalized is None:
+            latency = (time.perf_counter() - started) * 1000.0
+            self.metrics.record_event(latency, dropped=True, cache_hit=False)
+            return DetectionResult(
+                event_id=event_id,
+                host=host,
+                raw_line=line,
+                line="",
+                score=0.0,
+                is_intrusion=False,
+                dropped=True,
+                cache_hit=False,
+                latency_ms=latency,
+            )
+
+        cached = self.cache.get(normalized)
+        if cached is not None:
+            score, cache_hit = cached, True
+        else:
+            score = float(await self.batcher.submit(normalized))
+            cache_hit = False
+
+        is_intrusion = score >= self.service.threshold
+        session, newly_escalated = self.sessions.observe(host, when, is_intrusion)
+        if newly_escalated:
+            self.metrics.escalations += 1
+        alert = None
+        if is_intrusion:
+            alert = self._emit_alert(event_id, host, normalized, score, when, session.escalated)
+
+        latency = (time.perf_counter() - started) * 1000.0
+        self.metrics.record_event(latency, dropped=False, cache_hit=cache_hit)
+        return DetectionResult(
+            event_id=event_id,
+            host=host,
+            raw_line=line,
+            line=normalized,
+            score=score,
+            is_intrusion=is_intrusion,
+            dropped=False,
+            cache_hit=cache_hit,
+            latency_ms=latency,
+            alert=alert,
+        )
+
+    async def submit_event(self, event: CommandEvent) -> DetectionResult:
+        """Submit a :class:`CommandEvent` (record-style convenience)."""
+        return await self.submit(event.line, host=event.host, timestamp=event.timestamp)
+
+    # -- internals ---------------------------------------------------------
+
+    def _emit_alert(
+        self, event_id: int, host: str, line: str, score: float, when: float, escalated: bool
+    ) -> DetectionAlert:
+        self._alert_seq += 1
+        alert = DetectionAlert(
+            alert_id=self._alert_seq,
+            event_id=event_id,
+            host=host,
+            line=line,
+            score=score,
+            severity=Severity.from_score(score, self.service.threshold),
+            status=AlertStatus.ESCALATED if escalated else AlertStatus.OPEN,
+            timestamp=when,
+        )
+        self.sinks.emit(alert)
+        self.metrics.alerts += 1
+        return alert
+
+    def _score_batch(self, lines: list[str]) -> list[float]:
+        """Micro-batch handler: score distinct lines once, fill the cache."""
+        unique: dict[str, float] = dict.fromkeys(lines, 0.0)
+        scores = self.service.score_normalized(list(unique))
+        for line, score in zip(unique, scores):
+            value = float(score)
+            unique[line] = value
+            self.cache.put(line, value)
+        self.metrics.unique_scored += len(unique)
+        return [unique[line] for line in lines]
+
+
+def serve_stream(
+    service: IntrusionDetectionService,
+    events: Iterable[CommandEvent | str],
+    *,
+    concurrency: int = 8,
+    **server_options,
+) -> tuple[list[DetectionResult], DetectionServer]:
+    """Drive a server over *events* with in-process async producers.
+
+    The synchronous entry point used by ``repro-ids serve`` and the
+    benchmarks: materialises *events*, fans them across *concurrency*
+    producer tasks (so the micro-batcher actually sees concurrent
+    traffic), and returns per-event results in input order plus the
+    stopped server for metrics/sink inspection.
+
+    ``server_options`` may be an existing ``server=`` (reused as-is,
+    e.g. to measure a warm cache — no other options are allowed then),
+    or keyword options for a new :class:`DetectionServer`.
+    """
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    materialized = [
+        event if isinstance(event, CommandEvent) else CommandEvent(line=event)
+        for event in events
+    ]
+    server = server_options.pop("server", None)
+    if server is not None and server_options:
+        raise ValueError(
+            "server= reuses an existing DetectionServer; these options would be "
+            f"silently ignored: {sorted(server_options)}"
+        )
+    if server is None:
+        server = DetectionServer(service, **server_options)
+
+    async def _run() -> list[DetectionResult]:
+        results: list[DetectionResult | None] = [None] * len(materialized)
+        pending: asyncio.Queue[tuple[int, CommandEvent]] = asyncio.Queue()
+        for position, event in enumerate(materialized):
+            pending.put_nowait((position, event))
+
+        async def producer() -> None:
+            while True:
+                try:
+                    position, event = pending.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                results[position] = await server.submit_event(event)
+
+        async with server:
+            await asyncio.gather(*(producer() for _ in range(concurrency)))
+        return [result for result in results if result is not None]
+
+    return asyncio.run(_run()), server

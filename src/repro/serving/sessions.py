@@ -1,0 +1,91 @@
+"""Per-host session aggregation with rolling-window escalation.
+
+A single flagged command is an alert; a *burst* of flagged commands
+from one host is an incident.  The aggregator keeps, per host, a
+rolling window of recent alert timestamps and escalates the host once
+the count inside the window crosses a threshold — after which further
+alerts from that host are emitted with ``ESCALATED`` status so
+downstream consumers can prioritise them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass
+class HostSession:
+    """Rolling state for one host's command stream."""
+
+    host: str
+    events: int = 0
+    alerts: int = 0
+    escalated: bool = False
+    escalated_at: float | None = None
+    window: deque = field(default_factory=deque, repr=False)
+
+    def alerts_in_window(self) -> int:
+        """Alerts currently inside the rolling window."""
+        return len(self.window)
+
+
+class SessionAggregator:
+    """Track per-host alert rates and flag hosts that burst.
+
+    Parameters
+    ----------
+    window_seconds:
+        Width of the rolling window alert timestamps are counted over.
+    escalation_threshold:
+        Number of alerts inside the window at which a host escalates.
+        Escalation is sticky: once a host crosses the threshold it stays
+        escalated for the lifetime of the aggregator (incident response
+        owns de-escalation, not the detector).
+    """
+
+    def __init__(self, window_seconds: float = 300.0, escalation_threshold: int = 5):
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        if escalation_threshold < 1:
+            raise ValueError("escalation_threshold must be >= 1")
+        self.window_seconds = window_seconds
+        self.escalation_threshold = escalation_threshold
+        self._sessions: dict[str, HostSession] = {}
+
+    def observe(self, host: str, timestamp: float, is_alert: bool) -> tuple[HostSession, bool]:
+        """Account one event; returns ``(session, newly_escalated)``.
+
+        ``newly_escalated`` is true only on the exact event that pushed
+        the host over the threshold, so callers can emit one escalation
+        notice per incident rather than one per subsequent alert.
+        """
+        session = self._sessions.get(host)
+        if session is None:
+            session = self._sessions[host] = HostSession(host=host)
+        session.events += 1
+        horizon = timestamp - self.window_seconds
+        window = session.window
+        while window and window[0] < horizon:
+            window.popleft()
+        newly_escalated = False
+        if is_alert:
+            session.alerts += 1
+            window.append(timestamp)
+            if not session.escalated and len(window) >= self.escalation_threshold:
+                session.escalated = True
+                session.escalated_at = timestamp
+                newly_escalated = True
+        return session, newly_escalated
+
+    def session(self, host: str) -> HostSession | None:
+        """The session for *host*, or ``None`` if never seen."""
+        return self._sessions.get(host)
+
+    def sessions(self) -> list[HostSession]:
+        """All sessions, insertion-ordered."""
+        return list(self._sessions.values())
+
+    def escalated_hosts(self) -> list[str]:
+        """Hosts currently in the escalated state."""
+        return [s.host for s in self._sessions.values() if s.escalated]

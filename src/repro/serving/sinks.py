@@ -1,0 +1,118 @@
+"""Pluggable alert sinks: where confirmed detections go.
+
+The server fans every :class:`~repro.serving.events.DetectionAlert` out
+to all configured sinks.  Three implementations cover the common
+shapes: an in-memory ring buffer (dashboards, tests), a JSONL file
+(durable hand-off to a SIEM), and an arbitrary callback (custom
+integrations).  A sink must never raise back into the serving path —
+failures are counted and swallowed.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from collections.abc import Callable
+from pathlib import Path
+
+from repro.serving.events import DetectionAlert
+
+
+class AlertSink:
+    """Base class: receive alerts, optionally flush/close resources."""
+
+    def emit(self, alert: DetectionAlert) -> None:
+        """Deliver one alert (must not raise)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources (default: nothing to do)."""
+
+
+class RingBufferSink(AlertSink):
+    """Keep the most recent *capacity* alerts in memory."""
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._ring: deque[DetectionAlert] = deque(maxlen=capacity)
+        self.emitted = 0
+
+    def emit(self, alert: DetectionAlert) -> None:
+        self._ring.append(alert)
+        self.emitted += 1
+
+    @property
+    def alerts(self) -> list[DetectionAlert]:
+        """Buffered alerts, oldest first."""
+        return list(self._ring)
+
+
+class JsonlSink(AlertSink):
+    """Append alerts to a JSON-lines file (one object per alert)."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._handle = None
+        self.emitted = 0
+
+    def emit(self, alert: DetectionAlert) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", encoding="utf-8")
+        self._handle.write(json.dumps(alert.to_json()) + "\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class CallbackSink(AlertSink):
+    """Invoke ``callback(alert)`` for every alert."""
+
+    def __init__(self, callback: Callable[[DetectionAlert], None]):
+        self._callback = callback
+        self.emitted = 0
+
+    def emit(self, alert: DetectionAlert) -> None:
+        self._callback(alert)
+        self.emitted += 1
+
+
+class SinkFanout:
+    """Deliver each alert to every registered sink, isolating failures.
+
+    A broken sink (full disk, raising callback) must not take down the
+    detection path, so exceptions are counted per sink type and
+    swallowed.
+    """
+
+    def __init__(self, sinks: list[AlertSink] | tuple[AlertSink, ...] = ()):
+        self.sinks: list[AlertSink] = list(sinks)
+        self.delivered = 0
+        self.failures: dict[str, int] = {}
+
+    def add(self, sink: AlertSink) -> None:
+        """Register another sink."""
+        self.sinks.append(sink)
+
+    def emit(self, alert: DetectionAlert) -> None:
+        """Fan *alert* out to all sinks."""
+        for sink in self.sinks:
+            try:
+                sink.emit(alert)
+                self.delivered += 1
+            except Exception:
+                name = type(sink).__name__
+                self.failures[name] = self.failures.get(name, 0) + 1
+
+    def close(self) -> None:
+        """Close all sinks (failures swallowed here too)."""
+        for sink in self.sinks:
+            try:
+                sink.close()
+            except Exception:
+                name = type(sink).__name__
+                self.failures[name] = self.failures.get(name, 0) + 1

@@ -12,6 +12,7 @@ Because the backbone stays frozen, the head can be trained on
 from __future__ import annotations
 
 from collections.abc import Sequence
+from pathlib import Path
 
 import numpy as np
 
@@ -20,6 +21,7 @@ from repro.nn import functional as F
 from repro.nn.layers import MLP
 from repro.nn.module import no_grad
 from repro.nn.optim import AdamW
+from repro.nn.serialization import load_module
 from repro.nn.tensor import Tensor
 from repro.tuning.base import IntrusionScorer
 
@@ -133,6 +135,33 @@ class ClassificationTuner(IntrusionScorer):
         oversampled = rng.choice(positives, size=negatives.size, replace=True)
         combined = np.concatenate([negatives, oversampled])
         return rng.permutation(combined)
+
+    def restore_head(self, path: str | Path) -> "ClassificationTuner":
+        """Rebuild the head with this tuner's geometry and load saved weights.
+
+        The checkpoint must have been written by
+        :func:`repro.nn.serialization.save_module` for a head of the same
+        ``(embedding_dim, hidden_size)`` geometry; after this call the
+        tuner scores exactly as the one that was saved.
+
+        Raises
+        ------
+        CheckpointError
+            If the checkpoint is missing, unreadable, or its geometry
+            does not match this tuner's configuration.
+        """
+        head = MLP(
+            self.encoder.embedding_dim,
+            self.hidden_size,
+            2,
+            np.random.default_rng(self.seed),
+            activation="relu",
+            init_scheme="kaiming",
+        )
+        load_module(head, path)
+        self.head = head
+        self._fitted = True
+        return self
 
     # ------------------------------------------------------------------
 

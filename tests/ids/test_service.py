@@ -55,6 +55,31 @@ class TestInference:
         scores = [alert.score for alert in alerts]
         assert scores == sorted(scores, reverse=True)
 
+    def test_alerts_equal_scores_break_ties_on_input_index(self, service):
+        # the same malicious line twice scores identically; input order decides
+        alerts = service.alerts(["nc -lvnp 4444", "ls -la /tmp", "nc -lvnp 4444"])
+        duplicate_indices = [a.index for a in alerts if a.line == "nc -lvnp 4444"]
+        assert duplicate_indices == [0, 2]
+        assert alerts == sorted(alerts, key=lambda v: (-v.score, v.index))
+
+    def test_verdicts_carry_input_index(self, service):
+        verdicts = service.inspect(["ls -la /tmp", "echo 'unterminated", "nc -lvnp 4444"])
+        assert [v.index for v in verdicts] == [0, 1, 2]
+
+    def test_preprocess_fast_path(self, service):
+        assert service.preprocess("  ls   -la ") == "ls -la"
+        assert service.preprocess("echo 'unterminated") is None
+        assert service.preprocess("   ") is None
+
+    def test_score_normalized_matches_inspect(self, service):
+        lines = ["ls -la /tmp", "nc -lvnp 4444"]
+        fast = service.score_normalized(lines)
+        full = [v.score for v in service.inspect(lines)]
+        np.testing.assert_allclose(fast, full, atol=1e-12)
+
+    def test_score_normalized_empty(self, service):
+        assert service.score_normalized([]).shape == (0,)
+
     def test_empty_batch(self, service):
         assert service.inspect([]) == []
 
@@ -74,6 +99,49 @@ class TestPersistence:
         loaded = [v.score for v in restored.inspect(lines)]
         np.testing.assert_allclose(original, loaded, atol=1e-10)
         assert restored.threshold == service.threshold
+
+    def test_save_load_identical_verdicts(self, service, tmp_path):
+        service.save(tmp_path / "bundle")
+        restored = IntrusionDetectionService.load(tmp_path / "bundle")
+        lines = BENIGN[:4] + MALICIOUS[:3] + ["echo 'unterminated"]
+        for original, loaded in zip(service.inspect(lines), restored.inspect(lines)):
+            assert original.is_intrusion == loaded.is_intrusion
+            assert original.dropped == loaded.dropped
+            assert original.line == loaded.line
+
+    def test_restored_tuner_is_properly_fitted(self, service, tmp_path):
+        # load() goes through ClassificationTuner.restore_head, not privates
+        service.save(tmp_path / "bundle")
+        restored = IntrusionDetectionService.load(tmp_path / "bundle")
+        assert restored.tuner.head is not None
+        scores = restored.tuner.score(["nc -lvnp 4444"])
+        assert scores.shape == (1,)
+
+    def test_restore_head_api_roundtrip(self, service, tmp_path):
+        from repro.nn.serialization import save_module
+        from repro.tuning import ClassificationTuner
+
+        path = tmp_path / "head.npz"
+        save_module(service.tuner.head, path)
+        fresh = ClassificationTuner(
+            service.encoder, hidden_size=service.tuner.hidden_size, pooling=service.tuner.pooling
+        )
+        fresh.restore_head(path)
+        lines = ["ls -la /tmp", "nc -lvnp 4444"]
+        np.testing.assert_allclose(fresh.score(lines), service.tuner.score(lines), atol=1e-12)
+
+    def test_restore_head_missing_checkpoint_raises(self, service, tmp_path):
+        from repro.tuning import ClassificationTuner
+
+        fresh = ClassificationTuner(service.encoder)
+        with pytest.raises(CheckpointError):
+            fresh.restore_head(tmp_path / "missing.npz")
+
+    def test_load_missing_head_raises(self, service, tmp_path):
+        service.save(tmp_path / "bundle")
+        (tmp_path / "bundle" / "head.npz").unlink()
+        with pytest.raises(CheckpointError):
+            IntrusionDetectionService.load(tmp_path / "bundle")
 
     def test_load_missing_bundle_raises(self, tmp_path):
         with pytest.raises(CheckpointError):

@@ -1,0 +1,42 @@
+"""Shared fixtures for the serving suite.
+
+Most tests drive the server with :class:`StubService` — a deterministic
+stand-in exposing exactly the surface :class:`DetectionServer` uses
+(``preprocess`` / ``score_normalized`` / ``threshold``) — so the async
+machinery is exercised without training a language model.  The
+integration module uses the real miniature demo service.
+"""
+
+import numpy as np
+import pytest
+
+
+class StubService:
+    """Deterministic service stub: score 0.9 for 'evil' lines, 0.1 otherwise."""
+
+    threshold = 0.5
+
+    def __init__(self):
+        self.scored_batches: list[list[str]] = []
+
+    def preprocess(self, raw: str) -> str | None:
+        line = " ".join(raw.split())
+        if not line or line.endswith("'"):  # simulate an unparseable line
+            return None
+        return line
+
+    def score_normalized(self, lines):
+        self.scored_batches.append(list(lines))
+        return np.array([0.9 if "evil" in line else 0.1 for line in lines])
+
+
+@pytest.fixture
+def stub_service():
+    return StubService()
+
+
+@pytest.fixture(scope="session")
+def demo_service():
+    from repro.serving.demo import build_demo_service
+
+    return build_demo_service()

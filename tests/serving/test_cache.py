@@ -1,0 +1,68 @@
+"""Tests for the LRU score cache."""
+
+import pytest
+
+from repro.serving import ScoreCache
+
+
+class TestScoreCache:
+    def test_miss_then_hit(self):
+        cache = ScoreCache(capacity=4)
+        assert cache.get("ls -la") is None
+        cache.put("ls -la", 0.2)
+        assert cache.get("ls -la") == 0.2
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = ScoreCache(capacity=2)
+        cache.put("a", 0.1)
+        cache.put("b", 0.2)
+        cache.get("a")  # refresh a → b is now LRU
+        cache.put("c", 0.3)
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert cache.evictions == 1
+
+    def test_put_refreshes_existing_entry(self):
+        cache = ScoreCache(capacity=2)
+        cache.put("a", 0.1)
+        cache.put("b", 0.2)
+        cache.put("a", 0.9)  # refresh, not insert — no eviction
+        assert len(cache) == 2
+        assert cache.evictions == 0
+        assert cache.get("a") == 0.9
+
+    def test_capacity_bound_holds(self):
+        cache = ScoreCache(capacity=3)
+        for index in range(10):
+            cache.put(f"line-{index}", float(index))
+        assert len(cache) == 3
+        assert cache.evictions == 7
+
+    def test_zero_capacity_disables_caching(self):
+        cache = ScoreCache(capacity=0)
+        cache.put("a", 0.5)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_hit_rate(self):
+        cache = ScoreCache(capacity=4)
+        cache.put("a", 0.5)
+        cache.get("a")
+        cache.get("a")
+        cache.get("missing")
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+    def test_clear_keeps_counters(self):
+        cache = ScoreCache(capacity=4)
+        cache.put("a", 0.5)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ScoreCache(capacity=-1)

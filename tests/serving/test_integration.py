@@ -1,0 +1,108 @@
+"""End-to-end serving tests against the real (miniature) trained service."""
+
+import json
+
+from repro.serving import RingBufferSink, serve_stream
+from repro.serving.cli import parse_event, serve_main
+from repro.serving.demo import DEMO_BENIGN, DEMO_MALICIOUS
+
+
+class TestStreamingAgainstRealService:
+    def test_stream_matches_batch_inspect(self, demo_service):
+        lines = DEMO_BENIGN[:4] + DEMO_MALICIOUS[:2]
+        results, _ = serve_stream(demo_service, lines, concurrency=3, max_latency_ms=10)
+        batch = demo_service.inspect(lines)
+        for streamed, offline in zip(results, batch):
+            assert streamed.line == offline.line
+            assert abs(streamed.score - offline.score) < 1e-9
+            assert streamed.is_intrusion == offline.is_intrusion
+
+    def test_alerts_fan_out_for_malicious_stream(self, demo_service):
+        ring = RingBufferSink()
+        stream = [line for line in DEMO_MALICIOUS for _ in range(3)]
+        _, server = serve_stream(
+            demo_service,
+            stream,
+            concurrency=4,
+            max_latency_ms=10,
+            sinks=[ring],
+            session_window_seconds=1e9,
+            escalation_threshold=4,
+        )
+        assert server.metrics.alerts == ring.emitted
+        assert server.metrics.alerts >= len(DEMO_MALICIOUS)  # repeats hit the cache but still alert
+        assert server.metrics.cache_hits > 0
+        assert server.sessions.escalated_hosts() == ["-"]
+
+
+class TestParseEvent:
+    def test_plain_line(self):
+        event = parse_event("ls -la /tmp\n")
+        assert event.line == "ls -la /tmp"
+        assert event.host == "-"
+        assert event.timestamp is None
+
+    def test_json_line(self):
+        event = parse_event('{"line": "nc -lvnp 4444", "host": "web-3", "timestamp": 17.5}')
+        assert event.line == "nc -lvnp 4444"
+        assert event.host == "web-3"
+        assert event.timestamp == 17.5
+
+    def test_blank_line_skipped(self):
+        assert parse_event("   \n") is None
+
+    def test_malformed_json_treated_as_raw_line(self):
+        event = parse_event('{"line": broken')
+        assert event.line == '{"line": broken'
+
+    def test_non_numeric_timestamp_ignored(self):
+        event = parse_event('{"line": "ls", "timestamp": "not-a-number"}')
+        assert event.line == "ls"
+        assert event.timestamp is None
+
+    def test_wrong_typed_timestamp_ignored(self):
+        event = parse_event('{"line": "ls", "timestamp": [1, 2]}')
+        assert event.timestamp is None
+
+
+class TestServeCli:
+    def test_serve_end_to_end(self, demo_service, tmp_path, capsys, monkeypatch):
+        # skip the in-test training: reuse the session's demo service
+        monkeypatch.setattr("repro.serving.demo.build_demo_service", lambda: demo_service)
+        bundle_free_input = tmp_path / "telemetry.log"
+        events = [json.dumps({"line": line, "host": "web-1", "timestamp": float(i)})
+                  for i, line in enumerate(DEMO_BENIGN * 2 + DEMO_MALICIOUS * 2)]
+        bundle_free_input.write_text("\n".join(events) + "\n")
+        alerts_out = tmp_path / "alerts.jsonl"
+
+        code = serve_main(
+            [
+                "--input", str(bundle_free_input),
+                "--alerts-out", str(alerts_out),
+                "--max-batch", "8",
+                "--max-latency-ms", "10",
+            ]
+        )
+
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "serving metrics" in output
+        assert "ALERT" in output
+        records = [json.loads(line) for line in alerts_out.read_text().splitlines()]
+        assert records, "malicious lines must produce JSONL alerts"
+        assert all(record["host"] == "web-1" for record in records)
+
+    def test_serve_with_saved_bundle(self, demo_service, tmp_path, capsys):
+        bundle = tmp_path / "bundle"
+        demo_service.save(bundle)
+        stream = tmp_path / "input.log"
+        stream.write_text("\n".join(DEMO_MALICIOUS) + "\n")
+
+        code = serve_main(
+            ["--input", str(stream), "--bundle", str(bundle), "--quiet", "--max-latency-ms", "10"]
+        )
+
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "training a small demo service" not in output
+        assert "serving metrics" in output

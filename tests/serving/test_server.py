@@ -1,0 +1,160 @@
+"""Tests for the DetectionServer event path (driven with a stub service)."""
+
+import asyncio
+
+import pytest
+
+from repro.serving import CommandEvent, DetectionServer, RingBufferSink, serve_stream
+from repro.serving.events import AlertStatus
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestSubmitPath:
+    def test_intrusion_verdict_and_alert(self, stub_service):
+        ring = RingBufferSink()
+
+        async def scenario():
+            async with DetectionServer(stub_service, max_latency_ms=5, sinks=[ring]) as server:
+                return await server.submit("evil --flag", host="web-1")
+
+        result = run(scenario())
+        assert result.is_intrusion
+        assert result.alert is not None
+        assert result.alert.host == "web-1"
+        assert ring.emitted == 1
+
+    def test_benign_event_produces_no_alert(self, stub_service):
+        async def scenario():
+            async with DetectionServer(stub_service, max_latency_ms=5) as server:
+                return await server.submit("ls -la")
+
+        result = run(scenario())
+        assert not result.is_intrusion
+        assert result.alert is None
+
+    def test_dropped_event_skips_scoring(self, stub_service):
+        async def scenario():
+            async with DetectionServer(stub_service, max_latency_ms=5) as server:
+                return await server.submit("echo 'unterminated'")  # stub drops trailing '
+
+        result = run(scenario())
+        assert result.dropped
+        assert result.score == 0.0
+        assert stub_service.scored_batches == []
+
+    def test_normalization_applied_per_event(self, stub_service):
+        async def scenario():
+            async with DetectionServer(stub_service, max_latency_ms=5) as server:
+                return await server.submit("  evil    --flag  ")
+
+        assert run(scenario()).line == "evil --flag"
+
+
+class TestCacheAccounting:
+    def test_repeat_line_hits_cache(self, stub_service):
+        async def scenario():
+            async with DetectionServer(stub_service, max_latency_ms=5) as server:
+                first = await server.submit("evil --flag")
+                second = await server.submit("evil --flag")
+                return first, second, server
+
+        first, second, server = run(scenario())
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert first.score == second.score
+        assert server.metrics.cache_hits == 1
+        assert server.metrics.cache_misses == 1
+        # the LM only ever saw the line once
+        assert sum(len(b) for b in stub_service.scored_batches) == 1
+
+    def test_within_batch_duplicates_scored_once(self, stub_service):
+        async def scenario():
+            async with DetectionServer(
+                stub_service, max_batch=8, max_latency_ms=30
+            ) as server:
+                results = await asyncio.gather(*(server.submit("evil x") for _ in range(6)))
+                return results, server
+
+        results, server = run(scenario())
+        assert len({r.score for r in results}) == 1
+        assert server.metrics.unique_scored == 1
+
+    def test_cache_disabled_scores_every_event(self, stub_service):
+        async def scenario():
+            async with DetectionServer(stub_service, cache_size=0, max_latency_ms=5) as server:
+                await server.submit("ls -la")
+                await server.submit("ls -la")
+                return server
+
+        server = run(scenario())
+        assert server.metrics.cache_hits == 0
+        assert server.metrics.cache_misses == 2
+
+
+class TestEscalation:
+    def test_burst_host_escalates_and_status_changes(self, stub_service):
+        ring = RingBufferSink()
+
+        async def scenario():
+            async with DetectionServer(
+                stub_service,
+                max_latency_ms=5,
+                sinks=[ring],
+                session_window_seconds=100,
+                escalation_threshold=3,
+            ) as server:
+                for t in range(5):
+                    await server.submit("evil burst", host="victim", timestamp=float(t))
+                return server
+
+        server = run(scenario())
+        assert server.sessions.escalated_hosts() == ["victim"]
+        assert server.metrics.escalations == 1
+        statuses = [alert.status for alert in ring.alerts]
+        assert statuses[:2] == [AlertStatus.OPEN, AlertStatus.OPEN]
+        assert statuses[2:] == [AlertStatus.ESCALATED] * 3
+
+
+class TestServeStream:
+    def test_results_in_input_order(self, stub_service):
+        events = [CommandEvent(f"cmd-{i}") for i in range(20)]
+        results, _ = serve_stream(stub_service, events, concurrency=4, max_latency_ms=5)
+        assert [r.raw_line for r in results] == [f"cmd-{i}" for i in range(20)]
+
+    def test_plain_strings_accepted(self, stub_service):
+        results, server = serve_stream(
+            stub_service, ["ls", "evil thing", "ls"], concurrency=2, max_latency_ms=5
+        )
+        assert len(results) == 3
+        assert server.metrics.alerts == 1
+
+    def test_metrics_cover_all_events(self, stub_service):
+        events = [CommandEvent("ls")] * 10 + [CommandEvent("bad'")]
+        _, server = serve_stream(stub_service, events, concurrency=3, max_latency_ms=5)
+        snap = server.metrics.snapshot()
+        assert snap["events_total"] == 11
+        assert snap["dropped"] == 1
+        assert snap["cache_hits"] + snap["cache_misses"] == 10
+        assert snap["events_per_second"] > 0
+
+    def test_existing_server_reused_for_warm_cache(self, stub_service):
+        server = DetectionServer(stub_service, max_latency_ms=5)
+        serve_stream(stub_service, ["ls -la"] * 4, concurrency=2, server=server)
+        hits_after_cold = server.metrics.cache_hits
+        misses_after_cold = server.metrics.cache_misses
+        assert misses_after_cold >= 1
+        # second pass over the same stream: every event is a cache hit
+        serve_stream(stub_service, ["ls -la"] * 4, concurrency=2, server=server)
+        assert server.metrics.cache_misses == misses_after_cold
+        assert server.metrics.cache_hits == hits_after_cold + 4
+        # the throughput clock accumulates active time across both passes
+        assert server.metrics.events_total == 8
+        assert server.metrics.elapsed_seconds > 0
+
+    def test_server_reuse_rejects_conflicting_options(self, stub_service):
+        server = DetectionServer(stub_service, max_latency_ms=5)
+        with pytest.raises(ValueError, match="cache_size"):
+            serve_stream(stub_service, ["ls"], server=server, cache_size=0)

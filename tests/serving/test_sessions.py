@@ -1,0 +1,61 @@
+"""Tests for per-host session aggregation and rolling-window escalation."""
+
+import pytest
+
+from repro.serving import SessionAggregator
+
+
+class TestSessionAggregator:
+    def test_alert_burst_escalates_host(self):
+        agg = SessionAggregator(window_seconds=60, escalation_threshold=3)
+        newly = [agg.observe("h", t, is_alert=True)[1] for t in (0.0, 10.0, 20.0)]
+        assert newly == [False, False, True]
+        assert agg.session("h").escalated
+
+    def test_escalation_fires_exactly_once(self):
+        agg = SessionAggregator(window_seconds=60, escalation_threshold=2)
+        flags = [agg.observe("h", float(t), is_alert=True)[1] for t in range(5)]
+        assert sum(flags) == 1
+
+    def test_old_alerts_age_out_of_window(self):
+        agg = SessionAggregator(window_seconds=30, escalation_threshold=3)
+        agg.observe("h", 0.0, is_alert=True)
+        agg.observe("h", 10.0, is_alert=True)
+        # 100s later: both earlier alerts left the window, count restarts
+        session, newly = agg.observe("h", 100.0, is_alert=True)
+        assert not newly
+        assert session.alerts_in_window() == 1
+        assert not session.escalated
+
+    def test_benign_events_do_not_count_toward_escalation(self):
+        agg = SessionAggregator(window_seconds=60, escalation_threshold=2)
+        for t in range(10):
+            session, newly = agg.observe("h", float(t), is_alert=False)
+            assert not newly
+        assert session.events == 10
+        assert session.alerts == 0
+        assert not session.escalated
+
+    def test_hosts_are_independent(self):
+        agg = SessionAggregator(window_seconds=60, escalation_threshold=2)
+        agg.observe("a", 0.0, is_alert=True)
+        agg.observe("b", 0.0, is_alert=True)
+        assert agg.escalated_hosts() == []
+        agg.observe("a", 1.0, is_alert=True)
+        assert agg.escalated_hosts() == ["a"]
+        assert len(agg.sessions()) == 2
+
+    def test_escalation_is_sticky(self):
+        agg = SessionAggregator(window_seconds=10, escalation_threshold=2)
+        agg.observe("h", 0.0, is_alert=True)
+        agg.observe("h", 1.0, is_alert=True)
+        # long quiet period: window empties but the host stays escalated
+        session, _ = agg.observe("h", 1_000.0, is_alert=False)
+        assert session.escalated
+        assert session.escalated_at == 1.0
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            SessionAggregator(window_seconds=0)
+        with pytest.raises(ValueError):
+            SessionAggregator(escalation_threshold=0)

@@ -1,0 +1,103 @@
+"""Tests for alert sinks, fan-out isolation, and the severity bands."""
+
+import json
+
+import pytest
+
+from repro.serving import (
+    AlertStatus,
+    CallbackSink,
+    DetectionAlert,
+    JsonlSink,
+    RingBufferSink,
+    Severity,
+    SinkFanout,
+)
+
+
+def make_alert(alert_id=1, score=0.9, host="web-1"):
+    return DetectionAlert(
+        alert_id=alert_id,
+        event_id=alert_id,
+        host=host,
+        line="nc -lvnp 4444",
+        score=score,
+        severity=Severity.from_score(score, 0.5),
+        status=AlertStatus.OPEN,
+        timestamp=1000.0,
+    )
+
+
+class TestSeverity:
+    @pytest.mark.parametrize(
+        ("score", "expected"),
+        [
+            (0.50, Severity.LOW),
+            (0.60, Severity.LOW),
+            (0.65, Severity.MEDIUM),
+            (0.80, Severity.HIGH),
+            (0.95, Severity.CRITICAL),
+            (1.00, Severity.CRITICAL),
+        ],
+    )
+    def test_bands_at_threshold_half(self, score, expected):
+        assert Severity.from_score(score, 0.5) is expected
+
+    def test_threshold_one_does_not_divide_by_zero(self):
+        assert Severity.from_score(1.0, 1.0) is Severity.CRITICAL
+
+
+class TestRingBufferSink:
+    def test_keeps_most_recent(self):
+        sink = RingBufferSink(capacity=2)
+        for index in range(5):
+            sink.emit(make_alert(alert_id=index))
+        assert [a.alert_id for a in sink.alerts] == [3, 4]
+        assert sink.emitted == 5
+
+
+class TestJsonlSink:
+    def test_round_trips_alert_fields(self, tmp_path):
+        path = tmp_path / "alerts" / "out.jsonl"
+        sink = JsonlSink(path)
+        sink.emit(make_alert(score=0.93))
+        sink.emit(make_alert(alert_id=2, score=0.55))
+        sink.close()
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(records) == 2
+        assert records[0]["severity"] == "critical"
+        assert records[0]["status"] == "open"
+        assert records[1]["alert_id"] == 2
+
+    def test_close_without_emit_is_fine(self, tmp_path):
+        JsonlSink(tmp_path / "never.jsonl").close()
+
+
+class TestCallbackSink:
+    def test_invokes_callback(self):
+        seen = []
+        sink = CallbackSink(seen.append)
+        sink.emit(make_alert())
+        assert len(seen) == 1
+        assert sink.emitted == 1
+
+
+class TestSinkFanout:
+    def test_delivers_to_all_sinks(self):
+        ring_a, ring_b = RingBufferSink(), RingBufferSink()
+        fanout = SinkFanout([ring_a])
+        fanout.add(ring_b)
+        fanout.emit(make_alert())
+        assert ring_a.emitted == ring_b.emitted == 1
+        assert fanout.delivered == 2
+
+    def test_broken_sink_does_not_block_others(self):
+        def explode(alert):
+            raise OSError("disk full")
+
+        ring = RingBufferSink()
+        fanout = SinkFanout([CallbackSink(explode), ring])
+        fanout.emit(make_alert())
+        fanout.emit(make_alert(alert_id=2))
+        assert ring.emitted == 2
+        assert fanout.failures == {"CallbackSink": 2}

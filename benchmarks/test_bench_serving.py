@@ -1,23 +1,36 @@
-"""Benchmark: streaming throughput with the score cache cold vs. warm.
+"""Benchmarks: streaming throughput (cold vs. warm cache, sharded vs.
+inline scoring) and hot-swap latency.
 
 Real command telemetry is repeat-heavy (the SCADE observation the
 serving cache is built on), so we stream a repeat-heavy event mix twice
 through one server: the first pass pays tokenize+forward for every
 distinct line (cold), the second is served almost entirely from the LRU
 cache (warm).  The warm pass must be at least 2× faster.
+
+The sharded benchmark measures the other scaling axis: the same
+cold-cache workload scored inline on the event loop vs. sharded across
+worker processes (``ProcessPoolBackend``).  On a multi-core runner the
+sharded pass must reach at least 1.5× inline throughput; on a
+single-core box the numbers are recorded without the assertion (there
+is nothing to parallelize onto).  The swap benchmark measures how long
+``swap_model`` holds the scoring path while a live stream keeps
+flowing, and that the rotation loses zero events.
 """
 
+import asyncio
+import os
 import time
 
 import numpy as np
 
 from repro.experiments.methods import HEAD_EPOCHS, HEAD_LR, training_subset
 from repro.ids import IntrusionDetectionService
-from repro.serving import DetectionServer, serve_stream
+from repro.serving import DetectionServer, ProcessPoolBackend, serve_stream
 from repro.tuning import ClassificationTuner
 
 UNIQUE_LINES = 150
 REPEATS = 8
+SHARD_WORKERS = 2
 
 
 def _build_service(world) -> IntrusionDetectionService:
@@ -80,3 +93,179 @@ def test_bench_serving_cold_vs_warm(world, benchmark):
     assert warm_eps >= 2.0 * cold_eps
     # the warm pass added no misses — all its events were cache hits
     assert all(result.cache_hit for result in warm_results)
+
+
+def _timed_stream(server, events, *, concurrency=8):
+    """Stream *events* through *server* inside ONE server session.
+
+    A short warmup prefix runs before the clock starts, so one-time
+    costs (forking workers, per-worker bundle deserialization) are paid
+    where a steady-state server pays them: at startup, not per batch.
+    Returns (results, seconds) for the measured portion only.
+    """
+
+    async def _run():
+        async def drive(batch):
+            pending = asyncio.Queue()
+            for position, line in enumerate(batch):
+                pending.put_nowait((position, line))
+            results = [None] * len(batch)
+
+            async def producer():
+                while True:
+                    try:
+                        position, line = pending.get_nowait()
+                    except asyncio.QueueEmpty:
+                        return
+                    results[position] = await server.submit(line)
+
+            await asyncio.gather(*(producer() for _ in range(concurrency)))
+            return results
+
+        async with server:
+            await drive(events[:16])  # warmup: workers fork + load here
+            started = time.perf_counter()
+            results = await drive(events)
+            elapsed = time.perf_counter() - started
+        return results, elapsed
+
+    return asyncio.run(_run())
+
+
+def test_bench_serving_sharded_vs_inline(world, benchmark, tmp_path_factory):
+    """Cold-cache throughput: ProcessPoolBackend(n=2) vs. InlineBackend."""
+    service = _build_service(world)
+    bundle = tmp_path_factory.mktemp("serving-bench") / "bundle"
+    service.save(bundle)
+    # all-unique workload with caching off: every event pays a forward
+    # pass, so the comparison isolates where that pass runs
+    events = list(world.test_lines_dedup[:UNIQUE_LINES])
+
+    inline_server = DetectionServer(
+        service, cache_size=0, max_batch=32, max_latency_ms=25
+    )
+    inline_results, inline_seconds = _timed_stream(inline_server, events)
+    inline_eps = len(inline_results) / inline_seconds
+
+    backend = ProcessPoolBackend(bundle, workers=SHARD_WORKERS, min_shard=4)
+    server = DetectionServer(
+        service, backend=backend, cache_size=0, max_batch=32, max_latency_ms=25
+    )
+    sharded_results, sharded_seconds = benchmark.pedantic(
+        _timed_stream, args=(server, events), rounds=1, iterations=1
+    )
+    sharded_eps = len(sharded_results) / sharded_seconds
+    speedup = sharded_eps / inline_eps
+
+    benchmark.extra_info.update(
+        {
+            "events": len(events),
+            "workers": SHARD_WORKERS,
+            "cpu_count": os.cpu_count(),
+            "inline_events_per_second": round(inline_eps, 1),
+            "sharded_events_per_second": round(sharded_eps, 1),
+            "speedup": round(speedup, 2),
+            "per_worker_scored": dict(backend.per_worker_scored),
+        }
+    )
+    print(
+        f"\nsharded serving: {len(events)} events | inline {inline_eps:,.0f} ev/s | "
+        f"{SHARD_WORKERS}-worker {sharded_eps:,.0f} ev/s | speedup {speedup:.2f}x "
+        f"({os.cpu_count()} cpus)"
+    )
+
+    assert len(sharded_results) == len(events)
+    # both paths agree on every verdict (scores may differ in the last ulp)
+    for a, b in zip(inline_results, sharded_results):
+        assert a.is_intrusion == b.is_intrusion
+        assert abs(a.score - b.score) < 1e-9
+    # the batch really was sharded across distinct worker processes
+    assert len(backend.per_worker_scored) >= 2
+    if (os.cpu_count() or 1) >= 2:
+        assert speedup >= 1.5, (
+            f"ProcessPoolBackend({SHARD_WORKERS}) must beat inline by >=1.5x on a "
+            f"multi-core runner, got {speedup:.2f}x"
+        )
+
+
+def test_bench_serving_swap_latency(world, benchmark, tmp_path_factory):
+    """Hot-swap latency under sustained submit load, with zero event loss."""
+    service = _build_service(world)
+    bench_dir = tmp_path_factory.mktemp("swap-bench")
+    bundle_v1 = bench_dir / "bundle-v1"
+    bundle_v2 = bench_dir / "bundle-v2"
+    service.save(bundle_v1)
+    # the rotated bundle: same weights, recalibrated threshold — the
+    # cheap end of the weekly update, so the bench isolates swap cost
+    original_threshold = service.threshold
+    rotated_threshold = min(0.95, original_threshold + 0.1)
+    service.threshold = rotated_threshold
+    service.save(bundle_v2)
+    service.threshold = original_threshold
+
+    events = list(world.test_lines_dedup[:UNIQUE_LINES])
+
+    def run_swap_under_load():
+        server = DetectionServer(
+            service,
+            backend=ProcessPoolBackend(bundle_v1, workers=SHARD_WORKERS),
+            cache_size=4096,
+            max_batch=32,
+            max_latency_ms=10,
+        )
+
+        async def scenario():
+            pending = asyncio.Queue()
+            for line in events:
+                pending.put_nowait(line)
+            results = []
+
+            async def producer():
+                while True:
+                    try:
+                        line = pending.get_nowait()
+                    except asyncio.QueueEmpty:
+                        return
+                    results.append(await server.submit(line))
+
+            async def swapper():
+                while len(results) < len(events) // 4:
+                    await asyncio.sleep(0.005)
+                return await server.swap_model(str(bundle_v2))
+
+            async with server:
+                *_, report = await asyncio.gather(
+                    *(producer() for _ in range(8)), swapper()
+                )
+            return results, report, server
+
+        return asyncio.run(scenario())
+
+    results, report, server = benchmark.pedantic(run_swap_under_load, rounds=1, iterations=1)
+
+    benchmark.extra_info.update(
+        {
+            "events": len(events),
+            "workers": SHARD_WORKERS,
+            "swap_ms": round(report.swap_ms, 2),
+            "drain_ms": round(report.drain_ms, 2),
+            "cache_invalidated": report.cache_invalidated,
+        }
+    )
+    print(
+        f"\nhot swap under load: {len(events)} events | swap {report.swap_ms:.1f} ms "
+        f"(drain {report.drain_ms:.1f} ms) | {report.cache_invalidated} cache entries purged"
+    )
+
+    # zero events lost across the swap, and the swap really landed mid-stream
+    assert len(results) == len(events)
+    assert not any(result.dropped for result in results)
+    assert {result.generation for result in results} == {0, 1}
+    assert server.metrics.swaps == 1
+    # post-swap events were thresholded by the rotated bundle
+    post_swap = [result for result in results if result.generation == 1]
+    assert all(
+        result.is_intrusion == (result.score >= rotated_threshold)
+        or abs(result.score - rotated_threshold) < 1e-9
+        for result in post_swap
+    )

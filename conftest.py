@@ -1,0 +1,17 @@
+"""Repo-root pytest configuration.
+
+Registers the ``--workers`` option the serving concurrency suite is
+parameterized by: CI runs ``pytest tests/serving --workers 2`` so the
+sharded process-pool scoring path is exercised on every push, and a
+beefier box can crank it up (``--workers 8``) to stress the same tests
+harder.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--workers",
+        type=int,
+        default=2,
+        help="scoring-worker count used by the parallel-backend serving tests",
+    )

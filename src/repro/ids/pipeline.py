@@ -11,6 +11,7 @@ tokenization → inference → intrusion yes/no.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from collections.abc import Sequence
 from dataclasses import dataclass
@@ -86,6 +87,9 @@ class IntrusionDetectionService:
         self.threshold = float(threshold)
         self.normalizer = normalizer or Normalizer()
         self._validator = CommandLineValidator()
+        #: Bundle directory this service was restored from (set by
+        #: :meth:`load`); ``None`` for freshly-trained services.
+        self.source_dir: Path | None = None
 
     # -- construction ------------------------------------------------------
 
@@ -93,6 +97,22 @@ class IntrusionDetectionService:
     def from_tuner(cls, tuner: ClassificationTuner, threshold: float) -> "IntrusionDetectionService":
         """Wrap a fitted tuner (reuses its encoder)."""
         return cls(encoder=tuner.encoder, tuner=tuner, threshold=threshold)
+
+    def fingerprint(self) -> str:
+        """Short stable hash of the deployed weights and threshold.
+
+        Two services answer identically on every input iff their
+        fingerprints match (head weights, LM weights, and threshold all
+        participate), which is how the serving layer verifies that a
+        hot-swapped worker really rotated to the new bundle.
+        """
+        digest = hashlib.sha256()
+        digest.update(f"threshold={self.threshold!r}".encode())
+        assert self.tuner.head is not None
+        for module in (self.tuner.head, self.encoder.model):
+            for parameter in module.parameters():
+                digest.update(parameter.data.tobytes())
+        return digest.hexdigest()[:16]
 
     # -- inference -----------------------------------------------------------
 
@@ -195,4 +215,6 @@ class IntrusionDetectionService:
             encoder, hidden_size=meta["head_hidden"], pooling=meta["pooling"]
         )
         tuner.restore_head(directory / _HEAD_FILE)
-        return cls(encoder=encoder, tuner=tuner, threshold=meta["threshold"])
+        service = cls(encoder=encoder, tuner=tuner, threshold=meta["threshold"])
+        service.source_dir = directory
+        return service

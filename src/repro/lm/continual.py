@@ -157,3 +157,24 @@ class ContinualLearner:
         if self.tuner is None:
             raise ValueError("no tuned head yet; call update() first")
         return self.tuner.score(lines)
+
+    def export_service(self, directory, threshold: float = 0.5):
+        """Package the current model as a saved service bundle.
+
+        This is the deployment hand-off of the weekly loop: after an
+        :meth:`update`, the freshly tuned model is written as an
+        :meth:`IntrusionDetectionService.save` bundle that a live
+        :class:`~repro.serving.server.DetectionServer` can rotate onto
+        via ``swap_model(bundle_dir)`` — zero downtime between the
+        weekly retrain and the always-on detector.
+
+        Returns the loaded-back service (bitwise-identical to what any
+        scoring worker will deserialize from *directory*).
+        """
+        from repro.ids.pipeline import IntrusionDetectionService
+
+        if self.tuner is None:
+            raise ValueError("no tuned head yet; call update() first")
+        service = IntrusionDetectionService.from_tuner(self.tuner, threshold=threshold)
+        service.save(directory)
+        return IntrusionDetectionService.load(directory)

@@ -2,10 +2,16 @@
 
 Public surface:
 
-- :class:`DetectionServer` / :func:`serve_stream` — the asyncio server
-  and its synchronous driver.
+- :class:`DetectionServer` / :func:`serve_stream` / :func:`tail_stream`
+  — the asyncio server and its synchronous drivers (read-to-EOF and
+  live-tail).
+- :class:`ScoringBackend` and its three strategies —
+  :class:`InlineBackend`, :class:`ThreadedBackend`,
+  :class:`ProcessPoolBackend` — deciding where the LM forward pass
+  runs; ``DetectionServer.swap_model`` hot-rotates all of them.
 - :class:`MicroBatcher` — flush-on-size-or-deadline batching queue.
-- :class:`ScoreCache` — LRU normalized-line → score cache.
+- :class:`ScoreCache` — LRU normalized-line → score cache with
+  model-generation invalidation.
 - :class:`SessionAggregator` / :class:`HostSession` — per-host rolling
   windows with escalation.
 - :class:`AlertSink` and friends — pluggable alert fan-out.
@@ -14,6 +20,14 @@ Public surface:
   :class:`DetectionAlert`, :class:`Severity`, :class:`AlertStatus`.
 """
 
+from repro.serving.backends import (
+    InlineBackend,
+    ProcessPoolBackend,
+    ScoringBackend,
+    ThreadedBackend,
+    WorkerCrashError,
+    load_bundle,
+)
 from repro.serving.cache import ScoreCache
 from repro.serving.events import (
     AlertStatus,
@@ -23,8 +37,8 @@ from repro.serving.events import (
     Severity,
 )
 from repro.serving.metrics import ServingMetrics
-from repro.serving.microbatch import MicroBatcher
-from repro.serving.server import DetectionServer, serve_stream
+from repro.serving.microbatch import BatchAborted, MicroBatcher
+from repro.serving.server import DetectionServer, SwapReport, serve_stream, tail_stream
 from repro.serving.sessions import HostSession, SessionAggregator
 from repro.serving.sinks import (
     AlertSink,
@@ -37,19 +51,28 @@ from repro.serving.sinks import (
 __all__ = [
     "AlertSink",
     "AlertStatus",
+    "BatchAborted",
     "CallbackSink",
     "CommandEvent",
     "DetectionAlert",
     "DetectionResult",
     "DetectionServer",
     "HostSession",
+    "InlineBackend",
     "JsonlSink",
     "MicroBatcher",
+    "ProcessPoolBackend",
     "RingBufferSink",
     "ScoreCache",
+    "ScoringBackend",
     "ServingMetrics",
     "SessionAggregator",
     "Severity",
     "SinkFanout",
+    "SwapReport",
+    "ThreadedBackend",
+    "WorkerCrashError",
+    "load_bundle",
     "serve_stream",
+    "tail_stream",
 ]

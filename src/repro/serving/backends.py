@@ -1,0 +1,418 @@
+"""Scoring backends: where a micro-batch's LM forward pass actually runs.
+
+PR 1's server scored every micro-batch inline on the event loop — fine
+for a demo, but the paper's deployment scores "tens of millions of user
+command lines every week", and a single in-loop forward pass is the
+scale ceiling ROADMAP calls out.  This module abstracts the scoring
+execution model behind :class:`ScoringBackend` with three strategies:
+
+- :class:`InlineBackend` — the original behaviour: score synchronously
+  in the event loop.  Zero overhead, one core.
+- :class:`ThreadedBackend` — shard each batch across a thread pool.
+  numpy releases the GIL inside BLAS, so large shards overlap.
+- :class:`ProcessPoolBackend` — shard each batch across worker
+  *processes*, each holding its own deserialized
+  :class:`~repro.ids.pipeline.IntrusionDetectionService`.  Workers are
+  (re)hydrated from a saved bundle directory via a small picklable
+  loader, so nothing unpicklable ever crosses the fork boundary.
+
+All backends share the hot-swap contract used by
+:meth:`DetectionServer.swap_model`: :meth:`ScoringBackend.swap`
+atomically rotates scoring onto a new model and bumps the backend's
+``generation``.  Process workers check the generation on every task, so
+even a worker that missed the rotation can never score with a retired
+bundle.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import threading
+from abc import ABC, abstractmethod
+from collections import Counter
+from collections.abc import Callable, Sequence
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from functools import partial
+
+from repro.errors import ReproError
+
+#: A picklable zero-argument callable producing a fitted service
+#: (anything exposing ``score_normalized``).  ``functools.partial`` of a
+#: module-level function over a bundle path is the canonical shape.
+ServiceLoader = Callable[[], object]
+
+
+class WorkerCrashError(ReproError):
+    """A scoring worker process died while a batch was in flight.
+
+    The batch's producers receive this error and the backend rebuilds
+    its pool, so the server itself stays up — resubmitting the events
+    is the caller's choice.
+    """
+
+
+def load_bundle(directory: str) -> object:
+    """Load an :class:`IntrusionDetectionService` bundle (picklable loader).
+
+    Module-level on purpose: ``functools.partial(load_bundle, path)``
+    pickles by reference, so only the *path string* crosses into worker
+    processes — the service itself is deserialized on the worker side.
+    """
+    from repro.ids.pipeline import IntrusionDetectionService
+
+    return IntrusionDetectionService.load(directory)
+
+
+def _split_shards(lines: Sequence[str], workers: int, min_shard: int) -> list[list[str]]:
+    """Split *lines* into at most *workers* contiguous, order-preserving shards.
+
+    Tiny batches are not worth a cross-worker dispatch: each shard gets
+    at least *min_shard* lines (except possibly the last).
+    """
+    if not lines:
+        return []
+    n_shards = min(workers, max(1, len(lines) // max(1, min_shard)))
+    base, extra = divmod(len(lines), n_shards)
+    shards, start = [], 0
+    for index in range(n_shards):
+        size = base + (1 if index < extra else 0)
+        shards.append(list(lines[start : start + size]))
+        start += size
+    return shards
+
+
+class ScoringBackend(ABC):
+    """Execution strategy for scoring one deduplicated micro-batch.
+
+    Subclasses implement :meth:`score` (async, order-preserving) and
+    :meth:`swap`.  The base class tracks the model ``generation`` and
+    per-worker accounting that :class:`~repro.serving.metrics.ServingMetrics`
+    surfaces.
+    """
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.generation = 0
+        self.per_worker_scored: Counter[str] = Counter()
+        self.shards_dispatched = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bring up any executors (idempotent)."""
+
+    async def stop(self) -> None:
+        """Tear down executors; the backend may be restarted afterwards."""
+
+    # -- scoring -------------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def workers(self) -> int:
+        """Parallel scoring lanes this backend fans a batch across."""
+
+    @abstractmethod
+    async def score(self, lines: Sequence[str]) -> list[float]:
+        """Score *lines*, returning one float per line in input order."""
+
+    async def swap(self, service: object | None = None, loader: ServiceLoader | None = None) -> None:
+        """Rotate scoring onto a new model and bump :attr:`generation`.
+
+        The server passes both forms of the new model: the *service*
+        object it loaded for its own preprocess/threshold path, and the
+        picklable *loader* process workers rehydrate from.  The default
+        implementation covers in-process backends (replace the shared
+        ``service`` reference); :class:`ProcessPoolBackend` overrides
+        with its loader-based rotation.
+        """
+        self.service = await self._resolve_service(service, loader)
+        self.generation += 1
+
+    @staticmethod
+    async def _resolve_service(service: object | None, loader: ServiceLoader | None) -> object:
+        if service is None:
+            if loader is None:
+                raise ValueError("swap needs a service or a loader")
+            service = await asyncio.to_thread(loader)
+        return service
+
+    # -- observability ---------------------------------------------------------
+
+    def describe(self) -> str:
+        """Short human-readable identity, e.g. ``process(workers=4)``."""
+        return f"{self.name}(workers={self.workers})"
+
+    def stats(self) -> dict:
+        """Per-worker scoring counters (JSON-serialisable)."""
+        return {
+            "backend": self.describe(),
+            "generation": self.generation,
+            "shards_dispatched": self.shards_dispatched,
+            "per_worker_scored": dict(self.per_worker_scored),
+        }
+
+    def _record_shard(self, worker: str, size: int) -> None:
+        self.per_worker_scored[worker] += size
+        self.shards_dispatched += 1
+
+
+class InlineBackend(ScoringBackend):
+    """Score synchronously in the event loop (PR 1 behaviour).
+
+    The right choice for small models or single-core hosts: no executor
+    hop, no serialization, but the event loop blocks for the duration
+    of each forward pass.
+    """
+
+    name = "inline"
+
+    def __init__(self, service: object):
+        super().__init__()
+        self.service = service
+
+    @property
+    def workers(self) -> int:
+        return 1
+
+    async def score(self, lines: Sequence[str]) -> list[float]:
+        scores = [float(s) for s in self.service.score_normalized(list(lines))]
+        self._record_shard("inline", len(lines))
+        return scores
+
+
+class ThreadedBackend(ScoringBackend):
+    """Shard each batch across a thread pool sharing one service.
+
+    numpy's BLAS kernels release the GIL, so shards genuinely overlap
+    for encoder-bound workloads while the event loop keeps accepting
+    submissions.  The service object is shared (reads only), so swap is
+    a plain reference rotation — each ``score`` call snapshots the
+    reference once, guaranteeing a batch never mixes generations.
+    """
+
+    name = "threaded"
+
+    def __init__(self, service: object, *, workers: int = 2, min_shard: int = 4):
+        super().__init__()
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if min_shard < 1:
+            raise ValueError("min_shard must be >= 1")
+        self.service = service
+        self._workers = workers
+        self._min_shard = min_shard
+        self._executor: ThreadPoolExecutor | None = None
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    async def start(self) -> None:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self._workers, thread_name_prefix="scoring"
+            )
+
+    async def stop(self) -> None:
+        if self._executor is not None:
+            executor, self._executor = self._executor, None
+            await asyncio.to_thread(executor.shutdown, True)
+
+    async def score(self, lines: Sequence[str]) -> list[float]:
+        await self.start()
+        service = self.service  # snapshot: one generation per batch
+        loop = asyncio.get_running_loop()
+        shards = _split_shards(lines, self._workers, self._min_shard)
+        parts = await asyncio.gather(
+            *(
+                loop.run_in_executor(self._executor, self._score_shard, service, shard)
+                for shard in shards
+            )
+        )
+        scores: list[float] = []
+        for worker, shard_scores in parts:
+            self._record_shard(worker, len(shard_scores))
+            scores.extend(shard_scores)
+        return scores
+
+    @staticmethod
+    def _score_shard(service: object, shard: list[str]) -> tuple[str, list[float]]:
+        scores = service.score_normalized(shard)
+        return threading.current_thread().name, [float(s) for s in scores]
+
+
+# -- process-pool worker side -------------------------------------------------
+
+#: Worker-process model cache: one deserialized service per process,
+#: keyed by the generation that loaded it.  Module-level so it survives
+#: across tasks within a worker but never crosses the process boundary.
+_WORKER_MODEL: dict = {"key": None, "service": None}
+
+
+def _worker_score(
+    loader: ServiceLoader, key: int, shard: list[str]
+) -> tuple[str, int, list[float]]:
+    """Score one shard inside a worker process.
+
+    *key* is the backend's generation at dispatch time.  A worker whose
+    cached model is from another generation rehydrates from *loader*
+    before scoring, which is what makes the hot swap safe even for
+    workers that were mid-task while the swap landed.
+    """
+    if _WORKER_MODEL["key"] != key:
+        _WORKER_MODEL["service"] = loader()
+        _WORKER_MODEL["key"] = key
+    scores = _WORKER_MODEL["service"].score_normalized(shard)
+    return f"pid-{os.getpid()}", os.getpid(), [float(s) for s in scores]
+
+
+def _worker_preload(loader: ServiceLoader, key: int) -> int:
+    """Warm one worker's model cache (best-effort, used by ``start``)."""
+    if _WORKER_MODEL["key"] != key:
+        _WORKER_MODEL["service"] = loader()
+        _WORKER_MODEL["key"] = key
+    return os.getpid()
+
+
+class ProcessPoolBackend(ScoringBackend):
+    """Shard each batch across worker processes with private model copies.
+
+    Parameters
+    ----------
+    bundle_dir:
+        Saved :meth:`IntrusionDetectionService.save` directory workers
+        deserialize their model from.  Mutually optional with *loader*.
+    loader:
+        Picklable zero-argument callable returning a fitted service
+        (overrides *bundle_dir*; used by tests with stub services).
+    workers:
+        Worker-process count.
+    min_shard:
+        Minimum lines per shard — batches smaller than ``2 * min_shard``
+        go to a single worker rather than paying two dispatches.
+    mp_context:
+        ``multiprocessing`` start method (default: the platform's;
+        ``fork`` on Linux, which makes pool rebuilds cheap).
+
+    A worker crash mid-batch surfaces as :class:`WorkerCrashError` on
+    that batch's producers; the pool is rebuilt transparently so the
+    next batch scores normally.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        bundle_dir: str | os.PathLike | None = None,
+        *,
+        loader: ServiceLoader | None = None,
+        workers: int = 2,
+        min_shard: int = 4,
+        mp_context: str | None = None,
+    ):
+        super().__init__()
+        if bundle_dir is None and loader is None:
+            raise ValueError("ProcessPoolBackend needs a bundle_dir or a loader")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if min_shard < 1:
+            raise ValueError("min_shard must be >= 1")
+        self.bundle_dir = None if bundle_dir is None else str(bundle_dir)
+        self._loader = loader or partial(load_bundle, self.bundle_dir)
+        self._workers = workers
+        self._min_shard = min_shard
+        self._mp_context = multiprocessing.get_context(mp_context)
+        self._executor: ProcessPoolExecutor | None = None
+        self._rebuild_lock: asyncio.Lock | None = None
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self, *, preload: bool = False) -> None:
+        """Create the pool; with ``preload=True`` also warm worker models.
+
+        Preloading is best-effort (the executor decides task placement)
+        but with an idle pool each preload task typically lands on a
+        distinct worker, hiding bundle deserialization from the first
+        real batch.
+        """
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self._workers, mp_context=self._mp_context
+            )
+            # fresh lock per bring-up: a restarted backend may be on a
+            # new event loop, and a lock must not outlive its loop
+            self._rebuild_lock = asyncio.Lock()
+        if preload:
+            loop = asyncio.get_running_loop()
+            tasks = [
+                loop.run_in_executor(
+                    self._executor, partial(_worker_preload, self._loader, self.generation)
+                )
+                for _ in range(self._workers)
+            ]
+            await asyncio.gather(*tasks)
+
+    async def stop(self) -> None:
+        if self._executor is not None:
+            executor, self._executor = self._executor, None
+            await asyncio.to_thread(executor.shutdown, True, cancel_futures=True)
+
+    async def _rebuild(self) -> None:
+        """Replace a broken (or retired) pool with a fresh one."""
+        assert self._rebuild_lock is not None, "score() creates the pool first"
+        async with self._rebuild_lock:
+            if self._executor is not None:
+                executor, self._executor = self._executor, None
+                await asyncio.to_thread(executor.shutdown, False, cancel_futures=True)
+            self._executor = ProcessPoolExecutor(
+                max_workers=self._workers, mp_context=self._mp_context
+            )
+
+    # -- scoring -------------------------------------------------------------
+
+    async def score(self, lines: Sequence[str]) -> list[float]:
+        await self.start()
+        loop = asyncio.get_running_loop()
+        shards = _split_shards(lines, self._workers, self._min_shard)
+        loader, key = self._loader, self.generation
+        futures = [
+            loop.run_in_executor(self._executor, partial(_worker_score, loader, key, shard))
+            for shard in shards
+        ]
+        try:
+            parts = await asyncio.gather(*futures)
+        except BrokenExecutor as exc:
+            await self._rebuild()
+            raise WorkerCrashError(
+                f"scoring worker died mid-batch ({len(lines)} lines affected); "
+                "the pool was rebuilt and the server is still accepting events"
+            ) from exc
+        scores: list[float] = []
+        for worker, _pid, shard_scores in parts:
+            self._record_shard(worker, len(shard_scores))
+            scores.extend(shard_scores)
+        return scores
+
+    # -- hot swap --------------------------------------------------------------
+
+    async def swap(self, service: object | None = None, loader: ServiceLoader | None = None) -> None:
+        """Rotate every worker to the model produced by *loader*.
+
+        The generation bump alone is sufficient for correctness (each
+        task re-checks it), so the swap itself is just two assignments —
+        existing worker processes lazily rehydrate on their next shard.
+        """
+        if loader is None:
+            raise ValueError(
+                "ProcessPoolBackend.swap needs a picklable loader "
+                "(e.g. functools.partial(load_bundle, bundle_dir))"
+            )
+        self._loader = loader
+        self.generation += 1

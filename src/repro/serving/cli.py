@@ -2,16 +2,22 @@
 
 Input is one event per line: either a bare command line, or a JSON
 object ``{"line": ..., "host": ..., "timestamp": ...}`` (``host`` and
-``timestamp`` optional).  The input is read to EOF, then streamed
-through the server by concurrent producers; alerts print to stdout as
-they are confirmed and a metrics report prints at the end.  For an
-unbounded pipe, bound the read with ``--limit`` (a true follow/tail
-mode is a ROADMAP follow-up).
+``timestamp`` optional).  A file input is read to EOF and then streamed
+through the server by concurrent producers; ``--input -`` **follows**
+stdin live, submitting each event as it arrives — so an unbounded pipe
+(``tail -f auth.log | repro-ids serve``) is served continuously instead
+of buffered to EOF.  Alerts print to stdout as they are confirmed and a
+metrics report prints at the end.
+
+``--workers N`` shards each micro-batch across N scoring workers
+(``--backend process`` forks worker processes that each deserialize the
+service bundle; ``--backend threaded`` shares one service across a
+thread pool).
 
 .. code-block:: console
 
    $ repro-ids serve --input telemetry.log
-   $ repro-ids serve --bundle ./bundle --input - --alerts-out alerts.jsonl
+   $ repro-ids serve --bundle ./bundle --workers 4 --input - --alerts-out alerts.jsonl
 """
 
 from __future__ import annotations
@@ -19,16 +25,20 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 from collections.abc import Iterable, Iterator
 from typing import TextIO
 
 from repro.errors import ReproError
+from repro.serving.backends import InlineBackend, ProcessPoolBackend, ThreadedBackend
 from repro.serving.cache import ScoreCache
 from repro.serving.events import CommandEvent
 from repro.serving.microbatch import MicroBatcher
-from repro.serving.server import serve_stream
+from repro.serving.server import DetectionServer, serve_stream, tail_stream
 from repro.serving.sessions import SessionAggregator
 from repro.serving.sinks import AlertSink, CallbackSink, JsonlSink, RingBufferSink
+
+BACKEND_CHOICES = ("auto", "inline", "threaded", "process")
 
 
 def build_serve_parser() -> argparse.ArgumentParser:
@@ -40,15 +50,29 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--input",
         default="-",
-        help="event file, one event per line ('-' = stdin; default). The stream "
-        "is read to EOF before serving starts — pair '-' with --limit when "
-        "piping from an unbounded source",
+        help="event file, one event per line ('-' = follow stdin live; default). "
+        "Files are read to EOF before serving; stdin is tailed, submitting "
+        "events as they arrive from an unbounded pipe",
     )
     parser.add_argument(
         "--bundle",
         default=None,
         help="saved IntrusionDetectionService bundle to serve "
         "(default: train a small demo service first)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel scoring workers each micro-batch is sharded across",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_CHOICES,
+        default="auto",
+        help="where the LM forward pass runs: inline (event loop), threaded "
+        "(thread pool), process (worker processes, each with its own "
+        "deserialized bundle). auto = inline for --workers 1, process otherwise",
     )
     parser.add_argument("--max-batch", type=int, default=32, help="micro-batch flush size")
     parser.add_argument(
@@ -118,22 +142,45 @@ def read_events(stream: TextIO, limit: int | None = None) -> Iterator[CommandEve
             return
 
 
+def _build_backend(args: argparse.Namespace, service):
+    """Resolve ``--backend``/``--workers`` into a ScoringBackend.
+
+    Returns ``(backend, tmp_bundle)``: the process backend needs an
+    on-disk bundle for its workers to deserialize — a loaded service
+    knows its own (``source_dir``); a freshly-trained demo service is
+    saved to a temporary directory the caller must clean up.
+    """
+    backend = args.backend
+    if backend == "auto":
+        backend = "inline" if args.workers == 1 else "process"
+    if backend == "inline":
+        return InlineBackend(service), None
+    if backend == "threaded":
+        return ThreadedBackend(service, workers=args.workers), None
+    bundle_dir, tmp_bundle = service.source_dir, None
+    if bundle_dir is None:
+        tmp_bundle = tempfile.TemporaryDirectory(prefix="repro-serve-bundle-")
+        bundle_dir = tmp_bundle.name
+        service.save(bundle_dir)
+    return ProcessPoolBackend(bundle_dir, workers=args.workers), tmp_bundle
+
+
 def serve_main(argv: Iterable[str] | None = None, stdout: TextIO | None = None) -> int:
     """Entry point for ``repro-ids serve``; returns a process exit code."""
     out = stdout or sys.stdout
     args = build_serve_parser().parse_args(list(argv) if argv is not None else None)
 
-    # read the stream before building the (possibly slow-to-train)
-    # service, so input mistakes fail fast and cleanly
-    try:
-        if args.input == "-":
-            events = list(read_events(sys.stdin, args.limit))
-        else:
+    # read file input before building the (possibly slow-to-train)
+    # service, so input mistakes fail fast and cleanly; stdin is tailed
+    # live later instead
+    events: list[CommandEvent] | None = None
+    if args.input != "-":
+        try:
             with open(args.input, encoding="utf-8") as handle:
                 events = list(read_events(handle, args.limit))
-    except OSError as exc:
-        print(f"error: cannot read --input {args.input}: {exc}", file=sys.stderr)
-        return 2
+        except OSError as exc:
+            print(f"error: cannot read --input {args.input}: {exc}", file=sys.stderr)
+            return 2
 
     # validate serving knobs with the real constructors before the
     # (possibly slow) service build
@@ -147,6 +194,8 @@ def serve_main(argv: Iterable[str] | None = None, stdout: TextIO | None = None) 
         )
         if args.concurrency < 1:
             raise ValueError("concurrency must be >= 1")
+        if args.workers < 1:
+            raise ValueError("workers must be >= 1")
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -183,10 +232,10 @@ def serve_main(argv: Iterable[str] | None = None, stdout: TextIO | None = None) 
             )
         )
 
-    results, server = serve_stream(
+    backend, tmp_bundle = _build_backend(args, service)
+    server = DetectionServer(
         service,
-        events,
-        concurrency=args.concurrency,
+        backend=backend,
         max_batch=args.max_batch,
         max_latency_ms=args.max_latency_ms,
         cache_size=args.cache_size,
@@ -194,6 +243,24 @@ def serve_main(argv: Iterable[str] | None = None, stdout: TextIO | None = None) 
         session_window_seconds=args.window_seconds,
         escalation_threshold=args.escalate_after,
     )
+
+    try:
+        if events is None:
+            results, server = tail_stream(
+                service,
+                sys.stdin,
+                concurrency=args.concurrency,
+                limit=args.limit,
+                parse=parse_event,
+                server=server,
+            )
+        else:
+            results, server = serve_stream(
+                service, events, concurrency=args.concurrency, server=server
+            )
+    finally:
+        if tmp_bundle is not None:
+            tmp_bundle.cleanup()
 
     escalated = server.sessions.escalated_hosts()
     if escalated:

@@ -106,8 +106,9 @@ class DetectionResult:
 
     Mirrors :class:`repro.ids.Verdict` but adds the serving-side
     bookkeeping a caller needs to reason about the streaming path:
-    whether the score came from the cache and how long the event spent
-    in the server.
+    whether the score came from the cache, how long the event spent in
+    the server, and which model generation produced the score (bumped
+    by every hot swap — see :meth:`DetectionServer.swap_model`).
     """
 
     event_id: int
@@ -120,3 +121,4 @@ class DetectionResult:
     cache_hit: bool
     latency_ms: float
     alert: DetectionAlert | None = None
+    generation: int = 0

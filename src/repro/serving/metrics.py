@@ -37,6 +37,11 @@ class ServingMetrics:
         self.batches = 0
         self.batched_events = 0
         self.unique_scored = 0
+        self.scoring_errors = 0
+        self.swaps = 0
+        self.last_swap_ms = 0.0
+        self.total_swap_ms = 0.0
+        self.backend = "inline(workers=1)"
         self.flush_reasons: Counter[str] = Counter()
         self._latencies_ms: deque[float] = deque(maxlen=latency_reservoir)
         self._started_at: float | None = None
@@ -84,6 +89,12 @@ class ServingMetrics:
         self.batched_events += size
         self.flush_reasons[reason] += 1
 
+    def record_swap(self, duration_ms: float) -> None:
+        """Account one completed hot model swap."""
+        self.swaps += 1
+        self.last_swap_ms = float(duration_ms)
+        self.total_swap_ms += float(duration_ms)
+
     # -- derived figures ---------------------------------------------------
 
     def latency_percentile(self, p: float) -> float:
@@ -112,6 +123,7 @@ class ServingMetrics:
     def snapshot(self) -> dict:
         """All figures as a plain dict (stable keys, JSON-serialisable)."""
         return {
+            "backend": self.backend,
             "events_total": self.events_total,
             "dropped": self.dropped,
             "cache_hits": self.cache_hits,
@@ -122,6 +134,9 @@ class ServingMetrics:
             "batches": self.batches,
             "mean_batch_size": round(self.mean_batch_size, 2),
             "unique_scored": self.unique_scored,
+            "scoring_errors": self.scoring_errors,
+            "swaps": self.swaps,
+            "last_swap_ms": round(self.last_swap_ms, 3),
             "flush_reasons": dict(self.flush_reasons),
             "latency_p50_ms": round(self.latency_percentile(50), 3),
             "latency_p95_ms": round(self.latency_percentile(95), 3),

@@ -8,15 +8,17 @@ accumulated or the oldest item has waited ``max_latency_ms`` —
 whichever comes first.  This is the standard inference-serving
 micro-batch policy (bounded batching delay, full batches under load).
 
-The handler runs synchronously inside the event loop — the repo's LM is
-CPU/numpy-bound, so there is no separate executor to hand off to; while
-a batch is being scored, new submissions simply queue up and form the
-next batch.
+The handler may be a plain synchronous callable (the in-loop LM scoring
+path) or return an awaitable (the sharded thread/process scoring
+backends).  With an awaitable handler the event loop stays responsive
+while a batch is being scored out-of-loop, so new submissions accumulate
+into the *next* batch instead of blocking behind the current one.
 """
 
 from __future__ import annotations
 
 import asyncio
+import inspect
 from collections.abc import Callable, Sequence
 from typing import Any
 
@@ -26,6 +28,14 @@ FLUSH_DEADLINE = "deadline"
 FLUSH_DRAIN = "drain"
 
 
+class BatchAborted(RuntimeError):
+    """The batcher was stopped while this item's batch was in flight.
+
+    Producers blocked in :meth:`MicroBatcher.submit` receive this
+    instead of hanging forever when ``stop()`` lands mid-score.
+    """
+
+
 class MicroBatcher:
     """Coalesce single-item submissions into handler-sized batches.
 
@@ -33,8 +43,8 @@ class MicroBatcher:
     ----------
     handler:
         ``handler(items) -> results`` with ``len(results) == len(items)``,
-        called with at most ``max_batch`` items.  May be any synchronous
-        callable (the LM scoring path here).
+        called with at most ``max_batch`` items.  May be synchronous or
+        return an awaitable (e.g. an ``async def`` scoring backend).
     max_batch:
         Flush as soon as this many items are pending.
     max_latency_ms:
@@ -87,7 +97,12 @@ class MicroBatcher:
         self._worker = asyncio.get_running_loop().create_task(self._consume())
 
     async def stop(self) -> None:
-        """Cancel the consumer, flushing anything still pending."""
+        """Cancel the consumer, flushing anything still pending.
+
+        If a batch is mid-score when the cancel lands, its producers
+        receive :class:`BatchAborted`; items still queued (never handed
+        to the handler) are flushed normally in ``max_batch`` chunks.
+        """
         if self._worker is not None:
             self._worker.cancel()
             try:
@@ -100,7 +115,7 @@ class MicroBatcher:
             leftovers.append(self._queue.get_nowait())
         # honour the handler's max_batch contract even on drain
         for start in range(0, len(leftovers), self.max_batch):
-            self._flush(leftovers[start : start + self.max_batch], FLUSH_DRAIN)
+            await self._flush(leftovers[start : start + self.max_batch], FLUSH_DRAIN)
 
     async def submit(self, item: Any) -> Any:
         """Enqueue *item* and wait for its slot of the batch result."""
@@ -129,18 +144,25 @@ class MicroBatcher:
                         break
             except asyncio.CancelledError:
                 # stop() mid-collection: don't strand producers already batched
-                self._flush(batch, FLUSH_DRAIN)
+                await self._flush(batch, FLUSH_DRAIN)
                 raise
-            self._flush(batch, reason)
+            await self._flush(batch, reason)
 
-    def _flush(self, batch: list[tuple[Any, asyncio.Future]], reason: str) -> None:
+    async def _flush(self, batch: list[tuple[Any, asyncio.Future]], reason: str) -> None:
         items = [item for item, _ in batch]
         try:
             results = self.handler(items)
+            if inspect.isawaitable(results):
+                results = await results
             if len(results) != len(items):
                 raise RuntimeError(
                     f"batch handler returned {len(results)} results for {len(items)} items"
                 )
+        except asyncio.CancelledError:
+            # stop() landed while the handler was scoring out-of-loop:
+            # fail this batch's producers cleanly instead of hanging them
+            self._abort(batch)
+            raise
         except Exception as exc:  # propagate to every waiting producer
             for _, future in batch:
                 if not future.done():
@@ -151,3 +173,10 @@ class MicroBatcher:
                 future.set_result(result)
         if self.on_flush is not None:
             self.on_flush(len(items), reason)
+
+    def _abort(self, batch: list[tuple[Any, asyncio.Future]]) -> None:
+        for _, future in batch:
+            if not future.done():
+                future.set_exception(
+                    BatchAborted("micro-batcher stopped while the batch was in flight")
+                )

@@ -8,7 +8,7 @@ Per event, the flow is::
                            ScoreCache ── hit ──► score
                               │ miss
                               ▼
-                           MicroBatcher ──► service.score_normalized(batch)
+                           MicroBatcher ──► ScoringBackend.score(batch)
                               ▼
                            threshold ── intrusion? ──► DetectionAlert
                                                          │
@@ -16,17 +16,27 @@ Per event, the flow is::
 
 Many producers may ``await submit(...)`` concurrently; the micro-batcher
 coalesces their misses so the LM encoder always runs near its efficient
-batch width, and within-batch duplicates are scored once.  Everything is
-in-process and unit-testable without sockets.
+batch width, and within-batch duplicates are scored once.  Where the
+forward pass runs is the :class:`~repro.serving.backends.ScoringBackend`'s
+choice — inline on the loop, sharded across threads, or sharded across
+worker processes.  :meth:`DetectionServer.swap_model` rotates the whole
+stack onto a new model bundle without dropping an event (the paper's
+weekly continual-learning hand-off).  Everything is in-process and
+unit-testable without sockets.
 """
 
 from __future__ import annotations
 
 import asyncio
+import threading
 import time
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+from functools import partial
+from typing import TextIO
 
 from repro.ids.pipeline import IntrusionDetectionService
+from repro.serving.backends import InlineBackend, ScoringBackend, ServiceLoader, load_bundle
 from repro.serving.cache import ScoreCache
 from repro.serving.events import (
     AlertStatus,
@@ -41,6 +51,34 @@ from repro.serving.sessions import SessionAggregator
 from repro.serving.sinks import AlertSink, SinkFanout
 
 
+@dataclass(frozen=True)
+class SwapReport:
+    """What one :meth:`DetectionServer.swap_model` call did.
+
+    Attributes
+    ----------
+    generation:
+        The server's model generation *after* the swap.
+    bundle_dir:
+        Bundle directory the new model came from (``None`` when the
+        caller handed over a service/loader directly).
+    swap_ms:
+        End-to-end wall time of the swap, including loading the new
+        bundle and draining the in-flight batch.
+    drain_ms:
+        Portion spent waiting for the in-flight batch to finish — the
+        window during which new batches were held back.
+    cache_invalidated:
+        Entries purged from the score cache by the generation bump.
+    """
+
+    generation: int
+    bundle_dir: str | None
+    swap_ms: float
+    drain_ms: float
+    cache_invalidated: int
+
+
 class DetectionServer:
     """Streaming front-end over an :class:`IntrusionDetectionService`.
 
@@ -50,6 +88,12 @@ class DetectionServer:
         A fitted detection service (only its ``preprocess``,
         ``score_normalized`` and ``threshold`` surface is used, so tests
         may substitute a lightweight stub).
+    backend:
+        Scoring execution strategy (default: score inline with
+        *service*).  Pass a
+        :class:`~repro.serving.backends.ThreadedBackend` or
+        :class:`~repro.serving.backends.ProcessPoolBackend` to shard
+        micro-batches across workers.
     max_batch / max_latency_ms:
         Micro-batch policy: flush on size or on the oldest event's
         queueing deadline, whichever first.
@@ -74,6 +118,7 @@ class DetectionServer:
         self,
         service: IntrusionDetectionService,
         *,
+        backend: ScoringBackend | None = None,
         max_batch: int = 32,
         max_latency_ms: float = 25.0,
         cache_size: int = 4096,
@@ -83,8 +128,10 @@ class DetectionServer:
         metrics: ServingMetrics | None = None,
     ):
         self.service = service
+        self.backend = backend or InlineBackend(service)
         self.cache = ScoreCache(cache_size)
         self.metrics = metrics or ServingMetrics()
+        self.metrics.backend = self.backend.describe()
         self.sessions = SessionAggregator(
             window_seconds=session_window_seconds,
             escalation_threshold=escalation_threshold,
@@ -96,19 +143,28 @@ class DetectionServer:
             max_latency_ms=max_latency_ms,
             on_flush=self.metrics.record_batch,
         )
+        self.generation = 0
         self._event_seq = 0
         self._alert_seq = 0
+        self._score_lock: asyncio.Lock | None = None
+        self._swap_lock: asyncio.Lock | None = None
 
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> None:
-        """Start the micro-batch consumer and the throughput clock."""
+        """Start the scoring backend, the micro-batch consumer, and the clock."""
+        # locks bind to the running loop; (re)create them here so a
+        # stopped server can restart on a new loop
+        self._score_lock = asyncio.Lock()
+        self._swap_lock = asyncio.Lock()
         self.metrics.mark_start()
+        await self.backend.start()
         await self.batcher.start()
 
     async def stop(self) -> None:
-        """Drain the batcher, close sinks, freeze the clock."""
+        """Drain the batcher, stop the backend, close sinks, freeze the clock."""
         await self.batcher.stop()
+        await self.backend.stop()
         self.sinks.close()
         self.metrics.mark_stop()
 
@@ -144,13 +200,14 @@ class DetectionServer:
                 dropped=True,
                 cache_hit=False,
                 latency_ms=latency,
+                generation=self.generation,
             )
 
-        cached = self.cache.get(normalized)
+        cached = self.cache.lookup(normalized)
         if cached is not None:
-            score, cache_hit = cached, True
+            (score, generation), cache_hit = cached, True
         else:
-            score = float(await self.batcher.submit(normalized))
+            score, generation = await self.batcher.submit(normalized)
             cache_hit = False
 
         is_intrusion = score >= self.service.threshold
@@ -174,11 +231,72 @@ class DetectionServer:
             cache_hit=cache_hit,
             latency_ms=latency,
             alert=alert,
+            generation=generation,
         )
 
     async def submit_event(self, event: CommandEvent) -> DetectionResult:
         """Submit a :class:`CommandEvent` (record-style convenience)."""
         return await self.submit(event.line, host=event.host, timestamp=event.timestamp)
+
+    # -- hot model swap ----------------------------------------------------
+
+    async def swap_model(
+        self,
+        bundle_dir: str | None = None,
+        *,
+        service: IntrusionDetectionService | None = None,
+        loader: ServiceLoader | None = None,
+    ) -> SwapReport:
+        """Atomically rotate the server onto a new model bundle.
+
+        The sequence is: load the new bundle (off-loop, while old-model
+        scoring continues), wait for the in-flight batch to drain while
+        holding back new ones, rotate the scoring backend, bump the
+        model generation, and purge the score cache.  Events submitted
+        during the swap are never dropped — they queue in the
+        micro-batcher and score against the new model; a batch never
+        mixes generations because rotation happens under the same lock
+        every batch scores under.
+
+        Callers pass one of:
+
+        - *bundle_dir* — a :meth:`IntrusionDetectionService.save`
+          directory (the normal production path, e.g. from
+          :meth:`ContinualLearner.export_service`);
+        - *service* (plus *loader* when the backend runs worker
+          processes) — pre-constructed objects, used by tests.
+
+        Note the calibrated threshold swaps together with the model:
+        an event scored by the old model but thresholded after the swap
+        uses the new threshold (the race window is one batch wide).
+        """
+        if bundle_dir is None and service is None and loader is None:
+            raise ValueError("swap_model needs a bundle_dir, a service, or a loader")
+        if loader is None and bundle_dir is not None:
+            loader = partial(load_bundle, str(bundle_dir))
+        if self._swap_lock is None or self._score_lock is None:
+            raise RuntimeError("DetectionServer is not running; call start() first")
+        async with self._swap_lock:
+            started = time.perf_counter()
+            if service is None:
+                # deserialize off-loop: scoring with the old model continues
+                service = await asyncio.to_thread(loader)
+            drain_started = time.perf_counter()
+            async with self._score_lock:
+                drain_ms = (time.perf_counter() - drain_started) * 1000.0
+                await self.backend.swap(service=service, loader=loader)
+                self.service = service
+                self.generation += 1
+                invalidated = self.cache.bump_generation()
+            swap_ms = (time.perf_counter() - started) * 1000.0
+            self.metrics.record_swap(swap_ms)
+            return SwapReport(
+                generation=self.generation,
+                bundle_dir=None if bundle_dir is None else str(bundle_dir),
+                swap_ms=swap_ms,
+                drain_ms=drain_ms,
+                cache_invalidated=invalidated,
+            )
 
     # -- internals ---------------------------------------------------------
 
@@ -200,14 +318,28 @@ class DetectionServer:
         self.metrics.alerts += 1
         return alert
 
-    def _score_batch(self, lines: list[str]) -> list[float]:
-        """Micro-batch handler: score distinct lines once, fill the cache."""
-        unique: dict[str, float] = dict.fromkeys(lines, 0.0)
-        scores = self.service.score_normalized(list(unique))
+    async def _score_batch(self, lines: list[str]) -> list[tuple[float, int]]:
+        """Micro-batch handler: score distinct lines once, fill the cache.
+
+        Returns ``(score, generation)`` pairs so producers can stamp
+        their results with the model that actually scored them.  The
+        score lock serializes batches against :meth:`swap_model`, which
+        is what guarantees a batch never mixes model generations.
+        """
+        unique: dict[str, tuple[float, int]] = dict.fromkeys(lines, (0.0, 0))
+        if self._score_lock is None:
+            raise RuntimeError("DetectionServer is not running; call start() first")
+        async with self._score_lock:
+            generation = self.generation
+            try:
+                scores = await self.backend.score(list(unique))
+            except Exception:
+                self.metrics.scoring_errors += 1
+                raise
         for line, score in zip(unique, scores):
             value = float(score)
-            unique[line] = value
-            self.cache.put(line, value)
+            unique[line] = (value, generation)
+            self.cache.put(line, value, generation=generation)
         self.metrics.unique_scored += len(unique)
         return [unique[line] for line in lines]
 
@@ -237,14 +369,7 @@ def serve_stream(
         event if isinstance(event, CommandEvent) else CommandEvent(line=event)
         for event in events
     ]
-    server = server_options.pop("server", None)
-    if server is not None and server_options:
-        raise ValueError(
-            "server= reuses an existing DetectionServer; these options would be "
-            f"silently ignored: {sorted(server_options)}"
-        )
-    if server is None:
-        server = DetectionServer(service, **server_options)
+    server = _resolve_server(service, server_options)
 
     async def _run() -> list[DetectionResult]:
         results: list[DetectionResult | None] = [None] * len(materialized)
@@ -265,3 +390,109 @@ def serve_stream(
         return [result for result in results if result is not None]
 
     return asyncio.run(_run()), server
+
+
+def tail_stream(
+    service: IntrusionDetectionService,
+    stream: TextIO,
+    *,
+    concurrency: int = 8,
+    limit: int | None = None,
+    parse: Callable[[str], CommandEvent | None] | None = None,
+    on_result: Callable[[DetectionResult], None] | None = None,
+    **server_options,
+) -> tuple[list[DetectionResult], DetectionServer]:
+    """Follow *stream* live, submitting each event as it arrives.
+
+    Unlike :func:`serve_stream`, the input is **not** read to EOF first:
+    a reader thread feeds a bounded queue as lines appear on the (possibly
+    unbounded) pipe, and *concurrency* producer tasks submit them to the
+    server immediately — the ``repro-ids serve --input -`` live-tail
+    mode the ROADMAP called for.  Returns when the stream ends (EOF or
+    *limit* events), with results in arrival order.
+
+    *parse* maps one raw text line to a :class:`CommandEvent` (``None``
+    skips the line; default: the whole line is the command).  *on_result*
+    is invoked from the event loop after each event completes — useful
+    for progress output while the stream is still open.
+    """
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    if limit is not None and limit <= 0:
+        limit = 0
+    parse = parse or _parse_plain_line
+    server = _resolve_server(service, server_options)
+
+    async def _run() -> list[DetectionResult]:
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue = asyncio.Queue(maxsize=max(2 * concurrency, 8))
+        eof = object()
+        sequenced: list[tuple[int, DetectionResult]] = []
+        reader_failure: list[BaseException] = []
+
+        def reader() -> None:
+            count = 0
+            try:
+                if limit == 0:
+                    return
+                for raw in stream:
+                    event = parse(raw)
+                    if event is None:
+                        continue
+                    # blocks (backpressure) when producers lag behind
+                    asyncio.run_coroutine_threadsafe(queue.put((count, event)), loop).result()
+                    count += 1
+                    if limit is not None and count >= limit:
+                        return
+            except BaseException as exc:  # re-raised on the caller's side
+                reader_failure.append(exc)
+            finally:
+                try:
+                    asyncio.run_coroutine_threadsafe(queue.put(eof), loop).result()
+                except RuntimeError:
+                    pass  # loop already closed (producer failure path)
+
+        async def producer() -> None:
+            while True:
+                item = await queue.get()
+                if item is eof:
+                    await queue.put(eof)  # wake sibling producers
+                    return
+                sequence, event = item
+                result = await server.submit_event(event)
+                sequenced.append((sequence, result))
+                if on_result is not None:
+                    on_result(result)
+
+        thread = threading.Thread(target=reader, name="tail-reader", daemon=True)
+        async with server:
+            thread.start()
+            await asyncio.gather(*(producer() for _ in range(concurrency)))
+        thread.join(timeout=5.0)
+        if reader_failure:
+            # a broken input stream (decode error, raising parse) must
+            # fail loudly, not masquerade as a clean partial run
+            raise reader_failure[0]
+        return [result for _, result in sorted(sequenced, key=lambda pair: pair[0])]
+
+    return asyncio.run(_run()), server
+
+
+def _parse_plain_line(text: str) -> CommandEvent | None:
+    line = text.rstrip("\n")
+    return CommandEvent(line=line) if line.strip() else None
+
+
+def _resolve_server(
+    service: IntrusionDetectionService, server_options: dict
+) -> DetectionServer:
+    """Shared ``server=`` / option handling for the stream drivers."""
+    server = server_options.pop("server", None)
+    if server is not None and server_options:
+        raise ValueError(
+            "server= reuses an existing DetectionServer; these options would be "
+            f"silently ignored: {sorted(server_options)}"
+        )
+    if server is None:
+        server = DetectionServer(service, **server_options)
+    return server

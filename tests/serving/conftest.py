@@ -40,3 +40,17 @@ def demo_service():
     from repro.serving.demo import build_demo_service
 
     return build_demo_service()
+
+
+@pytest.fixture(scope="session")
+def demo_bundle(demo_service, tmp_path_factory):
+    """The demo service saved as a bundle directory (for process workers)."""
+    bundle = tmp_path_factory.mktemp("serving") / "bundle"
+    demo_service.save(bundle)
+    return str(bundle)
+
+
+@pytest.fixture
+def backend_workers(request):
+    """Worker count for parallel-backend tests (CI passes ``--workers 2``)."""
+    return max(2, request.config.getoption("--workers"))

@@ -106,3 +106,27 @@ class TestServeCli:
         output = capsys.readouterr().out
         assert "training a small demo service" not in output
         assert "serving metrics" in output
+
+    def test_serve_with_process_workers(self, demo_bundle, tmp_path, capsys, backend_workers):
+        """--workers N shards scoring across worker processes end to end."""
+        stream = tmp_path / "input.log"
+        stream.write_text("\n".join((DEMO_BENIGN + DEMO_MALICIOUS) * 2) + "\n")
+
+        code = serve_main(
+            [
+                "--input", str(stream),
+                "--bundle", demo_bundle,
+                "--workers", str(backend_workers),
+                "--quiet",
+                "--max-latency-ms", "10",
+            ]
+        )
+
+        assert code == 0
+        output = capsys.readouterr().out
+        assert f"process(workers={backend_workers})" in output
+        assert "serving metrics" in output
+
+    def test_serve_rejects_bad_workers(self, capsys):
+        code = serve_main(["--workers", "0", "--input", "/dev/null"])
+        assert code == 2

@@ -163,3 +163,52 @@ class TestErrorsAndLifecycle:
             MicroBatcher(lambda items: items, max_batch=0)
         with pytest.raises(ValueError):
             MicroBatcher(lambda items: items, max_latency_ms=0)
+
+
+class TestAsyncHandler:
+    def test_awaitable_handler_results_map_back(self):
+        async def handler(items):
+            await asyncio.sleep(0)
+            return [item * 2 for item in items]
+
+        async def scenario():
+            batcher = MicroBatcher(handler, max_batch=4, max_latency_ms=10)
+            await batcher.start()
+            results = await asyncio.gather(*(batcher.submit(i) for i in range(4)))
+            await batcher.stop()
+            return results
+
+        assert run(scenario()) == [0, 2, 4, 6]
+
+    def test_async_handler_exception_propagates(self):
+        async def handler(items):
+            raise RuntimeError("backend died")
+
+        async def scenario():
+            batcher = MicroBatcher(handler, max_batch=1, max_latency_ms=10)
+            await batcher.start()
+            with pytest.raises(RuntimeError, match="backend died"):
+                await batcher.submit("x")
+            await batcher.stop()
+
+        run(scenario())
+
+    def test_stop_mid_async_handler_aborts_producers(self):
+        from repro.serving import BatchAborted
+
+        release = asyncio.Event()
+
+        async def handler(items):
+            await release.wait()  # a scoring pass stop() will interrupt
+            return items
+
+        async def scenario():
+            batcher = MicroBatcher(handler, max_batch=2, max_latency_ms=5)
+            await batcher.start()
+            producers = [asyncio.ensure_future(batcher.submit(i)) for i in range(2)]
+            await asyncio.sleep(0.05)  # batch is now inside the handler
+            await batcher.stop()
+            return await asyncio.gather(*producers, return_exceptions=True)
+
+        outcomes = run(scenario())
+        assert all(isinstance(outcome, BatchAborted) for outcome in outcomes)

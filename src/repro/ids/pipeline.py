@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import warnings
 from collections.abc import Sequence
 from dataclasses import dataclass
 from pathlib import Path
@@ -90,6 +91,10 @@ class IntrusionDetectionService:
         #: Bundle directory this service was restored from (set by
         #: :meth:`load`); ``None`` for freshly-trained services.
         self.source_dir: Path | None = None
+        #: The :class:`~repro.serving.config.ServingConfig` recorded in
+        #: the bundle metadata (how this service was last deployed);
+        #: ``None`` when the bundle carries no serving config.
+        self.serving_config = None
 
     # -- construction ------------------------------------------------------
 
@@ -183,20 +188,55 @@ class IntrusionDetectionService:
 
     # -- persistence ------------------------------------------------------------
 
-    def save(self, directory: str | Path) -> None:
-        """Write the full service bundle (LM + tokenizer + head + meta)."""
+    def save(self, directory: str | Path, *, serving_config=None) -> None:
+        """Write the full service bundle (LM + tokenizer + head + meta).
+
+        *serving_config* (a :class:`~repro.serving.config.ServingConfig`;
+        default: the one already attached to this service, if any) is
+        recorded in the bundle metadata so the deployment that serves
+        this model travels with it — ``DetectionServer.from_config``
+        picks it up when no explicit config is given.
+        """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         save_pretrained(directory, self.encoder.model, self.encoder.tokenizer)
         assert self.tuner.head is not None
         save_module(self.tuner.head, directory / _HEAD_FILE)
+        if serving_config is None:
+            serving_config = self.serving_config
         meta = {
             "threshold": self.threshold,
             "pooling": self.tuner.pooling,
             "head_hidden": self.tuner.hidden_size,
             "encoder_pooling": self.encoder.pooling,
         }
+        if serving_config is not None:
+            meta["serving_config"] = serving_config.to_dict()
         (directory / _META_FILE).write_text(json.dumps(meta, indent=2))
+
+    def record_serving_config(self, serving_config) -> bool:
+        """Attach *serving_config* to this service and persist it into the
+        source bundle's metadata (best-effort).
+
+        Returns ``True`` when the bundle's ``service.json`` was updated;
+        ``False`` when the service has no bundle on disk (fresh, never
+        saved) or the metadata could not be rewritten.  Either way the
+        config is attached in memory, so a later :meth:`save` records it.
+        """
+        self.serving_config = serving_config
+        if self.source_dir is None:
+            return False
+        meta_path = self.source_dir / _META_FILE
+        try:
+            meta = json.loads(meta_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return False
+        meta["serving_config"] = serving_config.to_dict()
+        try:
+            meta_path.write_text(json.dumps(meta, indent=2))
+        except OSError:
+            return False
+        return True
 
     @classmethod
     def load(cls, directory: str | Path) -> "IntrusionDetectionService":
@@ -217,4 +257,21 @@ class IntrusionDetectionService:
         tuner.restore_head(directory / _HEAD_FILE)
         service = cls(encoder=encoder, tuner=tuner, threshold=meta["threshold"])
         service.source_dir = directory
+        if meta.get("serving_config") is not None:
+            # deferred import: repro.serving depends on this module
+            from repro.errors import ConfigError
+            from repro.serving.config import ServingConfig
+
+            try:
+                service.serving_config = ServingConfig.from_dict(
+                    meta["serving_config"], path=f"{meta_path}:serving_config"
+                )
+            except ConfigError as exc:
+                # deployment metadata must never make the model bundle
+                # unloadable (e.g. a custom sink scheme this process
+                # hasn't registered) — degrade to "no recorded config"
+                warnings.warn(
+                    f"ignoring invalid serving_config recorded in {directory}: {exc}",
+                    stacklevel=2,
+                )
         return service

@@ -2,19 +2,32 @@
 
 Public surface:
 
-- :class:`DetectionServer` / :func:`serve_stream` / :func:`tail_stream`
-  — the asyncio server and its synchronous drivers (read-to-EOF and
-  live-tail).
+- :class:`ServingConfig` and its nodes (:class:`BatchConfig`,
+  :class:`CacheConfig`, :class:`BackendConfig`, :class:`SessionConfig`,
+  :class:`SinkSpec`, :class:`DeliveryPolicy`) — the typed, declarative
+  description of one deployment, loadable from TOML/JSON
+  (``--config serve.toml``) with a lossless ``to_dict`` round-trip.
+- :class:`DetectionServer` (canonical constructor:
+  :meth:`DetectionServer.from_config`) / :func:`serve_stream` /
+  :func:`tail_stream` — the asyncio server and its synchronous drivers
+  (read-to-EOF and live-tail).
 - :class:`ScoringBackend` and its three strategies —
   :class:`InlineBackend`, :class:`ThreadedBackend`,
   :class:`ProcessPoolBackend` — deciding where the LM forward pass
   runs; ``DetectionServer.swap_model`` hot-rotates all of them.
 - :class:`MicroBatcher` — flush-on-size-or-deadline batching queue.
 - :class:`ScoreCache` — LRU normalized-line → score cache with
-  model-generation invalidation.
+  model-generation invalidation and optional TTL expiry.
 - :class:`SessionAggregator` / :class:`HostSession` — per-host rolling
   windows with escalation.
-- :class:`AlertSink` and friends — pluggable alert fan-out.
+- :class:`AlertSink` (batch-first ``open/emit_many/flush/close``
+  protocol) and its implementations — :class:`RingBufferSink`,
+  :class:`JsonlSink`, :class:`CallbackSink`, :class:`WebhookSink`,
+  :class:`TcpSocketSink` — constructible from URIs via
+  :func:`build_sink` / :class:`SinkRegistry`.
+- :class:`DeliveryPipeline` — durable per-sink delivery (bounded
+  queues, backpressure, retry with backoff, dead-letter JSONL) with
+  per-sink :class:`SinkStats`.
 - :class:`ServingMetrics` — throughput / latency / hit-rate counters.
 - Event model: :class:`CommandEvent`, :class:`DetectionResult`,
   :class:`DetectionAlert`, :class:`Severity`, :class:`AlertStatus`.
@@ -29,6 +42,17 @@ from repro.serving.backends import (
     load_bundle,
 )
 from repro.serving.cache import ScoreCache
+from repro.serving.config import (
+    BackendConfig,
+    BatchConfig,
+    CacheConfig,
+    DeliveryPolicy,
+    ServingConfig,
+    SessionConfig,
+    SinkSpec,
+    load_recorded_config,
+)
+from repro.serving.delivery import DeliveryPipeline, SinkStats
 from repro.serving.events import (
     AlertStatus,
     CommandEvent,
@@ -38,22 +62,41 @@ from repro.serving.events import (
 )
 from repro.serving.metrics import ServingMetrics
 from repro.serving.microbatch import BatchAborted, MicroBatcher
-from repro.serving.server import DetectionServer, SwapReport, serve_stream, tail_stream
+from repro.serving.server import (
+    DetectionServer,
+    SwapReport,
+    backend_from_config,
+    serve_stream,
+    tail_stream,
+)
 from repro.serving.sessions import HostSession, SessionAggregator
 from repro.serving.sinks import (
+    DEFAULT_SINK_REGISTRY,
     AlertSink,
     CallbackSink,
     JsonlSink,
     RingBufferSink,
     SinkFanout,
+    SinkRegistry,
+    TcpSocketSink,
+    WebhookSink,
+    build_sink,
+    ensure_sink,
+    register_sink_scheme,
 )
 
 __all__ = [
     "AlertSink",
     "AlertStatus",
+    "BackendConfig",
     "BatchAborted",
+    "BatchConfig",
+    "CacheConfig",
     "CallbackSink",
     "CommandEvent",
+    "DEFAULT_SINK_REGISTRY",
+    "DeliveryPipeline",
+    "DeliveryPolicy",
     "DetectionAlert",
     "DetectionResult",
     "DetectionServer",
@@ -65,14 +108,26 @@ __all__ = [
     "RingBufferSink",
     "ScoreCache",
     "ScoringBackend",
+    "ServingConfig",
     "ServingMetrics",
     "SessionAggregator",
+    "SessionConfig",
     "Severity",
     "SinkFanout",
+    "SinkRegistry",
+    "SinkSpec",
+    "SinkStats",
     "SwapReport",
+    "TcpSocketSink",
     "ThreadedBackend",
+    "WebhookSink",
     "WorkerCrashError",
+    "backend_from_config",
+    "build_sink",
+    "ensure_sink",
     "load_bundle",
+    "load_recorded_config",
+    "register_sink_scheme",
     "serve_stream",
     "tail_stream",
 ]

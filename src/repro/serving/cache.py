@@ -17,7 +17,9 @@ is rejected rather than poisoning the new generation.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
+from collections.abc import Callable
 
 
 class ScoreCache:
@@ -30,24 +32,44 @@ class ScoreCache:
         evicted when a ``put`` would exceed it.  ``0`` disables caching
         (every ``get`` misses, ``put`` is a no-op) — useful for
         cold-path benchmarking.
+    ttl_seconds:
+        Optional time-to-live: an entry older than this (measured from
+        the ``put`` that wrote it, **not** refreshed by lookups) is
+        treated as a miss and dropped.  Time-based expiry bounds how
+        long a score can drift from the live model between generation
+        bumps; ``None`` (default) keeps entries until eviction or
+        invalidation.
+    clock:
+        Monotonic time source for TTL accounting (injectable for tests).
 
     Hit/miss/eviction counters are maintained so serving metrics can
     report the hit rate the paper-scale deployment depends on;
-    ``invalidated`` / ``stale_puts`` account for the generation
-    machinery that keeps the cache honest across model swaps.
+    ``invalidated`` / ``stale_puts`` / ``expirations`` account for the
+    generation and TTL machinery that keeps the cache honest across
+    model swaps and over time.
     """
 
-    def __init__(self, capacity: int = 4096):
+    def __init__(
+        self,
+        capacity: int = 4096,
+        ttl_seconds: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
         if capacity < 0:
             raise ValueError("capacity must be >= 0")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be > 0 (or None to disable)")
         self.capacity = capacity
-        self._entries: OrderedDict[str, tuple[float, int]] = OrderedDict()
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._entries: OrderedDict[str, tuple[float, int, float]] = OrderedDict()
         self.generation = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.invalidated = 0
         self.stale_puts = 0
+        self.expirations = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -60,16 +82,22 @@ class ScoreCache:
 
         An entry left over from an older model generation is treated as
         a miss and dropped on the spot (defence in depth — a
-        :meth:`bump_generation` already purges eagerly).
+        :meth:`bump_generation` already purges eagerly), as is an entry
+        older than ``ttl_seconds``.
         """
         entry = self._entries.get(line)
         if entry is None:
             self.misses += 1
             return None
-        score, generation = entry
+        score, generation, stamped_at = entry
         if generation != self.generation:
             del self._entries[line]
             self.invalidated += 1
+            self.misses += 1
+            return None
+        if self.ttl_seconds is not None and self._clock() - stamped_at > self.ttl_seconds:
+            del self._entries[line]
+            self.expirations += 1
             self.misses += 1
             return None
         self._entries.move_to_end(line)
@@ -97,7 +125,7 @@ class ScoreCache:
             return
         if line in self._entries:
             self._entries.move_to_end(line)
-        self._entries[line] = (float(score), generation)
+        self._entries[line] = (float(score), generation, self._clock())
         if len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.evictions += 1

@@ -1,51 +1,83 @@
 """``repro-ids serve`` — stream a file or stdin through the detection server.
 
+The deployment is described by a declarative config
+(:class:`~repro.serving.config.ServingConfig`), resolved in layers:
+
+1. ``--config serve.toml`` (TOML or JSON file), else the config
+   recorded in the ``--bundle`` metadata, else built-in defaults;
+2. individual flags (``--max-batch``, ``--workers``, ``--cache-ttl``,
+   ...) override the corresponding config fields;
+3. ``--sink URI`` appends sinks (``ring://4096``,
+   ``jsonl:///var/alerts.jsonl``, ``webhook://siem:8080/alerts``,
+   ``tcp://collector:9000``); ``--alerts-out FILE`` is shorthand for a
+   ``jsonl://`` sink.
+
+``--print-config`` emits the fully-resolved config as JSON and exits —
+the output parses back to an equal config (CI smoke-tests this), so a
+resolved deployment can be frozen into a file.
+
 Input is one event per line: either a bare command line, or a JSON
 object ``{"line": ..., "host": ..., "timestamp": ...}`` (``host`` and
 ``timestamp`` optional).  A file input is read to EOF and then streamed
 through the server by concurrent producers; ``--input -`` **follows**
-stdin live, submitting each event as it arrives — so an unbounded pipe
-(``tail -f auth.log | repro-ids serve``) is served continuously instead
-of buffered to EOF.  Alerts print to stdout as they are confirmed and a
-metrics report prints at the end.
-
-``--workers N`` shards each micro-batch across N scoring workers
-(``--backend process`` forks worker processes that each deserialize the
-service bundle; ``--backend threaded`` shares one service across a
-thread pool).
+stdin live, submitting each event as it arrives.  Alerts print to
+stdout as they are confirmed and metrics + per-sink delivery stats
+print at the end.
 
 .. code-block:: console
 
-   $ repro-ids serve --input telemetry.log
-   $ repro-ids serve --bundle ./bundle --workers 4 --input - --alerts-out alerts.jsonl
+   $ repro-ids serve --config examples/serve.toml --bundle ./bundle
+   $ repro-ids serve --input telemetry.log --sink webhook://siem:8080/alerts
+   $ repro-ids serve --config serve.toml --workers 4 --print-config
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 import tempfile
+import urllib.parse
 from collections.abc import Iterable, Iterator
+from pathlib import Path
 from typing import TextIO
 
-from repro.errors import ReproError
-from repro.serving.backends import InlineBackend, ProcessPoolBackend, ThreadedBackend
-from repro.serving.cache import ScoreCache
+from repro.errors import ConfigError, ReproError
+from repro.serving.config import (
+    BACKEND_KINDS,
+    ServingConfig,
+    SinkSpec,
+    load_recorded_config,
+)
 from repro.serving.events import CommandEvent
-from repro.serving.microbatch import MicroBatcher
 from repro.serving.server import DetectionServer, serve_stream, tail_stream
-from repro.serving.sessions import SessionAggregator
-from repro.serving.sinks import AlertSink, CallbackSink, JsonlSink, RingBufferSink
+from repro.serving.sinks import CallbackSink
 
-BACKEND_CHOICES = ("auto", "inline", "threaded", "process")
+BACKEND_CHOICES = BACKEND_KINDS
 
 
 def build_serve_parser() -> argparse.ArgumentParser:
-    """Argument definition for the ``serve`` subcommand."""
+    """Argument definition for the ``serve`` subcommand.
+
+    Tunable flags default to ``None`` so the resolver can tell "not
+    given" (keep the config file's value) from an explicit override.
+    """
     parser = argparse.ArgumentParser(
         prog="repro-ids serve",
         description="Stream command-line events through the detection server.",
+    )
+    parser.add_argument(
+        "--config",
+        default=None,
+        metavar="FILE",
+        help="deployment config file (.toml or .json); individual flags "
+        "override its values",
+    )
+    parser.add_argument(
+        "--print-config",
+        action="store_true",
+        help="print the fully-resolved config as JSON and exit",
     )
     parser.add_argument(
         "--input",
@@ -63,33 +95,68 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--workers",
         type=int,
-        default=1,
-        help="parallel scoring workers each micro-batch is sharded across",
+        default=None,
+        help="parallel scoring workers each micro-batch is sharded across "
+        "(default 1)",
     )
     parser.add_argument(
         "--backend",
         choices=BACKEND_CHOICES,
-        default="auto",
+        default=None,
         help="where the LM forward pass runs: inline (event loop), threaded "
         "(thread pool), process (worker processes, each with its own "
-        "deserialized bundle). auto = inline for --workers 1, process otherwise",
-    )
-    parser.add_argument("--max-batch", type=int, default=32, help="micro-batch flush size")
-    parser.add_argument(
-        "--max-latency-ms", type=float, default=25.0, help="micro-batch flush deadline"
-    )
-    parser.add_argument("--cache-size", type=int, default=4096, help="LRU score-cache capacity")
-    parser.add_argument(
-        "--concurrency", type=int, default=8, help="in-process producer tasks feeding the server"
+        "deserialized bundle). auto = inline for 1 worker, process otherwise",
     )
     parser.add_argument(
-        "--alerts-out", default=None, help="also append alerts to this JSONL file"
+        "--max-batch", type=int, default=None, help="micro-batch flush size (default 32)"
     )
     parser.add_argument(
-        "--window-seconds", type=float, default=300.0, help="per-host escalation window"
+        "--max-latency-ms",
+        type=float,
+        default=None,
+        help="micro-batch flush deadline (default 25)",
     )
     parser.add_argument(
-        "--escalate-after", type=int, default=5, help="alerts in window that escalate a host"
+        "--cache-size", type=int, default=None, help="LRU score-cache capacity (default 4096)"
+    )
+    parser.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="expire cached scores after this many seconds (default: no TTL)",
+    )
+    parser.add_argument(
+        "--concurrency",
+        type=int,
+        default=None,
+        help="in-process producer tasks feeding the server (default 8)",
+    )
+    parser.add_argument(
+        "--sink",
+        action="append",
+        default=None,
+        metavar="URI",
+        help="add an alert sink by URI (ring://N, jsonl://PATH, "
+        "webhook://HOST:PORT/PATH, tcp://HOST:PORT); repeatable",
+    )
+    parser.add_argument(
+        "--alerts-out",
+        default=None,
+        metavar="FILE",
+        help="also append alerts to this JSONL file (shorthand for a jsonl:// sink)",
+    )
+    parser.add_argument(
+        "--window-seconds",
+        type=float,
+        default=None,
+        help="per-host escalation window (default 300)",
+    )
+    parser.add_argument(
+        "--escalate-after",
+        type=int,
+        default=None,
+        help="alerts in window that escalate a host (default 5)",
     )
     parser.add_argument(
         "--limit", type=int, default=None, help="stop after this many input events"
@@ -98,6 +165,52 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-alert output (metrics only)"
     )
     return parser
+
+
+def resolve_config(args: argparse.Namespace) -> ServingConfig:
+    """Layer the resolved :class:`ServingConfig` for this invocation.
+
+    Base: ``--config`` file if given, else the config recorded in the
+    ``--bundle`` metadata, else defaults.  Explicitly-passed flags
+    override individual fields; ``--sink``/``--alerts-out`` append sink
+    specs.  Raises :class:`~repro.errors.ConfigError` with an
+    actionable message for anything invalid.
+    """
+    if args.config is not None:
+        base = ServingConfig.from_file(args.config)
+    elif args.bundle is not None:
+        base = load_recorded_config(args.bundle) or ServingConfig()
+    else:
+        base = ServingConfig()
+
+    def override(node, **candidates):
+        changes = {key: value for key, value in candidates.items() if value is not None}
+        return dataclasses.replace(node, **changes) if changes else node
+
+    sinks = list(base.sinks)
+    for uri in args.sink or []:
+        sinks.append(SinkSpec(uri=uri))
+    if args.alerts_out is not None:
+        # percent-quote so path characters special to URIs ('#', '?',
+        # '%', spaces) survive the round-trip into jsonl://
+        quoted = urllib.parse.quote(args.alerts_out)
+        sinks.append(SinkSpec(uri=f"jsonl://{quoted}", name="alerts-out"))
+
+    return dataclasses.replace(
+        base,
+        batch=override(
+            base.batch, max_batch=args.max_batch, max_latency_ms=args.max_latency_ms
+        ),
+        cache=override(base.cache, size=args.cache_size, ttl_seconds=args.cache_ttl),
+        backend=override(base.backend, kind=args.backend, workers=args.workers),
+        session=override(
+            base.session,
+            window_seconds=args.window_seconds,
+            escalation_threshold=args.escalate_after,
+        ),
+        sinks=tuple(sinks),
+        concurrency=args.concurrency if args.concurrency is not None else base.concurrency,
+    )
 
 
 def parse_event(text: str) -> CommandEvent | None:
@@ -142,33 +255,22 @@ def read_events(stream: TextIO, limit: int | None = None) -> Iterator[CommandEve
             return
 
 
-def _build_backend(args: argparse.Namespace, service):
-    """Resolve ``--backend``/``--workers`` into a ScoringBackend.
-
-    Returns ``(backend, tmp_bundle)``: the process backend needs an
-    on-disk bundle for its workers to deserialize — a loaded service
-    knows its own (``source_dir``); a freshly-trained demo service is
-    saved to a temporary directory the caller must clean up.
-    """
-    backend = args.backend
-    if backend == "auto":
-        backend = "inline" if args.workers == 1 else "process"
-    if backend == "inline":
-        return InlineBackend(service), None
-    if backend == "threaded":
-        return ThreadedBackend(service, workers=args.workers), None
-    bundle_dir, tmp_bundle = service.source_dir, None
-    if bundle_dir is None:
-        tmp_bundle = tempfile.TemporaryDirectory(prefix="repro-serve-bundle-")
-        bundle_dir = tmp_bundle.name
-        service.save(bundle_dir)
-    return ProcessPoolBackend(bundle_dir, workers=args.workers), tmp_bundle
-
-
 def serve_main(argv: Iterable[str] | None = None, stdout: TextIO | None = None) -> int:
     """Entry point for ``repro-ids serve``; returns a process exit code."""
     out = stdout or sys.stdout
     args = build_serve_parser().parse_args(list(argv) if argv is not None else None)
+
+    # resolve the deployment before anything slow: config mistakes must
+    # fail fast with the offending key, not after a model load
+    try:
+        config = resolve_config(args)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.print_config:
+        print(config.to_json(), file=out)
+        return 0
 
     # read file input before building the (possibly slow-to-train)
     # service, so input mistakes fail fast and cleanly; stdin is tailed
@@ -181,24 +283,6 @@ def serve_main(argv: Iterable[str] | None = None, stdout: TextIO | None = None) 
         except OSError as exc:
             print(f"error: cannot read --input {args.input}: {exc}", file=sys.stderr)
             return 2
-
-    # validate serving knobs with the real constructors before the
-    # (possibly slow) service build
-    try:
-        MicroBatcher(
-            lambda items: items, max_batch=args.max_batch, max_latency_ms=args.max_latency_ms
-        )
-        ScoreCache(args.cache_size)
-        SessionAggregator(
-            window_seconds=args.window_seconds, escalation_threshold=args.escalate_after
-        )
-        if args.concurrency < 1:
-            raise ValueError("concurrency must be >= 1")
-        if args.workers < 1:
-            raise ValueError("workers must be >= 1")
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
 
     if args.bundle is not None:
         from repro.ids.pipeline import IntrusionDetectionService
@@ -218,45 +302,50 @@ def serve_main(argv: Iterable[str] | None = None, stdout: TextIO | None = None) 
             print(f"error: demo service training failed: {exc}", file=sys.stderr)
             return 2
 
-    sinks: list[AlertSink] = [RingBufferSink(capacity=4096)]
-    if args.alerts_out is not None:
-        sinks.append(JsonlSink(args.alerts_out))
+    # the process backend forks workers that deserialize a bundle from
+    # disk; a freshly-trained demo service has none, so save one to a
+    # temporary directory for the duration of the run
+    tmp_bundle = None
+    if config.backend.resolved_kind == "process" and service.source_dir is None:
+        tmp_bundle = tempfile.TemporaryDirectory(prefix="repro-serve-bundle-")
+        service.save(tmp_bundle.name)
+        service.source_dir = Path(tmp_bundle.name)
+
+    try:
+        server = DetectionServer.from_config(service, config)
+    except ConfigError as exc:
+        if tmp_bundle is not None:
+            tmp_bundle.cleanup()
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    # CLI convenience on top of the configured sinks: per-alert console
+    # output unless --quiet
     if not args.quiet:
-        sinks.append(
+        server.sinks.add(
             CallbackSink(
                 lambda alert: print(
                     f"ALERT {alert.severity.value:>8} {alert.status.value:>9} "
                     f"host={alert.host} score={alert.score:.3f} {alert.line}",
                     file=out,
                 )
-            )
+            ),
+            name="cli-console",
         )
-
-    backend, tmp_bundle = _build_backend(args, service)
-    server = DetectionServer(
-        service,
-        backend=backend,
-        max_batch=args.max_batch,
-        max_latency_ms=args.max_latency_ms,
-        cache_size=args.cache_size,
-        sinks=sinks,
-        session_window_seconds=args.window_seconds,
-        escalation_threshold=args.escalate_after,
-    )
 
     try:
         if events is None:
             results, server = tail_stream(
                 service,
                 sys.stdin,
-                concurrency=args.concurrency,
+                concurrency=config.concurrency,
                 limit=args.limit,
                 parse=parse_event,
                 server=server,
             )
         else:
             results, server = serve_stream(
-                service, events, concurrency=args.concurrency, server=server
+                service, events, concurrency=config.concurrency, server=server
             )
     finally:
         if tmp_bundle is not None:
@@ -267,4 +356,5 @@ def serve_main(argv: Iterable[str] | None = None, stdout: TextIO | None = None) 
         print(f"escalated hosts: {', '.join(sorted(escalated))}", file=out)
     print(f"\nprocessed {len(results)} events", file=out)
     print(server.metrics.render(), file=out)
+    print(server.sinks.render(), file=out)
     return 0

@@ -12,7 +12,7 @@ Per event, the flow is::
                               ▼
                            threshold ── intrusion? ──► DetectionAlert
                                                          │
-                                         SessionAggregator + SinkFanout
+                                    SessionAggregator + DeliveryPipeline
 
 Many producers may ``await submit(...)`` concurrently; the micro-batcher
 coalesces their misses so the LM encoder always runs near its efficient
@@ -33,11 +33,22 @@ import time
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 from functools import partial
+from pathlib import Path
 from typing import TextIO
 
+from repro.errors import ConfigError
 from repro.ids.pipeline import IntrusionDetectionService
-from repro.serving.backends import InlineBackend, ScoringBackend, ServiceLoader, load_bundle
+from repro.serving.backends import (
+    InlineBackend,
+    ProcessPoolBackend,
+    ScoringBackend,
+    ServiceLoader,
+    ThreadedBackend,
+    load_bundle,
+)
 from repro.serving.cache import ScoreCache
+from repro.serving.config import BackendConfig, ServingConfig
+from repro.serving.delivery import DeliveryPipeline
 from repro.serving.events import (
     AlertStatus,
     CommandEvent,
@@ -48,7 +59,7 @@ from repro.serving.events import (
 from repro.serving.metrics import ServingMetrics
 from repro.serving.microbatch import MicroBatcher
 from repro.serving.sessions import SessionAggregator
-from repro.serving.sinks import AlertSink, SinkFanout
+from repro.serving.sinks import DEFAULT_SINK_REGISTRY, AlertSink, SinkRegistry
 
 
 @dataclass(frozen=True)
@@ -79,8 +90,42 @@ class SwapReport:
     cache_invalidated: int
 
 
+def backend_from_config(
+    config: BackendConfig, service: IntrusionDetectionService
+) -> ScoringBackend:
+    """Build the :class:`ScoringBackend` a :class:`BackendConfig` describes.
+
+    ``auto`` resolves to ``inline`` for one worker and ``process``
+    otherwise.  The process pool needs an on-disk bundle for its
+    workers to deserialize, so a service that was never saved
+    (``service.source_dir is None``) cannot back a process backend —
+    save it first (the CLI does this automatically for the demo
+    service).
+    """
+    kind = config.resolved_kind
+    if kind == "inline":
+        return InlineBackend(service)
+    if kind == "threaded":
+        return ThreadedBackend(service, workers=config.workers)
+    bundle_dir = getattr(service, "source_dir", None)
+    if bundle_dir is None:
+        raise ConfigError(
+            "backend.kind 'process' needs a saved bundle directory to fork "
+            "workers from, but the service has no source_dir; save the "
+            "service (service.save(dir)) or serve it with backend.kind "
+            "'inline'/'threaded'"
+        )
+    return ProcessPoolBackend(str(bundle_dir), workers=config.workers)
+
+
 class DetectionServer:
     """Streaming front-end over an :class:`IntrusionDetectionService`.
+
+    :meth:`from_config` is the canonical constructor — one typed
+    :class:`~repro.serving.config.ServingConfig` describes the whole
+    deployment (batching, cache, backend, sessions, sinks + delivery
+    policies).  The keyword arguments below remain as a thin
+    compatibility layer over the same machinery.
 
     Parameters
     ----------
@@ -97,10 +142,15 @@ class DetectionServer:
     max_batch / max_latency_ms:
         Micro-batch policy: flush on size or on the oldest event's
         queueing deadline, whichever first.
-    cache_size:
-        LRU capacity of the normalized-line score cache (0 disables).
+    cache_size / cache_ttl_seconds:
+        LRU capacity of the normalized-line score cache (0 disables)
+        and its optional time-to-live expiry.
     sinks:
-        Alert sinks to fan confirmed detections out to.
+        Alert sinks to fan confirmed detections out to: an iterable of
+        :class:`AlertSink` (each delivered through the durable pipeline
+        under the default :class:`~repro.serving.config.DeliveryPolicy`)
+        or a pre-assembled
+        :class:`~repro.serving.delivery.DeliveryPipeline`.
     session_window_seconds / escalation_threshold:
         Per-host rolling-window escalation policy.
     metrics:
@@ -122,21 +172,28 @@ class DetectionServer:
         max_batch: int = 32,
         max_latency_ms: float = 25.0,
         cache_size: int = 4096,
-        sinks: Iterable[AlertSink] = (),
+        cache_ttl_seconds: float | None = None,
+        sinks: Iterable[AlertSink] | DeliveryPipeline = (),
         session_window_seconds: float = 300.0,
         escalation_threshold: int = 5,
         metrics: ServingMetrics | None = None,
     ):
         self.service = service
         self.backend = backend or InlineBackend(service)
-        self.cache = ScoreCache(cache_size)
+        self.cache = ScoreCache(cache_size, ttl_seconds=cache_ttl_seconds)
         self.metrics = metrics or ServingMetrics()
         self.metrics.backend = self.backend.describe()
+        #: The declarative config this server was assembled from
+        #: (set by :meth:`from_config`; ``None`` for kwargs construction).
+        self.config: ServingConfig | None = None
         self.sessions = SessionAggregator(
             window_seconds=session_window_seconds,
             escalation_threshold=escalation_threshold,
         )
-        self.sinks = SinkFanout(list(sinks))
+        if isinstance(sinks, DeliveryPipeline):
+            self.sinks = sinks
+        else:
+            self.sinks = DeliveryPipeline(sinks)
         self.batcher = MicroBatcher(
             self._score_batch,
             max_batch=max_batch,
@@ -149,6 +206,69 @@ class DetectionServer:
         self._score_lock: asyncio.Lock | None = None
         self._swap_lock: asyncio.Lock | None = None
 
+    # -- declarative construction ------------------------------------------
+
+    @classmethod
+    def from_config(
+        cls,
+        bundle: str | Path | IntrusionDetectionService,
+        config: ServingConfig | None = None,
+        *,
+        metrics: ServingMetrics | None = None,
+        registry: SinkRegistry | None = None,
+        record: bool = True,
+    ) -> "DetectionServer":
+        """Assemble a server from a bundle and a declarative config.
+
+        This is the canonical constructor behind ``repro-ids serve
+        --config serve.toml``.  *bundle* is a
+        :meth:`IntrusionDetectionService.save` directory (or an
+        already-constructed service).  *config* resolution order:
+
+        1. the *config* argument,
+        2. the config recorded in the bundle's metadata (a bundle
+           remembers how it was last served),
+        3. ``ServingConfig()`` defaults.
+
+        Sinks are built from the config's URI specs via *registry*
+        (default: the process-wide registry) and wrapped in a
+        :class:`~repro.serving.delivery.DeliveryPipeline` honouring each
+        spec's delivery policy.  When *record* is true and the service
+        came from a bundle directory, the resolved config is written
+        back into the bundle metadata (best-effort), so the next
+        ``from_config(bundle)`` without an explicit config reproduces
+        this deployment.
+        """
+        if isinstance(bundle, (str, Path)):
+            service = IntrusionDetectionService.load(bundle)
+        else:
+            service = bundle  # an already-constructed service (or test stub)
+        if config is None:
+            config = getattr(service, "serving_config", None) or ServingConfig()
+        backend = backend_from_config(config.backend, service)
+        pipeline = DeliveryPipeline()
+        registry = registry or DEFAULT_SINK_REGISTRY
+        for spec in config.sinks:
+            pipeline.add(registry.build(spec.uri), policy=spec.policy, name=spec.name)
+        server = cls(
+            service,
+            backend=backend,
+            max_batch=config.batch.max_batch,
+            max_latency_ms=config.batch.max_latency_ms,
+            cache_size=config.cache.size,
+            cache_ttl_seconds=config.cache.ttl_seconds,
+            sinks=pipeline,
+            session_window_seconds=config.session.window_seconds,
+            escalation_threshold=config.session.escalation_threshold,
+            metrics=metrics,
+        )
+        server.config = config
+        if record:
+            recorder = getattr(service, "record_serving_config", None)
+            if callable(recorder):
+                recorder(config)
+        return server
+
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> None:
@@ -158,14 +278,20 @@ class DetectionServer:
         self._score_lock = asyncio.Lock()
         self._swap_lock = asyncio.Lock()
         self.metrics.mark_start()
+        self.sinks.start()
         await self.backend.start()
         await self.batcher.start()
 
     async def stop(self) -> None:
-        """Drain the batcher, stop the backend, close sinks, freeze the clock."""
+        """Drain the batcher, stop the backend, close sinks, freeze the clock.
+
+        Closing the delivery pipeline blocks until every queued alert is
+        delivered, retried out, or dead-lettered — run it off-loop so
+        sink backoff never stalls the event loop.
+        """
         await self.batcher.stop()
         await self.backend.stop()
-        self.sinks.close()
+        await asyncio.to_thread(self.sinks.close)
         self.metrics.mark_stop()
 
     async def __aenter__(self) -> "DetectionServer":

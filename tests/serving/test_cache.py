@@ -72,6 +72,75 @@ class TestScoreCache:
             ScoreCache(capacity=-1)
 
 
+class FakeClock:
+    """Deterministic monotonic clock for TTL tests."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def advance(self, seconds):
+        self.now += seconds
+
+    def __call__(self):
+        return self.now
+
+
+class TestTtlExpiry:
+    def test_entry_expires_after_ttl(self):
+        clock = FakeClock()
+        cache = ScoreCache(capacity=4, ttl_seconds=10.0, clock=clock)
+        cache.put("a", 0.7)
+        clock.advance(9.9)
+        assert cache.get("a") == 0.7
+        clock.advance(0.2)  # now 10.1s since the put
+        assert cache.get("a") is None
+        assert cache.expirations == 1
+        assert "a" not in cache  # expired entry was dropped, not kept
+
+    def test_lookup_does_not_refresh_ttl(self):
+        """TTL measures staleness since scoring — a popular line must
+        still re-score once its score is ttl_seconds old."""
+        clock = FakeClock()
+        cache = ScoreCache(capacity=4, ttl_seconds=10.0, clock=clock)
+        cache.put("a", 0.7)
+        for _ in range(5):
+            clock.advance(3.0)
+            cache.get("a")
+        # 15s after the put: expired despite constant lookups
+        assert cache.get("a") is None
+
+    def test_put_refreshes_ttl(self):
+        clock = FakeClock()
+        cache = ScoreCache(capacity=4, ttl_seconds=10.0, clock=clock)
+        cache.put("a", 0.7)
+        clock.advance(8.0)
+        cache.put("a", 0.8)  # re-scored: stamp resets
+        clock.advance(8.0)
+        assert cache.get("a") == 0.8
+
+    def test_no_ttl_never_expires(self):
+        clock = FakeClock()
+        cache = ScoreCache(capacity=4, clock=clock)
+        cache.put("a", 0.7)
+        clock.advance(1e9)
+        assert cache.get("a") == 0.7
+        assert cache.expirations == 0
+
+    def test_expiry_counts_as_miss(self):
+        clock = FakeClock()
+        cache = ScoreCache(capacity=4, ttl_seconds=1.0, clock=clock)
+        cache.put("a", 0.7)
+        clock.advance(2.0)
+        cache.get("a")
+        assert cache.misses == 1
+        assert cache.hits == 0
+
+    @pytest.mark.parametrize("ttl", [0, -1.5])
+    def test_non_positive_ttl_rejected(self, ttl):
+        with pytest.raises(ValueError, match="ttl_seconds"):
+            ScoreCache(capacity=4, ttl_seconds=ttl)
+
+
 class TestGenerationInvalidation:
     def test_bump_purges_everything_and_counts(self):
         cache = ScoreCache(capacity=8)
@@ -184,7 +253,11 @@ class TestCacheProperties:
             # capacity invariant holds after every single operation
             assert len(cache) <= max(capacity, 0)
             # LRU order (and contents) match the reference exactly
-            assert list(cache._entries.items()) == list(model.entries.items())
+            # (the cache also stamps each entry with a TTL clock reading,
+            # which the untimed reference model doesn't track)
+            assert [
+                (line, entry[:2]) for line, entry in cache._entries.items()
+            ] == list(model.entries.items())
         # hit/miss/eviction/invalidation accounting matches the model
         assert cache.hits == model.hits
         assert cache.misses == model.misses

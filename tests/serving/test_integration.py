@@ -2,7 +2,7 @@
 
 import json
 
-from repro.serving import RingBufferSink, serve_stream
+from repro.serving import RingBufferSink, ServingConfig, serve_stream
 from repro.serving.cli import parse_event, serve_main
 from repro.serving.demo import DEMO_BENIGN, DEMO_MALICIOUS
 
@@ -68,7 +68,10 @@ class TestParseEvent:
 class TestServeCli:
     def test_serve_end_to_end(self, demo_service, tmp_path, capsys, monkeypatch):
         # skip the in-test training: reuse the session's demo service
+        # (undoing the serving-config recording serve_main attaches to it,
+        # so the session-scoped fixture doesn't leak this deployment)
         monkeypatch.setattr("repro.serving.demo.build_demo_service", lambda: demo_service)
+        monkeypatch.setattr(demo_service, "serving_config", None)
         bundle_free_input = tmp_path / "telemetry.log"
         events = [json.dumps({"line": line, "host": "web-1", "timestamp": float(i)})
                   for i, line in enumerate(DEMO_BENIGN * 2 + DEMO_MALICIOUS * 2)]
@@ -130,3 +133,120 @@ class TestServeCli:
     def test_serve_rejects_bad_workers(self, capsys):
         code = serve_main(["--workers", "0", "--input", "/dev/null"])
         assert code == 2
+
+    def test_serve_rejects_bad_config_file(self, tmp_path, capsys):
+        config = tmp_path / "serve.toml"
+        config.write_text("[batch]\nmax_batchh = 4\n")
+        code = serve_main(["--config", str(config), "--input", "/dev/null"])
+        assert code == 2
+        assert "did you mean 'max_batch'" in capsys.readouterr().err
+
+
+class TestServeCliConfig:
+    def test_print_config_round_trips_resolved_config(self, capsys):
+        """Acceptance: --print-config output parses back to an equal config."""
+        code = serve_main(["--config", "examples/serve.toml", "--print-config"])
+        assert code == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert ServingConfig.from_dict(printed) == ServingConfig.from_file(
+            "examples/serve.toml"
+        )
+
+    def test_flags_override_config_file(self, capsys):
+        code = serve_main(
+            [
+                "--config", "examples/serve.toml",
+                "--max-batch", "64",
+                "--cache-ttl", "42.5",
+                "--workers", "3",
+                "--backend", "threaded",
+                "--sink", "ring://7",
+                "--print-config",
+            ]
+        )
+        assert code == 0
+        resolved = ServingConfig.from_dict(json.loads(capsys.readouterr().out))
+        base = ServingConfig.from_file("examples/serve.toml")
+        assert resolved.batch.max_batch == 64
+        assert resolved.batch.max_latency_ms == base.batch.max_latency_ms  # kept
+        assert resolved.cache.ttl_seconds == 42.5
+        assert resolved.backend.workers == 3
+        assert resolved.backend.kind == "threaded"
+        assert [spec.uri for spec in resolved.sinks] == [
+            *[spec.uri for spec in base.sinks],
+            "ring://7",
+        ]
+
+    def test_alerts_out_path_survives_uri_special_characters(self, capsys):
+        """'#', '?', '%', and spaces in --alerts-out must reach the sink
+        verbatim, not be eaten by URI parsing."""
+        from repro.serving import build_sink
+
+        tricky = "alerts #1 100%?.jsonl"
+        code = serve_main(["--alerts-out", tricky, "--print-config"])
+        assert code == 0
+        resolved = ServingConfig.from_dict(json.loads(capsys.readouterr().out))
+        spec = resolved.sinks[-1]
+        assert spec.name == "alerts-out"
+        assert str(build_sink(spec.uri).path) == tricky
+
+    def test_print_config_without_file_shows_defaults_plus_overrides(self, capsys):
+        code = serve_main(["--escalate-after", "9", "--print-config"])
+        assert code == 0
+        resolved = ServingConfig.from_dict(json.loads(capsys.readouterr().out))
+        assert resolved.session.escalation_threshold == 9
+        assert resolved.batch == ServingConfig().batch
+
+    def test_serve_example_config_end_to_end(
+        self, demo_service, tmp_path, capsys, monkeypatch
+    ):
+        """The example deployment boots a real server: events stream, the
+        jsonl:// sink lands alerts on disk, delivery stats report."""
+        monkeypatch.setattr("repro.serving.demo.build_demo_service", lambda: demo_service)
+        monkeypatch.setattr(demo_service, "serving_config", None)  # no fixture leak
+        config = str(_repo_root() / "examples" / "serve.toml")
+        stream = tmp_path / "input.log"
+        stream.write_text("\n".join(DEMO_MALICIOUS * 2) + "\n")
+        monkeypatch.chdir(tmp_path)  # serve.toml's jsonl:// path is relative
+
+        code = serve_main(["--config", config, "--input", str(stream), "--quiet"])
+
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "serving metrics" in output
+        assert "alert delivery" in output
+        assert "siem-handoff" in output
+        records = [
+            json.loads(line) for line in (tmp_path / "alerts.jsonl").read_text().splitlines()
+        ]
+        assert records, "malicious lines must land in the configured jsonl sink"
+
+    def test_serve_records_config_into_bundle(self, demo_service, tmp_path, capsys):
+        bundle = tmp_path / "bundle"
+        demo_service.save(bundle)
+        stream = tmp_path / "input.log"
+        stream.write_text("ls -la\n")
+
+        code = serve_main(
+            ["--input", str(stream), "--bundle", str(bundle), "--quiet",
+             "--max-latency-ms", "10", "--escalate-after", "7"]
+        )
+        assert code == 0
+        capsys.readouterr()  # discard the serve run's output
+
+        # the bundle remembers the deployment; a later --print-config
+        # with no flags resolves to it
+        from repro.serving import load_recorded_config
+
+        recorded = load_recorded_config(bundle)
+        assert recorded is not None
+        assert recorded.session.escalation_threshold == 7
+        code = serve_main(["--bundle", str(bundle), "--print-config"])
+        assert code == 0
+        assert ServingConfig.from_dict(json.loads(capsys.readouterr().out)) == recorded
+
+
+def _repo_root():
+    from pathlib import Path
+
+    return Path(__file__).resolve().parents[2]

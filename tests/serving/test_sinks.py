@@ -1,9 +1,11 @@
-"""Tests for alert sinks, fan-out isolation, and the severity bands."""
+"""Tests for alert sinks, the URI registry, fan-out isolation, and the
+severity bands."""
 
 import json
 
 import pytest
 
+from repro.errors import ConfigError
 from repro.serving import (
     AlertStatus,
     CallbackSink,
@@ -12,6 +14,10 @@ from repro.serving import (
     RingBufferSink,
     Severity,
     SinkFanout,
+    SinkRegistry,
+    TcpSocketSink,
+    WebhookSink,
+    build_sink,
 )
 
 
@@ -56,6 +62,19 @@ class TestRingBufferSink:
         assert sink.emitted == 5
 
 
+class TestBatchProtocol:
+    def test_emit_many_default_loops_over_emit(self):
+        ring = RingBufferSink()
+        ring.emit_many([make_alert(alert_id=1), make_alert(alert_id=2)])
+        assert [a.alert_id for a in ring.alerts] == [1, 2]
+        assert ring.emitted == 2
+
+    def test_open_and_flush_default_to_noops(self):
+        ring = RingBufferSink()
+        ring.open()
+        ring.flush()
+
+
 class TestJsonlSink:
     def test_round_trips_alert_fields(self, tmp_path):
         path = tmp_path / "alerts" / "out.jsonl"
@@ -71,6 +90,87 @@ class TestJsonlSink:
 
     def test_close_without_emit_is_fine(self, tmp_path):
         JsonlSink(tmp_path / "never.jsonl").close()
+
+    def test_each_batch_is_flushed_to_disk_before_close(self, tmp_path):
+        """An alert the sink acknowledged must survive a crash: the file
+        is readable after every emit batch, without any close()."""
+        path = tmp_path / "out.jsonl"
+        sink = JsonlSink(path)
+        sink.emit(make_alert(alert_id=1))
+        assert len(path.read_text().splitlines()) == 1
+        sink.emit_many([make_alert(alert_id=2), make_alert(alert_id=3)])
+        assert len(path.read_text().splitlines()) == 3
+        sink.close()
+
+
+class TestSinkUriRegistry:
+    def test_ring_uri_with_capacity(self):
+        sink = build_sink("ring://512")
+        assert isinstance(sink, RingBufferSink)
+        assert sink._ring.maxlen == 512
+
+    def test_ring_uri_default_capacity(self):
+        assert build_sink("ring://")._ring.maxlen == 1024
+
+    @pytest.mark.parametrize("uri", ["ring://zero", "ring://0", "ring://-5"])
+    def test_ring_uri_bad_capacity(self, uri):
+        with pytest.raises(ConfigError, match="positive integer"):
+            build_sink(uri)
+
+    def test_jsonl_uri_absolute_path(self, tmp_path):
+        sink = build_sink(f"jsonl://{tmp_path}/alerts/out.jsonl")
+        assert isinstance(sink, JsonlSink)
+        assert str(sink.path) == f"{tmp_path}/alerts/out.jsonl"
+
+    def test_jsonl_uri_relative_path(self):
+        assert str(build_sink("jsonl://alerts.jsonl").path) == "alerts.jsonl"
+
+    def test_jsonl_uri_without_path_rejected(self):
+        with pytest.raises(ConfigError, match="file path"):
+            build_sink("jsonl://")
+
+    def test_webhook_uri_builds_http_url(self):
+        sink = build_sink("webhook://siem.example:8080/hooks/alerts?team=soc")
+        assert isinstance(sink, WebhookSink)
+        assert sink.url == "http://siem.example:8080/hooks/alerts?team=soc"
+
+    def test_webhook_uri_defaults_root_path(self):
+        assert build_sink("webhook://siem:8080").url == "http://siem:8080/"
+
+    def test_webhook_uri_needs_host(self):
+        with pytest.raises(ConfigError, match="host"):
+            build_sink("webhook:///hooks")
+
+    def test_tcp_uri_builds_socket_sink(self):
+        sink = build_sink("tcp://collector.example:9000")
+        assert isinstance(sink, TcpSocketSink)
+        assert (sink.host, sink.port) == ("collector.example", 9000)
+
+    @pytest.mark.parametrize("uri", ["tcp://collector", "tcp://collector:http"])
+    def test_tcp_uri_needs_numeric_port(self, uri):
+        with pytest.raises(ConfigError, match="port"):
+            build_sink(uri)
+
+    def test_webhook_https_variant(self):
+        sink = build_sink("webhook+https://siem.example/alerts")
+        assert sink.url == "https://siem.example/alerts"
+
+    def test_unknown_scheme_lists_known_ones(self):
+        with pytest.raises(ConfigError) as excinfo:
+            build_sink("kafka://broker:9092")
+        assert "known schemes: jsonl, ring, tcp, webhook, webhook+https" in str(
+            excinfo.value
+        )
+
+    def test_scheme_is_case_insensitive(self):
+        assert isinstance(build_sink("RING://8"), RingBufferSink)
+
+    def test_custom_scheme_registration(self):
+        registry = SinkRegistry()
+        registry.register("null", lambda parts, uri: CallbackSink(lambda alert: None))
+        assert isinstance(build_sink("null://", registry=registry), CallbackSink)
+        with pytest.raises(ConfigError):  # custom registry has only null://
+            build_sink("ring://8", registry=registry)
 
 
 class TestCallbackSink:
@@ -100,4 +200,17 @@ class TestSinkFanout:
         fanout.emit(make_alert())
         fanout.emit(make_alert(alert_id=2))
         assert ring.emitted == 2
-        assert fanout.failures == {"CallbackSink": 2}
+        assert fanout.failures == {"CallbackSink[0]": 2}
+
+    def test_same_class_sinks_keep_separate_failure_counters(self):
+        def explode(alert):
+            raise OSError("disk full")
+
+        seen = []
+        flaky, healthy = CallbackSink(explode), CallbackSink(seen.append)
+        fanout = SinkFanout([flaky, healthy])
+        fanout.emit(make_alert())
+        fanout.emit(make_alert(alert_id=2))
+        # two sinks of the same class must not share one counter
+        assert fanout.failures == {"CallbackSink[0]": 2}
+        assert len(seen) == 2

@@ -25,7 +25,13 @@ import numpy as np
 
 from repro.experiments.methods import HEAD_EPOCHS, HEAD_LR, training_subset
 from repro.ids import IntrusionDetectionService
-from repro.serving import DetectionServer, ProcessPoolBackend, serve_stream
+from repro.serving import (
+    CommandEvent,
+    DetectionServer,
+    ProcessPoolBackend,
+    SessionConfig,
+    serve_stream,
+)
 from repro.tuning import ClassificationTuner
 
 UNIQUE_LINES = 150
@@ -114,10 +120,13 @@ def _timed_stream(server, events, *, concurrency=8):
             async def producer():
                 while True:
                     try:
-                        position, line = pending.get_nowait()
+                        position, item = pending.get_nowait()
                     except asyncio.QueueEmpty:
                         return
-                    results[position] = await server.submit(line)
+                    if isinstance(item, CommandEvent):
+                        results[position] = await server.submit_event(item)
+                    else:
+                        results[position] = await server.submit(item)
 
             await asyncio.gather(*(producer() for _ in range(concurrency)))
             return results
@@ -268,4 +277,81 @@ def test_bench_serving_swap_latency(world, benchmark, tmp_path_factory):
         result.is_intrusion == (result.score >= rotated_threshold)
         or abs(result.score - rotated_threshold) < 1e-9
         for result in post_swap
+    )
+
+
+def test_bench_serving_sequence_escalation_overhead(world, benchmark):
+    """Sequence escalation pays its second stage only on flagged events.
+
+    A mostly-benign stream (by construction: lines the service itself
+    scores below threshold, plus a handful of flagged ones) runs through
+    mode='count' and mode='sequence' servers.  The sequence pass may
+    only invoke the multi-line head once per alert — never for benign
+    traffic — so its throughput stays within a bounded factor of the
+    count-mode baseline.
+    """
+    service = _build_service(world)
+    # reuse the stage-1 head as the sequence head: same geometry, zero
+    # extra training — the bench measures serving overhead, not accuracy
+    service.attach_multiline(service.tuner)
+
+    normalized = [service.preprocess(line) for line in world.test_lines_dedup]
+    normalized = [line for line in normalized if line is not None]
+    scores = service.score_normalized(normalized)
+    benign = [l for l, s in zip(normalized, scores) if s < service.threshold][:UNIQUE_LINES]
+    flagged = [l for l, s in zip(normalized, scores) if s >= service.threshold][:5]
+    assert benign and flagged, "world must provide both benign and flagged lines"
+    mixed = benign + flagged
+    order = np.random.default_rng(0).permutation(len(mixed))
+    events = [
+        CommandEvent(mixed[int(i)], host=f"h{int(i) % 8}", timestamp=float(position))
+        for position, i in enumerate(order)
+    ]
+
+    count_server = DetectionServer(service, cache_size=0, max_batch=32, max_latency_ms=25)
+    count_results, count_seconds = _timed_stream(count_server, events)
+    count_eps = len(count_results) / count_seconds
+
+    seq_server = DetectionServer(
+        service,
+        cache_size=0,
+        max_batch=32,
+        max_latency_ms=25,
+        session=SessionConfig(mode="sequence"),
+    )
+    seq_results, seq_seconds = benchmark.pedantic(
+        _timed_stream, args=(seq_server, events), rounds=1, iterations=1
+    )
+    seq_eps = len(seq_results) / seq_seconds
+    overhead = count_eps / seq_eps if seq_eps else float("inf")
+
+    benchmark.extra_info.update(
+        {
+            "events": len(events),
+            "flagged": seq_server.metrics.alerts,
+            "count_events_per_second": round(count_eps, 1),
+            "sequence_events_per_second": round(seq_eps, 1),
+            "sequence_scored": seq_server.metrics.sequence_scored,
+            "overhead_factor": round(overhead, 2),
+        }
+    )
+    print(
+        f"\nsequence escalation: {len(events)} events | count {count_eps:,.0f} ev/s | "
+        f"sequence {seq_eps:,.0f} ev/s | {seq_server.metrics.sequence_scored} "
+        f"second-stage passes for {seq_server.metrics.alerts} alerts"
+    )
+
+    # stage-1 verdicts are identical across modes
+    assert sum(r.is_intrusion for r in seq_results) == sum(
+        r.is_intrusion for r in count_results
+    )
+    # the second stage ran exactly once per flagged event, never for benign
+    assert seq_server.metrics.sequence_scored == seq_server.metrics.alerts
+    assert seq_server.metrics.alerts < seq_server.metrics.events_total * 0.25
+    assert count_server.metrics.sequence_scored == 0
+    # bounded overhead on a mostly-benign stream: the sequence pass keeps
+    # at least half the count-mode throughput
+    assert seq_eps >= 0.5 * count_eps, (
+        f"sequence-mode overhead too high: {count_eps:,.0f} -> {seq_eps:,.0f} ev/s "
+        f"({overhead:.2f}x)"
     )

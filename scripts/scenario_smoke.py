@@ -1,0 +1,129 @@
+"""CI smoke for sequence-aware escalation against a real two-stage bundle.
+
+Trains the tiny demo service *plus* a multi-line head, saves the
+two-stage bundle, then checks the acceptance path end to end:
+
+1. a bundle saved with a multi-line head loads with
+   ``has_sequence_head`` and answers with the same fingerprint;
+2. ``DetectionServer.from_config`` with ``session.mode = "sequence"``
+   serves both stages: a burst host escalates on its composed command
+   window (the escalating alert carries ``context`` and
+   ``sequence_score``) while a benign host stays quiet;
+3. the second stage ran only on flagged events;
+4. the resolved config — new session fields included — round-trips
+   losslessly through ``--print-config``.
+
+Run from the repository root:
+
+    PYTHONPATH=src python scripts/scenario_smoke.py
+"""
+
+import io
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.ids.pipeline import IntrusionDetectionService  # noqa: E402
+from repro.serving import (  # noqa: E402
+    CommandEvent,
+    DetectionServer,
+    ServingConfig,
+    serve_stream,
+)
+from repro.serving.cli import serve_main  # noqa: E402
+from repro.serving.demo import (  # noqa: E402
+    DEMO_BENIGN,
+    DEMO_MALICIOUS,
+    build_two_stage_demo_service,
+)
+
+SEQUENCE_CONFIG = {
+    "batch": {"max_batch": 8, "max_latency_ms": 10.0},
+    "session": {
+        "mode": "sequence",
+        "sequence_threshold": 0.7,
+        "escalation_threshold": 99,  # the count trigger stays out of reach
+    },
+}
+
+
+def main() -> int:
+    print("training the tiny two-stage demo service ...", flush=True)
+    service = build_two_stage_demo_service()
+    fingerprint = service.fingerprint()
+
+    with tempfile.TemporaryDirectory(prefix="scenario-smoke-") as workdir:
+        bundle = Path(workdir) / "bundle"
+        service.save(bundle)
+        assert (bundle / "multiline" / "head.npz").exists(), "bundle must ship stage 2"
+
+        # 1. the two-stage bundle restores both stages
+        restored = IntrusionDetectionService.load(bundle)
+        assert restored.has_sequence_head, "loaded bundle lost its multi-line head"
+        assert restored.fingerprint() == fingerprint, "two-stage fingerprint drifted"
+        print("two-stage bundle round-trips (multiline/ head restored)")
+
+        # 2. sequence-mode serving: burst host escalates, benign host doesn't
+        config = ServingConfig.from_dict(SEQUENCE_CONFIG)
+        server = DetectionServer.from_config(restored, config, record=False)
+        events = [
+            CommandEvent(line, host="victim", timestamp=float(i * 20))
+            for i, line in enumerate(DEMO_MALICIOUS)
+        ] + [
+            CommandEvent(line, host="dev-1", timestamp=float(i * 20 + 5))
+            for i, line in enumerate(DEMO_BENIGN)
+        ]
+        events.sort(key=lambda e: e.timestamp)
+        results, server = serve_stream(restored, events, concurrency=1, server=server)
+        assert len(results) == len(events)
+        assert server.sessions.escalated_hosts() == ["victim"], (
+            "exactly the burst host must escalate: "
+            f"{server.sessions.escalated_hosts()}"
+        )
+        victim = server.sessions.session("victim")
+        assert victim.escalated_by == "sequence"
+        escalating = [
+            r.alert
+            for r in results
+            if r.alert is not None and r.alert.sequence_score is not None
+        ]
+        assert escalating, "flagged events must carry sequence scores"
+        explained = [a for a in escalating if a.context and " ; " in a.context]
+        assert explained, "the escalating alert must carry its composed context"
+
+        # 3. second stage ran exactly once per flagged event
+        flagged = sum(r.is_intrusion for r in results)
+        assert server.metrics.sequence_scored == flagged > 0
+        assert server.metrics.sequence_escalations == 1
+        print(
+            f"sequence mode: {flagged} flagged events, "
+            f"{server.metrics.sequence_scored} second-stage passes, "
+            f"escalated host explains itself via composed context"
+        )
+
+        # 4. --print-config round-trips the session fields losslessly
+        config_file = Path(workdir) / "serve.json"
+        config_file.write_text(json.dumps(SEQUENCE_CONFIG))
+        captured = io.StringIO()
+        code = serve_main(
+            ["--config", str(config_file), "--bundle", str(bundle), "--print-config"],
+            stdout=captured,
+        )
+        assert code == 0, f"--print-config exited {code}"
+        resolved = ServingConfig.from_dict(json.loads(captured.getvalue()))
+        assert resolved == ServingConfig.from_file(config_file), (
+            "resolved sequence config does not round-trip"
+        )
+        assert resolved.session.mode == "sequence"
+        print("sequence session config round-trips through --print-config")
+
+    print("scenario smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

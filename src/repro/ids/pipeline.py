@@ -30,6 +30,8 @@ from repro.tuning.classification import ClassificationTuner
 
 _META_FILE = "service.json"
 _HEAD_FILE = "head.npz"
+_MULTILINE_DIR = "multiline"
+_MULTILINE_META = "multiline.json"
 
 
 @dataclass(frozen=True)
@@ -95,6 +97,13 @@ class IntrusionDetectionService:
         #: the bundle metadata (how this service was last deployed);
         #: ``None`` when the bundle carries no serving config.
         self.serving_config = None
+        #: Optional second-stage head scoring *composed* multi-line
+        #: inputs (Section IV-C) — attach with :meth:`attach_multiline`;
+        #: ships in the bundle's ``multiline/`` directory.
+        self.multiline_tuner: ClassificationTuner | None = None
+        #: Composer semantics the multi-line head was trained with
+        #: (``{"window": ..., "max_gap_seconds": ...}``), when recorded.
+        self.multiline_composer_meta: dict | None = None
 
     # -- construction ------------------------------------------------------
 
@@ -102,6 +111,33 @@ class IntrusionDetectionService:
     def from_tuner(cls, tuner: ClassificationTuner, threshold: float) -> "IntrusionDetectionService":
         """Wrap a fitted tuner (reuses its encoder)."""
         return cls(encoder=tuner.encoder, tuner=tuner, threshold=threshold)
+
+    def attach_multiline(self, tuner: ClassificationTuner) -> "IntrusionDetectionService":
+        """Attach a fitted multi-line head as the second-stage sequence scorer.
+
+        *tuner* scores **composed** inputs — recent same-host command
+        lines joined with the ``;`` separator (see
+        :mod:`repro.tuning.multiline`).  It shares this service's frozen
+        LM; only the probing head differs.  Once attached, the head
+        travels with the bundle (:meth:`save` writes a ``multiline/``
+        directory) and the streaming server's ``sequence`` / ``hybrid``
+        escalation modes can use it.
+        """
+        if tuner.head is None:
+            raise NotFittedError("multi-line tuner must be fitted before attaching")
+        self.multiline_tuner = tuner
+        composer = getattr(tuner, "composer", None)
+        if composer is not None:
+            self.multiline_composer_meta = {
+                "window": composer.window,
+                "max_gap_seconds": composer.max_gap.total_seconds(),
+            }
+        return self
+
+    @property
+    def has_sequence_head(self) -> bool:
+        """Whether a second-stage multi-line head is attached."""
+        return self.multiline_tuner is not None
 
     def fingerprint(self) -> str:
         """Short stable hash of the deployed weights and threshold.
@@ -114,7 +150,11 @@ class IntrusionDetectionService:
         digest = hashlib.sha256()
         digest.update(f"threshold={self.threshold!r}".encode())
         assert self.tuner.head is not None
-        for module in (self.tuner.head, self.encoder.model):
+        modules = [self.tuner.head, self.encoder.model]
+        if self.multiline_tuner is not None:
+            assert self.multiline_tuner.head is not None
+            modules.append(self.multiline_tuner.head)
+        for module in modules:
             for parameter in module.parameters():
                 digest.update(parameter.data.tobytes())
         return digest.hexdigest()[:16]
@@ -145,6 +185,25 @@ class IntrusionDetectionService:
         if not lines:
             return np.zeros(0)
         return self.tuner.score(list(lines))
+
+    def score_sequence(self, texts: Sequence[str]) -> np.ndarray:
+        """Second-stage scores for *composed* multi-line inputs.
+
+        Each text is a host's recent command window joined with the
+        ``;`` separator (the streaming server composes them via
+        :meth:`SessionAggregator.compose_context`); the attached
+        multi-line head returns the probability the *sequence* is an
+        intrusion.  Raises :class:`~repro.errors.NotFittedError` when no
+        multi-line head is attached — check :attr:`has_sequence_head`.
+        """
+        if self.multiline_tuner is None:
+            raise NotFittedError(
+                "no multi-line head attached; attach_multiline() one or load a "
+                "bundle saved with a multiline/ directory"
+            )
+        if not texts:
+            return np.zeros(0)
+        return self.multiline_tuner.score(list(texts))
 
     def inspect(self, lines: Sequence[str]) -> list[Verdict]:
         """Run the full inference path over raw log lines."""
@@ -196,6 +255,10 @@ class IntrusionDetectionService:
         recorded in the bundle metadata so the deployment that serves
         this model travels with it — ``DetectionServer.from_config``
         picks it up when no explicit config is given.
+
+        When a multi-line head is attached (:meth:`attach_multiline`),
+        it is written under ``multiline/`` so one bundle ships both
+        stages — the per-line classifier and the sequence scorer.
         """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
@@ -213,6 +276,20 @@ class IntrusionDetectionService:
         if serving_config is not None:
             meta["serving_config"] = serving_config.to_dict()
         (directory / _META_FILE).write_text(json.dumps(meta, indent=2))
+        if self.multiline_tuner is not None:
+            assert self.multiline_tuner.head is not None
+            multiline_dir = directory / _MULTILINE_DIR
+            multiline_dir.mkdir(exist_ok=True)
+            save_module(self.multiline_tuner.head, multiline_dir / _HEAD_FILE)
+            multiline_meta = {
+                "pooling": self.multiline_tuner.pooling,
+                "head_hidden": self.multiline_tuner.hidden_size,
+            }
+            if self.multiline_composer_meta is not None:
+                multiline_meta["composer"] = self.multiline_composer_meta
+            (multiline_dir / _MULTILINE_META).write_text(
+                json.dumps(multiline_meta, indent=2)
+            )
 
     def record_serving_config(self, serving_config) -> bool:
         """Attach *serving_config* to this service and persist it into the
@@ -257,6 +334,21 @@ class IntrusionDetectionService:
         tuner.restore_head(directory / _HEAD_FILE)
         service = cls(encoder=encoder, tuner=tuner, threshold=meta["threshold"])
         service.source_dir = directory
+        multiline_dir = directory / _MULTILINE_DIR
+        if (multiline_dir / _HEAD_FILE).exists():
+            meta_path_ml = multiline_dir / _MULTILINE_META
+            try:
+                multiline_meta = json.loads(meta_path_ml.read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                raise CheckpointError(f"corrupt {_MULTILINE_META}: {exc}") from exc
+            multiline_tuner = ClassificationTuner(
+                encoder,
+                hidden_size=multiline_meta["head_hidden"],
+                pooling=multiline_meta["pooling"],
+            )
+            multiline_tuner.restore_head(multiline_dir / _HEAD_FILE)
+            service.multiline_tuner = multiline_tuner
+            service.multiline_composer_meta = multiline_meta.get("composer")
         if meta.get("serving_config") is not None:
             # deferred import: repro.serving depends on this module
             from repro.errors import ConfigError

@@ -69,7 +69,7 @@ from repro.serving.server import (
     serve_stream,
     tail_stream,
 )
-from repro.serving.sessions import HostSession, SessionAggregator
+from repro.serving.sessions import ESCALATION_MODES, HostSession, SessionAggregator
 from repro.serving.sinks import (
     DEFAULT_SINK_REGISTRY,
     AlertSink,
@@ -100,6 +100,7 @@ __all__ = [
     "DetectionAlert",
     "DetectionResult",
     "DetectionServer",
+    "ESCALATION_MODES",
     "HostSession",
     "InlineBackend",
     "JsonlSink",

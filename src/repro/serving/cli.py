@@ -46,6 +46,7 @@ from typing import TextIO
 from repro.errors import ConfigError, ReproError
 from repro.serving.config import (
     BACKEND_KINDS,
+    SESSION_MODES,
     ServingConfig,
     SinkSpec,
     load_recorded_config,
@@ -159,6 +160,41 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="alerts in window that escalate a host (default 5)",
     )
     parser.add_argument(
+        "--session-mode",
+        choices=SESSION_MODES,
+        default=None,
+        help="escalation policy: count (alert rate), sequence (score the "
+        "host's composed command window with the bundle's multi-line head), "
+        "or hybrid (either trigger; default count)",
+    )
+    parser.add_argument(
+        "--sequence-threshold",
+        type=float,
+        default=None,
+        help="sequence score at which a host escalates (default 0.5)",
+    )
+    parser.add_argument(
+        "--context-window",
+        type=int,
+        default=None,
+        help="lines per composed per-host context window (default 3)",
+    )
+    parser.add_argument(
+        "--context-max-gap",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="maximum age of a context line relative to the flagged line "
+        "(default 180)",
+    )
+    parser.add_argument(
+        "--max-hosts",
+        type=int,
+        default=None,
+        help="tracked-host bound; least recently seen hosts are evicted "
+        "beyond it (default 100000)",
+    )
+    parser.add_argument(
         "--limit", type=int, default=None, help="stop after this many input events"
     )
     parser.add_argument(
@@ -207,6 +243,11 @@ def resolve_config(args: argparse.Namespace) -> ServingConfig:
             base.session,
             window_seconds=args.window_seconds,
             escalation_threshold=args.escalate_after,
+            mode=args.session_mode,
+            sequence_threshold=args.sequence_threshold,
+            context_window=args.context_window,
+            context_max_gap_seconds=args.context_max_gap,
+            max_hosts=args.max_hosts,
         ),
         sinks=tuple(sinks),
         concurrency=args.concurrency if args.concurrency is not None else base.concurrency,
@@ -322,16 +363,18 @@ def serve_main(argv: Iterable[str] | None = None, stdout: TextIO | None = None) 
     # CLI convenience on top of the configured sinks: per-alert console
     # output unless --quiet
     if not args.quiet:
-        server.sinks.add(
-            CallbackSink(
-                lambda alert: print(
-                    f"ALERT {alert.severity.value:>8} {alert.status.value:>9} "
-                    f"host={alert.host} score={alert.score:.3f} {alert.line}",
-                    file=out,
-                )
-            ),
-            name="cli-console",
-        )
+
+        def print_alert(alert):
+            sequence = (
+                f" seq={alert.sequence_score:.3f}" if alert.sequence_score is not None else ""
+            )
+            print(
+                f"ALERT {alert.severity.value:>8} {alert.status.value:>9} "
+                f"host={alert.host} score={alert.score:.3f}{sequence} {alert.line}",
+                file=out,
+            )
+
+        server.sinks.add(CallbackSink(print_alert), name="cli-console")
 
     try:
         if events is None:

@@ -38,6 +38,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.errors import ConfigError
+from repro.serving.sessions import ESCALATION_MODES as SESSION_MODES
 
 BACKEND_KINDS = ("auto", "inline", "threaded", "process")
 ON_FULL_CHOICES = ("block", "drop")
@@ -192,10 +193,40 @@ class BackendConfig:
 
 @dataclass(frozen=True)
 class SessionConfig:
-    """Per-host rolling-window escalation policy."""
+    """Per-host escalation policy.
+
+    Attributes
+    ----------
+    window_seconds / escalation_threshold:
+        The rolling alert-count window: a host escalates once
+        ``escalation_threshold`` alerts land within ``window_seconds``
+        (modes ``count`` and ``hybrid``).
+    mode:
+        ``"count"`` — rate threshold only; ``"sequence"`` — on each
+        flagged event, compose the host's recent command window and
+        score it with the bundle's multi-line head, escalating at
+        ``sequence_threshold``; ``"hybrid"`` — either trigger.  The
+        sequence modes require a bundle saved with a ``multiline/``
+        head directory.
+    sequence_threshold:
+        Sequence score in ``[0, 1]`` at which a host escalates.
+    context_window / context_max_gap_seconds:
+        Composition semantics of the per-host window (lines per
+        composed input; maximum age of a context line relative to the
+        flagged line) — mirrors the batch
+        :class:`~repro.tuning.multiline.MultiLineComposer`.
+    max_hosts:
+        Bound on tracked hosts; the least recently seen host is evicted
+        beyond it (evictions are counted in the serving metrics).
+    """
 
     window_seconds: float = 300.0
     escalation_threshold: int = 5
+    mode: str = "count"
+    sequence_threshold: float = 0.5
+    context_window: int = 3
+    context_max_gap_seconds: float = 180.0
+    max_hosts: int = 100_000
 
     def __post_init__(self):
         object.__setattr__(
@@ -204,17 +235,57 @@ class SessionConfig:
             _as_float(self.window_seconds, "session.window_seconds", 0.0, exclusive=True),
         )
         _as_int(self.escalation_threshold, "session.escalation_threshold", 1)
+        _as_choice(self.mode, "session.mode", SESSION_MODES)
+        object.__setattr__(
+            self,
+            "sequence_threshold",
+            _as_float(self.sequence_threshold, "session.sequence_threshold", 0.0),
+        )
+        if self.sequence_threshold > 1.0:
+            raise ConfigError(
+                f"session.sequence_threshold must be <= 1 (a probability; "
+                f"got {self.sequence_threshold})"
+            )
+        _as_int(self.context_window, "session.context_window", 1)
+        object.__setattr__(
+            self,
+            "context_max_gap_seconds",
+            _as_float(
+                self.context_max_gap_seconds,
+                "session.context_max_gap_seconds",
+                0.0,
+                exclusive=True,
+            ),
+        )
+        _as_int(self.max_hosts, "session.max_hosts", 1)
 
     @classmethod
     def from_dict(cls, data: Any, path: str = "session") -> "SessionConfig":
         data = _require_mapping(data, path)
-        _reject_unknown_keys(data, ("window_seconds", "escalation_threshold"), path)
+        _reject_unknown_keys(
+            data,
+            (
+                "window_seconds",
+                "escalation_threshold",
+                "mode",
+                "sequence_threshold",
+                "context_window",
+                "context_max_gap_seconds",
+                "max_hosts",
+            ),
+            path,
+        )
         return cls(**data)
 
     def to_dict(self) -> dict:
         return {
             "window_seconds": self.window_seconds,
             "escalation_threshold": self.escalation_threshold,
+            "mode": self.mode,
+            "sequence_threshold": self.sequence_threshold,
+            "context_window": self.context_window,
+            "context_max_gap_seconds": self.context_max_gap_seconds,
+            "max_hosts": self.max_hosts,
         }
 
 

@@ -63,3 +63,52 @@ def build_demo_service(
     labels = np.array([0] * (len(DEMO_BENIGN) * 6) + [1] * (len(DEMO_MALICIOUS) * 4))
     tuner.fit(corpus, labels)
     return IntrusionDetectionService.from_tuner(tuner, threshold=threshold)
+
+
+def _composed_demo_corpus() -> tuple[list[str], np.ndarray]:
+    """Multi-line training set: joined command windows with window labels.
+
+    Benign-only windows are labelled 0; windows that contain a malicious
+    line (alone, after benign camouflage, or as a malicious run) are
+    labelled 1 — the shapes the sequence stage sees at serving time.
+    """
+    from repro.tuning.multiline import SEPARATOR
+
+    n_benign, n_malicious = len(DEMO_BENIGN), len(DEMO_MALICIOUS)
+    benign_windows = list(DEMO_BENIGN)
+    for index in range(n_benign):
+        window = [DEMO_BENIGN[(index + offset) % n_benign] for offset in range(3)]
+        benign_windows.append(SEPARATOR.join(window))
+        benign_windows.append(SEPARATOR.join(window[:2]))
+    malicious_windows = list(DEMO_MALICIOUS)
+    for index, malicious in enumerate(DEMO_MALICIOUS):
+        camouflage = DEMO_BENIGN[index % n_benign]
+        sibling = DEMO_MALICIOUS[(index + 1) % n_malicious]
+        malicious_windows.append(SEPARATOR.join([camouflage, malicious]))
+        malicious_windows.append(SEPARATOR.join([camouflage, malicious, sibling]))
+        malicious_windows.append(SEPARATOR.join([malicious, sibling]))
+    texts = benign_windows * 2 + malicious_windows * 2
+    labels = np.array([0] * (len(benign_windows) * 2) + [1] * (len(malicious_windows) * 2))
+    return texts, labels
+
+
+def build_two_stage_demo_service(
+    seed: int = 0,
+    threshold: float = 0.5,
+    head_epochs: int = 8,
+) -> IntrusionDetectionService:
+    """The demo service plus a fitted multi-line (sequence) head.
+
+    The second head shares the demo LM and is fitted on composed
+    windows of the demo corpus, so the returned service can drive the
+    serving layer's ``sequence`` / ``hybrid`` escalation modes and
+    :meth:`IntrusionDetectionService.save` writes a two-stage bundle
+    (``multiline/`` directory included).
+    """
+    service = build_demo_service(seed=seed, threshold=threshold, head_epochs=head_epochs)
+    texts, labels = _composed_demo_corpus()
+    multiline = ClassificationTuner(
+        service.encoder, lr=1e-2, epochs=head_epochs, pooling="mean", seed=seed
+    )
+    multiline.fit(texts, labels)
+    return service.attach_multiline(multiline)

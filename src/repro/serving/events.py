@@ -75,7 +75,13 @@ class CommandEvent:
 
 @dataclass(frozen=True)
 class DetectionAlert:
-    """A confirmed detection, ready for fan-out to alert sinks."""
+    """A confirmed detection, ready for fan-out to alert sinks.
+
+    When the server runs a sequence escalation mode, flagged events also
+    carry the composed per-host context window (``context``, the recent
+    command lines joined with ``;``) and its second-stage ``sequence_score``
+    — so a sink can explain *why* a host escalated, not just that it did.
+    """
 
     alert_id: int
     event_id: int
@@ -85,10 +91,12 @@ class DetectionAlert:
     severity: Severity
     status: AlertStatus
     timestamp: float
+    context: str | None = None
+    sequence_score: float | None = None
 
     def to_json(self) -> dict:
         """JSON-serialisable form (used by the JSONL sink)."""
-        return {
+        payload = {
             "alert_id": self.alert_id,
             "event_id": self.event_id,
             "host": self.host,
@@ -98,6 +106,11 @@ class DetectionAlert:
             "status": self.status.value,
             "timestamp": self.timestamp,
         }
+        if self.context is not None:
+            payload["context"] = self.context
+        if self.sequence_score is not None:
+            payload["sequence_score"] = round(self.sequence_score, 6)
+        return payload
 
 
 @dataclass(frozen=True)
@@ -122,3 +135,6 @@ class DetectionResult:
     latency_ms: float
     alert: DetectionAlert | None = None
     generation: int = 0
+    #: Second-stage score of the host's composed command window
+    #: (``None`` unless the event was flagged under a sequence mode).
+    sequence_score: float | None = None

@@ -34,6 +34,9 @@ class ServingMetrics:
         self.cache_misses = 0
         self.alerts = 0
         self.escalations = 0
+        self.sequence_scored = 0
+        self.sequence_escalations = 0
+        self.session_evictions = 0
         self.batches = 0
         self.batched_events = 0
         self.unique_scored = 0
@@ -131,6 +134,9 @@ class ServingMetrics:
             "cache_hit_rate": round(self.cache_hit_rate, 4),
             "alerts": self.alerts,
             "escalations": self.escalations,
+            "sequence_scored": self.sequence_scored,
+            "sequence_escalations": self.sequence_escalations,
+            "session_evictions": self.session_evictions,
             "batches": self.batches,
             "mean_batch_size": round(self.mean_batch_size, 2),
             "unique_scored": self.unique_scored,

@@ -30,6 +30,7 @@ from __future__ import annotations
 import asyncio
 import threading
 import time
+import warnings
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 from functools import partial
@@ -47,7 +48,7 @@ from repro.serving.backends import (
     load_bundle,
 )
 from repro.serving.cache import ScoreCache
-from repro.serving.config import BackendConfig, ServingConfig
+from repro.serving.config import BackendConfig, ServingConfig, SessionConfig
 from repro.serving.delivery import DeliveryPipeline
 from repro.serving.events import (
     AlertStatus,
@@ -118,6 +119,43 @@ def backend_from_config(
     return ProcessPoolBackend(str(bundle_dir), workers=config.workers)
 
 
+def _require_sequence_head(mode: str, service) -> None:
+    """Fail fast when an escalation mode needs a head the service lacks."""
+    if mode != "count" and not getattr(service, "has_sequence_head", False):
+        raise ConfigError(
+            f"session.mode {mode!r} needs a service with a multi-line head "
+            "(a bundle saved with a 'multiline/' directory); attach one with "
+            "IntrusionDetectionService.attach_multiline() or serve with "
+            "session.mode 'count'"
+        )
+
+
+def _warn_on_composition_skew(session, service) -> None:
+    """Surface train/serve composition drift for the sequence stage.
+
+    The bundle records the composer the multi-line head was trained
+    with; serving with a different window or gap silently reshapes the
+    head's inputs, so say so up front.
+    """
+    if session.mode == "count":
+        return
+    meta = getattr(service, "multiline_composer_meta", None) or {}
+    trained_window = meta.get("window")
+    trained_gap = meta.get("max_gap_seconds")
+    skewed = (trained_window is not None and trained_window != session.context_window) or (
+        trained_gap is not None and trained_gap != session.context_max_gap_seconds
+    )
+    if skewed:
+        warnings.warn(
+            f"session composition (context_window={session.context_window}, "
+            f"context_max_gap_seconds={session.context_max_gap_seconds}) differs "
+            f"from the multi-line head's training composer (window="
+            f"{trained_window}, max_gap_seconds={trained_gap}); the sequence "
+            "stage will score windows shaped unlike its training data",
+            stacklevel=3,
+        )
+
+
 class DetectionServer:
     """Streaming front-end over an :class:`IntrusionDetectionService`.
 
@@ -151,8 +189,15 @@ class DetectionServer:
         under the default :class:`~repro.serving.config.DeliveryPolicy`)
         or a pre-assembled
         :class:`~repro.serving.delivery.DeliveryPipeline`.
+    session:
+        Full per-host escalation policy as a
+        :class:`~repro.serving.config.SessionConfig` — including the
+        escalation ``mode``; the sequence modes run each flagged event's
+        composed per-host command window through the service's
+        multi-line head (second stage, flagged events only).
     session_window_seconds / escalation_threshold:
-        Per-host rolling-window escalation policy.
+        Compatibility shorthand for the two count-policy fields of
+        *session* (ignored when *session* is given).
     metrics:
         Optional externally-owned :class:`ServingMetrics` bundle.
 
@@ -174,6 +219,7 @@ class DetectionServer:
         cache_size: int = 4096,
         cache_ttl_seconds: float | None = None,
         sinks: Iterable[AlertSink] | DeliveryPipeline = (),
+        session: SessionConfig | None = None,
         session_window_seconds: float = 300.0,
         escalation_threshold: int = 5,
         metrics: ServingMetrics | None = None,
@@ -186,9 +232,23 @@ class DetectionServer:
         #: The declarative config this server was assembled from
         #: (set by :meth:`from_config`; ``None`` for kwargs construction).
         self.config: ServingConfig | None = None
+        if session is None:
+            session = SessionConfig(
+                window_seconds=session_window_seconds,
+                escalation_threshold=escalation_threshold,
+            )
+        _require_sequence_head(session.mode, service)
+        _warn_on_composition_skew(session, service)
+        #: The resolved per-host escalation policy.
+        self.session_policy = session
         self.sessions = SessionAggregator(
-            window_seconds=session_window_seconds,
-            escalation_threshold=escalation_threshold,
+            window_seconds=session.window_seconds,
+            escalation_threshold=session.escalation_threshold,
+            mode=session.mode,
+            sequence_threshold=session.sequence_threshold,
+            context_window=session.context_window,
+            context_max_gap_seconds=session.context_max_gap_seconds,
+            max_hosts=session.max_hosts,
         )
         if isinstance(sinks, DeliveryPipeline):
             self.sinks = sinks
@@ -258,8 +318,7 @@ class DetectionServer:
             cache_size=config.cache.size,
             cache_ttl_seconds=config.cache.ttl_seconds,
             sinks=pipeline,
-            session_window_seconds=config.session.window_seconds,
-            escalation_threshold=config.session.escalation_threshold,
+            session=config.session,
             metrics=metrics,
         )
         server.config = config
@@ -337,12 +396,40 @@ class DetectionServer:
             cache_hit = False
 
         is_intrusion = score >= self.service.threshold
-        session, newly_escalated = self.sessions.observe(host, when, is_intrusion)
+        session, newly_escalated = self.sessions.observe(
+            host, when, is_intrusion, line=normalized
+        )
         if newly_escalated:
             self.metrics.escalations += 1
+        self.metrics.session_evictions = self.sessions.evictions
+        context = None
+        sequence_score = None
+        if is_intrusion and self.sessions.mode != "count":
+            # second stage, flagged events only: compose the host's
+            # recent command window (before awaiting, so the window is
+            # this event's) and score it with the multi-line head
+            # off-loop — the forward pass must not stall the batcher's
+            # deadline timer or concurrent submissions
+            context = self.sessions.compose_context(host)
+            if context is not None:
+                scores = await asyncio.to_thread(self.service.score_sequence, [context])
+                sequence_score = float(scores[0])
+                self.metrics.sequence_scored += 1
+                if self.sessions.record_sequence_score(host, sequence_score):
+                    self.metrics.escalations += 1
+                    self.metrics.sequence_escalations += 1
         alert = None
         if is_intrusion:
-            alert = self._emit_alert(event_id, host, normalized, score, when, session.escalated)
+            alert = self._emit_alert(
+                event_id,
+                host,
+                normalized,
+                score,
+                when,
+                session.escalated,
+                context=context,
+                sequence_score=sequence_score,
+            )
 
         latency = (time.perf_counter() - started) * 1000.0
         self.metrics.record_event(latency, dropped=False, cache_hit=cache_hit)
@@ -358,6 +445,7 @@ class DetectionServer:
             latency_ms=latency,
             alert=alert,
             generation=generation,
+            sequence_score=sequence_score,
         )
 
     async def submit_event(self, event: CommandEvent) -> DetectionResult:
@@ -407,6 +495,9 @@ class DetectionServer:
             if service is None:
                 # deserialize off-loop: scoring with the old model continues
                 service = await asyncio.to_thread(loader)
+            # a sequence-mode server must never rotate onto a bundle that
+            # lost its second stage — fail before touching the backend
+            _require_sequence_head(self.sessions.mode, service)
             drain_started = time.perf_counter()
             async with self._score_lock:
                 drain_ms = (time.perf_counter() - drain_started) * 1000.0
@@ -427,7 +518,16 @@ class DetectionServer:
     # -- internals ---------------------------------------------------------
 
     def _emit_alert(
-        self, event_id: int, host: str, line: str, score: float, when: float, escalated: bool
+        self,
+        event_id: int,
+        host: str,
+        line: str,
+        score: float,
+        when: float,
+        escalated: bool,
+        *,
+        context: str | None = None,
+        sequence_score: float | None = None,
     ) -> DetectionAlert:
         self._alert_seq += 1
         alert = DetectionAlert(
@@ -439,6 +539,8 @@ class DetectionServer:
             severity=Severity.from_score(score, self.service.threshold),
             status=AlertStatus.ESCALATED if escalated else AlertStatus.OPEN,
             timestamp=when,
+            context=context,
+            sequence_score=sequence_score,
         )
         self.sinks.emit(alert)
         self.metrics.alerts += 1

@@ -1,69 +1,185 @@
-"""Per-host session aggregation with rolling-window escalation.
+"""Per-host session state with policy-driven escalation.
 
-A single flagged command is an alert; a *burst* of flagged commands
-from one host is an incident.  The aggregator keeps, per host, a
-rolling window of recent alert timestamps and escalates the host once
-the count inside the window crosses a threshold — after which further
-alerts from that host are emitted with ``ESCALATED`` status so
-downstream consumers can prioritise them.
+A single flagged command is an alert; what makes one an *incident* is
+policy.  The aggregator keeps, per host, a rolling window of recent
+alert timestamps **and** a bounded window of the host's recent
+normalized command lines, and supports three escalation modes:
+
+``count``
+    The original rate policy: escalate once the number of alerts inside
+    the rolling window crosses a threshold.
+``sequence``
+    The paper's Section IV-C insight brought to serving: on each flagged
+    event the host's recent command window is composed with the ``;``
+    separator (same window/max-gap semantics as the batch
+    :class:`~repro.tuning.multiline.MultiLineComposer`) and scored by a
+    second-stage multi-line head; escalate when that sequence score
+    crosses ``sequence_threshold``.  A low-and-slow attacker whose alert
+    *rate* stays under the count threshold still escalates when the
+    composed context reads as an attack sequence.
+``hybrid``
+    Either trigger escalates.
+
+Escalation stays sticky: once a host escalates it remains escalated for
+the lifetime of the aggregator (incident response owns de-escalation).
+Two production hardenings ride along: hosts are evicted LRU on last-seen
+once ``max_hosts`` is exceeded (a million-host fleet must not grow
+memory without bound), and out-of-order timestamps are clamped to the
+newest timestamp seen per host so a late event can neither corrupt the
+rolling window's ordering nor strand stale entries in it.
 """
 
 from __future__ import annotations
 
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
+
+from repro.tuning.multiline import compose_window
+
+#: Valid escalation policies, in increasing order of model involvement.
+ESCALATION_MODES = ("count", "sequence", "hybrid")
 
 
 @dataclass
 class HostSession:
-    """Rolling state for one host's command stream."""
+    """Rolling state for one host's command stream.
+
+    Attributes
+    ----------
+    events / alerts:
+        Lifetime totals for the host.
+    escalated / escalated_at / escalated_by:
+        Sticky escalation state; ``escalated_by`` records which policy
+        fired (``"count"`` or ``"sequence"``).
+    last_seen:
+        Newest (clamped) timestamp observed for the host — the horizon
+        all window pruning is measured against.
+    sequence_score:
+        Most recent second-stage sequence score, if any.
+    window:
+        Rolling deque of in-window alert timestamps.
+    context:
+        Bounded deque of recent ``(timestamp, normalized_line)`` pairs —
+        the per-host feed the sequence stage composes over.
+    """
 
     host: str
     events: int = 0
     alerts: int = 0
     escalated: bool = False
     escalated_at: float | None = None
+    escalated_by: str | None = None
+    last_seen: float = float("-inf")
+    sequence_score: float | None = None
     window: deque = field(default_factory=deque, repr=False)
+    context: deque = field(default_factory=deque, repr=False)
 
     def alerts_in_window(self) -> int:
         """Alerts currently inside the rolling window."""
         return len(self.window)
 
+    def context_lines(self) -> list[str]:
+        """The host's retained recent command lines, oldest first."""
+        return [line for _, line in self.context]
+
 
 class SessionAggregator:
-    """Track per-host alert rates and flag hosts that burst.
+    """Track per-host state and escalate hosts by the configured policy.
 
     Parameters
     ----------
     window_seconds:
         Width of the rolling window alert timestamps are counted over.
     escalation_threshold:
-        Number of alerts inside the window at which a host escalates.
-        Escalation is sticky: once a host crosses the threshold it stays
-        escalated for the lifetime of the aggregator (incident response
-        owns de-escalation, not the detector).
+        Alerts inside the window at which a host escalates under the
+        ``count`` / ``hybrid`` policies.
+    mode:
+        One of :data:`ESCALATION_MODES`.
+    sequence_threshold:
+        Sequence score at which a host escalates under the ``sequence``
+        / ``hybrid`` policies.
+    context_window:
+        Lines per composed context window (the paper uses three).
+    context_max_gap_seconds:
+        Maximum age of a context line relative to the flagged line —
+        "if their execution time is not too long ago".
+    max_hosts:
+        Bound on tracked hosts; exceeding it evicts the least recently
+        seen **non-escalated** host (``evictions`` counts them) — an
+        escalated host keeps its sticky state through fleet churn, and
+        is only dropped when every tracked host is escalated.
     """
 
-    def __init__(self, window_seconds: float = 300.0, escalation_threshold: int = 5):
+    def __init__(
+        self,
+        window_seconds: float = 300.0,
+        escalation_threshold: int = 5,
+        *,
+        mode: str = "count",
+        sequence_threshold: float = 0.5,
+        context_window: int = 3,
+        context_max_gap_seconds: float = 180.0,
+        max_hosts: int = 100_000,
+    ):
         if window_seconds <= 0:
             raise ValueError("window_seconds must be positive")
         if escalation_threshold < 1:
             raise ValueError("escalation_threshold must be >= 1")
+        if mode not in ESCALATION_MODES:
+            raise ValueError(f"mode must be one of {ESCALATION_MODES} (got {mode!r})")
+        if context_window < 1:
+            raise ValueError("context_window must be >= 1")
+        if context_max_gap_seconds <= 0:
+            raise ValueError("context_max_gap_seconds must be positive")
+        if max_hosts < 1:
+            raise ValueError("max_hosts must be >= 1")
         self.window_seconds = window_seconds
         self.escalation_threshold = escalation_threshold
-        self._sessions: dict[str, HostSession] = {}
+        self.mode = mode
+        self.sequence_threshold = float(sequence_threshold)
+        self.context_window = context_window
+        self.context_max_gap_seconds = float(context_max_gap_seconds)
+        self.max_hosts = max_hosts
+        #: Hosts evicted to honour ``max_hosts``, lifetime total.
+        self.evictions = 0
+        # ordered oldest-seen first: observe() re-appends, so the front
+        # is always the least recently seen host (LRU eviction order)
+        self._sessions: OrderedDict[str, HostSession] = OrderedDict()
 
-    def observe(self, host: str, timestamp: float, is_alert: bool) -> tuple[HostSession, bool]:
+    def observe(
+        self, host: str, timestamp: float, is_alert: bool, line: str | None = None
+    ) -> tuple[HostSession, bool]:
         """Account one event; returns ``(session, newly_escalated)``.
 
         ``newly_escalated`` is true only on the exact event that pushed
-        the host over the threshold, so callers can emit one escalation
-        notice per incident rather than one per subsequent alert.
+        the host over the **count** threshold (and only in the ``count``
+        / ``hybrid`` modes), so callers can emit one escalation notice
+        per incident.  Sequence escalation is reported separately by
+        :meth:`record_sequence_score`, after the caller has scored the
+        composed context.
+
+        *line* (the normalized command) feeds the host's context window;
+        pass it for every event — benign lines are context too, exactly
+        as in the batch composer.
+
+        A *timestamp* older than the newest one seen for the host is
+        clamped forward to it: late events count as arriving "now", so
+        the rolling window stays sorted and can never retain an entry
+        older than ``window_seconds`` behind the host's horizon.
         """
         session = self._sessions.get(host)
         if session is None:
             session = self._sessions[host] = HostSession(host=host)
+            self._evict_idle(current=host)
+        else:
+            self._sessions.move_to_end(host)
+        timestamp = max(float(timestamp), session.last_seen)
+        session.last_seen = timestamp
         session.events += 1
+        if line is not None:
+            session.context.append((timestamp, line))
+            while len(session.context) > self.context_window:
+                session.context.popleft()
         horizon = timestamp - self.window_seconds
         window = session.window
         while window and window[0] < horizon:
@@ -72,18 +188,84 @@ class SessionAggregator:
         if is_alert:
             session.alerts += 1
             window.append(timestamp)
-            if not session.escalated and len(window) >= self.escalation_threshold:
-                session.escalated = True
-                session.escalated_at = timestamp
+            if (
+                self.mode != "sequence"
+                and not session.escalated
+                and len(window) >= self.escalation_threshold
+            ):
+                self._escalate(session, timestamp, by="count")
                 newly_escalated = True
         return session, newly_escalated
 
+    def compose_context(self, host: str) -> str | None:
+        """Composed multi-line text for *host*'s newest observed line.
+
+        The newest context entry is the line being classified (it goes
+        last); the preceding ``context_window - 1`` lines within
+        ``context_max_gap_seconds`` of it are its context, joined with
+        the ``;`` separator — identical semantics to the batch
+        :class:`~repro.tuning.multiline.MultiLineComposer`, via the
+        shared :func:`~repro.tuning.multiline.compose_window`.
+        """
+        session = self._sessions.get(host)
+        if session is None or not session.context:
+            return None
+        composed = compose_window(
+            list(session.context), self.context_window, self.context_max_gap_seconds
+        )
+        assert composed is not None
+        return composed[0]
+
+    def record_sequence_score(self, host: str, score: float) -> bool:
+        """Account a second-stage sequence score for *host*.
+
+        Returns ``True`` when this score newly escalated the host (only
+        possible in the ``sequence`` / ``hybrid`` modes, and at most
+        once per host — escalation is sticky).
+        """
+        session = self._sessions.get(host)
+        if session is None:
+            return False
+        session.sequence_score = float(score)
+        if (
+            self.mode != "count"
+            and not session.escalated
+            and session.sequence_score >= self.sequence_threshold
+        ):
+            self._escalate(session, session.last_seen, by="sequence")
+            return True
+        return False
+
+    def _escalate(self, session: HostSession, timestamp: float, by: str) -> None:
+        session.escalated = True
+        session.escalated_at = timestamp
+        session.escalated_by = by
+
+    def _evict_idle(self, current: str) -> None:
+        # prefer idle non-escalated hosts, so sticky escalation survives
+        # fleet churn; only when every tracked host is escalated does the
+        # hard memory bound win and the oldest incident is dropped.  The
+        # host being observed right now is never the victim.
+        while len(self._sessions) > self.max_hosts:
+            victim = next(
+                (
+                    host
+                    for host, s in self._sessions.items()
+                    if not s.escalated and host != current
+                ),
+                None,
+            )
+            if victim is None:
+                victim = next(host for host in self._sessions if host != current)
+            del self._sessions[victim]
+            self.evictions += 1
+
     def session(self, host: str) -> HostSession | None:
-        """The session for *host*, or ``None`` if never seen."""
+        """The session for *host*, or ``None`` if never seen (or evicted)."""
         return self._sessions.get(host)
 
     def sessions(self) -> list[HostSession]:
-        """All sessions, insertion-ordered."""
+        """All tracked sessions, least recently seen first."""
         return list(self._sessions.values())
 
     def escalated_hosts(self) -> list[str]:

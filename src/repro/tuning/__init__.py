@@ -19,8 +19,10 @@ from repro.tuning.labels import LabeledDataset, label_with_ids
 from repro.tuning.multiline import (
     SEPARATOR,
     ComposedSample,
+    IncrementalComposer,
     MultiLineClassificationTuner,
     MultiLineComposer,
+    compose_window,
 )
 from repro.tuning.reconstruction import ReconstructionTuner
 from repro.tuning.retrieval import MajorityVoteKNN, RetrievalDetector
@@ -28,6 +30,7 @@ from repro.tuning.retrieval import MajorityVoteKNN, RetrievalDetector
 __all__ = [
     "ClassificationTuner",
     "ComposedSample",
+    "IncrementalComposer",
     "IntrusionScorer",
     "LabeledDataset",
     "MajorityVoteKNN",
@@ -37,6 +40,7 @@ __all__ = [
     "ReconstructionTuner",
     "SEPARATOR",
     "ScoreEnsemble",
+    "compose_window",
     "label_with_ids",
     "rank_normalize",
 ]

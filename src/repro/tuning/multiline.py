@@ -14,9 +14,11 @@ lines).
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections import deque
+from collections.abc import Hashable, Sequence
 from dataclasses import dataclass
 from datetime import timedelta
+from typing import Any
 
 import numpy as np
 
@@ -26,6 +28,80 @@ from repro.tuning.classification import ClassificationTuner
 
 #: Separator used to join context lines — "a shell command separator ';'".
 SEPARATOR = " ; "
+
+
+def compose_window(
+    entries: Sequence[tuple[Any, str]], window: int, max_gap: Any
+) -> tuple[str, int] | None:
+    """Compose the newest of *entries* with its recent same-key context.
+
+    *entries* is an oldest-first sequence of ``(timestamp, line)`` pairs
+    for one user/host; the last entry is the line being classified.  The
+    most recent ``window - 1`` earlier lines whose age relative to the
+    classified line does not exceed *max_gap* become its context, and
+    the result is joined with :data:`SEPARATOR` (classified line last).
+
+    Timestamps only need to subtract into something comparable with
+    *max_gap* — :class:`~datetime.datetime` with a
+    :class:`~datetime.timedelta` gap (the batch tuner) and float seconds
+    with a float gap (the streaming session aggregator) both work, so
+    batch and serving composition share this one implementation.
+
+    Returns ``(text, n_context)``, or ``None`` for empty *entries*.
+    """
+    if not entries:
+        return None
+    recent = list(entries[-window:])
+    now, line = recent[-1]
+    context = [past_line for stamp, past_line in recent[:-1] if now - stamp <= max_gap]
+    return SEPARATOR.join([*context, line]), len(context)
+
+
+class IncrementalComposer:
+    """Streaming counterpart of :class:`MultiLineComposer`.
+
+    Feed one ``(key, timestamp, line)`` at a time and get back exactly
+    the composition the batch composer would produce for that record —
+    :meth:`MultiLineComposer.compose` delegates here, so the equivalence
+    holds by construction.  Per-key history is bounded at ``window``
+    entries; :meth:`discard` releases a key's state entirely, for
+    callers that evict idle keys.  (The serving
+    :class:`~repro.serving.sessions.SessionAggregator` keeps its own
+    per-host windows and shares only :func:`compose_window`, so its
+    composition matches this class exactly.)
+    """
+
+    def __init__(self, window: int = 3, max_gap: Any = timedelta(minutes=3)):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.max_gap = max_gap
+        self._history: dict[Hashable, deque] = {}
+
+    def record(self, key: Hashable, timestamp: Any, line: str) -> None:
+        """Append one observed line to *key*'s rolling history."""
+        past = self._history.get(key)
+        if past is None:
+            past = self._history[key] = deque(maxlen=self.window)
+        past.append((timestamp, line))
+
+    def compose_last(self, key: Hashable) -> tuple[str, int] | None:
+        """Composition for *key*'s newest recorded line, or ``None``."""
+        past = self._history.get(key)
+        if not past:
+            return None
+        return compose_window(list(past), self.window, self.max_gap)
+
+    def push(self, key: Hashable, timestamp: Any, line: str) -> tuple[str, int]:
+        """Record one line and return its composition in one step."""
+        self.record(key, timestamp, line)
+        composed = self.compose_last(key)
+        assert composed is not None  # the history now holds this line
+        return composed
+
+    def discard(self, key: Hashable) -> None:
+        """Drop all history for *key* (idle-host eviction)."""
+        self._history.pop(key, None)
 
 
 @dataclass(frozen=True)
@@ -72,20 +148,11 @@ class MultiLineComposer:
 
     def compose(self, dataset: CommandDataset) -> list[ComposedSample]:
         """One :class:`ComposedSample` per record, in dataset order."""
-        # per-user rolling history of (timestamp, line)
-        history: dict[str, list[tuple]] = {}
+        stream = IncrementalComposer(self.window, self.max_gap)
         samples: list[ComposedSample] = []
         for index, record in enumerate(dataset):
-            past = history.setdefault(record.user, [])
-            recent = past[len(past) - (self.window - 1) :] if self.window > 1 else []
-            context = [
-                line for stamp, line in recent if record.timestamp - stamp <= self.max_gap
-            ]
-            text = SEPARATOR.join([*context, record.line])
-            samples.append(ComposedSample(text=text, record_index=index, n_context=len(context)))
-            past.append((record.timestamp, record.line))
-            if len(past) > self.window * 4:  # bound memory per user
-                del past[: len(past) - self.window * 2]
+            text, n_context = stream.push(record.user, record.timestamp, record.line)
+            samples.append(ComposedSample(text=text, record_index=index, n_context=n_context))
         return samples
 
     def compose_lines(self, dataset: CommandDataset) -> list[str]:

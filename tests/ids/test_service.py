@@ -152,3 +152,96 @@ class TestPersistence:
         (tmp_path / "bundle" / "service.json").write_text("{broken")
         with pytest.raises(CheckpointError):
             IntrusionDetectionService.load(tmp_path / "bundle")
+
+
+class TestTwoStageBundle:
+    """The optional multiline/ head: one bundle ships both stages."""
+
+    @pytest.fixture()
+    def two_stage(self, service):
+        from repro.tuning.multiline import SEPARATOR
+
+        composed_benign = [SEPARATOR.join(BENIGN[i : i + 3]) for i in range(0, 12, 3)]
+        composed_malicious = [
+            SEPARATOR.join([BENIGN[i], MALICIOUS[i % len(MALICIOUS)]]) for i in range(4)
+        ]
+        texts = (composed_benign + BENIGN[:4]) * 2 + composed_malicious * 2
+        labels = np.array(
+            [0] * (len(composed_benign) + 4) * 2 + [1] * len(composed_malicious) * 2
+        )
+        multiline = ClassificationTuner(
+            service.encoder, lr=1e-2, epochs=4, pooling="mean", seed=0
+        )
+        multiline.fit(texts, labels)
+        service.attach_multiline(multiline)
+        yield service
+        service.multiline_tuner = None  # module-scoped service: detach again
+
+    def test_attach_requires_fitted_head(self, service):
+        with pytest.raises(NotFittedError):
+            service.attach_multiline(ClassificationTuner(service.encoder))
+
+    def test_score_sequence_without_head_raises(self, service):
+        with pytest.raises(NotFittedError, match="multiline"):
+            service.score_sequence(["ls ; nc -lvnp 4444"])
+        assert not service.has_sequence_head
+
+    def test_two_stage_save_load_roundtrip(self, two_stage, tmp_path):
+        texts = ["ls -la /tmp ; nc -lvnp 4444", "git status ; docker ps -a"]
+        two_stage.save(tmp_path / "bundle")
+        assert (tmp_path / "bundle" / "multiline" / "head.npz").exists()
+        restored = IntrusionDetectionService.load(tmp_path / "bundle")
+        assert restored.has_sequence_head
+        np.testing.assert_allclose(
+            restored.score_sequence(texts), two_stage.score_sequence(texts), atol=1e-10
+        )
+        # and the first stage is untouched
+        np.testing.assert_allclose(
+            restored.score_normalized(["nc -lvnp 4444"]),
+            two_stage.score_normalized(["nc -lvnp 4444"]),
+            atol=1e-10,
+        )
+
+    def test_single_stage_bundle_loads_without_head(self, service, tmp_path):
+        service.save(tmp_path / "bundle")
+        restored = IntrusionDetectionService.load(tmp_path / "bundle")
+        assert not restored.has_sequence_head
+
+    def test_fingerprint_distinguishes_stages(self, two_stage, tmp_path):
+        with_head = two_stage.fingerprint()
+        detached = two_stage.multiline_tuner
+        two_stage.multiline_tuner = None
+        try:
+            assert two_stage.fingerprint() != with_head
+        finally:
+            two_stage.multiline_tuner = detached
+        # a loaded two-stage bundle answers with the same fingerprint
+        two_stage.save(tmp_path / "bundle")
+        restored = IntrusionDetectionService.load(tmp_path / "bundle")
+        assert restored.fingerprint() == with_head
+
+    def test_composer_semantics_travel_with_the_head(self, service, tmp_path):
+        from datetime import timedelta
+
+        from repro.tuning import MultiLineClassificationTuner, MultiLineComposer
+
+        tuner = MultiLineClassificationTuner(
+            service.encoder,
+            composer=MultiLineComposer(window=4, max_gap=timedelta(seconds=120)),
+            lr=1e-2,
+            epochs=2,
+            pooling="mean",
+            seed=0,
+        )
+        tuner.fit(BENIGN[:6] + MALICIOUS[:3], np.array([0] * 6 + [1] * 3))
+        service.attach_multiline(tuner)
+        try:
+            service.save(tmp_path / "bundle")
+            restored = IntrusionDetectionService.load(tmp_path / "bundle")
+            assert restored.multiline_composer_meta == {
+                "window": 4,
+                "max_gap_seconds": 120.0,
+            }
+        finally:
+            service.multiline_tuner = None
+            service.multiline_composer_meta = None

@@ -30,9 +30,29 @@ class StubService:
         return np.array([0.9 if "evil" in line else 0.1 for line in lines])
 
 
+class TwoStageStubService(StubService):
+    """Stub with a second stage: sequence score is high only when the
+    composed window contains at least two 'evil' segments."""
+
+    has_sequence_head = True
+
+    def __init__(self):
+        super().__init__()
+        self.sequence_batches: list[list[str]] = []
+
+    def score_sequence(self, texts):
+        self.sequence_batches.append(list(texts))
+        return np.array([0.95 if text.count("evil") >= 2 else 0.2 for text in texts])
+
+
 @pytest.fixture
 def stub_service():
     return StubService()
+
+
+@pytest.fixture
+def two_stage_stub():
+    return TwoStageStubService()
 
 
 @pytest.fixture(scope="session")
@@ -40,6 +60,14 @@ def demo_service():
     from repro.serving.demo import build_demo_service
 
     return build_demo_service()
+
+
+@pytest.fixture(scope="session")
+def two_stage_demo_service():
+    """A fresh demo service with a fitted multi-line (sequence) head."""
+    from repro.serving.demo import build_two_stage_demo_service
+
+    return build_two_stage_demo_service()
 
 
 @pytest.fixture(scope="session")

@@ -23,7 +23,15 @@ FULL_CONFIG = {
     "batch": {"max_batch": 8, "max_latency_ms": 12.5},
     "cache": {"size": 128, "ttl_seconds": 60.0},
     "backend": {"kind": "threaded", "workers": 3},
-    "session": {"window_seconds": 30.0, "escalation_threshold": 2},
+    "session": {
+        "window_seconds": 30.0,
+        "escalation_threshold": 2,
+        "mode": "hybrid",
+        "sequence_threshold": 0.7,
+        "context_window": 4,
+        "context_max_gap_seconds": 120.0,
+        "max_hosts": 5000,
+    },
     "sinks": [
         {"uri": "ring://64", "name": "dash"},
         {
@@ -117,6 +125,12 @@ class TestValidationErrors:
             ({"backend": {"kind": "gpu"}}, "'auto', 'inline', 'threaded', 'process'"),
             ({"backend": {"workers": 0}}, "backend.workers must be >= 1"),
             ({"session": {"escalation_threshold": 0}}, "session.escalation_threshold"),
+            ({"session": {"mode": "markov"}}, "'count', 'sequence', 'hybrid'"),
+            ({"session": {"sequence_threshold": 1.5}}, "session.sequence_threshold"),
+            ({"session": {"context_window": 0}}, "session.context_window must be >= 1"),
+            ({"session": {"context_max_gap_seconds": 0}}, "must be > 0"),
+            ({"session": {"max_hosts": 0}}, "session.max_hosts must be >= 1"),
+            ({"session": {"modes": "count"}}, "did you mean 'mode'"),
             ({"concurrency": 0}, "concurrency must be >= 1"),
             ({"sinks": "ring://8"}, "sinks must be an array"),
             ({"sinks": [{"name": "x"}]}, "needs a 'uri'"),
@@ -216,6 +230,32 @@ class TestFromConfig:
         config = ServingConfig.from_dict({"backend": {"kind": "process", "workers": 2}})
         with pytest.raises(ConfigError, match="source_dir"):
             DetectionServer.from_config(stub_service, config)
+
+    @pytest.mark.parametrize("mode", ["sequence", "hybrid"])
+    def test_sequence_mode_without_multiline_head_fails_fast(self, stub_service, mode):
+        config = ServingConfig.from_dict({"session": {"mode": mode}})
+        with pytest.raises(ConfigError, match="multi-line head"):
+            DetectionServer.from_config(stub_service, config)
+
+    def test_session_policy_reaches_the_aggregator(self, stub_service):
+        config = ServingConfig.from_dict(
+            {
+                "session": {
+                    "mode": "count",
+                    "context_window": 5,
+                    "context_max_gap_seconds": 42.0,
+                    "max_hosts": 77,
+                    "sequence_threshold": 0.9,
+                }
+            }
+        )
+        server = DetectionServer.from_config(stub_service, config)
+        assert server.sessions.mode == "count"
+        assert server.sessions.context_window == 5
+        assert server.sessions.context_max_gap_seconds == 42.0
+        assert server.sessions.max_hosts == 77
+        assert server.sessions.sequence_threshold == 0.9
+        assert server.session_policy == config.session
 
 
 class TestBundleRecording:

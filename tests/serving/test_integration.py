@@ -221,6 +221,74 @@ class TestServeCliConfig:
         ]
         assert records, "malicious lines must land in the configured jsonl sink"
 
+    def test_session_flags_override_config_file(self, capsys):
+        code = serve_main(
+            [
+                "--session-mode", "sequence",
+                "--sequence-threshold", "0.7",
+                "--context-window", "5",
+                "--context-max-gap", "60",
+                "--max-hosts", "1000",
+                "--print-config",
+            ]
+        )
+        assert code == 0
+        resolved = ServingConfig.from_dict(json.loads(capsys.readouterr().out))
+        assert resolved.session.mode == "sequence"
+        assert resolved.session.sequence_threshold == 0.7
+        assert resolved.session.context_window == 5
+        assert resolved.session.context_max_gap_seconds == 60.0
+        assert resolved.session.max_hosts == 1000
+        assert resolved.session.window_seconds == 300.0  # untouched default
+
+    def test_serve_sequence_mode_with_two_stage_bundle(
+        self, two_stage_demo_service, tmp_path, capsys
+    ):
+        """End to end: a two-stage bundle loads and serves both stages —
+        the victim host escalates on its composed command window while a
+        benign host stays quiet."""
+        bundle = tmp_path / "bundle"
+        two_stage_demo_service.save(bundle)
+        events = [
+            json.dumps({"line": line, "host": "victim", "timestamp": float(i * 20)})
+            for i, line in enumerate(DEMO_MALICIOUS)
+        ] + [
+            json.dumps({"line": line, "host": "dev-1", "timestamp": float(i * 20 + 5)})
+            for i, line in enumerate(DEMO_BENIGN)
+        ]
+        stream = tmp_path / "input.log"
+        stream.write_text("\n".join(events) + "\n")
+
+        code = serve_main(
+            [
+                "--input", str(stream),
+                "--bundle", str(bundle),
+                "--session-mode", "sequence",
+                "--sequence-threshold", "0.7",
+                "--escalate-after", "99",  # the count trigger stays out of reach
+                "--max-latency-ms", "10",
+            ]
+        )
+
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "escalated hosts: victim" in output
+        assert "dev-1" not in output.split("escalated hosts:")[1].splitlines()[0]
+        assert "seq=" in output  # console alerts carry the sequence score
+
+    def test_serve_sequence_mode_rejects_single_stage_bundle(
+        self, demo_service, tmp_path, capsys
+    ):
+        bundle = tmp_path / "bundle"
+        demo_service.save(bundle)
+        stream = tmp_path / "input.log"
+        stream.write_text("ls -la\n")
+        code = serve_main(
+            ["--input", str(stream), "--bundle", str(bundle), "--session-mode", "sequence"]
+        )
+        assert code == 2
+        assert "multi-line head" in capsys.readouterr().err
+
     def test_serve_records_config_into_bundle(self, demo_service, tmp_path, capsys):
         bundle = tmp_path / "bundle"
         demo_service.save(bundle)

@@ -1,0 +1,173 @@
+"""Scenario-replay tests: escalation policies against labelled fleets.
+
+Each test synthesizes a labelled multi-host stream with the loggen-based
+:class:`~tests.serving.scenarios.ScenarioBuilder` and replays it through
+a real :class:`DetectionServer`, asserting who escalates, when, and with
+which status under the ``count`` / ``sequence`` / ``hybrid`` policies.
+The flagship case is the low-and-slow attacker: invisible to the alert
+*rate* policy, caught by the sequence stage.
+"""
+
+from repro.serving.events import AlertStatus
+from repro.tuning.multiline import SEPARATOR
+
+from tests.serving.scenarios import EPOCH, ScenarioBuilder, replay
+
+BASE = EPOCH.timestamp()
+
+
+def low_and_slow_scenario(seed=7):
+    builder = ScenarioBuilder(seed=seed)
+    builder.low_and_slow_attacker("h-slow", user="mallory", n=4, spacing=150.0)
+    return builder.build("low-and-slow")
+
+
+def burst_scenario(seed=11):
+    builder = ScenarioBuilder(seed=seed)
+    builder.attack_burst("h-burst", user="mallory", n=6, spacing=10.0)
+    return builder.build("burst")
+
+
+class TestLowAndSlow:
+    """The flagship: an attacker pacing alerts under the count threshold."""
+
+    def test_count_mode_misses_the_attack(self):
+        report = replay(low_and_slow_scenario(), mode="count")
+        # 4 alerts spread at 150 s never put 5 inside a 300 s window
+        assert report.escalated == set()
+        assert report.server.metrics.alerts == 4
+        # stage 2 never runs under the count policy
+        assert report.service.sequence_calls == []
+        assert report.server.metrics.sequence_scored == 0
+
+    def test_sequence_mode_catches_the_attack(self):
+        report = replay(low_and_slow_scenario(), mode="sequence")
+        assert report.escalated == {"h-slow"}
+        session = report.session("h-slow")
+        assert session.escalated_by == "sequence"
+        # escalated on the second attack line, when the composed window
+        # first corroborates (the first attack line is still in context)
+        assert session.escalated_at == BASE + 150.0
+        assert session.sequence_score == 0.9
+        assert report.server.metrics.escalations == 1
+        assert report.server.metrics.sequence_escalations == 1
+
+    def test_escalating_alert_explains_itself(self):
+        report = replay(low_and_slow_scenario(), mode="sequence")
+        alerts = report.alerts_for("h-slow")
+        assert [a.status for a in alerts] == [
+            AlertStatus.OPEN,
+            AlertStatus.ESCALATED,
+            AlertStatus.ESCALATED,
+            AlertStatus.ESCALATED,
+        ]
+        escalating = alerts[1]
+        # the alert payload carries the composed context and its score,
+        # so a sink can explain *why* the host escalated
+        assert escalating.sequence_score == 0.9
+        assert escalating.context is not None and SEPARATOR in escalating.context
+        assert escalating.context.endswith(escalating.line)
+        assert escalating.to_json()["sequence_score"] == 0.9
+        assert escalating.to_json()["context"] == escalating.context
+
+    def test_second_stage_runs_only_on_flagged_events(self):
+        report = replay(low_and_slow_scenario(), mode="sequence")
+        flagged = [r for r in report.results if r.is_intrusion]
+        assert len(report.service.sequence_calls) == len(flagged) == 4
+        assert report.server.metrics.sequence_scored == 4
+        # benign camouflage lines were observed as context but never
+        # pushed through the sequence head
+        assert all(r.sequence_score is None for r in report.results if not r.is_intrusion)
+
+
+class TestBurstAttacker:
+    def test_both_policies_catch_a_burst(self):
+        for mode in ("count", "sequence", "hybrid"):
+            report = replay(burst_scenario(), mode=mode)
+            assert report.escalated == {"h-burst"}, mode
+
+    def test_sequence_escalates_earlier_than_count(self):
+        count_at = replay(burst_scenario(), mode="count").session("h-burst").escalated_at
+        seq_at = replay(burst_scenario(), mode="sequence").session("h-burst").escalated_at
+        assert count_at == BASE + 40.0  # fifth alert fills the window
+        assert seq_at == BASE + 10.0  # second alert corroborates the context
+        assert seq_at < count_at
+
+    def test_hybrid_takes_whichever_trigger_fires_first(self):
+        by_sequence = replay(burst_scenario(), mode="hybrid").session("h-burst")
+        assert by_sequence.escalated_by == "sequence"
+        # with the sequence trigger effectively disabled, hybrid still
+        # escalates through the count path
+        by_count = replay(
+            burst_scenario(), mode="hybrid", sequence_threshold=1.0
+        ).session("h-burst")
+        assert by_count.escalated_by == "count"
+        assert by_count.escalated_at == BASE + 40.0
+
+
+class TestBenignTraffic:
+    def test_power_user_escalates_under_no_policy(self):
+        builder = ScenarioBuilder(seed=3)
+        builder.benign_power_user("h-dev", user="alice", role="developer", sessions=8)
+        scenario = builder.build("power-user")
+        for mode in ("count", "sequence", "hybrid"):
+            report = replay(scenario, mode=mode)
+            assert report.escalated == set(), mode
+            assert report.server.metrics.alerts == 0
+
+    def test_sequence_mode_ignores_false_alarm_bursts(self):
+        """A burst of abnormal-yet-benign lines stampedes the count
+        policy but not the sequence stage: the composed windows carry no
+        malicious context."""
+        builder = ScenarioBuilder(seed=5)
+        builder.noisy_benign_burst("h-noisy", user="bob", n=6, spacing=10.0)
+        scenario = builder.build("noisy-benign")
+
+        count_report = replay(scenario, mode="count")
+        assert count_report.escalated == {"h-noisy"}  # the false escalation
+
+        seq_report = replay(scenario, mode="sequence")
+        assert seq_report.escalated == set()
+        # every false alarm *was* double-checked by the sequence stage
+        assert len(seq_report.service.sequence_calls) == 6
+        assert seq_report.session("h-noisy").sequence_score == 0.2
+
+
+class TestLateralMovement:
+    def test_per_host_counts_hide_the_hops_sequence_does_not(self):
+        hosts = ["web-1", "web-2", "db-1"]
+        builder = ScenarioBuilder(seed=13)
+        builder.lateral_movement(hosts, user="mallory", per_host=2, spacing=60.0)
+        scenario = builder.build("lateral")
+
+        assert replay(scenario, mode="count").escalated == set()
+        report = replay(scenario, mode="sequence")
+        assert report.escalated == set(hosts)
+        for host in hosts:
+            assert report.session(host).escalated_by == "sequence"
+
+
+class TestMixedFleet:
+    def test_interleaved_fleet_escalates_exactly_the_guilty_hosts(self):
+        builder = ScenarioBuilder(seed=21)
+        builder.attack_burst("h-burst", user="eve", at=30.0)
+        builder.low_and_slow_attacker("h-slow", user="mallory", at=0.0)
+        builder.benign_power_user("h-dev", user="alice", at=0.0, sessions=6)
+        builder.lateral_movement(["web-1", "web-2"], user="trudy", at=200.0, per_host=2)
+        # ambient simulator traffic: hundreds of benign lines across a
+        # simulated fleet, interleaved with the attacks by timestamp
+        builder.background_fleet(n_lines=300)
+        scenario = builder.build("mixed-fleet")
+        assert len(scenario.hosts) > 10  # the fleet really is in the stream
+        guilty = {"h-burst", "h-slow", "web-1", "web-2"}
+
+        count_report = replay(scenario, mode="count")
+        assert count_report.escalated == {"h-burst"}
+
+        seq_report = replay(scenario, mode="sequence")
+        assert seq_report.escalated == guilty
+        assert "h-dev" not in seq_report.escalated
+        # ground truth sanity: the generator really labelled the stream
+        assert scenario.dataset.n_malicious() == len(
+            [r for r in seq_report.results if r.is_intrusion]
+        )

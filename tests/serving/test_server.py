@@ -4,7 +4,14 @@ import asyncio
 
 import pytest
 
-from repro.serving import CommandEvent, DetectionServer, RingBufferSink, serve_stream
+from repro.errors import ConfigError
+from repro.serving import (
+    CommandEvent,
+    DetectionServer,
+    RingBufferSink,
+    SessionConfig,
+    serve_stream,
+)
 from repro.serving.events import AlertStatus
 
 
@@ -116,6 +123,99 @@ class TestEscalation:
         statuses = [alert.status for alert in ring.alerts]
         assert statuses[:2] == [AlertStatus.OPEN, AlertStatus.OPEN]
         assert statuses[2:] == [AlertStatus.ESCALATED] * 3
+
+
+class TestSequenceEscalation:
+    def test_sequence_mode_escalates_on_corroborated_context(self, two_stage_stub):
+        ring = RingBufferSink()
+        session = SessionConfig(mode="sequence", escalation_threshold=99)
+
+        async def scenario():
+            async with DetectionServer(
+                two_stage_stub, max_latency_ms=5, sinks=[ring], session=session
+            ) as server:
+                first = await server.submit("evil one", host="victim", timestamp=0.0)
+                second = await server.submit("evil two", host="victim", timestamp=10.0)
+                return first, second, server
+
+        first, second, server = run(scenario())
+        # first flagged event: only one evil segment in context → no escalation
+        assert first.sequence_score == 0.2
+        assert first.alert.status is AlertStatus.OPEN
+        # second: the window corroborates → sequence escalation
+        assert second.sequence_score == 0.95
+        assert second.alert.status is AlertStatus.ESCALATED
+        assert second.alert.context == "evil one ; evil two"
+        assert second.alert.sequence_score == 0.95
+        assert server.sessions.session("victim").escalated_by == "sequence"
+        assert server.metrics.sequence_scored == 2
+        assert server.metrics.sequence_escalations == 1
+        assert server.metrics.escalations == 1
+
+    def test_second_stage_skipped_for_benign_events(self, two_stage_stub):
+        session = SessionConfig(mode="sequence")
+
+        async def scenario():
+            async with DetectionServer(
+                two_stage_stub, max_latency_ms=5, session=session
+            ) as server:
+                for index in range(5):
+                    await server.submit(f"ls -la {index}", host="h", timestamp=float(index))
+                return server
+
+        server = run(scenario())
+        assert two_stage_stub.sequence_batches == []
+        assert server.metrics.sequence_scored == 0
+
+    def test_count_mode_never_invokes_second_stage(self, two_stage_stub):
+        async def scenario():
+            async with DetectionServer(two_stage_stub, max_latency_ms=5) as server:
+                await server.submit("evil one", host="h", timestamp=0.0)
+                await server.submit("evil two", host="h", timestamp=1.0)
+                return server
+
+        server = run(scenario())
+        assert two_stage_stub.sequence_batches == []
+        assert server.metrics.sequence_scored == 0
+
+    def test_sequence_mode_without_head_fails_at_construction(self, stub_service):
+        with pytest.raises(ConfigError, match="multi-line head"):
+            DetectionServer(stub_service, session=SessionConfig(mode="sequence"))
+
+    def test_composition_skew_against_bundle_meta_warns(self, two_stage_stub):
+        two_stage_stub.multiline_composer_meta = {"window": 4, "max_gap_seconds": 120.0}
+        with pytest.warns(UserWarning, match="training composer"):
+            DetectionServer(
+                two_stage_stub, session=SessionConfig(mode="sequence", context_window=3)
+            )
+        # matching composition (or count mode) stays quiet
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            DetectionServer(
+                two_stage_stub,
+                session=SessionConfig(
+                    mode="sequence", context_window=4, context_max_gap_seconds=120.0
+                ),
+            )
+            DetectionServer(two_stage_stub, session=SessionConfig(mode="count"))
+
+    def test_swap_refuses_bundle_without_second_stage(self, two_stage_stub, stub_service):
+        session = SessionConfig(mode="sequence")
+
+        async def scenario():
+            async with DetectionServer(
+                two_stage_stub, max_latency_ms=5, session=session
+            ) as server:
+                with pytest.raises(ConfigError, match="multi-line head"):
+                    await server.swap_model(service=stub_service)
+                # the server kept serving on the old two-stage service
+                return await server.submit("evil again", host="h", timestamp=0.0)
+
+        result = run(scenario())
+        assert result.is_intrusion
+        assert result.sequence_score is not None
 
 
 class TestServeStream:

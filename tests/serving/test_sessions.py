@@ -59,3 +59,151 @@ class TestSessionAggregator:
             SessionAggregator(window_seconds=0)
         with pytest.raises(ValueError):
             SessionAggregator(escalation_threshold=0)
+        with pytest.raises(ValueError):
+            SessionAggregator(mode="markov")
+        with pytest.raises(ValueError):
+            SessionAggregator(context_window=0)
+        with pytest.raises(ValueError):
+            SessionAggregator(context_max_gap_seconds=0)
+        with pytest.raises(ValueError):
+            SessionAggregator(max_hosts=0)
+
+
+class TestOutOfOrderTimestamps:
+    def test_late_event_is_clamped_to_host_horizon(self):
+        """Regression: a late event used to append its stale timestamp to
+        the rolling window, leaving a forever-stuck entry the sorted
+        pruning loop could never reach."""
+        agg = SessionAggregator(window_seconds=60, escalation_threshold=3)
+        agg.observe("h", 1_000.0, is_alert=True)
+        session, _ = agg.observe("h", 5.0, is_alert=True)  # arrives late
+        # clamped to the newest timestamp seen, not recorded in the past
+        assert session.last_seen == 1_000.0
+        assert list(session.window) == [1_000.0, 1_000.0]
+        # the window stays sorted, so later pruning still works
+        session, _ = agg.observe("h", 2_000.0, is_alert=True)
+        assert session.alerts_in_window() == 1
+
+    def test_late_event_cannot_unescalate_window_progress(self):
+        agg = SessionAggregator(window_seconds=60, escalation_threshold=3)
+        agg.observe("h", 100.0, is_alert=True)
+        agg.observe("h", 110.0, is_alert=True)
+        # a late alert still counts toward the current window
+        session, newly = agg.observe("h", 10.0, is_alert=True)
+        assert newly
+        assert session.escalated
+
+    def test_window_never_retains_entries_behind_horizon(self):
+        agg = SessionAggregator(window_seconds=30, escalation_threshold=99)
+        for t in (0.0, 50.0, 10.0, 80.0, 20.0, 200.0):
+            session, _ = agg.observe("h", t, is_alert=True)
+            horizon = session.last_seen - agg.window_seconds
+            assert all(stamp >= horizon for stamp in session.window)
+
+
+class TestIdleHostEviction:
+    def test_lru_eviction_bounds_tracked_hosts(self):
+        agg = SessionAggregator(max_hosts=3)
+        for index, host in enumerate(("a", "b", "c")):
+            agg.observe(host, float(index), is_alert=False)
+        agg.observe("a", 10.0, is_alert=False)  # refresh a: b is now LRU
+        agg.observe("d", 11.0, is_alert=False)
+        assert len(agg.sessions()) == 3
+        assert agg.session("b") is None
+        assert agg.session("a") is not None
+        assert agg.evictions == 1
+
+    def test_evicted_host_restarts_fresh(self):
+        agg = SessionAggregator(max_hosts=1, escalation_threshold=2, window_seconds=60)
+        agg.observe("a", 0.0, is_alert=True)
+        agg.observe("b", 1.0, is_alert=False)  # evicts a
+        session, newly = agg.observe("a", 2.0, is_alert=True)
+        assert not newly  # a's earlier alert state was released
+        assert session.alerts == 1
+
+    def test_escalated_host_survives_fleet_churn(self):
+        """Sticky escalation must not be silently dropped by LRU churn:
+        eviction prefers non-escalated hosts."""
+        agg = SessionAggregator(max_hosts=3, escalation_threshold=2, window_seconds=60)
+        agg.observe("attacker", 0.0, is_alert=True)
+        agg.observe("attacker", 1.0, is_alert=True)
+        assert agg.session("attacker").escalated
+        # benign churn from many other hosts makes the attacker the LRU entry
+        for index in range(10):
+            agg.observe(f"h{index}", float(index + 2), is_alert=False)
+        assert agg.session("attacker") is not None
+        assert agg.session("attacker").escalated
+        assert len(agg.sessions()) == 3
+
+    def test_all_escalated_hosts_still_honour_the_bound(self):
+        agg = SessionAggregator(max_hosts=2, escalation_threshold=1, window_seconds=60)
+        for index, host in enumerate(("a", "b", "c")):
+            agg.observe(host, float(index), is_alert=True)  # each escalates at once
+        # every session is escalated: the hard memory bound wins and the
+        # oldest incident is dropped
+        assert len(agg.sessions()) == 2
+        assert agg.session("a") is None
+
+    def test_fleet_sweep_keeps_memory_bounded(self):
+        agg = SessionAggregator(max_hosts=100)
+        for index in range(10_000):
+            agg.observe(f"m{index:06d}", float(index), is_alert=False)
+        assert len(agg.sessions()) == 100
+        assert agg.evictions == 9_900
+
+
+class TestSequenceMode:
+    def test_count_threshold_does_not_escalate_in_sequence_mode(self):
+        agg = SessionAggregator(window_seconds=60, escalation_threshold=2, mode="sequence")
+        for t in range(5):
+            _, newly = agg.observe("h", float(t), is_alert=True, line=f"cmd{t}")
+            assert not newly
+        assert not agg.session("h").escalated
+
+    def test_sequence_score_escalates_once(self):
+        agg = SessionAggregator(mode="sequence", sequence_threshold=0.5)
+        agg.observe("h", 0.0, is_alert=True, line="nc -lvnp 4444")
+        assert agg.record_sequence_score("h", 0.4) is False
+        assert agg.record_sequence_score("h", 0.7) is True
+        assert agg.record_sequence_score("h", 0.9) is False  # sticky, once
+        session = agg.session("h")
+        assert session.escalated and session.escalated_by == "sequence"
+        assert session.sequence_score == 0.9  # latest score still recorded
+
+    def test_sequence_score_ignored_in_count_mode(self):
+        agg = SessionAggregator(mode="count")
+        agg.observe("h", 0.0, is_alert=True, line="x")
+        assert agg.record_sequence_score("h", 0.99) is False
+        assert not agg.session("h").escalated
+
+    def test_unknown_host_sequence_score_is_noop(self):
+        agg = SessionAggregator(mode="sequence")
+        assert agg.record_sequence_score("ghost", 0.9) is False
+
+
+class TestContextComposition:
+    def test_compose_joins_recent_lines_current_last(self):
+        agg = SessionAggregator(context_window=3, context_max_gap_seconds=100)
+        agg.observe("h", 0.0, is_alert=False, line="git status")
+        agg.observe("h", 10.0, is_alert=False, line="git pull")
+        agg.observe("h", 20.0, is_alert=True, line="nc -lvnp 4444")
+        assert agg.compose_context("h") == "git status ; git pull ; nc -lvnp 4444"
+
+    def test_stale_context_lines_age_out(self):
+        agg = SessionAggregator(context_window=3, context_max_gap_seconds=100)
+        agg.observe("h", 0.0, is_alert=False, line="old")
+        agg.observe("h", 500.0, is_alert=True, line="new")
+        assert agg.compose_context("h") == "new"
+
+    def test_context_window_is_bounded(self):
+        agg = SessionAggregator(context_window=2, context_max_gap_seconds=1e9)
+        for t, line in enumerate(("a", "b", "c", "d")):
+            agg.observe("h", float(t), is_alert=False, line=line)
+        assert agg.compose_context("h") == "c ; d"
+        assert agg.session("h").context_lines() == ["c", "d"]
+
+    def test_compose_unknown_or_lineless_host_is_none(self):
+        agg = SessionAggregator()
+        assert agg.compose_context("ghost") is None
+        agg.observe("h", 0.0, is_alert=False)  # no line supplied
+        assert agg.compose_context("h") is None

@@ -1,0 +1,143 @@
+"""Property-based tests for session aggregation and the incremental composer.
+
+Invariants under arbitrary (including out-of-order) event streams:
+
+- escalation is monotone in alert density — turning benign events into
+  alerts can only make a host escalate, and never later;
+- the rolling window never holds an entry older than ``window_seconds``
+  behind the host's horizon;
+- ``newly_escalated`` fires exactly once per escalated host;
+- the serving-side incremental composition matches the batch
+  :class:`MultiLineComposer` exactly on the same stream (for the
+  aggregator's float-seconds feed as well as the datetime feed).
+"""
+
+from datetime import datetime, timedelta
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.loggen import CommandDataset, LogRecord
+from repro.serving import SessionAggregator
+from repro.tuning.multiline import IncrementalComposer, MultiLineComposer
+
+# one host's event stream: (inter-arrival seconds, is_alert); built from
+# gaps so timestamps are sorted, then optionally shuffled per-test
+streams = st.lists(
+    st.tuples(st.floats(min_value=0.0, max_value=120.0), st.booleans()),
+    min_size=1,
+    max_size=40,
+)
+
+
+def timeline(stream):
+    """Cumulative (timestamp, is_alert) pairs from inter-arrival gaps."""
+    events, cursor = [], 0.0
+    for gap, is_alert in stream:
+        cursor += gap
+        events.append((cursor, is_alert))
+    return events
+
+
+def run_count_mode(events, window_seconds=60.0, threshold=3):
+    agg = SessionAggregator(window_seconds=window_seconds, escalation_threshold=threshold)
+    newly_flags = [agg.observe("h", t, alert)[1] for t, alert in events]
+    return agg.session("h"), newly_flags
+
+
+@given(streams, st.data())
+@settings(max_examples=150, deadline=None)
+def test_escalation_is_monotone_in_alert_density(stream, data):
+    events = timeline(stream)
+    upgrades = data.draw(
+        st.lists(st.booleans(), min_size=len(events), max_size=len(events))
+    )
+    denser = [(t, alert or up) for (t, alert), up in zip(events, upgrades)]
+    base_session, _ = run_count_mode(events)
+    dense_session, _ = run_count_mode(denser)
+    if base_session.escalated:
+        assert dense_session.escalated
+        assert dense_session.escalated_at <= base_session.escalated_at
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=0.0, max_value=500.0), st.booleans()),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(max_examples=150, deadline=None)
+def test_window_never_holds_entries_older_than_window(events):
+    # raw (possibly out-of-order) timestamps: the clamp must keep every
+    # retained entry within window_seconds of the host's horizon
+    agg = SessionAggregator(window_seconds=45.0, escalation_threshold=10_000)
+    for t, alert in events:
+        session, _ = agg.observe("h", t, alert)
+        horizon = session.last_seen - agg.window_seconds
+        assert all(stamp >= horizon for stamp in session.window)
+        assert list(session.window) == sorted(session.window)
+
+
+@given(streams)
+@settings(max_examples=150, deadline=None)
+def test_newly_escalated_fires_exactly_once_per_host(stream):
+    session, newly_flags = run_count_mode(timeline(stream))
+    assert sum(newly_flags) == int(session.escalated)
+
+
+hosts = st.sampled_from(["web-1", "web-2", "db-1"])
+lines = st.sampled_from(["ls -la", "git pull", "nc -lvnp 4444", "du ; sh", "id"])
+composer_streams = st.lists(
+    st.tuples(hosts, st.integers(min_value=0, max_value=400), lines),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(composer_streams, st.integers(min_value=1, max_value=4))
+@settings(max_examples=100, deadline=None)
+def test_incremental_composer_matches_batch_composer(stream, window):
+    """Feeding records one at a time equals batch composition — the
+    guarantee that lets serving reuse the tuner's window semantics."""
+    start = datetime(2022, 5, 29)
+    cursor = 0
+    records = []
+    for host, gap, line in stream:
+        cursor += gap
+        records.append(
+            LogRecord(
+                line=line, user=host, machine=host, timestamp=start + timedelta(seconds=cursor)
+            )
+        )
+    dataset = CommandDataset(records)
+    max_gap = timedelta(seconds=90)
+    batch = MultiLineComposer(window=window, max_gap=max_gap).compose(dataset)
+    stream_composer = IncrementalComposer(window=window, max_gap=max_gap)
+    for sample, record in zip(batch, dataset):
+        text, n_context = stream_composer.push(record.user, record.timestamp, record.line)
+        assert text == sample.text
+        assert n_context == sample.n_context
+
+
+@given(composer_streams, st.integers(min_value=1, max_value=4))
+@settings(max_examples=100, deadline=None)
+def test_serving_aggregator_composition_matches_batch_composer(stream, window):
+    """The per-host windows the server escalates on compose exactly what
+    the batch multi-line tuner would have seen for the same stream."""
+    start = datetime(2022, 5, 29)
+    cursor = 0
+    records = []
+    for host, gap, line in stream:
+        cursor += gap
+        records.append(
+            LogRecord(
+                line=line, user=host, machine=host, timestamp=start + timedelta(seconds=cursor)
+            )
+        )
+    dataset = CommandDataset(records)
+    batch = MultiLineComposer(window=window, max_gap=timedelta(seconds=90)).compose(dataset)
+    agg = SessionAggregator(context_window=window, context_max_gap_seconds=90.0)
+    for sample, record in zip(batch, dataset):
+        agg.observe(record.user, record.timestamp.timestamp(), False, line=record.line)
+        assert agg.compose_context(record.user) == sample.text

@@ -11,7 +11,11 @@ two-stage bundle, then checks the acceptance path end to end:
    ``sequence_score``) while a benign host stays quiet;
 3. the second stage ran only on flagged events;
 4. the resolved config — new session fields included — round-trips
-   losslessly through ``--print-config``.
+   losslessly through ``--print-config``;
+5. a 2-shard server with autoscaling enabled boots from the same
+   bundle, serves a multi-host stream across both shards, and drains
+   cleanly — every submitted event answered, zero drops, every alert
+   delivered.
 
 Run from the repository root:
 
@@ -120,6 +124,52 @@ def main() -> int:
         )
         assert resolved.session.mode == "sequence"
         print("sequence session config round-trips through --print-config")
+
+        # 5. sharded + autoscaling deployment: clean boot, spread, drain
+        sharded_config = ServingConfig.from_dict(
+            {
+                "batch": {"max_batch": 8, "max_latency_ms": 10.0},
+                "cache": {"size": 1024, "admission": "tinylfu"},
+                "shards": {"count": 2},
+                "backend": {"kind": "threaded", "workers": 2},
+                "autoscale": {
+                    "enabled": True,
+                    "min_workers": 1,
+                    "max_workers": 4,
+                    "interval_seconds": 0.05,
+                },
+                "sinks": ["ring://4096"],
+            }
+        )
+        sharded = DetectionServer.from_config(restored, sharded_config, record=False)
+        fleet_events = [
+            CommandEvent(line, host=f"node-{i % 8}", timestamp=float(i))
+            for i, line in enumerate((DEMO_BENIGN + DEMO_MALICIOUS) * 4)
+        ]
+        results, sharded = serve_stream(
+            restored, fleet_events, concurrency=8, server=sharded
+        )
+        assert len(results) == len(fleet_events), (
+            f"sharded server answered {len(results)}/{len(fleet_events)} events"
+        )
+        assert not any(r.dropped for r in results), "sharded drain dropped events"
+        populated = [rt for rt in sharded.shards if rt.metrics.events_total > 0]
+        assert len(populated) == 2, "both shards must carry traffic"
+        flagged = sum(r.is_intrusion for r in results)
+        stats = sharded.sinks.stats()
+        delivered = sum(s.delivered for s in stats.values())
+        lost = sum(s.dead_lettered + s.dropped for s in stats.values())
+        assert delivered == flagged > 0 and lost == 0, (
+            f"alert delivery across shards: {delivered}/{flagged} delivered, {lost} lost"
+        )
+        assert sharded.autoscaler is not None, "autoscaler must attach to the server"
+        merged = sharded.metrics
+        assert merged.events_total == len(fleet_events)
+        print(
+            f"2-shard autoscaling server: {len(fleet_events)} events across "
+            f"{len(populated)} shards, {delivered} alerts delivered, 0 dropped, "
+            f"{merged.autoscale_checks} autoscale checks, clean drain"
+        )
 
     print("scenario smoke OK")
     return 0

@@ -10,14 +10,22 @@ Public surface:
 - :class:`DetectionServer` (canonical constructor:
   :meth:`DetectionServer.from_config`) / :func:`serve_stream` /
   :func:`tail_stream` — the asyncio server and its synchronous drivers
-  (read-to-EOF and live-tail).
+  (read-to-EOF and live-tail).  The server is a thin router over
+  :class:`ShardRuntime` pipelines (:class:`ShardRouter` consistent-
+  hashes hosts across them); each shard owns its own batcher, cache,
+  and session table while the backend, model, and delivery pipeline
+  stay shared.
+- :class:`Autoscaler` + :class:`AutoscaleConfig` — control loop
+  resizing the scoring-worker pool from observed backlog, batch
+  latency, and the generation-scoped cache hit rate.
 - :class:`ScoringBackend` and its three strategies —
   :class:`InlineBackend`, :class:`ThreadedBackend`,
   :class:`ProcessPoolBackend` — deciding where the LM forward pass
   runs; ``DetectionServer.swap_model`` hot-rotates all of them.
 - :class:`MicroBatcher` — flush-on-size-or-deadline batching queue.
 - :class:`ScoreCache` — LRU normalized-line → score cache with
-  model-generation invalidation and optional TTL expiry.
+  model-generation invalidation, optional TTL expiry, and optional
+  TinyLFU frequency-aware admission (:class:`FrequencySketch`).
 - :class:`SessionAggregator` / :class:`HostSession` — per-host rolling
   windows with escalation.
 - :class:`AlertSink` (batch-first ``open/emit_many/flush/close``
@@ -33,6 +41,11 @@ Public surface:
   :class:`DetectionAlert`, :class:`Severity`, :class:`AlertStatus`.
 """
 
+from repro.serving.autoscale import (
+    Autoscaler,
+    AutoscaleDecision,
+    AutoscaleObservation,
+)
 from repro.serving.backends import (
     InlineBackend,
     ProcessPoolBackend,
@@ -41,14 +54,16 @@ from repro.serving.backends import (
     WorkerCrashError,
     load_bundle,
 )
-from repro.serving.cache import ScoreCache
+from repro.serving.cache import ADMISSION_POLICIES, FrequencySketch, ScoreCache
 from repro.serving.config import (
+    AutoscaleConfig,
     BackendConfig,
     BatchConfig,
     CacheConfig,
     DeliveryPolicy,
     ServingConfig,
     SessionConfig,
+    ShardConfig,
     SinkSpec,
     load_recorded_config,
 )
@@ -69,7 +84,13 @@ from repro.serving.server import (
     serve_stream,
     tail_stream,
 )
-from repro.serving.sessions import ESCALATION_MODES, HostSession, SessionAggregator
+from repro.serving.sessions import (
+    ESCALATION_MODES,
+    HostSession,
+    SessionAggregator,
+    ShardedSessionView,
+)
+from repro.serving.shard import ShardContext, ShardRouter, ShardRuntime
 from repro.serving.sinks import (
     DEFAULT_SINK_REGISTRY,
     AlertSink,
@@ -86,8 +107,13 @@ from repro.serving.sinks import (
 )
 
 __all__ = [
+    "ADMISSION_POLICIES",
     "AlertSink",
     "AlertStatus",
+    "AutoscaleConfig",
+    "AutoscaleDecision",
+    "AutoscaleObservation",
+    "Autoscaler",
     "BackendConfig",
     "BatchAborted",
     "BatchConfig",
@@ -95,6 +121,7 @@ __all__ = [
     "CallbackSink",
     "CommandEvent",
     "DEFAULT_SINK_REGISTRY",
+    "FrequencySketch",
     "DeliveryPipeline",
     "DeliveryPolicy",
     "DetectionAlert",
@@ -114,6 +141,11 @@ __all__ = [
     "SessionAggregator",
     "SessionConfig",
     "Severity",
+    "ShardConfig",
+    "ShardContext",
+    "ShardRouter",
+    "ShardRuntime",
+    "ShardedSessionView",
     "SinkFanout",
     "SinkRegistry",
     "SinkSpec",

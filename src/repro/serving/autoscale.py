@@ -1,0 +1,199 @@
+"""Adaptive sizing of the scoring-backend worker pool.
+
+The ROADMAP's last scaling item: *pick the worker count from observed
+load and core count; shrink the pool when the cache hit rate makes
+sharding pointless.*  The :class:`Autoscaler` is a small control loop
+over three serving-plane signals:
+
+- **backlog** — events queued across every shard's micro-batcher.
+  Sustained backlog beyond ``backlog_per_worker`` per current worker
+  means scoring is the bottleneck: scale up.
+- **batch scoring latency** — the EWMA of backend ``score()`` wall
+  time.  A pool that takes too long per batch starves the deadline
+  timers even without queue growth: scale up.
+- **generation-scoped cache hit rate** — when nearly every event is a
+  repeat served from the per-shard caches, extra scoring workers burn
+  memory for nothing: scale down.  The *generation-scoped* rate (reset
+  at every model swap) is used on purpose — the lifetime hit rate still
+  advertises the purged pre-swap cache, and acting on it right after a
+  swap would shrink the pool exactly when the cold caches are about to
+  hammer the backend.
+
+Decision-making (:meth:`Autoscaler.decide`) is a pure function of one
+:class:`AutoscaleObservation`, so the policy is unit-testable without a
+server or a clock; the async loop around it (:meth:`Autoscaler.run`)
+only probes, decides, applies, and sleeps.  Applied resizes respect a
+cooldown so a bursty signal cannot thrash the pool.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from collections import deque
+from collections.abc import Awaitable, Callable
+from dataclasses import dataclass, replace
+
+from repro.serving.config import AutoscaleConfig
+from repro.serving.metrics import ServingMetrics
+
+#: Scale-up multiplies the pool (fast reaction to a backlog spike);
+#: scale-down steps by one (cautious release of warm capacity).
+GROWTH_FACTOR = 2
+
+
+@dataclass(frozen=True)
+class AutoscaleObservation:
+    """One sample of the serving plane, as the policy sees it.
+
+    Attributes
+    ----------
+    workers:
+        Current scoring-worker count.
+    backlog:
+        Events queued across every shard's micro-batcher.
+    batch_latency_ms:
+        EWMA of backend batch-scoring wall time (max across shards —
+        the most loaded shard drives the decision).  The EWMA only
+        moves when batches score, so :meth:`Autoscaler.tick` zeroes it
+        when no batch has scored since the previous check — otherwise a
+        slow *last* batch before the cache went warm would keep
+        demanding scale-up forever.
+    hit_rate:
+        Generation-scoped cache hit rate across shards.
+    batches:
+        Total batches scored so far (the freshness marker for
+        ``batch_latency_ms``).
+    """
+
+    workers: int
+    backlog: int
+    batch_latency_ms: float
+    hit_rate: float
+    batches: int = 0
+
+
+@dataclass(frozen=True)
+class AutoscaleDecision:
+    """What one control-loop check concluded (kept for observability)."""
+
+    observation: AutoscaleObservation
+    target: int
+    reason: str
+    applied: bool
+
+
+class Autoscaler:
+    """Resize a scoring backend from observed load.
+
+    Parameters
+    ----------
+    policy:
+        The :class:`~repro.serving.config.AutoscaleConfig` knobs.
+        ``max_workers = 0`` resolves to the machine's core count here,
+        at construction.
+    probe:
+        Zero-argument callable returning the current
+        :class:`AutoscaleObservation` (the server wires this to its
+        shards and backend).
+    apply:
+        Async callable ``apply(target) -> bool`` actually resizing the
+        pool (the server quiesces scoring and calls
+        ``backend.resize``); returns whether anything changed.
+    metrics:
+        Optional :class:`ServingMetrics` receiving
+        ``autoscale_checks`` / ``autoscale_ups`` / ``autoscale_downs``.
+    """
+
+    def __init__(
+        self,
+        policy: AutoscaleConfig,
+        probe: Callable[[], AutoscaleObservation],
+        apply: Callable[[int], Awaitable[bool]],
+        metrics: ServingMetrics | None = None,
+    ):
+        self.policy = policy
+        self.max_workers = policy.max_workers or (os.cpu_count() or 1)
+        self.min_workers = min(policy.min_workers, self.max_workers)
+        self._probe = probe
+        self._apply = apply
+        self._metrics = metrics
+        self._cooldown = 0
+        self._last_batches: int | None = None
+        #: Recent decisions, newest last (bounded; for tests/inspection).
+        self.decisions: deque[AutoscaleDecision] = deque(maxlen=256)
+
+    # -- policy --------------------------------------------------------------
+
+    def decide(self, obs: AutoscaleObservation) -> tuple[int, str]:
+        """Pure decision: ``(target_workers, reason)`` for one observation.
+
+        Scale-up wins over scale-down when both trigger (a backlog is
+        never left waiting because the cache happens to be warm).
+        """
+        policy = self.policy
+        clamp = lambda w: max(self.min_workers, min(self.max_workers, w))  # noqa: E731
+        if obs.backlog > policy.backlog_per_worker * obs.workers:
+            return (
+                clamp(obs.workers * GROWTH_FACTOR),
+                f"backlog {obs.backlog} > {policy.backlog_per_worker}/worker",
+            )
+        if obs.batch_latency_ms > policy.latency_high_ms:
+            return (
+                clamp(obs.workers * GROWTH_FACTOR),
+                f"batch latency {obs.batch_latency_ms:.1f}ms > {policy.latency_high_ms}ms",
+            )
+        if (
+            obs.hit_rate >= policy.shrink_hit_rate
+            and obs.backlog <= policy.backlog_per_worker
+        ):
+            return (
+                clamp(obs.workers - 1),
+                f"hit rate {obs.hit_rate:.2f} >= {policy.shrink_hit_rate} (cache "
+                "serves the repeats; scoring parallelism is idle)",
+            )
+        return clamp(obs.workers), "steady"
+
+    # -- control loop ----------------------------------------------------------
+
+    async def tick(self) -> AutoscaleDecision:
+        """One probe → decide → (maybe) apply cycle.
+
+        The batch-latency EWMA is only meaningful while batches flow:
+        if no batch scored since the previous tick, the stale reading
+        is zeroed before deciding (a warm cache stops the batches, and
+        a frozen slow reading must not pin the pool at max forever).
+        """
+        obs = self._probe()
+        if self._last_batches is not None and obs.batches == self._last_batches:
+            obs = replace(obs, batch_latency_ms=0.0)
+        self._last_batches = obs.batches
+        target, reason = self.decide(obs)
+        applied = False
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            if target != obs.workers:
+                reason = f"{reason} [cooldown]"
+        elif target != obs.workers:
+            applied = bool(await self._apply(target))
+            if applied:
+                self._cooldown = self.policy.cooldown_intervals
+        if self._metrics is not None:
+            direction = (target > obs.workers) - (target < obs.workers) if applied else 0
+            self._metrics.record_autoscale(direction)
+        decision = AutoscaleDecision(
+            observation=obs, target=target, reason=reason, applied=applied
+        )
+        self.decisions.append(decision)
+        return decision
+
+    async def run(self) -> None:
+        """Tick every ``interval_seconds`` until cancelled.
+
+        A probe/apply failure is never swallowed: it ends the task, and
+        the owning server re-raises it when the task is awaited on
+        ``stop()``.
+        """
+        while True:
+            await asyncio.sleep(self.policy.interval_seconds)
+            await self.tick()

@@ -114,6 +114,24 @@ class ScoringBackend(ABC):
     def workers(self) -> int:
         """Parallel scoring lanes this backend fans a batch across."""
 
+    @property
+    def can_resize(self) -> bool:
+        """Whether :meth:`resize` actually changes this backend's pool."""
+        return False
+
+    async def resize(self, workers: int) -> bool:
+        """Change the worker-pool size to *workers*; ``True`` if resized.
+
+        The autoscaler's actuator.  The caller (the server) quiesces
+        scoring first — no batch may be in flight while the pool is
+        rebuilt — so implementations may tear down and recreate their
+        executor freely.  The base implementation (and
+        :class:`InlineBackend`) cannot resize and returns ``False``.
+        """
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        return False
+
     @abstractmethod
     async def score(self, lines: Sequence[str]) -> list[float]:
         """Score *lines*, returning one float per line in input order."""
@@ -209,6 +227,23 @@ class ThreadedBackend(ScoringBackend):
     @property
     def workers(self) -> int:
         return self._workers
+
+    @property
+    def can_resize(self) -> bool:
+        return True
+
+    async def resize(self, workers: int) -> bool:
+        """Rebuild the thread pool at *workers* lanes (quiesced by caller)."""
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if workers == self._workers:
+            return False
+        self._workers = workers
+        if self._executor is not None:
+            executor, self._executor = self._executor, None
+            await asyncio.to_thread(executor.shutdown, True)
+        await self.start()
+        return True
 
     async def start(self) -> None:
         if self._executor is None:
@@ -331,6 +366,26 @@ class ProcessPoolBackend(ScoringBackend):
     @property
     def workers(self) -> int:
         return self._workers
+
+    @property
+    def can_resize(self) -> bool:
+        return True
+
+    async def resize(self, workers: int) -> bool:
+        """Rebuild the process pool at *workers* (quiesced by caller).
+
+        Worker model caches are per-process, so the fresh pool's
+        workers rehydrate lazily from the loader on their first shard —
+        the same path a crash rebuild takes.
+        """
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if workers == self._workers:
+            return False
+        self._workers = workers
+        if self._executor is not None:
+            await self._rebuild()
+        return True
 
     # -- lifecycle -----------------------------------------------------------
 

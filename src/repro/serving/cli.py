@@ -44,6 +44,7 @@ from pathlib import Path
 from typing import TextIO
 
 from repro.errors import ConfigError, ReproError
+from repro.serving.cache import ADMISSION_POLICIES
 from repro.serving.config import (
     BACKEND_KINDS,
     SESSION_MODES,
@@ -126,6 +127,43 @@ def build_serve_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SECONDS",
         help="expire cached scores after this many seconds (default: no TTL)",
+    )
+    parser.add_argument(
+        "--cache-admission",
+        choices=ADMISSION_POLICIES,
+        default=None,
+        help="score-cache admission policy: lru admits every line, tinylfu "
+        "gates inserts with a frequency sketch so Zipf-tail one-offs cannot "
+        "displace hot entries (default lru)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard runtimes to consistent-hash hosts across; each owns its "
+        "own batcher, cache, and session table (default 1)",
+    )
+    parser.add_argument(
+        "--autoscale",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="resize the scoring-worker pool from observed backlog, batch "
+        "latency, and cache hit rate (needs a threaded/process backend; "
+        "backend 'auto' resolves to threaded)",
+    )
+    parser.add_argument(
+        "--autoscale-min",
+        type=int,
+        default=None,
+        metavar="N",
+        help="autoscaler floor for the worker pool (default 1)",
+    )
+    parser.add_argument(
+        "--autoscale-max",
+        type=int,
+        default=None,
+        metavar="N",
+        help="autoscaler ceiling for the worker pool (default 0 = cpu count)",
     )
     parser.add_argument(
         "--concurrency",
@@ -237,8 +275,20 @@ def resolve_config(args: argparse.Namespace) -> ServingConfig:
         batch=override(
             base.batch, max_batch=args.max_batch, max_latency_ms=args.max_latency_ms
         ),
-        cache=override(base.cache, size=args.cache_size, ttl_seconds=args.cache_ttl),
+        cache=override(
+            base.cache,
+            size=args.cache_size,
+            ttl_seconds=args.cache_ttl,
+            admission=args.cache_admission,
+        ),
         backend=override(base.backend, kind=args.backend, workers=args.workers),
+        shards=override(base.shards, count=args.shards),
+        autoscale=override(
+            base.autoscale,
+            enabled=args.autoscale,
+            min_workers=args.autoscale_min,
+            max_workers=args.autoscale_max,
+        ),
         session=override(
             base.session,
             window_seconds=args.window_seconds,

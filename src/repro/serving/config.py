@@ -38,6 +38,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.errors import ConfigError
+from repro.serving.cache import ADMISSION_POLICIES
 from repro.serving.sessions import ESCALATION_MODES as SESSION_MODES
 
 BACKEND_KINDS = ("auto", "inline", "threaded", "process")
@@ -64,6 +65,12 @@ def _as_float(value: Any, path: str, minimum: float, *, exclusive: bool = False)
             raise ConfigError(f"{path} must be > {minimum} (got {value})")
     elif value < minimum:
         raise ConfigError(f"{path} must be >= {minimum} (got {value})")
+    return value
+
+
+def _as_bool(value: Any, path: str) -> bool:
+    if not isinstance(value, bool):
+        raise ConfigError(f"{path} must be a boolean (got {value!r})")
     return value
 
 
@@ -132,14 +139,19 @@ class BatchConfig:
 
 @dataclass(frozen=True)
 class CacheConfig:
-    """Score-cache policy: LRU size plus optional time-to-live expiry.
+    """Score-cache policy: LRU size, optional TTL expiry, admission gate.
 
     ``size == 0`` disables caching entirely; ``ttl_seconds = None``
     keeps entries until LRU eviction or a model-generation bump.
+    ``admission`` picks the insert policy: ``"lru"`` admits everything
+    (pure recency), ``"tinylfu"`` gates inserts with a frequency sketch
+    so Zipf-tail one-off lines cannot displace the hot set — see
+    :class:`~repro.serving.cache.ScoreCache`.
     """
 
     size: int = 4096
     ttl_seconds: float | None = None
+    admission: str = "lru"
 
     def __post_init__(self):
         _as_int(self.size, "cache.size", 0)
@@ -149,18 +161,140 @@ class CacheConfig:
                 "ttl_seconds",
                 _as_float(self.ttl_seconds, "cache.ttl_seconds", 0.0, exclusive=True),
             )
+        _as_choice(self.admission, "cache.admission", ADMISSION_POLICIES)
 
     @classmethod
     def from_dict(cls, data: Any, path: str = "cache") -> "CacheConfig":
         data = _require_mapping(data, path)
-        _reject_unknown_keys(data, ("size", "ttl_seconds"), path)
+        _reject_unknown_keys(data, ("size", "ttl_seconds", "admission"), path)
         return cls(**data)
 
     def to_dict(self) -> dict:
         out: dict = {"size": self.size}
         if self.ttl_seconds is not None:
             out["ttl_seconds"] = self.ttl_seconds
+        out["admission"] = self.admission
         return out
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """How many shard runtimes the server routes hosts across.
+
+    ``count == 1`` (the default) is the single-path server — one
+    batcher, one cache, one session table — and is behaviourally
+    identical to the pre-shard runtime.  With ``count > 1`` each
+    event's host is consistent-hashed onto one of *count*
+    :class:`~repro.serving.shard.ShardRuntime`\\ s, so per-host session
+    state stays shard-local while the scoring backend and the delivery
+    pipeline remain shared.  ``virtual_nodes`` sets the hash-ring
+    points per shard (more points → smoother host spread).
+    """
+
+    count: int = 1
+    virtual_nodes: int = 64
+
+    def __post_init__(self):
+        _as_int(self.count, "shards.count", 1)
+        if self.count > 1024:
+            raise ConfigError(
+                f"shards.count must be <= 1024 (got {self.count}); shards are "
+                "event-loop partitions, not processes — more than cores buys nothing"
+            )
+        _as_int(self.virtual_nodes, "shards.virtual_nodes", 1)
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "shards") -> "ShardConfig":
+        data = _require_mapping(data, path)
+        _reject_unknown_keys(data, ("count", "virtual_nodes"), path)
+        return cls(**data)
+
+    def to_dict(self) -> dict:
+        return {"count": self.count, "virtual_nodes": self.virtual_nodes}
+
+
+@dataclass(frozen=True)
+class AutoscaleConfig:
+    """Adaptive sizing of the scoring-backend worker pool.
+
+    When ``enabled``, the server runs an
+    :class:`~repro.serving.autoscale.Autoscaler` control loop that
+    samples the serving plane every ``interval_seconds`` and resizes
+    the backend between ``min_workers`` and ``max_workers``:
+
+    - **scale up** when the queued backlog exceeds
+      ``backlog_per_worker`` events per current worker, or the EWMA of
+      batch scoring latency exceeds ``latency_high_ms``;
+    - **scale down** when the *generation-scoped* cache hit rate is at
+      least ``shrink_hit_rate`` and the backlog is quiet — repeats are
+      being served from memory, so scoring parallelism is wasted;
+    - after an applied resize, ``cooldown_intervals`` checks pass
+      before the next change (no thrash on a bursty signal).
+
+    ``max_workers = 0`` means "the machine decides": the core count at
+    server start.  Requires a resizable backend (``threaded`` or
+    ``process``); ``backend.kind = "auto"`` with autoscaling enabled
+    resolves to ``threaded``.
+    """
+
+    enabled: bool = False
+    min_workers: int = 1
+    max_workers: int = 0
+    interval_seconds: float = 0.25
+    backlog_per_worker: int = 16
+    latency_high_ms: float = 200.0
+    shrink_hit_rate: float = 0.9
+    cooldown_intervals: int = 4
+
+    def __post_init__(self):
+        _as_bool(self.enabled, "autoscale.enabled")
+        _as_int(self.min_workers, "autoscale.min_workers", 1)
+        _as_int(self.max_workers, "autoscale.max_workers", 0)
+        if self.max_workers and self.max_workers < self.min_workers:
+            raise ConfigError(
+                f"autoscale.max_workers ({self.max_workers}) must be 0 (= cpu "
+                f"count) or >= autoscale.min_workers ({self.min_workers})"
+            )
+        object.__setattr__(
+            self,
+            "interval_seconds",
+            _as_float(self.interval_seconds, "autoscale.interval_seconds", 0.0, exclusive=True),
+        )
+        _as_int(self.backlog_per_worker, "autoscale.backlog_per_worker", 1)
+        object.__setattr__(
+            self,
+            "latency_high_ms",
+            _as_float(self.latency_high_ms, "autoscale.latency_high_ms", 0.0, exclusive=True),
+        )
+        object.__setattr__(
+            self,
+            "shrink_hit_rate",
+            _as_float(self.shrink_hit_rate, "autoscale.shrink_hit_rate", 0.0),
+        )
+        if self.shrink_hit_rate > 1.0:
+            raise ConfigError(
+                f"autoscale.shrink_hit_rate must be <= 1 (a fraction; "
+                f"got {self.shrink_hit_rate})"
+            )
+        _as_int(self.cooldown_intervals, "autoscale.cooldown_intervals", 0)
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "autoscale") -> "AutoscaleConfig":
+        data = _require_mapping(data, path)
+        _reject_unknown_keys(data, tuple(f.name for f in fields(cls)), path)
+        return cls(**data)
+
+    def to_dict(self) -> dict:
+        return {
+            "enabled": self.enabled,
+            "min_workers": self.min_workers,
+            "max_workers": self.max_workers,
+            "interval_seconds": self.interval_seconds,
+            "backlog_per_worker": self.backlog_per_worker,
+            "latency_high_ms": self.latency_high_ms,
+            "shrink_hit_rate": self.shrink_hit_rate,
+            "cooldown_intervals": self.cooldown_intervals,
+        }
 
 
 @dataclass(frozen=True)
@@ -437,6 +571,8 @@ class ServingConfig:
     cache: CacheConfig = field(default_factory=CacheConfig)
     backend: BackendConfig = field(default_factory=BackendConfig)
     session: SessionConfig = field(default_factory=SessionConfig)
+    shards: ShardConfig = field(default_factory=ShardConfig)
+    autoscale: AutoscaleConfig = field(default_factory=AutoscaleConfig)
     sinks: tuple[SinkSpec, ...] = ()
     concurrency: int = 8
 
@@ -446,6 +582,8 @@ class ServingConfig:
             ("cache", CacheConfig),
             ("backend", BackendConfig),
             ("session", SessionConfig),
+            ("shards", ShardConfig),
+            ("autoscale", AutoscaleConfig),
         ):
             if not isinstance(getattr(self, attr), cls):
                 raise ConfigError(
@@ -472,7 +610,18 @@ class ServingConfig:
         root = path or "serving config"
         data = _require_mapping(data, root)
         _reject_unknown_keys(
-            data, ("batch", "cache", "backend", "session", "sinks", "concurrency"), root
+            data,
+            (
+                "batch",
+                "cache",
+                "backend",
+                "session",
+                "shards",
+                "autoscale",
+                "sinks",
+                "concurrency",
+            ),
+            root,
         )
         raw_sinks = data.get("sinks", [])
         if not isinstance(raw_sinks, (list, tuple)):
@@ -489,6 +638,8 @@ class ServingConfig:
             cache=_section(CacheConfig, data, "cache", path),
             backend=_section(BackendConfig, data, "backend", path),
             session=_section(SessionConfig, data, "session", path),
+            shards=_section(ShardConfig, data, "shards", path),
+            autoscale=_section(AutoscaleConfig, data, "autoscale", path),
             sinks=sinks,
             concurrency=data.get("concurrency", 8),
         )
@@ -500,8 +651,8 @@ class ServingConfig:
         ``.toml`` parses with :mod:`tomllib`, ``.json`` with
         :mod:`json`; anything else is rejected with an actionable
         error.  The file's top level *is* the serving config (tables
-        ``batch`` / ``cache`` / ``backend`` / ``session``, array
-        ``sinks``, scalar ``concurrency``).
+        ``batch`` / ``cache`` / ``backend`` / ``session`` / ``shards``
+        / ``autoscale``, array ``sinks``, scalar ``concurrency``).
         """
         path = Path(path)
         suffix = path.suffix.lower()
@@ -533,6 +684,8 @@ class ServingConfig:
             "cache": self.cache.to_dict(),
             "backend": self.backend.to_dict(),
             "session": self.session.to_dict(),
+            "shards": self.shards.to_dict(),
+            "autoscale": self.autoscale.to_dict(),
             "sinks": [spec.to_dict() for spec in self.sinks],
             "concurrency": self.concurrency,
         }

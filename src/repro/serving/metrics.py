@@ -4,12 +4,22 @@ The counters here are what the serving benchmark asserts against —
 events/sec with the cache cold vs. warm, p50/p95/p99 per-event latency,
 batch-size distribution, and the cache hit rate that makes streaming
 over repeat-heavy command telemetry tractable at all.
+
+With the sharded runtime each :class:`~repro.serving.shard.ShardRuntime`
+owns one ``ServingMetrics`` (its counters are updated lock-free on the
+event loop), and the server presents fleet-wide figures by **merging**
+the per-shard bundles — :meth:`ServingMetrics.merge` /
+:meth:`ServingMetrics.merged` sum every counter while active time is
+combined as a maximum (shards serve concurrently, so wall time must not
+be double-counted).  The regression contract: an N-shard run's merged
+totals equal the single-shard totals on the same per-host stream.
 """
 
 from __future__ import annotations
 
 import time
 from collections import Counter, deque
+from collections.abc import Iterable
 
 import numpy as np
 
@@ -25,6 +35,31 @@ class ServingMetrics:
         reports recent behaviour, not its whole history).
     """
 
+    #: Counter attributes summed by :meth:`merge` (all monotone totals).
+    _MERGE_SUM = (
+        "events_total",
+        "dropped",
+        "cache_hits",
+        "cache_misses",
+        "cache_gen_hits",
+        "cache_gen_misses",
+        "cache_admission_rejections",
+        "alerts",
+        "escalations",
+        "sequence_scored",
+        "sequence_escalations",
+        "session_evictions",
+        "batches",
+        "batched_events",
+        "unique_scored",
+        "scoring_errors",
+        "swaps",
+        "total_swap_ms",
+        "autoscale_checks",
+        "autoscale_ups",
+        "autoscale_downs",
+    )
+
     def __init__(self, latency_reservoir: int = 10_000):
         if latency_reservoir < 1:
             raise ValueError("latency_reservoir must be >= 1")
@@ -32,6 +67,12 @@ class ServingMetrics:
         self.dropped = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        #: Cache hit/miss split since the last model swap (generation
+        #: bump) — what a control loop must read, because the lifetime
+        #: split still reflects the purged pre-swap cache.
+        self.cache_gen_hits = 0
+        self.cache_gen_misses = 0
+        self.cache_admission_rejections = 0
         self.alerts = 0
         self.escalations = 0
         self.sequence_scored = 0
@@ -44,7 +85,15 @@ class ServingMetrics:
         self.swaps = 0
         self.last_swap_ms = 0.0
         self.total_swap_ms = 0.0
+        #: Autoscaler control-loop accounting (checks / applied resizes).
+        self.autoscale_checks = 0
+        self.autoscale_ups = 0
+        self.autoscale_downs = 0
+        #: Exponential moving average of batch scoring latency (ms) —
+        #: the congestion signal the autoscaler reads.
+        self.batch_score_ewma_ms = 0.0
         self.backend = "inline(workers=1)"
+        self.shards = 1
         self.flush_reasons: Counter[str] = Counter()
         self._latencies_ms: deque[float] = deque(maxlen=latency_reservoir)
         self._started_at: float | None = None
@@ -92,11 +141,82 @@ class ServingMetrics:
         self.batched_events += size
         self.flush_reasons[reason] += 1
 
+    def record_batch_score(self, duration_ms: float) -> None:
+        """Fold one batch's scoring wall time into the EWMA signal."""
+        duration_ms = float(duration_ms)
+        if self.batch_score_ewma_ms == 0.0:
+            self.batch_score_ewma_ms = duration_ms
+        else:
+            self.batch_score_ewma_ms += 0.3 * (duration_ms - self.batch_score_ewma_ms)
+
     def record_swap(self, duration_ms: float) -> None:
         """Account one completed hot model swap."""
         self.swaps += 1
         self.last_swap_ms = float(duration_ms)
         self.total_swap_ms += float(duration_ms)
+
+    def record_autoscale(self, direction: int) -> None:
+        """Account one autoscaler check (*direction*: -1 down, 0 hold, +1 up)."""
+        self.autoscale_checks += 1
+        if direction > 0:
+            self.autoscale_ups += 1
+        elif direction < 0:
+            self.autoscale_downs += 1
+
+    def sync_cache(self, cache) -> None:
+        """Mirror a :class:`~repro.serving.cache.ScoreCache`'s generation
+        and admission counters into the metrics bundle (called by the
+        shard after each event, like ``session_evictions``)."""
+        self.cache_gen_hits = cache.generation_hits
+        self.cache_gen_misses = cache.generation_misses
+        self.cache_admission_rejections = cache.admission_rejections
+
+    # -- merging (per-shard -> fleet view) ---------------------------------
+
+    def merge(self, other: "ServingMetrics") -> "ServingMetrics":
+        """Fold *other*'s figures into this bundle (returns ``self``).
+
+        Counters sum; latency reservoirs combine with an even subsample
+        when they overflow this bundle's reservoir, so the merged
+        percentiles represent every source proportionally (a plain
+        ``extend`` onto the bounded deque would evict earlier shards'
+        samples and report only the last shard merged); active time
+        combines as a **maximum** — shards run concurrently on one
+        loop, so their wall clocks overlap rather than add.
+        ``last_swap_ms`` and the batch-score EWMA take the maximum
+        (most recent / most loaded shard).
+        """
+        for attr in self._MERGE_SUM:
+            setattr(self, attr, getattr(self, attr) + getattr(other, attr))
+        self.last_swap_ms = max(self.last_swap_ms, other.last_swap_ms)
+        self.batch_score_ewma_ms = max(self.batch_score_ewma_ms, other.batch_score_ewma_ms)
+        self.flush_reasons.update(other.flush_reasons)
+        maxlen = self._latencies_ms.maxlen or 1
+        combined = list(self._latencies_ms) + list(other._latencies_ms)
+        if len(combined) > maxlen:
+            step = len(combined) / maxlen
+            combined = [combined[int(i * step)] for i in range(maxlen)]
+        self._latencies_ms = deque(combined, maxlen=maxlen)
+        self._accumulated_seconds = max(self._accumulated_seconds, other.elapsed_seconds)
+        return self
+
+    @classmethod
+    def merged(cls, bundles: Iterable["ServingMetrics"]) -> "ServingMetrics":
+        """A fresh bundle holding the fleet-wide view of *bundles*.
+
+        The result is a snapshot: it does not stay live as the source
+        bundles keep counting.  ``backend`` is taken from the first
+        bundle (shards share one backend) and ``shards`` counts the
+        merged sources.
+        """
+        bundles = list(bundles)
+        out = cls()
+        if bundles:
+            out.backend = bundles[0].backend
+        out.shards = max(len(bundles), 1)
+        for bundle in bundles:
+            out.merge(bundle)
+        return out
 
     # -- derived figures ---------------------------------------------------
 
@@ -113,6 +233,12 @@ class ServingMetrics:
         return self.cache_hits / scored if scored else 0.0
 
     @property
+    def cache_generation_hit_rate(self) -> float:
+        """Hit fraction since the last model swap (the autoscaler's signal)."""
+        scored = self.cache_gen_hits + self.cache_gen_misses
+        return self.cache_gen_hits / scored if scored else 0.0
+
+    @property
     def mean_batch_size(self) -> float:
         """Average events per micro-batch flush."""
         return self.batched_events / self.batches if self.batches else 0.0
@@ -127,11 +253,14 @@ class ServingMetrics:
         """All figures as a plain dict (stable keys, JSON-serialisable)."""
         return {
             "backend": self.backend,
+            "shards": self.shards,
             "events_total": self.events_total,
             "dropped": self.dropped,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "cache_generation_hit_rate": round(self.cache_generation_hit_rate, 4),
+            "cache_admission_rejections": self.cache_admission_rejections,
             "alerts": self.alerts,
             "escalations": self.escalations,
             "sequence_scored": self.sequence_scored,
@@ -143,6 +272,9 @@ class ServingMetrics:
             "scoring_errors": self.scoring_errors,
             "swaps": self.swaps,
             "last_swap_ms": round(self.last_swap_ms, 3),
+            "autoscale_checks": self.autoscale_checks,
+            "autoscale_ups": self.autoscale_ups,
+            "autoscale_downs": self.autoscale_downs,
             "flush_reasons": dict(self.flush_reasons),
             "latency_p50_ms": round(self.latency_percentile(50), 3),
             "latency_p95_ms": round(self.latency_percentile(95), 3),
@@ -156,5 +288,5 @@ class ServingMetrics:
         snap = self.snapshot()
         lines = ["serving metrics", "---------------"]
         for key, value in snap.items():
-            lines.append(f"{key:>20}: {value}")
+            lines.append(f"{key:>28}: {value}")
         return "\n".join(lines)

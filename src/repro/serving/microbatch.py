@@ -86,6 +86,15 @@ class MicroBatcher:
         """Whether the consumer task is active."""
         return self._worker is not None and not self._worker.done()
 
+    @property
+    def pending(self) -> int:
+        """Submissions queued but not yet handed to the handler.
+
+        A cheap congestion signal: the autoscaler sums it across shards
+        to read the serving backlog without touching batch internals.
+        """
+        return self._queue.qsize()
+
     async def start(self) -> None:
         """Spawn the consumer task (idempotent; re-startable after stop)."""
         if self.running:

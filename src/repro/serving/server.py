@@ -2,7 +2,10 @@
 
 Per event, the flow is::
 
-    submit(line, host) ──► preprocess (normalize + parse-validate)
+    submit(line, host) ──► ShardRouter (consistent hash of host)
+                              │
+                              ▼  (the owning shard's pipeline)
+                           preprocess (normalize + parse-validate)
                               │ dropped? ──► DetectionResult(dropped=True)
                               ▼
                            ScoreCache ── hit ──► score
@@ -14,20 +17,30 @@ Per event, the flow is::
                                                          │
                                     SessionAggregator + DeliveryPipeline
 
-Many producers may ``await submit(...)`` concurrently; the micro-batcher
-coalesces their misses so the LM encoder always runs near its efficient
-batch width, and within-batch duplicates are scored once.  Where the
-forward pass runs is the :class:`~repro.serving.backends.ScoringBackend`'s
-choice — inline on the loop, sharded across threads, or sharded across
-worker processes.  :meth:`DetectionServer.swap_model` rotates the whole
-stack onto a new model bundle without dropping an event (the paper's
-weekly continual-learning hand-off).  Everything is in-process and
+:class:`DetectionServer` is a thin router: the per-event pipeline lives
+in :class:`~repro.serving.shard.ShardRuntime`, and the server
+consistent-hashes each event's host across N of them.  Every shard owns
+its own micro-batcher, score cache, and session table — all of a host's
+state is shard-local and lock-free — while the model bundle, scoring
+backend, and delivery pipeline stay shared.  Batches from different
+shards score concurrently (each shard serializes only its own), which
+is what lets throughput scale with cores; with ``shards=1`` the server
+is behaviourally identical to the original single-path event loop.
+
+:meth:`DetectionServer.swap_model` rotates the whole stack onto a new
+model bundle without dropping an event (the paper's weekly
+continual-learning hand-off), draining **every** shard before the
+rotation so no batch anywhere mixes generations.  An optional
+:class:`~repro.serving.autoscale.Autoscaler` control loop resizes the
+scoring-backend pool from observed backlog, batch latency, and the
+generation-scoped cache hit rate.  Everything is in-process and
 unit-testable without sockets.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import threading
 import time
 import warnings
@@ -39,6 +52,7 @@ from typing import TextIO
 
 from repro.errors import ConfigError
 from repro.ids.pipeline import IntrusionDetectionService
+from repro.serving.autoscale import Autoscaler, AutoscaleObservation
 from repro.serving.backends import (
     InlineBackend,
     ProcessPoolBackend,
@@ -48,18 +62,18 @@ from repro.serving.backends import (
     load_bundle,
 )
 from repro.serving.cache import ScoreCache
-from repro.serving.config import BackendConfig, ServingConfig, SessionConfig
-from repro.serving.delivery import DeliveryPipeline
-from repro.serving.events import (
-    AlertStatus,
-    CommandEvent,
-    DetectionAlert,
-    DetectionResult,
-    Severity,
+from repro.serving.config import (
+    AutoscaleConfig,
+    BackendConfig,
+    ServingConfig,
+    SessionConfig,
 )
+from repro.serving.delivery import DeliveryPipeline
+from repro.serving.events import CommandEvent, DetectionResult
 from repro.serving.metrics import ServingMetrics
 from repro.serving.microbatch import MicroBatcher
-from repro.serving.sessions import SessionAggregator
+from repro.serving.sessions import ShardedSessionView
+from repro.serving.shard import ShardContext, ShardRouter, ShardRuntime
 from repro.serving.sinks import DEFAULT_SINK_REGISTRY, AlertSink, SinkRegistry
 
 
@@ -76,12 +90,12 @@ class SwapReport:
         caller handed over a service/loader directly).
     swap_ms:
         End-to-end wall time of the swap, including loading the new
-        bundle and draining the in-flight batch.
+        bundle and draining the in-flight batches.
     drain_ms:
-        Portion spent waiting for the in-flight batch to finish — the
-        window during which new batches were held back.
+        Portion spent waiting for every shard's in-flight batch to
+        finish — the window during which new batches were held back.
     cache_invalidated:
-        Entries purged from the score cache by the generation bump.
+        Entries purged across all shard caches by the generation bump.
     """
 
     generation: int
@@ -92,17 +106,36 @@ class SwapReport:
 
 
 def backend_from_config(
-    config: BackendConfig, service: IntrusionDetectionService
+    config: BackendConfig,
+    service: IntrusionDetectionService,
+    autoscale: AutoscaleConfig | None = None,
 ) -> ScoringBackend:
     """Build the :class:`ScoringBackend` a :class:`BackendConfig` describes.
 
     ``auto`` resolves to ``inline`` for one worker and ``process``
-    otherwise.  The process pool needs an on-disk bundle for its
-    workers to deserialize, so a service that was never saved
-    (``service.source_dir is None``) cannot back a process backend —
-    save it first (the CLI does this automatically for the demo
-    service).
+    otherwise — unless *autoscale* is enabled, in which case ``auto``
+    resolves to ``threaded`` (the pool must be resizable, and inline
+    has exactly one unresizable lane; an explicit ``inline`` with
+    autoscaling on is a configuration error).  The process pool needs
+    an on-disk bundle for its workers to deserialize, so a service that
+    was never saved (``service.source_dir is None``) cannot back a
+    process backend — save it first (the CLI does this automatically
+    for the demo service).
     """
+    if autoscale is not None and autoscale.enabled:
+        if config.kind == "inline":
+            raise ConfigError(
+                "backend.kind 'inline' cannot autoscale (a single in-loop "
+                "scoring lane has no pool to resize); use 'threaded' or "
+                "'process', or disable autoscale"
+            )
+        if config.kind == "auto":
+            # an autoscaled "auto" backend is always the threaded pool,
+            # started at the autoscaler's floor: resizable at any worker
+            # count and with no bundle-directory requirement
+            return ThreadedBackend(
+                service, workers=max(config.workers, autoscale.min_workers)
+            )
     kind = config.resolved_kind
     if kind == "inline":
         return InlineBackend(service)
@@ -157,13 +190,13 @@ def _warn_on_composition_skew(session, service) -> None:
 
 
 class DetectionServer:
-    """Streaming front-end over an :class:`IntrusionDetectionService`.
+    """Sharded streaming front-end over an :class:`IntrusionDetectionService`.
 
     :meth:`from_config` is the canonical constructor — one typed
     :class:`~repro.serving.config.ServingConfig` describes the whole
-    deployment (batching, cache, backend, sessions, sinks + delivery
-    policies).  The keyword arguments below remain as a thin
-    compatibility layer over the same machinery.
+    deployment (batching, cache + admission, backend, sessions, shards,
+    autoscaling, sinks + delivery policies).  The keyword arguments
+    below remain as a thin compatibility layer over the same machinery.
 
     Parameters
     ----------
@@ -172,23 +205,27 @@ class DetectionServer:
         ``score_normalized`` and ``threshold`` surface is used, so tests
         may substitute a lightweight stub).
     backend:
-        Scoring execution strategy (default: score inline with
-        *service*).  Pass a
+        Scoring execution strategy, shared by every shard (default:
+        score inline with *service*).  Pass a
         :class:`~repro.serving.backends.ThreadedBackend` or
         :class:`~repro.serving.backends.ProcessPoolBackend` to shard
-        micro-batches across workers.
+        micro-batches across workers — with multiple shards, whole
+        batches from different shards also overlap.
     max_batch / max_latency_ms:
-        Micro-batch policy: flush on size or on the oldest event's
-        queueing deadline, whichever first.
-    cache_size / cache_ttl_seconds:
-        LRU capacity of the normalized-line score cache (0 disables)
-        and its optional time-to-live expiry.
+        Per-shard micro-batch policy: flush on size or on the oldest
+        event's queueing deadline, whichever first.
+    cache_size / cache_ttl_seconds / cache_admission:
+        Per-shard score-cache policy: LRU capacity (0 disables),
+        optional time-to-live expiry, and the admission gate
+        (``"lru"`` or ``"tinylfu"`` — see
+        :class:`~repro.serving.cache.ScoreCache`).
     sinks:
         Alert sinks to fan confirmed detections out to: an iterable of
         :class:`AlertSink` (each delivered through the durable pipeline
         under the default :class:`~repro.serving.config.DeliveryPolicy`)
         or a pre-assembled
-        :class:`~repro.serving.delivery.DeliveryPipeline`.
+        :class:`~repro.serving.delivery.DeliveryPipeline` — shared by
+        all shards.
     session:
         Full per-host escalation policy as a
         :class:`~repro.serving.config.SessionConfig` — including the
@@ -199,11 +236,24 @@ class DetectionServer:
         Compatibility shorthand for the two count-policy fields of
         *session* (ignored when *session* is given).
     metrics:
-        Optional externally-owned :class:`ServingMetrics` bundle.
+        Optional externally-owned :class:`ServingMetrics` bundle.  With
+        one shard it receives everything; with several it receives the
+        control-plane figures (swaps, autoscaling) while each shard
+        keeps its own bundle — read :attr:`metrics` for the merged
+        fleet view.
+    shards / shard_virtual_nodes:
+        How many :class:`~repro.serving.shard.ShardRuntime` pipelines
+        to consistent-hash hosts across, and the hash-ring points per
+        shard.  ``shards=1`` (default) is behaviourally identical to
+        the pre-shard single-path server.
+    autoscale:
+        Optional :class:`~repro.serving.config.AutoscaleConfig`; when
+        enabled (and the backend is resizable) the server runs an
+        :class:`~repro.serving.autoscale.Autoscaler` loop while started.
 
     Example
     -------
-    >>> async with DetectionServer(service) as server:      # doctest: +SKIP
+    >>> async with DetectionServer(service, shards=4) as server:    # doctest: +SKIP
     ...     result = await server.submit("nc -lvnp 4444", host="web-3")
     ...     result.is_intrusion
     True
@@ -218,17 +268,23 @@ class DetectionServer:
         max_latency_ms: float = 25.0,
         cache_size: int = 4096,
         cache_ttl_seconds: float | None = None,
+        cache_admission: str = "lru",
         sinks: Iterable[AlertSink] | DeliveryPipeline = (),
         session: SessionConfig | None = None,
         session_window_seconds: float = 300.0,
         escalation_threshold: int = 5,
         metrics: ServingMetrics | None = None,
+        shards: int = 1,
+        shard_virtual_nodes: int = 64,
+        autoscale: AutoscaleConfig | None = None,
     ):
-        self.service = service
-        self.backend = backend or InlineBackend(service)
-        self.cache = ScoreCache(cache_size, ttl_seconds=cache_ttl_seconds)
-        self.metrics = metrics or ServingMetrics()
-        self.metrics.backend = self.backend.describe()
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        backend = backend or InlineBackend(service)
+        if isinstance(sinks, DeliveryPipeline):
+            pipeline = sinks
+        else:
+            pipeline = DeliveryPipeline(sinks)
         #: The declarative config this server was assembled from
         #: (set by :meth:`from_config`; ``None`` for kwargs construction).
         self.config: ServingConfig | None = None
@@ -239,32 +295,105 @@ class DetectionServer:
             )
         _require_sequence_head(session.mode, service)
         _warn_on_composition_skew(session, service)
-        #: The resolved per-host escalation policy.
+        #: The resolved per-host escalation policy (shared by all shards).
         self.session_policy = session
-        self.sessions = SessionAggregator(
-            window_seconds=session.window_seconds,
-            escalation_threshold=session.escalation_threshold,
-            mode=session.mode,
-            sequence_threshold=session.sequence_threshold,
-            context_window=session.context_window,
-            context_max_gap_seconds=session.context_max_gap_seconds,
-            max_hosts=session.max_hosts,
-        )
-        if isinstance(sinks, DeliveryPipeline):
-            self.sinks = sinks
+        #: Autoscaling policy (disabled by default).
+        self.autoscale_policy = autoscale or AutoscaleConfig()
+        self._ctx = ShardContext(service, backend, pipeline)
+        self.router = ShardRouter(shards, virtual_nodes=shard_virtual_nodes)
+        if shards == 1:
+            # single-path deployment: one metrics bundle sees everything,
+            # exactly as before the shard refactor
+            shard_metrics = [metrics or ServingMetrics()]
+            self._control_metrics = shard_metrics[0]
         else:
-            self.sinks = DeliveryPipeline(sinks)
-        self.batcher = MicroBatcher(
-            self._score_batch,
-            max_batch=max_batch,
-            max_latency_ms=max_latency_ms,
-            on_flush=self.metrics.record_batch,
-        )
-        self.generation = 0
-        self._event_seq = 0
-        self._alert_seq = 0
-        self._score_lock: asyncio.Lock | None = None
+            shard_metrics = [ServingMetrics() for _ in range(shards)]
+            self._control_metrics = metrics or ServingMetrics()
+        #: The per-shard pipelines, indexable by the router's shard id.
+        self.shards = [
+            ShardRuntime(
+                shard_id,
+                context=self._ctx,
+                max_batch=max_batch,
+                max_latency_ms=max_latency_ms,
+                cache_size=cache_size,
+                cache_ttl_seconds=cache_ttl_seconds,
+                cache_admission=cache_admission,
+                session=session,
+                metrics=shard_metrics[shard_id],
+            )
+            for shard_id in range(shards)
+        ]
+        described = backend.describe()
+        self._control_metrics.backend = described
+        self._control_metrics.shards = shards
+        for runtime in self.shards:
+            runtime.metrics.backend = described
+        self.autoscaler: Autoscaler | None = None
+        self._autoscale_task: asyncio.Task | None = None
         self._swap_lock: asyncio.Lock | None = None
+
+    # -- shared-state views --------------------------------------------------
+
+    @property
+    def service(self) -> IntrusionDetectionService:
+        """The live model service (rotated by :meth:`swap_model`)."""
+        return self._ctx.service
+
+    @property
+    def backend(self) -> ScoringBackend:
+        """The scoring backend shared by every shard."""
+        return self._ctx.backend
+
+    @property
+    def sinks(self) -> DeliveryPipeline:
+        """The durable delivery pipeline shared by every shard."""
+        return self._ctx.sinks
+
+    @property
+    def generation(self) -> int:
+        """Current model generation (bumped by every hot swap)."""
+        return self._ctx.generation
+
+    @property
+    def metrics(self) -> ServingMetrics:
+        """Serving metrics: the live bundle (one shard) or a merged
+        fleet-wide snapshot (several shards)."""
+        if len(self.shards) == 1:
+            return self.shards[0].metrics
+        merged = ServingMetrics.merged(
+            [runtime.metrics for runtime in self.shards] + [self._control_metrics]
+        )
+        merged.shards = len(self.shards)
+        return merged
+
+    @property
+    def sessions(self):
+        """Per-host session state: the single aggregator (one shard) or
+        a read-only :class:`~repro.serving.sessions.ShardedSessionView`."""
+        if len(self.shards) == 1:
+            return self.shards[0].sessions
+        return ShardedSessionView([runtime.sessions for runtime in self.shards])
+
+    @property
+    def cache(self) -> ScoreCache:
+        """The score cache (single-shard servers only — each shard owns
+        one; use ``server.shards[i].cache`` on a sharded server)."""
+        if len(self.shards) == 1:
+            return self.shards[0].cache
+        raise AttributeError(
+            "a sharded server has one cache per shard; use server.shards[i].cache"
+        )
+
+    @property
+    def batcher(self) -> MicroBatcher:
+        """The micro-batcher (single-shard servers only — each shard owns
+        one; use ``server.shards[i].batcher`` on a sharded server)."""
+        if len(self.shards) == 1:
+            return self.shards[0].batcher
+        raise AttributeError(
+            "a sharded server has one batcher per shard; use server.shards[i].batcher"
+        )
 
     # -- declarative construction ------------------------------------------
 
@@ -297,7 +426,9 @@ class DetectionServer:
         came from a bundle directory, the resolved config is written
         back into the bundle metadata (best-effort), so the next
         ``from_config(bundle)`` without an explicit config reproduces
-        this deployment.
+        this deployment.  ``from_config(..., shards=1)`` — the default
+        — stays behaviourally identical to the pre-shard single-path
+        server.
         """
         if isinstance(bundle, (str, Path)):
             service = IntrusionDetectionService.load(bundle)
@@ -305,7 +436,7 @@ class DetectionServer:
             service = bundle  # an already-constructed service (or test stub)
         if config is None:
             config = getattr(service, "serving_config", None) or ServingConfig()
-        backend = backend_from_config(config.backend, service)
+        backend = backend_from_config(config.backend, service, autoscale=config.autoscale)
         pipeline = DeliveryPipeline()
         registry = registry or DEFAULT_SINK_REGISTRY
         for spec in config.sinks:
@@ -317,9 +448,13 @@ class DetectionServer:
             max_latency_ms=config.batch.max_latency_ms,
             cache_size=config.cache.size,
             cache_ttl_seconds=config.cache.ttl_seconds,
+            cache_admission=config.cache.admission,
             sinks=pipeline,
             session=config.session,
             metrics=metrics,
+            shards=config.shards.count,
+            shard_virtual_nodes=config.shards.virtual_nodes,
+            autoscale=config.autoscale,
         )
         server.config = config
         if record:
@@ -331,27 +466,66 @@ class DetectionServer:
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> None:
-        """Start the scoring backend, the micro-batch consumer, and the clock."""
+        """Start the backend, every shard's pipeline, sinks, and clocks."""
         # locks bind to the running loop; (re)create them here so a
         # stopped server can restart on a new loop
-        self._score_lock = asyncio.Lock()
         self._swap_lock = asyncio.Lock()
-        self.metrics.mark_start()
+        self._control_metrics.mark_start()
         self.sinks.start()
-        await self.backend.start()
-        await self.batcher.start()
+        await self._ctx.backend.start()
+        for runtime in self.shards:
+            await runtime.start()
+        if self.autoscale_policy.enabled:
+            if self._ctx.backend.can_resize:
+                self.autoscaler = Autoscaler(
+                    self.autoscale_policy,
+                    self._observe,
+                    self._apply_workers,
+                    metrics=self._control_metrics,
+                )
+                self._autoscale_task = asyncio.get_running_loop().create_task(
+                    self.autoscaler.run()
+                )
+            else:
+                warnings.warn(
+                    f"autoscale.enabled with a fixed backend "
+                    f"({self._ctx.backend.describe()}); the pool cannot be "
+                    "resized, so the autoscaler was not started",
+                    stacklevel=2,
+                )
 
     async def stop(self) -> None:
-        """Drain the batcher, stop the backend, close sinks, freeze the clock.
+        """Drain every shard, stop the backend, close sinks, freeze clocks.
 
         Closing the delivery pipeline blocks until every queued alert is
         delivered, retried out, or dead-lettered — run it off-loop so
         sink backoff never stalls the event loop.
         """
-        await self.batcher.stop()
-        await self.backend.stop()
+        autoscale_failure: BaseException | None = None
+        if self._autoscale_task is not None:
+            self._autoscale_task.cancel()
+            try:
+                await self._autoscale_task
+            except asyncio.CancelledError:
+                # distinguish the task's expected cancellation from
+                # stop() itself being cancelled (e.g. wait_for timeout):
+                # the latter must propagate, not be absorbed here
+                current = asyncio.current_task()
+                if current is not None and current.cancelling():
+                    self._autoscale_task = None
+                    raise
+            except BaseException as exc:
+                # a dead control loop must not abort shutdown: drain the
+                # shards and deliver queued alerts first, then surface it
+                autoscale_failure = exc
+            self._autoscale_task = None
+        for runtime in self.shards:
+            await runtime.stop()
+        await self._ctx.backend.stop()
         await asyncio.to_thread(self.sinks.close)
-        self.metrics.mark_stop()
+        self._control_metrics.mark_stop()
+        if autoscale_failure is not None:
+            raise autoscale_failure
 
     async def __aenter__(self) -> "DetectionServer":
         await self.start()
@@ -365,88 +539,14 @@ class DetectionServer:
     async def submit(
         self, line: str, host: str = "-", timestamp: float | None = None
     ) -> DetectionResult:
-        """Score one raw command line from *host*; full serving path."""
-        started = time.perf_counter()
-        self._event_seq += 1
-        event_id = self._event_seq
+        """Score one raw command line from *host*; full serving path.
+
+        The host is consistent-hashed onto its owning shard; the
+        shard's pipeline does the rest.
+        """
         when = time.time() if timestamp is None else float(timestamp)
-
-        normalized = self.service.preprocess(line)
-        if normalized is None:
-            latency = (time.perf_counter() - started) * 1000.0
-            self.metrics.record_event(latency, dropped=True, cache_hit=False)
-            return DetectionResult(
-                event_id=event_id,
-                host=host,
-                raw_line=line,
-                line="",
-                score=0.0,
-                is_intrusion=False,
-                dropped=True,
-                cache_hit=False,
-                latency_ms=latency,
-                generation=self.generation,
-            )
-
-        cached = self.cache.lookup(normalized)
-        if cached is not None:
-            (score, generation), cache_hit = cached, True
-        else:
-            score, generation = await self.batcher.submit(normalized)
-            cache_hit = False
-
-        is_intrusion = score >= self.service.threshold
-        session, newly_escalated = self.sessions.observe(
-            host, when, is_intrusion, line=normalized
-        )
-        if newly_escalated:
-            self.metrics.escalations += 1
-        self.metrics.session_evictions = self.sessions.evictions
-        context = None
-        sequence_score = None
-        if is_intrusion and self.sessions.mode != "count":
-            # second stage, flagged events only: compose the host's
-            # recent command window (before awaiting, so the window is
-            # this event's) and score it with the multi-line head
-            # off-loop — the forward pass must not stall the batcher's
-            # deadline timer or concurrent submissions
-            context = self.sessions.compose_context(host)
-            if context is not None:
-                scores = await asyncio.to_thread(self.service.score_sequence, [context])
-                sequence_score = float(scores[0])
-                self.metrics.sequence_scored += 1
-                if self.sessions.record_sequence_score(host, sequence_score):
-                    self.metrics.escalations += 1
-                    self.metrics.sequence_escalations += 1
-        alert = None
-        if is_intrusion:
-            alert = self._emit_alert(
-                event_id,
-                host,
-                normalized,
-                score,
-                when,
-                session.escalated,
-                context=context,
-                sequence_score=sequence_score,
-            )
-
-        latency = (time.perf_counter() - started) * 1000.0
-        self.metrics.record_event(latency, dropped=False, cache_hit=cache_hit)
-        return DetectionResult(
-            event_id=event_id,
-            host=host,
-            raw_line=line,
-            line=normalized,
-            score=score,
-            is_intrusion=is_intrusion,
-            dropped=False,
-            cache_hit=cache_hit,
-            latency_ms=latency,
-            alert=alert,
-            generation=generation,
-            sequence_score=sequence_score,
-        )
+        runtime = self.shards[self.router.route(host)]
+        return await runtime.process(line, host, when)
 
     async def submit_event(self, event: CommandEvent) -> DetectionResult:
         """Submit a :class:`CommandEvent` (record-style convenience)."""
@@ -464,13 +564,13 @@ class DetectionServer:
         """Atomically rotate the server onto a new model bundle.
 
         The sequence is: load the new bundle (off-loop, while old-model
-        scoring continues), wait for the in-flight batch to drain while
-        holding back new ones, rotate the scoring backend, bump the
-        model generation, and purge the score cache.  Events submitted
-        during the swap are never dropped — they queue in the
-        micro-batcher and score against the new model; a batch never
-        mixes generations because rotation happens under the same lock
-        every batch scores under.
+        scoring continues), wait for **every shard's** in-flight batch
+        to drain while holding back new ones, rotate the scoring
+        backend, bump the model generation, and purge all shard score
+        caches.  Events submitted during the swap are never dropped —
+        they queue in their shard's micro-batcher and score against the
+        new model; no batch on any shard mixes generations because
+        rotation happens while all shard score locks are held.
 
         Callers pass one of:
 
@@ -488,7 +588,7 @@ class DetectionServer:
             raise ValueError("swap_model needs a bundle_dir, a service, or a loader")
         if loader is None and bundle_dir is not None:
             loader = partial(load_bundle, str(bundle_dir))
-        if self._swap_lock is None or self._score_lock is None:
+        if self._swap_lock is None:
             raise RuntimeError("DetectionServer is not running; call start() first")
         async with self._swap_lock:
             started = time.perf_counter()
@@ -497,79 +597,59 @@ class DetectionServer:
                 service = await asyncio.to_thread(loader)
             # a sequence-mode server must never rotate onto a bundle that
             # lost its second stage — fail before touching the backend
-            _require_sequence_head(self.sessions.mode, service)
+            _require_sequence_head(self.session_policy.mode, service)
             drain_started = time.perf_counter()
-            async with self._score_lock:
+            async with contextlib.AsyncExitStack() as stack:
+                # quiesce the fleet: hold every shard's score lock, so no
+                # batch anywhere is in flight while the backend rotates
+                for runtime in self.shards:
+                    await stack.enter_async_context(runtime.score_lock)
                 drain_ms = (time.perf_counter() - drain_started) * 1000.0
-                await self.backend.swap(service=service, loader=loader)
-                self.service = service
-                self.generation += 1
-                invalidated = self.cache.bump_generation()
+                await self._ctx.backend.swap(service=service, loader=loader)
+                self._ctx.service = service
+                self._ctx.generation += 1
+                invalidated = sum(
+                    runtime.cache.bump_generation() for runtime in self.shards
+                )
             swap_ms = (time.perf_counter() - started) * 1000.0
-            self.metrics.record_swap(swap_ms)
+            self._control_metrics.record_swap(swap_ms)
             return SwapReport(
-                generation=self.generation,
+                generation=self._ctx.generation,
                 bundle_dir=None if bundle_dir is None else str(bundle_dir),
                 swap_ms=swap_ms,
                 drain_ms=drain_ms,
                 cache_invalidated=invalidated,
             )
 
-    # -- internals ---------------------------------------------------------
+    # -- autoscaling internals -----------------------------------------------
 
-    def _emit_alert(
-        self,
-        event_id: int,
-        host: str,
-        line: str,
-        score: float,
-        when: float,
-        escalated: bool,
-        *,
-        context: str | None = None,
-        sequence_score: float | None = None,
-    ) -> DetectionAlert:
-        self._alert_seq += 1
-        alert = DetectionAlert(
-            alert_id=self._alert_seq,
-            event_id=event_id,
-            host=host,
-            line=line,
-            score=score,
-            severity=Severity.from_score(score, self.service.threshold),
-            status=AlertStatus.ESCALATED if escalated else AlertStatus.OPEN,
-            timestamp=when,
-            context=context,
-            sequence_score=sequence_score,
+    def _observe(self) -> AutoscaleObservation:
+        """One sample of the serving plane for the autoscaler."""
+        backlog = sum(runtime.pending for runtime in self.shards)
+        latency = max(runtime.metrics.batch_score_ewma_ms for runtime in self.shards)
+        gen_hits = sum(runtime.cache.generation_hits for runtime in self.shards)
+        gen_misses = sum(runtime.cache.generation_misses for runtime in self.shards)
+        scored = gen_hits + gen_misses
+        return AutoscaleObservation(
+            workers=self._ctx.backend.workers,
+            backlog=backlog,
+            batch_latency_ms=latency,
+            hit_rate=gen_hits / scored if scored else 0.0,
+            batches=sum(runtime.metrics.batches for runtime in self.shards),
         )
-        self.sinks.emit(alert)
-        self.metrics.alerts += 1
-        return alert
 
-    async def _score_batch(self, lines: list[str]) -> list[tuple[float, int]]:
-        """Micro-batch handler: score distinct lines once, fill the cache.
-
-        Returns ``(score, generation)`` pairs so producers can stamp
-        their results with the model that actually scored them.  The
-        score lock serializes batches against :meth:`swap_model`, which
-        is what guarantees a batch never mixes model generations.
-        """
-        unique: dict[str, tuple[float, int]] = dict.fromkeys(lines, (0.0, 0))
-        if self._score_lock is None:
-            raise RuntimeError("DetectionServer is not running; call start() first")
-        async with self._score_lock:
-            generation = self.generation
-            try:
-                scores = await self.backend.score(list(unique))
-            except Exception:
-                self.metrics.scoring_errors += 1
-                raise
-        for line, score in zip(unique, scores):
-            value = float(score)
-            unique[line] = (value, generation)
-            self.cache.put(line, value, generation=generation)
-        self.metrics.unique_scored += len(unique)
-        return [unique[line] for line in lines]
+    async def _apply_workers(self, target: int) -> bool:
+        """Quiesce scoring fleet-wide and resize the backend pool."""
+        async with contextlib.AsyncExitStack() as stack:
+            for runtime in self.shards:
+                await stack.enter_async_context(runtime.score_lock)
+            changed = await self._ctx.backend.resize(target)
+        if changed:
+            described = self._ctx.backend.describe()
+            self._control_metrics.backend = described
+            for runtime in self.shards:
+                runtime.metrics.backend = described
+        return changed
 
 
 def serve_stream(
@@ -583,7 +663,7 @@ def serve_stream(
 
     The synchronous entry point used by ``repro-ids serve`` and the
     benchmarks: materialises *events*, fans them across *concurrency*
-    producer tasks (so the micro-batcher actually sees concurrent
+    producer tasks (so the micro-batchers actually see concurrent
     traffic), and returns per-event results in input order plus the
     stopped server for metrics/sink inspection.
 

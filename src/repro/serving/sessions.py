@@ -271,3 +271,66 @@ class SessionAggregator:
     def escalated_hosts(self) -> list[str]:
         """Hosts currently in the escalated state."""
         return [s.host for s in self._sessions.values() if s.escalated]
+
+
+class ShardedSessionView:
+    """Read-only fan-in over per-shard :class:`SessionAggregator`\\ s.
+
+    The sharded server keeps one aggregator per shard (all of a host's
+    events land on its owning shard, so per-host state never crosses a
+    shard boundary).  This view presents the fleet through the same
+    read surface callers already use on a single aggregator —
+    ``session(host)`` / ``sessions()`` / ``escalated_hosts()`` and the
+    policy attributes — without ever copying or locking shard state.
+    Mutation stays with the owning shard: the view deliberately has no
+    ``observe``/``record_sequence_score``.
+    """
+
+    def __init__(self, aggregators: list[SessionAggregator]):
+        if not aggregators:
+            raise ValueError("ShardedSessionView needs at least one aggregator")
+        self._aggregators = list(aggregators)
+
+    #: Aggregator methods that write per-host state — forwarding them to
+    #: an arbitrary shard would corrupt host ownership, so they raise.
+    _MUTATORS = frozenset({"observe", "record_sequence_score"})
+
+    def __getattr__(self, name: str):
+        # policy attributes (mode, window_seconds, ...) are identical
+        # across shards by construction; answer from the first
+        if name.startswith("_"):
+            raise AttributeError(name)
+        if name in self._MUTATORS:
+            raise AttributeError(
+                f"ShardedSessionView is read-only: {name}() must run on the "
+                "shard that owns the host (the server routes it there)"
+            )
+        return getattr(self._aggregators[0], name)
+
+    @property
+    def evictions(self) -> int:
+        """Idle-host evictions across all shards."""
+        return sum(agg.evictions for agg in self._aggregators)
+
+    def session(self, host: str) -> HostSession | None:
+        """The session for *host* from whichever shard owns it."""
+        for agg in self._aggregators:
+            session = agg.session(host)
+            if session is not None:
+                return session
+        return None
+
+    def compose_context(self, host: str) -> str | None:
+        """*host*'s composed command window, from whichever shard owns it."""
+        for agg in self._aggregators:
+            if agg.session(host) is not None:
+                return agg.compose_context(host)
+        return None
+
+    def sessions(self) -> list[HostSession]:
+        """All tracked sessions across shards (shard order, then LRU)."""
+        return [session for agg in self._aggregators for session in agg.sessions()]
+
+    def escalated_hosts(self) -> list[str]:
+        """Hosts currently escalated, across all shards."""
+        return [s.host for s in self.sessions() if s.escalated]

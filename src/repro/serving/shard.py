@@ -1,0 +1,365 @@
+"""The per-shard serving pipeline and the host-hash router over it.
+
+The paper's deployment scores command lines from millions of hosts; a
+single event loop with one batcher, one cache, and one session table
+makes session bookkeeping and batching contend on one hot path.  This
+module partitions the serving plane the way SCADE partitions host
+anomaly detection — by host locality:
+
+- :class:`ShardRouter` consistent-hashes ``event.host`` onto one of N
+  shards (a hash ring with virtual nodes, so shard counts can change
+  without reshuffling every host).
+- :class:`ShardRuntime` is the whole per-event flow that used to be
+  inlined in ``DetectionServer`` — normalize → cache lookup →
+  micro-batch → score → session/sequence escalation → alert emit —
+  owning its own :class:`~repro.serving.microbatch.MicroBatcher`,
+  :class:`~repro.serving.cache.ScoreCache`,
+  :class:`~repro.serving.sessions.SessionAggregator` and
+  :class:`~repro.serving.metrics.ServingMetrics`.  Everything a host's
+  events touch is shard-local and lock-free (shards are asyncio
+  partitions of one loop, not threads).
+- :class:`ShardContext` is the small mutable bundle all shards share:
+  the model service, the scoring backend, the delivery pipeline, the
+  model generation, and the global event/alert id sequences.
+
+Two properties fall out of the partitioning.  First, batches from
+different shards score **concurrently** — each shard serializes its own
+batches under its own score lock, so a multi-worker backend overlaps
+whole batches instead of only slicing within one (the single global
+score lock was the old throughput ceiling).  Second, a hot model swap
+stays atomic fleet-wide: ``DetectionServer.swap_model`` acquires every
+shard's score lock before rotating, so no batch anywhere is in flight
+during the rotation and no batch ever mixes generations.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import time
+from hashlib import blake2b
+
+from repro.serving.cache import ScoreCache
+from repro.serving.config import SessionConfig
+from repro.serving.events import (
+    AlertStatus,
+    DetectionAlert,
+    DetectionResult,
+    Severity,
+)
+from repro.serving.metrics import ServingMetrics
+from repro.serving.microbatch import MicroBatcher
+from repro.serving.sessions import SessionAggregator
+
+
+def _ring_point(key: str) -> int:
+    """Stable 64-bit hash for ring points and host lookups.
+
+    ``blake2b`` rather than ``hash()``: host → shard assignment must
+    survive interpreter restarts and ``PYTHONHASHSEED`` (a host's
+    session state lives on its shard, so routing is part of the
+    observable behaviour, not an implementation detail).
+    """
+    return int.from_bytes(blake2b(key.encode("utf-8"), digest_size=8).digest(), "big")
+
+
+class ShardRouter:
+    """Consistent-hash ring mapping a host to its owning shard.
+
+    Each shard contributes ``virtual_nodes`` points to the ring; a host
+    hashes to a point and is owned by the first shard point at or after
+    it (wrapping).  Virtual nodes smooth the spread (the standard
+    consistent-hashing construction), and changing the shard count
+    moves only ~1/N of hosts — the property that will matter once shard
+    counts are resized on a live fleet.
+
+    Routing is pure and deterministic: the same host always lands on
+    the same shard for a given ``(shard_count, virtual_nodes)``.
+    """
+
+    def __init__(self, shard_count: int, virtual_nodes: int = 64):
+        if shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        if virtual_nodes < 1:
+            raise ValueError("virtual_nodes must be >= 1")
+        self.shard_count = shard_count
+        self.virtual_nodes = virtual_nodes
+        points = sorted(
+            (_ring_point(f"shard-{shard}/{replica}"), shard)
+            for shard in range(shard_count)
+            for replica in range(virtual_nodes)
+        )
+        self._hashes = [point for point, _ in points]
+        self._owners = [shard for _, shard in points]
+
+    def route(self, host: str) -> int:
+        """The shard index owning *host*."""
+        if self.shard_count == 1:
+            return 0
+        index = bisect.bisect_right(self._hashes, _ring_point(host))
+        return self._owners[index % len(self._owners)]
+
+    def spread(self, hosts) -> dict[int, int]:
+        """Hosts per shard for an iterable of host names (diagnostics)."""
+        counts: dict[int, int] = {shard: 0 for shard in range(self.shard_count)}
+        for host in hosts:
+            counts[self.route(host)] += 1
+        return counts
+
+
+class ShardContext:
+    """Mutable state shared by every shard of one server.
+
+    The service reference, the scoring backend, the delivery pipeline,
+    and the model generation rotate together under
+    ``DetectionServer.swap_model`` (which holds every shard's score
+    lock while it writes here).  The event/alert id sequences are
+    global so ids stay unique and monotone in submission order across
+    shards — allocation is synchronous on the event loop, so no lock is
+    needed.
+    """
+
+    def __init__(self, service, backend, sinks):
+        self.service = service
+        self.backend = backend
+        self.sinks = sinks
+        self.generation = 0
+        self._event_seq = 0
+        self._alert_seq = 0
+
+    def next_event_id(self) -> int:
+        self._event_seq += 1
+        return self._event_seq
+
+    def next_alert_id(self) -> int:
+        self._alert_seq += 1
+        return self._alert_seq
+
+
+class ShardRuntime:
+    """One shard's self-contained serving pipeline.
+
+    Owns the per-shard :class:`MicroBatcher`, :class:`ScoreCache`,
+    :class:`SessionAggregator`, and :class:`ServingMetrics`; shares the
+    model, backend, and delivery pipeline through *context*.  The
+    router guarantees every event for a given host reaches the same
+    shard, so nothing here is ever touched from two shards.
+
+    With one shard and the same knobs this pipeline is the pre-shard
+    ``DetectionServer`` event path, line for line — ``shards = 1``
+    must stay bitwise-identical to the single-path server.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        *,
+        context: ShardContext,
+        max_batch: int = 32,
+        max_latency_ms: float = 25.0,
+        cache_size: int = 4096,
+        cache_ttl_seconds: float | None = None,
+        cache_admission: str = "lru",
+        session: SessionConfig | None = None,
+        metrics: ServingMetrics | None = None,
+    ):
+        self.shard_id = shard_id
+        self._ctx = context
+        self.metrics = metrics or ServingMetrics()
+        self.cache = ScoreCache(
+            cache_size, ttl_seconds=cache_ttl_seconds, admission=cache_admission
+        )
+        session = session or SessionConfig()
+        self.sessions = SessionAggregator(
+            window_seconds=session.window_seconds,
+            escalation_threshold=session.escalation_threshold,
+            mode=session.mode,
+            sequence_threshold=session.sequence_threshold,
+            context_window=session.context_window,
+            context_max_gap_seconds=session.context_max_gap_seconds,
+            max_hosts=session.max_hosts,
+        )
+        self.batcher = MicroBatcher(
+            self._score_batch,
+            max_batch=max_batch,
+            max_latency_ms=max_latency_ms,
+            on_flush=self.metrics.record_batch,
+        )
+        self._score_lock: asyncio.Lock | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the score lock to the running loop and start the batcher."""
+        self._score_lock = asyncio.Lock()
+        self.metrics.mark_start()
+        await self.batcher.start()
+
+    async def stop(self) -> None:
+        """Drain this shard's batcher and freeze its clock."""
+        await self.batcher.stop()
+        self.metrics.mark_stop()
+
+    @property
+    def score_lock(self) -> asyncio.Lock:
+        """The lock every batch of this shard scores under.
+
+        ``swap_model`` (and pool resizes) acquire **all** shards' locks
+        to quiesce scoring fleet-wide before touching the shared
+        backend.
+        """
+        if self._score_lock is None:
+            raise RuntimeError("shard is not running; call start() first")
+        return self._score_lock
+
+    @property
+    def pending(self) -> int:
+        """Events queued in this shard's batcher (autoscaler signal)."""
+        return self.batcher.pending
+
+    # -- event path --------------------------------------------------------
+
+    async def process(self, line: str, host: str, when: float) -> DetectionResult:
+        """Run one event through the full shard pipeline."""
+        started = time.perf_counter()
+        ctx = self._ctx
+        event_id = ctx.next_event_id()
+
+        normalized = ctx.service.preprocess(line)
+        if normalized is None:
+            latency = (time.perf_counter() - started) * 1000.0
+            self.metrics.record_event(latency, dropped=True, cache_hit=False)
+            return DetectionResult(
+                event_id=event_id,
+                host=host,
+                raw_line=line,
+                line="",
+                score=0.0,
+                is_intrusion=False,
+                dropped=True,
+                cache_hit=False,
+                latency_ms=latency,
+                generation=ctx.generation,
+            )
+
+        cached = self.cache.lookup(normalized)
+        if cached is not None:
+            (score, generation), cache_hit = cached, True
+        else:
+            score, generation = await self.batcher.submit(normalized)
+            cache_hit = False
+
+        is_intrusion = score >= ctx.service.threshold
+        session, newly_escalated = self.sessions.observe(
+            host, when, is_intrusion, line=normalized
+        )
+        if newly_escalated:
+            self.metrics.escalations += 1
+        self.metrics.session_evictions = self.sessions.evictions
+        self.metrics.sync_cache(self.cache)
+        context = None
+        sequence_score = None
+        if is_intrusion and self.sessions.mode != "count":
+            # second stage, flagged events only: compose the host's
+            # recent command window (before awaiting, so the window is
+            # this event's) and score it with the multi-line head
+            # off-loop — the forward pass must not stall the batcher's
+            # deadline timer or concurrent submissions
+            context = self.sessions.compose_context(host)
+            if context is not None:
+                scores = await asyncio.to_thread(ctx.service.score_sequence, [context])
+                sequence_score = float(scores[0])
+                self.metrics.sequence_scored += 1
+                if self.sessions.record_sequence_score(host, sequence_score):
+                    self.metrics.escalations += 1
+                    self.metrics.sequence_escalations += 1
+        alert = None
+        if is_intrusion:
+            alert = self._emit_alert(
+                event_id,
+                host,
+                normalized,
+                score,
+                when,
+                session.escalated,
+                context=context,
+                sequence_score=sequence_score,
+            )
+
+        latency = (time.perf_counter() - started) * 1000.0
+        self.metrics.record_event(latency, dropped=False, cache_hit=cache_hit)
+        return DetectionResult(
+            event_id=event_id,
+            host=host,
+            raw_line=line,
+            line=normalized,
+            score=score,
+            is_intrusion=is_intrusion,
+            dropped=False,
+            cache_hit=cache_hit,
+            latency_ms=latency,
+            alert=alert,
+            generation=generation,
+            sequence_score=sequence_score,
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _emit_alert(
+        self,
+        event_id: int,
+        host: str,
+        line: str,
+        score: float,
+        when: float,
+        escalated: bool,
+        *,
+        context: str | None = None,
+        sequence_score: float | None = None,
+    ) -> DetectionAlert:
+        ctx = self._ctx
+        alert = DetectionAlert(
+            alert_id=ctx.next_alert_id(),
+            event_id=event_id,
+            host=host,
+            line=line,
+            score=score,
+            severity=Severity.from_score(score, ctx.service.threshold),
+            status=AlertStatus.ESCALATED if escalated else AlertStatus.OPEN,
+            timestamp=when,
+            context=context,
+            sequence_score=sequence_score,
+        )
+        ctx.sinks.emit(alert)
+        self.metrics.alerts += 1
+        return alert
+
+    async def _score_batch(self, lines: list[str]) -> list[tuple[float, int]]:
+        """Micro-batch handler: score distinct lines once, fill the cache.
+
+        Returns ``(score, generation)`` pairs so producers can stamp
+        their results with the model that actually scored them.  The
+        shard's score lock serializes *this shard's* batches against
+        ``swap_model`` (which holds every shard's lock), so a batch
+        never mixes model generations — while batches from *different*
+        shards overlap freely on a multi-worker backend.
+        """
+        ctx = self._ctx
+        unique: dict[str, tuple[float, int]] = dict.fromkeys(lines, (0.0, 0))
+        if self._score_lock is None:
+            raise RuntimeError("shard is not running; call start() first")
+        async with self._score_lock:
+            generation = ctx.generation
+            score_started = time.perf_counter()
+            try:
+                scores = await ctx.backend.score(list(unique))
+            except Exception:
+                self.metrics.scoring_errors += 1
+                raise
+            self.metrics.record_batch_score((time.perf_counter() - score_started) * 1000.0)
+        for line, score in zip(unique, scores):
+            value = float(score)
+            unique[line] = (value, generation)
+            self.cache.put(line, value, generation=generation)
+        self.metrics.unique_scored += len(unique)
+        return [unique[line] for line in lines]

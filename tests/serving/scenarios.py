@@ -440,6 +440,7 @@ def replay(
     context_window: int = 3,
     context_max_gap_seconds: float = 180.0,
     max_hosts: int = 100_000,
+    shards: int = 1,
     service: OracleService | None = None,
 ) -> ReplayReport:
     """Replay *scenario* through a real :class:`DetectionServer`.
@@ -448,7 +449,9 @@ def replay(
     micro-batch → threshold → sessions → sinks) under the given
     escalation policy.  ``concurrency=1`` keeps submission order equal
     to the stream's time order, so context composition — and therefore
-    who escalates when — is fully deterministic.
+    who escalates when — is fully deterministic.  *shards* routes hosts
+    across that many shard runtimes — escalation verdicts must not
+    depend on it (the sharded-parity tests assert exactly that).
     """
     service = service or OracleService.for_scenario(scenario)
     session = SessionConfig(
@@ -460,7 +463,7 @@ def replay(
         context_max_gap_seconds=context_max_gap_seconds,
         max_hosts=max_hosts,
     )
-    server = DetectionServer(service, max_latency_ms=5, session=session)
+    server = DetectionServer(service, max_latency_ms=5, session=session, shards=shards)
     results, server = serve_stream(service, list(scenario.events), concurrency=1, server=server)
     return ReplayReport(
         scenario=scenario, mode=mode, results=results, server=server, service=service

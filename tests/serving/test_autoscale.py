@@ -1,0 +1,417 @@
+"""Tests for the autoscaler: pure policy decisions, the tick loop with
+cooldown, backend resizing, and the server integration."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serving import (
+    AutoscaleConfig,
+    AutoscaleObservation,
+    Autoscaler,
+    DetectionServer,
+    InlineBackend,
+    ServingConfig,
+    ServingMetrics,
+    ThreadedBackend,
+)
+
+
+def obs(workers=2, backlog=0, batch_latency_ms=10.0, hit_rate=0.0, batches=0):
+    return AutoscaleObservation(
+        workers=workers,
+        backlog=backlog,
+        batch_latency_ms=batch_latency_ms,
+        hit_rate=hit_rate,
+        batches=batches,
+    )
+
+
+def make_autoscaler(policy=None, probe=None, applied=None, metrics=None):
+    policy = policy or AutoscaleConfig(enabled=True, min_workers=1, max_workers=8)
+    applied = applied if applied is not None else []
+
+    async def apply(target):
+        applied.append(target)
+        return True
+
+    return Autoscaler(policy, probe or (lambda: obs()), apply, metrics=metrics), applied
+
+
+class TestDecide:
+    def test_steady_state_holds(self):
+        scaler, _ = make_autoscaler()
+        target, reason = scaler.decide(obs(workers=2, backlog=4))
+        assert target == 2
+        assert reason == "steady"
+
+    def test_backlog_doubles_the_pool(self):
+        scaler, _ = make_autoscaler()
+        target, reason = scaler.decide(obs(workers=2, backlog=100))
+        assert target == 4
+        assert "backlog" in reason
+
+    def test_latency_scales_up(self):
+        scaler, _ = make_autoscaler()
+        target, reason = scaler.decide(obs(workers=2, batch_latency_ms=500.0))
+        assert target == 4
+        assert "latency" in reason
+
+    def test_warm_cache_shrinks_the_pool(self):
+        """The ROADMAP contract: shrink when the hit rate makes scoring
+        parallelism pointless."""
+        scaler, _ = make_autoscaler()
+        target, reason = scaler.decide(obs(workers=4, hit_rate=0.95))
+        assert target == 3
+        assert "hit rate" in reason
+
+    def test_backlog_beats_warm_cache(self):
+        """A backlog is never left waiting because the cache is warm."""
+        scaler, _ = make_autoscaler()
+        target, _ = scaler.decide(obs(workers=2, backlog=100, hit_rate=0.99))
+        assert target == 4
+
+    def test_stale_prehswap_hit_rate_does_not_shrink(self):
+        """The signal is generation-scoped by construction: right after a
+        swap the observation carries the cold-cache rate, not the
+        lifetime one, so no shrink fires."""
+        scaler, _ = make_autoscaler()
+        target, reason = scaler.decide(obs(workers=4, hit_rate=0.0))
+        assert target == 4
+        assert reason == "steady"
+
+    def test_bounds_clamped(self):
+        policy = AutoscaleConfig(enabled=True, min_workers=2, max_workers=4)
+        scaler, _ = make_autoscaler(policy=policy)
+        up, _ = scaler.decide(obs(workers=4, backlog=10_000))
+        down, _ = scaler.decide(obs(workers=2, hit_rate=1.0))
+        assert up == 4
+        assert down == 2
+
+    def test_max_workers_zero_resolves_to_cpu_count(self):
+        import os
+
+        scaler, _ = make_autoscaler(policy=AutoscaleConfig(enabled=True, max_workers=0))
+        assert scaler.max_workers == (os.cpu_count() or 1)
+
+
+class TestTick:
+    def test_tick_applies_and_records(self):
+        metrics = ServingMetrics()
+        scaler, applied = make_autoscaler(
+            probe=lambda: obs(workers=2, backlog=100), metrics=metrics
+        )
+        decision = asyncio.run(scaler.tick())
+        assert applied == [4]
+        assert decision.applied
+        assert decision.target == 4
+        assert metrics.autoscale_checks == 1
+        assert metrics.autoscale_ups == 1
+        assert metrics.autoscale_downs == 0
+
+    def test_cooldown_blocks_consecutive_resizes(self):
+        policy = AutoscaleConfig(
+            enabled=True, min_workers=1, max_workers=8, cooldown_intervals=2
+        )
+        scaler, applied = make_autoscaler(
+            policy=policy, probe=lambda: obs(workers=2, backlog=100)
+        )
+
+        async def three_ticks():
+            return [await scaler.tick() for _ in range(3)]
+
+        first, second, third = asyncio.run(three_ticks())
+        assert applied == [4]  # only the first tick resized
+        assert first.applied
+        assert not second.applied and "[cooldown]" in second.reason
+        assert not third.applied and "[cooldown]" in third.reason
+
+    def test_steady_ticks_do_not_touch_the_backend(self):
+        metrics = ServingMetrics()
+        scaler, applied = make_autoscaler(probe=lambda: obs(workers=2), metrics=metrics)
+
+        async def two_ticks():
+            await scaler.tick()
+            await scaler.tick()
+
+        asyncio.run(two_ticks())
+        assert applied == []
+        assert metrics.autoscale_checks == 2
+        assert metrics.autoscale_ups == metrics.autoscale_downs == 0
+
+    def test_stale_batch_latency_does_not_ratchet_the_pool(self):
+        """A slow *last* batch before the cache went warm must not keep
+        demanding scale-up: with no new batches since the previous tick
+        the frozen EWMA is discarded, and the warm cache shrinks the
+        pool instead."""
+        observations = iter(
+            [
+                # batches are flowing and slow: scale-up is correct
+                obs(workers=2, batch_latency_ms=500.0),
+                # cache went warm, batches stopped (same batches total),
+                # EWMA is frozen at the old 500ms reading
+                obs(workers=4, batch_latency_ms=500.0, hit_rate=0.95),
+                obs(workers=3, batch_latency_ms=500.0, hit_rate=0.95),
+            ]
+        )
+        policy = AutoscaleConfig(
+            enabled=True, min_workers=1, max_workers=8, cooldown_intervals=0
+        )
+        scaler, applied = make_autoscaler(policy=policy, probe=lambda: next(observations))
+
+        async def three_ticks():
+            return [await scaler.tick() for _ in range(3)]
+
+        first, second, third = asyncio.run(three_ticks())
+        assert first.target == 4  # live slow batches: scale up
+        assert second.target == 3 and "hit rate" in second.reason  # stale: shrink
+        assert third.target == 2
+        assert applied == [4, 3, 2]
+
+    def test_new_batches_keep_the_latency_signal_live(self):
+        observations = iter(
+            [
+                obs(workers=2, batch_latency_ms=500.0, batches=10),
+                obs(workers=4, batch_latency_ms=500.0, batches=20),  # still scoring
+            ]
+        )
+        policy = AutoscaleConfig(
+            enabled=True, min_workers=1, max_workers=8, cooldown_intervals=0
+        )
+        scaler, applied = make_autoscaler(policy=policy, probe=lambda: next(observations))
+
+        async def two_ticks():
+            return [await scaler.tick() for _ in range(2)]
+
+        first, second = asyncio.run(two_ticks())
+        assert first.target == 4
+        assert second.target == 8  # batches advanced: the reading is live
+        assert applied == [4, 8]
+
+    def test_decision_history_is_bounded(self):
+        scaler, _ = make_autoscaler(probe=lambda: obs())
+
+        async def many():
+            for _ in range(300):
+                await scaler.tick()
+
+        asyncio.run(many())
+        assert len(scaler.decisions) == 256
+
+
+class TestBackendResize:
+    def test_inline_backend_cannot_resize(self, stub_service):
+        backend = InlineBackend(stub_service)
+        assert not backend.can_resize
+        assert asyncio.run(backend.resize(4)) is False
+
+    def test_threaded_backend_resizes_live(self, stub_service):
+        backend = ThreadedBackend(stub_service, workers=2)
+
+        async def scenario():
+            await backend.start()
+            first = await backend.score(["evil a", "ls b"])
+            changed = await backend.resize(4)
+            second = await backend.score(["evil a", "ls b"])
+            await backend.stop()
+            return changed, first, second
+
+        changed, first, second = asyncio.run(scenario())
+        assert changed
+        assert backend.workers == 4
+        assert first == second  # scores unaffected by the pool size
+
+    def test_resize_to_same_size_is_a_noop(self, stub_service):
+        backend = ThreadedBackend(stub_service, workers=2)
+        assert asyncio.run(backend.resize(2)) is False
+
+    def test_resize_rejects_nonpositive(self, stub_service):
+        backend = ThreadedBackend(stub_service, workers=2)
+        with pytest.raises(ValueError):
+            asyncio.run(backend.resize(0))
+
+
+class TestServerIntegration:
+    def test_autoscaler_reacts_to_load_end_to_end(self, stub_service):
+        """A burst of distinct lines through a slow 1-worker threaded
+        backend must grow the pool; the resize is visible in
+        backend.workers and the control metrics."""
+        import time
+
+        class SlowStub(type(stub_service)):
+            def score_normalized(self, lines):
+                time.sleep(0.02)  # a visible forward pass: backlog builds
+                return super().score_normalized(lines)
+
+        slow = SlowStub()
+        policy = AutoscaleConfig(
+            enabled=True,
+            min_workers=1,
+            max_workers=4,
+            interval_seconds=0.01,
+            backlog_per_worker=4,
+            cooldown_intervals=0,
+        )
+        backend = ThreadedBackend(slow, workers=1)
+        server = DetectionServer(
+            slow,
+            backend=backend,
+            autoscale=policy,
+            max_batch=4,
+            max_latency_ms=50,
+            cache_size=0,
+        )
+
+        async def scenario():
+            async with server:
+                await asyncio.gather(
+                    *(server.submit(f"task {i}", host=f"h{i % 8}") for i in range(64))
+                )
+
+        asyncio.run(scenario())
+        assert server.autoscaler is not None
+        assert server.metrics.autoscale_checks > 0
+        assert backend.workers > 1
+        assert server.metrics.autoscale_ups >= 1
+        assert f"workers={backend.workers}" in server.metrics.backend
+
+    def test_warm_cache_shrinks_pool_end_to_end(self, stub_service):
+        policy = AutoscaleConfig(
+            enabled=True,
+            min_workers=1,
+            max_workers=4,
+            interval_seconds=0.01,
+            shrink_hit_rate=0.5,
+            cooldown_intervals=0,
+        )
+        backend = ThreadedBackend(stub_service, workers=3)
+        server = DetectionServer(
+            stub_service,
+            backend=backend,
+            autoscale=policy,
+            max_latency_ms=5,
+            cache_size=1024,
+        )
+
+        async def scenario():
+            async with server:
+                for _ in range(4):  # same line: ~all hits after the first
+                    await server.submit("ls -la", host="h")
+                await asyncio.sleep(0.1)
+
+        asyncio.run(scenario())
+        assert backend.workers < 3
+        assert server.metrics.autoscale_downs >= 1
+
+    def test_unresizable_backend_warns_and_skips(self, stub_service):
+        server = DetectionServer(
+            stub_service, autoscale=AutoscaleConfig(enabled=True)
+        )
+
+        async def scenario():
+            with pytest.warns(UserWarning, match="cannot be resized"):
+                await server.start()
+            await server.stop()
+
+        asyncio.run(scenario())
+        assert server.autoscaler is None
+
+    def test_from_config_auto_backend_becomes_resizable(self, stub_service):
+        config = ServingConfig.from_dict(
+            {"autoscale": {"enabled": True, "min_workers": 2}}
+        )
+        server = DetectionServer.from_config(stub_service, config, record=False)
+        assert isinstance(server.backend, ThreadedBackend)
+        assert server.backend.workers == 2
+
+    def test_from_config_auto_multiworker_stays_threaded(self, stub_service):
+        """auto + autoscale resolves to threaded at ANY worker count — it
+        must not fall through to the process pool (which would demand a
+        saved bundle this in-memory service doesn't have)."""
+        stub_service.source_dir = None
+        config = ServingConfig.from_dict(
+            {
+                "backend": {"kind": "auto", "workers": 3},
+                "autoscale": {"enabled": True},
+            }
+        )
+        server = DetectionServer.from_config(stub_service, config, record=False)
+        assert isinstance(server.backend, ThreadedBackend)
+        assert server.backend.workers == 3
+
+    def test_dead_control_loop_does_not_abort_shutdown(self, stub_service):
+        """If the autoscaler task dies, stop() must still drain shards and
+        close sinks before surfacing the failure — queued alerts are
+        never silently lost to a control-plane error."""
+        from repro.serving import RingBufferSink
+
+        ring = RingBufferSink()
+        policy = AutoscaleConfig(enabled=True, interval_seconds=0.01)
+        server = DetectionServer(
+            stub_service,
+            backend=ThreadedBackend(stub_service, workers=2),
+            autoscale=policy,
+            max_latency_ms=5,
+            sinks=[ring],
+        )
+
+        async def scenario():
+            await server.start()
+            await server.submit("evil thing", host="h1")
+            server.autoscaler._probe = lambda: (_ for _ in ()).throw(
+                RuntimeError("probe exploded")
+            )
+            await asyncio.sleep(0.05)  # let the loop hit the broken probe
+            with pytest.raises(RuntimeError, match="probe exploded"):
+                await server.stop()
+
+        asyncio.run(scenario())
+        # shutdown completed despite the failure: batchers drained, the
+        # alert was delivered, and the pipeline closed cleanly
+        assert all(not rt.batcher.running for rt in server.shards)
+        assert ring.emitted == 1
+        stats = server.sinks.stats()
+        assert all(s.submitted == s.delivered for s in stats.values())
+
+    def test_from_config_explicit_inline_with_autoscale_fails_fast(self, stub_service):
+        config = ServingConfig.from_dict(
+            {"backend": {"kind": "inline"}, "autoscale": {"enabled": True}}
+        )
+        with pytest.raises(ConfigError, match="cannot autoscale"):
+            DetectionServer.from_config(stub_service, config, record=False)
+
+
+class TestAutoscaleConfig:
+    def test_round_trips_losslessly(self):
+        config = ServingConfig.from_dict(
+            {
+                "shards": {"count": 4, "virtual_nodes": 16},
+                "autoscale": {
+                    "enabled": True,
+                    "min_workers": 2,
+                    "max_workers": 6,
+                    "interval_seconds": 0.5,
+                    "backlog_per_worker": 32,
+                    "latency_high_ms": 100.0,
+                    "shrink_hit_rate": 0.8,
+                    "cooldown_intervals": 3,
+                },
+                "cache": {"size": 512, "admission": "tinylfu"},
+            }
+        )
+        assert ServingConfig.from_dict(config.to_dict()) == config
+
+    def test_validation_names_the_offending_key(self):
+        with pytest.raises(ConfigError, match="autoscale.max_workers"):
+            AutoscaleConfig(enabled=True, min_workers=4, max_workers=2)
+        with pytest.raises(ConfigError, match="autoscale.enabled"):
+            ServingConfig.from_dict({"autoscale": {"enabled": "yes"}})
+        with pytest.raises(ConfigError, match="shards.count"):
+            ServingConfig.from_dict({"shards": {"count": 0}})
+        with pytest.raises(ConfigError, match="cache.admission"):
+            ServingConfig.from_dict({"cache": {"admission": "arc"}})
+
+    def test_unknown_keys_get_suggestions(self):
+        with pytest.raises(ConfigError, match="did you mean 'min_workers'"):
+            ServingConfig.from_dict({"autoscale": {"min_worker": 1}})

@@ -1,4 +1,4 @@
-"""Tests for the LRU score cache."""
+"""Tests for the LRU score cache (and its TinyLFU admission gate)."""
 
 from collections import OrderedDict
 
@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.serving import ScoreCache
+from repro.serving import FrequencySketch, ScoreCache
 
 
 class TestScoreCache:
@@ -174,6 +174,157 @@ class TestGenerationInvalidation:
         cache.bump_generation()
         cache.put("a", 0.6)
         assert cache.lookup("a") == (0.6, 1)
+
+
+class TestGenerationCounters:
+    def test_generation_hit_rate_resets_on_swap(self):
+        """The lifetime hit rate keeps advertising the purged pre-swap
+        cache; the per-generation split must not."""
+        cache = ScoreCache(capacity=8)
+        cache.get("a")  # initial miss
+        cache.put("a", 0.5)
+        for _ in range(9):
+            cache.get("a")
+        assert cache.hit_rate == pytest.approx(0.9)  # 9 hits, 1 initial miss
+        cache.bump_generation()
+        assert cache.generation_hits == 0 and cache.generation_misses == 0
+        assert cache.generation_hit_rate == 0.0
+        cache.get("a")  # cold after the purge
+        assert cache.generation_misses == 1
+        assert cache.generation_hit_rate == 0.0
+        # lifetime figures still include the pre-swap warmth
+        assert cache.hit_rate > 0.8
+
+    def test_generation_counters_track_current_generation_only(self):
+        cache = ScoreCache(capacity=8)
+        cache.get("a")
+        cache.bump_generation()
+        cache.put("a", 0.5)
+        cache.get("a")
+        cache.get("b")
+        assert (cache.generation_hits, cache.generation_misses) == (1, 1)
+        assert (cache.hits, cache.misses) == (1, 2)
+
+
+class TestFrequencySketch:
+    def test_estimate_tracks_recorded_accesses(self):
+        sketch = FrequencySketch(capacity=16)
+        assert sketch.estimate("ls") == 0
+        for _ in range(5):
+            sketch.record("ls")
+        assert sketch.estimate("ls") >= 5  # count-min over-estimates only
+        assert sketch.estimate("never-seen") == 0
+
+    def test_aging_halves_counters(self):
+        sketch = FrequencySketch(capacity=16, sample_size=100)
+        for _ in range(99):
+            sketch.record("hot")
+        assert sketch.estimate("hot") == 99
+        sketch.record("hot")  # 100th access triggers the aging step
+        assert sketch.ages == 1
+        assert sketch.estimate("hot") == 50
+
+    def test_deterministic_across_instances(self):
+        a, b = FrequencySketch(capacity=16), FrequencySketch(capacity=16)
+        for key in ("x", "y", "x"):
+            a.record(key)
+            b.record(key)
+        assert a.estimate("x") == b.estimate("x")
+        assert a.estimate("y") == b.estimate("y")
+
+
+class TestTinyLfuAdmission:
+    def test_one_hit_wonders_cannot_displace_the_hot_set(self):
+        cache = ScoreCache(capacity=4, admission="tinylfu")
+        hot = [f"hot-{i}" for i in range(4)]
+        for line in hot:  # admit while below capacity
+            cache.lookup(line)
+            cache.put(line, 0.1)
+        for line in hot * 5:  # build up frequency
+            cache.lookup(line)
+        for index in range(50):  # a scan of one-off lines
+            line = f"scan-{index}"
+            cache.lookup(line)
+            cache.put(line, 0.2)
+        assert all(line in cache for line in hot)
+        assert cache.admission_rejections == 50
+        assert cache.evictions == 0
+
+    def test_plain_lru_is_displaced_by_the_same_scan(self):
+        cache = ScoreCache(capacity=4, admission="lru")
+        hot = [f"hot-{i}" for i in range(4)]
+        for line in hot:
+            cache.lookup(line)
+            cache.put(line, 0.1)
+        for line in hot * 5:
+            cache.lookup(line)
+        for index in range(50):
+            line = f"scan-{index}"
+            cache.lookup(line)
+            cache.put(line, 0.2)
+        assert not any(line in cache for line in hot)
+        assert cache.admission_rejections == 0
+
+    def test_recurring_candidate_eventually_admitted(self):
+        cache = ScoreCache(capacity=2, admission="tinylfu")
+        for line in ("a", "b"):
+            cache.lookup(line)
+            cache.put(line, 0.1)
+        # "c" keeps coming back: once its sketch frequency beats the LRU
+        # victim's, it must displace it
+        for _ in range(5):
+            cache.lookup("c")
+        cache.put("c", 0.3)
+        assert "c" in cache
+
+    def test_refresh_of_resident_line_is_never_gated(self):
+        cache = ScoreCache(capacity=2, admission="tinylfu")
+        for line in ("a", "b"):
+            cache.lookup(line)
+            cache.put(line, 0.1)
+        cache.put("a", 0.9)  # refresh, not insert
+        assert cache.get("a") == 0.9
+        assert cache.admission_rejections == 0
+
+    def test_admission_survives_generation_bump(self):
+        """The sketch tracks traffic, not model output: popularity
+        earned before a swap still wins admission after it."""
+        cache = ScoreCache(capacity=2, admission="tinylfu")
+        for _ in range(10):
+            cache.lookup("hot")
+        cache.put("hot", 0.5)
+        cache.bump_generation()
+        cache.put("hot", 0.6)  # readmitted into the empty post-swap cache
+        cache.lookup("cold-1")
+        cache.put("cold-1", 0.1)
+        cache.lookup("cold-2")
+        cache.put("cold-2", 0.1)  # full cache; hot is frequency-protected
+        assert "hot" in cache
+
+    def test_unknown_admission_policy_rejected(self):
+        with pytest.raises(ValueError, match="admission"):
+            ScoreCache(capacity=4, admission="arc")
+
+    def test_zipf_trace_hit_rate_not_worse_than_lru(self):
+        """On a Zipf-with-noise trace the frequency gate must serve at
+        least as many hits as plain LRU (the benchmark asserts the same
+        on the full serving path)."""
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        zipf = rng.zipf(1.3, size=6000) % 2000
+        noise = rng.integers(10_000, 60_000, size=2000)
+        trace = [f"cmd-{v}" for v in np.concatenate([zipf, noise])]
+        rng.shuffle(trace)
+
+        def run(admission):
+            cache = ScoreCache(capacity=128, admission=admission)
+            for line in trace:
+                if cache.get(line) is None:
+                    cache.put(line, 0.5)
+            return cache.hit_rate
+
+        assert run("tinylfu") >= run("lru")
 
 
 class _CacheModel:

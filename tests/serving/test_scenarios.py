@@ -147,6 +147,66 @@ class TestLateralMovement:
             assert report.session(host).escalated_by == "sequence"
 
 
+class TestShardedReplayParity:
+    """The shard-refactor acceptance: routing hosts across 4 shard
+    runtimes must not change a single escalation verdict on the fleet
+    scenarios — sharding is a throughput decomposition, not policy."""
+
+    @staticmethod
+    def _assert_parity(scenario, mode, **kwargs):
+        single = replay(scenario, mode=mode, **kwargs)
+        sharded = replay(scenario, mode=mode, shards=4, **kwargs)
+        assert sharded.escalated == single.escalated
+        # per-event verdicts agree event for event
+        assert len(sharded.results) == len(single.results)
+        for a, b in zip(single.results, sharded.results):
+            assert (a.host, a.line, a.is_intrusion) == (b.host, b.line, b.is_intrusion)
+        # every alert was delivered (zero silent drops across shards)
+        flagged = sum(r.is_intrusion for r in sharded.results)
+        stats = sharded.server.sinks.stats()
+        assert all(s.dead_lettered == s.dropped == 0 for s in stats.values())
+        assert sharded.server.metrics.alerts == flagged
+        # and whoever escalated did so for the same reason
+        for host in sharded.escalated:
+            assert (
+                sharded.session(host).escalated_by == single.session(host).escalated_by
+            )
+
+    def test_low_and_slow_parity(self):
+        for mode in ("count", "sequence"):
+            self._assert_parity(low_and_slow_scenario(), mode)
+
+    def test_lateral_movement_parity(self):
+        hosts = ["web-1", "web-2", "db-1"]
+        builder = ScenarioBuilder(seed=13)
+        builder.lateral_movement(hosts, user="mallory", per_host=2, spacing=60.0)
+        scenario = builder.build("lateral")
+        self._assert_parity(scenario, "sequence")
+
+    def test_mixed_fleet_parity(self):
+        builder = ScenarioBuilder(seed=21)
+        builder.attack_burst("h-burst", user="eve", at=30.0)
+        builder.low_and_slow_attacker("h-slow", user="mallory", at=0.0)
+        builder.benign_power_user("h-dev", user="alice", at=0.0, sessions=6)
+        builder.lateral_movement(["web-1", "web-2"], user="trudy", at=200.0, per_host=2)
+        builder.background_fleet(n_lines=300)
+        scenario = builder.build("mixed-fleet")
+        for mode in ("count", "sequence", "hybrid"):
+            self._assert_parity(scenario, mode)
+
+    def test_sharded_replay_spreads_hosts(self):
+        """The parity above is meaningful only if the fleet actually
+        lands on several shards."""
+        builder = ScenarioBuilder(seed=21)
+        builder.background_fleet(n_lines=200)
+        scenario = builder.build("fleet")
+        report = replay(scenario, mode="count", shards=4)
+        populated = [
+            shard for shard in report.server.shards if shard.sessions.sessions()
+        ]
+        assert len(populated) >= 3
+
+
 class TestMixedFleet:
     def test_interleaved_fleet_escalates_exactly_the_guilty_hosts(self):
         builder = ScenarioBuilder(seed=21)

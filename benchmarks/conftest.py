@@ -13,11 +13,91 @@ Scale control:
   the paper uses 5).
 """
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
 from repro.experiments.common import World, WorldConfig, build_world, default_world_config
+
+#: Committed serving-throughput snapshot (repo root).  Benchmarks append
+#: their headline numbers to the ``serving_snapshot`` fixture; at session
+#: end the collected entries are written here — but only when the file
+#: does not exist yet, or ``REPRO_BENCH_RECORD=1`` forces a refresh, so a
+#: plain test run never dirties the working tree.
+BENCH_SNAPSHOT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+#: A recorded metric may regress by at most this fraction before the
+#: regression gate fails (>20% slower than the committed snapshot).
+REGRESSION_TOLERANCE = 0.20
+
+
+def committed_entries() -> dict:
+    """The benchmark entries of the committed snapshot ({} when absent)."""
+    if not BENCH_SNAPSHOT_PATH.exists():
+        return {}
+    return json.loads(BENCH_SNAPSHOT_PATH.read_text()).get("benchmarks", {})
+
+
+@pytest.fixture(scope="session")
+def serving_snapshot():
+    """Dict the serving benchmarks drop their headline metrics into.
+
+    Ratio metrics (speedups, hit rates) are machine-stable and are gated
+    against the committed snapshot inside the tests themselves; absolute
+    throughput gates additionally require ``REPRO_BENCH_GATE_ABSOLUTE=1``
+    because events/sec is a property of the runner, not the code.
+    """
+    recorded: dict = {}
+    yield recorded
+    if not recorded:
+        return
+    if BENCH_SNAPSHOT_PATH.exists() and os.environ.get("REPRO_BENCH_RECORD") != "1":
+        return
+    entries = {**committed_entries(), **recorded}
+    payload = {
+        "suite": "serving",
+        "note": (
+            "Headline serving-bench numbers; regenerate with "
+            "REPRO_BENCH_RECORD=1 pytest benchmarks/test_bench_serving.py"
+        ),
+        "benchmarks": entries,
+    }
+    BENCH_SNAPSHOT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture(scope="session")
+def bench_regression_gate():
+    """``gate(name, metrics)``: fail on a >20% regression vs the snapshot.
+
+    Ratio keys (``speedup``, ``*_rate``) are compared whenever the
+    committed snapshot has them; absolute ``*_events_per_second`` keys
+    only under ``REPRO_BENCH_GATE_ABSOLUTE=1``.
+    """
+
+    def gate(name: str, metrics: dict) -> None:
+        committed = committed_entries().get(name)
+        if not committed:
+            return
+        check_absolute = os.environ.get("REPRO_BENCH_GATE_ABSOLUTE") == "1"
+        for key, new_value in metrics.items():
+            old_value = committed.get(key)
+            if not isinstance(old_value, (int, float)) or not isinstance(
+                new_value, (int, float)
+            ):
+                continue
+            is_ratio = key == "speedup" or key.endswith("_rate")
+            is_absolute = key.endswith("_events_per_second")
+            if not (is_ratio or (is_absolute and check_absolute)):
+                continue
+            floor = old_value * (1.0 - REGRESSION_TOLERANCE)
+            assert new_value >= floor, (
+                f"{name}.{key} regressed >20% vs BENCH_serving.json: "
+                f"{new_value:.2f} < {floor:.2f} (committed {old_value:.2f})"
+            )
+
+    return gate
 
 
 def bench_world_config() -> WorldConfig:

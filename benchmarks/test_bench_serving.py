@@ -64,7 +64,7 @@ def _repeat_heavy_stream(world) -> list[str]:
     return [stream[i] for i in np.random.default_rng(0).permutation(len(stream))]
 
 
-def test_bench_serving_cold_vs_warm(world, benchmark):
+def test_bench_serving_cold_vs_warm(world, benchmark, serving_snapshot):
     service = _build_service(world)
     events = _repeat_heavy_stream(world)
     server = DetectionServer(service, max_batch=32, max_latency_ms=25, cache_size=8192)
@@ -97,6 +97,13 @@ def test_bench_serving_cold_vs_warm(world, benchmark):
             "latency_p99_ms": snapshot["latency_p99_ms"],
         }
     )
+    serving_snapshot["cold_vs_warm"] = {
+        "events": len(events),
+        "cold_events_per_second": round(cold_eps, 1),
+        "warm_events_per_second": round(warm_eps, 1),
+        "cache_hit_rate": round(snapshot["cache_hit_rate"], 4),
+        "latency_p99_ms": round(snapshot["latency_p99_ms"], 2),
+    }
     print(
         f"\nserving: {len(events)} events | cold {cold_eps:,.0f} ev/s | "
         f"warm {warm_eps:,.0f} ev/s | speedup {warm_eps / cold_eps:.1f}x | "
@@ -151,7 +158,7 @@ def _timed_stream(server, events, *, concurrency=8):
     return asyncio.run(_run())
 
 
-def test_bench_serving_sharded_vs_inline(world, benchmark, tmp_path_factory):
+def test_bench_serving_sharded_vs_inline(world, benchmark, tmp_path_factory, serving_snapshot):
     """Cold-cache throughput: ProcessPoolBackend(n=2) vs. InlineBackend."""
     service = _build_service(world)
     bundle = tmp_path_factory.mktemp("serving-bench") / "bundle"
@@ -187,6 +194,12 @@ def test_bench_serving_sharded_vs_inline(world, benchmark, tmp_path_factory):
             "per_worker_scored": dict(backend.per_worker_scored),
         }
     )
+    serving_snapshot["sharded_vs_inline"] = {
+        "events": len(events),
+        "workers": SHARD_WORKERS,
+        "inline_events_per_second": round(inline_eps, 1),
+        "sharded_events_per_second": round(sharded_eps, 1),
+    }
     print(
         f"\nsharded serving: {len(events)} events | inline {inline_eps:,.0f} ev/s | "
         f"{SHARD_WORKERS}-worker {sharded_eps:,.0f} ev/s | speedup {speedup:.2f}x "
@@ -322,7 +335,7 @@ def _multi_host_mostly_miss_stream(n_events=1024, hosts=64):
     ]
 
 
-def test_bench_serving_sharded_router_throughput(benchmark):
+def test_bench_serving_sharded_router_throughput(benchmark, serving_snapshot, bench_regression_gate):
     """4-shard throughput >= 1.5x single-shard on a mostly-miss stream.
 
     Both layouts share the same 4-worker threaded backend and the same
@@ -362,15 +375,15 @@ def test_bench_serving_sharded_router_throughput(benchmark):
     sharded_eps = len(sharded_results) / sharded_seconds
     speedup = sharded_eps / single_eps
 
-    benchmark.extra_info.update(
-        {
-            "events": len(events),
-            "shards": 4,
-            "single_events_per_second": round(single_eps, 1),
-            "sharded_events_per_second": round(sharded_eps, 1),
-            "speedup": round(speedup, 2),
-        }
-    )
+    router_metrics = {
+        "events": len(events),
+        "shards": 4,
+        "single_events_per_second": round(single_eps, 1),
+        "sharded_events_per_second": round(sharded_eps, 1),
+        "speedup": round(speedup, 2),
+    }
+    benchmark.extra_info.update(router_metrics)
+    serving_snapshot["shard_router"] = router_metrics
     print(
         f"\nshard router: {len(events)} events | 1-shard {single_eps:,.0f} ev/s | "
         f"4-shard {sharded_eps:,.0f} ev/s | speedup {speedup:.2f}x"
@@ -386,9 +399,139 @@ def test_bench_serving_sharded_router_throughput(benchmark):
         f"4-shard serving must beat single-shard by >=1.5x on a mostly-miss "
         f"multi-host stream, got {speedup:.2f}x"
     )
+    bench_regression_gate("shard_router", router_metrics)
 
 
-def test_bench_serving_zipf_admission_hit_rate(benchmark):
+class _ColumnarFixedCostService:
+    """Fixed-cost service with the *real* columnar tokenizer front end.
+
+    Like :class:`_FixedCostService`, the forward pass is modelled as a
+    deterministic sleep — a per-call setup cost plus a per-row cost —
+    so the benchmark isolates the serving-plane property under test:
+    how many Python-loop/asyncio/micro-batch round trips the serving
+    layer spends per scored event.  The tokenizer, however, is the
+    actual :class:`ColumnarTokenizer` over a trained BPE, so the
+    measured batch path runs the same encode seam production uses.
+
+    Scores are a pure function of the token arrays, so the per-event
+    and batch-first paths must produce byte-identical floats.
+    """
+
+    threshold = 0.5
+
+    def __init__(self, per_call_s: float = 0.003, per_row_s: float = 0.00002):
+        from repro.tokenizer import BPETokenizer, ColumnarTokenizer
+
+        corpus = [f"task --job {i} --node n{i % 7}" for i in range(64)]
+        self.tokenizer = BPETokenizer(vocab_size=128, min_pair_frequency=2).train(corpus)
+        self._columnar = ColumnarTokenizer(self.tokenizer, max_length=48)
+        self.per_call_s = per_call_s
+        self.per_row_s = per_row_s
+        self.batch_calls = 0
+
+    def preprocess(self, raw: str) -> str | None:
+        line = " ".join(raw.split())
+        return line or None
+
+    def encode_batch(self, lines):
+        return self._columnar.encode(list(lines))
+
+    def score_batch(self, batch):
+        self.batch_calls += 1
+        time.sleep(self.per_call_s + len(batch) * self.per_row_s)
+        return ((batch.lengths * 31 + batch.char_lengths) % 97) / 96.0
+
+    def score_normalized(self, lines):
+        return self.score_batch(self.encode_batch(list(lines)))
+
+
+def _timed_batches(server, events, *, batch_size=1024):
+    """Drive *events* through ``submit_many`` in *batch_size* slices.
+
+    Mirrors :func:`_timed_stream`: a warmup slice runs before the clock
+    starts, inside one server session.  Returns (results, seconds).
+    """
+
+    async def _run():
+        async with server:
+            await server.submit_many(events[:16])  # warmup
+            started = time.perf_counter()
+            results = []
+            for start in range(0, len(events), batch_size):
+                results.extend(await server.submit_many(events[start : start + batch_size]))
+            elapsed = time.perf_counter() - started
+        return results, elapsed
+
+    return asyncio.run(_run())
+
+
+def test_bench_serving_columnar_batch_speedup(
+    benchmark, serving_snapshot, bench_regression_gate
+):
+    """Batch-first columnar scoring >= 5x the per-event path, bit for bit.
+
+    Same mostly-miss multi-host stream, same fixed-cost model, same cold
+    cache; the only variable is the entry point — per-event ``submit``
+    through the micro-batcher vs ``submit_many`` feeding whole columnar
+    batches to one deduplicated scoring call.  The per-event path pays
+    the per-call setup cost once per micro-batch (a handful of events);
+    the batch path amortizes it over the whole slice, which is exactly
+    the hot-path overhead the columnar refactor removes.
+    """
+    events = _multi_host_mostly_miss_stream()
+
+    per_event_service = _ColumnarFixedCostService()
+    per_event_server = DetectionServer(
+        per_event_service, cache_size=0, max_batch=32, max_latency_ms=10
+    )
+    per_event_results, per_event_seconds = _timed_stream(per_event_server, events)
+    per_event_eps = len(per_event_results) / per_event_seconds
+
+    batch_service = _ColumnarFixedCostService()
+    batch_server = DetectionServer(
+        batch_service, cache_size=0, max_batch=32, max_latency_ms=10
+    )
+    batch_results, batch_seconds = benchmark.pedantic(
+        _timed_batches, args=(batch_server, events), rounds=1, iterations=1
+    )
+    batch_eps = len(batch_results) / batch_seconds
+    speedup = batch_eps / per_event_eps
+
+    metrics = {
+        "events": len(events),
+        "per_event_events_per_second": round(per_event_eps, 1),
+        "batch_events_per_second": round(batch_eps, 1),
+        "speedup": round(speedup, 2),
+        "batch_scoring_calls": batch_service.batch_calls,
+        "per_event_scoring_calls": per_event_service.batch_calls,
+    }
+    benchmark.extra_info.update(metrics)
+    serving_snapshot["columnar_batch_speedup"] = metrics
+    print(
+        f"\ncolumnar batch path: {len(events)} events | per-event "
+        f"{per_event_eps:,.0f} ev/s ({per_event_service.batch_calls} calls) | "
+        f"batch {batch_eps:,.0f} ev/s ({batch_service.batch_calls} calls) | "
+        f"speedup {speedup:.1f}x"
+    )
+
+    assert len(batch_results) == len(events)
+    # the batch path engaged the columnar pipeline for every slice
+    assert batch_server.metrics.snapshot()["columnar_batches"] > 0
+    # bitwise-equal verdicts: scores are a pure function of the token
+    # arrays, so any float deviation means the paths tokenized or
+    # composed batches differently
+    for a, b in zip(per_event_results, batch_results):
+        assert (a.host, a.line) == (b.host, b.line)
+        assert a.score == b.score
+        assert a.is_intrusion == b.is_intrusion
+    assert speedup >= 5.0, (
+        f"batch-first columnar scoring must reach >=5x the per-event path on a "
+        f"mostly-miss multi-host stream, got {speedup:.2f}x"
+    )
+    bench_regression_gate("columnar_batch_speedup", metrics)
+
+
+def test_bench_serving_zipf_admission_hit_rate(benchmark, serving_snapshot, bench_regression_gate):
     """TinyLFU admission >= plain LRU hit rate on a Zipf-with-scan stream.
 
     The stream follows the paper's repeat structure: a Zipf-popular hot
@@ -422,14 +565,14 @@ def test_bench_serving_zipf_admission_hit_rate(benchmark):
     lru_rate = run_policy("lru")
     tinylfu_rate = benchmark.pedantic(run_policy, args=("tinylfu",), rounds=1, iterations=1)
 
-    benchmark.extra_info.update(
-        {
-            "events": len(events),
-            "cache_size": 256,
-            "lru_hit_rate": round(lru_rate, 4),
-            "tinylfu_hit_rate": round(tinylfu_rate, 4),
-        }
-    )
+    admission_metrics = {
+        "events": len(events),
+        "cache_size": 256,
+        "lru_hit_rate": round(lru_rate, 4),
+        "tinylfu_hit_rate": round(tinylfu_rate, 4),
+    }
+    benchmark.extra_info.update(admission_metrics)
+    serving_snapshot["zipf_admission"] = admission_metrics
     print(
         f"\nzipf admission: {len(events)} events | lru hit-rate {lru_rate:.2%} | "
         f"tinylfu hit-rate {tinylfu_rate:.2%}"
@@ -438,6 +581,7 @@ def test_bench_serving_zipf_admission_hit_rate(benchmark):
         f"frequency-aware admission must not lose to plain LRU on a Zipf "
         f"stream: tinylfu {tinylfu_rate:.4f} < lru {lru_rate:.4f}"
     )
+    bench_regression_gate("zipf_admission", admission_metrics)
 
 
 def test_bench_serving_sequence_escalation_overhead(world, benchmark):

@@ -104,6 +104,8 @@ class IntrusionDetectionService:
         #: Composer semantics the multi-line head was trained with
         #: (``{"window": ..., "max_gap_seconds": ...}``), when recorded.
         self.multiline_composer_meta: dict | None = None
+        # lazily-built columnar tokenizer backing encode_batch()
+        self._columnar = None
 
     # -- construction ------------------------------------------------------
 
@@ -185,6 +187,51 @@ class IntrusionDetectionService:
         if not lines:
             return np.zeros(0)
         return self.tuner.score(list(lines))
+
+    def encode_batch(self, lines: Sequence[str]):
+        """Tokenize already-normalized *lines* into one columnar batch.
+
+        The batch-first seam between :meth:`preprocess` and
+        :meth:`score_batch`: one pass over the micro-batch produces the
+        padded ``(N, W)`` id matrix + lengths a
+        :class:`~repro.tokenizer.columnar.TokenBatch` carries, ready for
+        zero-copy transport to scoring workers.
+        """
+        from repro.tokenizer.columnar import ColumnarTokenizer
+
+        if self._columnar is None:
+            self._columnar = ColumnarTokenizer(
+                self.encoder.tokenizer, max_length=self.encoder.model.config.max_position
+            )
+        return self._columnar.encode(list(lines))
+
+    def score_batch(self, token_ids, lengths=None) -> np.ndarray:
+        """Columnar twin of :meth:`score_normalized`: score a pre-tokenized batch.
+
+        Accepts either a :class:`~repro.tokenizer.columnar.TokenBatch`
+        (the :meth:`encode_batch` output) or raw ``(token_ids, lengths)``
+        arrays.  The embed → classify pipeline runs entirely on the
+        columnar arrays — no per-line Python loop — and, for a batch
+        built by :meth:`encode_batch`, returns **bitwise-identical**
+        scores to ``score_normalized`` on the same lines (the encoder
+        replicates its per-line chunk composition; see
+        :meth:`CommandEncoder.embed_batch`).
+        """
+        from repro.tokenizer.columnar import TokenBatch
+
+        if isinstance(token_ids, TokenBatch):
+            if lengths is not None:
+                raise ValueError("lengths must be omitted when passing a TokenBatch")
+            batch = token_ids
+        else:
+            if lengths is None:
+                raise ValueError("raw token_ids need an explicit lengths array")
+            pad_id = self.encoder.tokenizer.vocab.pad_id if self.encoder.tokenizer.vocab else 0
+            batch = TokenBatch.from_arrays(token_ids, lengths, pad_id=pad_id)
+        if len(batch) == 0:
+            return np.zeros(0)
+        embeddings = self.encoder.embed_batch(batch, pooling=self.tuner.pooling)
+        return self.tuner.score_embeddings(embeddings)
 
     def score_sequence(self, texts: Sequence[str]) -> np.ndarray:
         """Second-stage scores for *composed* multi-line inputs.

@@ -85,6 +85,38 @@ class CommandEncoder:
                 result[chunk_indices] = pool(hidden, mask, strategy).data
         return result
 
+    def embed_batch(self, batch, pooling: str | None = None) -> np.ndarray:
+        """Embed a pre-tokenized :class:`~repro.tokenizer.columnar.TokenBatch`.
+
+        The columnar twin of :meth:`embed`: consumes the padded id
+        matrix directly instead of re-tokenizing per line.  Chunking
+        replicates :meth:`embed` exactly — a stable sort on the source
+        lines' *character* lengths, ``batch_size`` rows per forward
+        pass, each chunk padded to its own max token width — so for the
+        same lines the two paths produce **bitwise-identical**
+        embeddings (chunk composition changes the blocked-summation
+        grouping inside BLAS, so replicating it is part of the
+        contract, not an optimization).
+        """
+        strategy = pooling or self.pooling
+        if strategy not in POOLERS:
+            raise ValueError(f"unknown pooling {strategy!r}; choose from {POOLERS}")
+        n = len(batch)
+        if n == 0:
+            return np.zeros((0, self.embedding_dim))
+        order = np.argsort(batch.char_lengths, kind="stable")
+        result = np.empty((n, self.embedding_dim))
+        with no_grad(self.model):
+            for start in range(0, n, self.batch_size):
+                rows = order[start : start + self.batch_size]
+                lengths = batch.lengths[rows]
+                width = int(lengths.max())
+                ids = batch.ids[rows][:, :width]
+                mask = np.arange(width) < lengths[:, None]
+                hidden = self.model(ids, mask)
+                result[rows] = pool(hidden, mask, strategy).data
+        return result
+
     def embed_tokens(self, line: str) -> np.ndarray:
         """Per-token embeddings ``(T, hidden_size)`` for a single line."""
         ids, mask = self._encode_batch([line])

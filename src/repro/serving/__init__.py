@@ -68,6 +68,14 @@ from repro.serving.config import (
     load_recorded_config,
 )
 from repro.serving.delivery import DeliveryPipeline, SinkStats
+from repro.serving.frames import (
+    FRAME_TRANSPORTS,
+    BatchFrame,
+    open_frame,
+    publish_frame,
+    retire_frame,
+    shm_available,
+)
 from repro.serving.events import (
     AlertStatus,
     CommandEvent,
@@ -81,6 +89,7 @@ from repro.serving.server import (
     DetectionServer,
     SwapReport,
     backend_from_config,
+    serve_batches,
     serve_stream,
     tail_stream,
 )
@@ -117,6 +126,7 @@ __all__ = [
     "BackendConfig",
     "BatchAborted",
     "BatchConfig",
+    "BatchFrame",
     "CacheConfig",
     "CallbackSink",
     "CommandEvent",
@@ -128,6 +138,7 @@ __all__ = [
     "DetectionResult",
     "DetectionServer",
     "ESCALATION_MODES",
+    "FRAME_TRANSPORTS",
     "HostSession",
     "InlineBackend",
     "JsonlSink",
@@ -160,7 +171,12 @@ __all__ = [
     "ensure_sink",
     "load_bundle",
     "load_recorded_config",
+    "open_frame",
+    "publish_frame",
     "register_sink_scheme",
+    "retire_frame",
+    "serve_batches",
     "serve_stream",
+    "shm_available",
     "tail_stream",
 ]

@@ -37,6 +37,7 @@ from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolEx
 from functools import partial
 
 from repro.errors import ReproError
+from repro.serving.frames import FRAME_TRANSPORTS, publish_frame, retire_frame
 
 #: A picklable zero-argument callable producing a fitted service
 #: (anything exposing ``score_normalized``).  ``functools.partial`` of a
@@ -65,22 +66,36 @@ def load_bundle(directory: str) -> object:
     return IntrusionDetectionService.load(directory)
 
 
+def _split_ranges(count: int, workers: int, min_shard: int) -> list[tuple[int, int]]:
+    """Contiguous ``[start, stop)`` row ranges covering *count* items.
+
+    The partition behind :func:`_split_shards`, reused by the columnar
+    path so string shards and :class:`TokenBatch` row blocks split
+    identically (at most *workers* ranges, each at least *min_shard*
+    items except possibly the last).
+    """
+    if count == 0:
+        return []
+    n_shards = min(workers, max(1, count // max(1, min_shard)))
+    base, extra = divmod(count, n_shards)
+    ranges, start = [], 0
+    for index in range(n_shards):
+        size = base + (1 if index < extra else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
 def _split_shards(lines: Sequence[str], workers: int, min_shard: int) -> list[list[str]]:
     """Split *lines* into at most *workers* contiguous, order-preserving shards.
 
     Tiny batches are not worth a cross-worker dispatch: each shard gets
     at least *min_shard* lines (except possibly the last).
     """
-    if not lines:
-        return []
-    n_shards = min(workers, max(1, len(lines) // max(1, min_shard)))
-    base, extra = divmod(len(lines), n_shards)
-    shards, start = [], 0
-    for index in range(n_shards):
-        size = base + (1 if index < extra else 0)
-        shards.append(list(lines[start : start + size]))
-        start += size
-    return shards
+    return [
+        list(lines[start:stop])
+        for start, stop in _split_ranges(len(lines), workers, min_shard)
+    ]
 
 
 class ScoringBackend(ABC):
@@ -135,6 +150,28 @@ class ScoringBackend(ABC):
     @abstractmethod
     async def score(self, lines: Sequence[str]) -> list[float]:
         """Score *lines*, returning one float per line in input order."""
+
+    @property
+    def supports_columnar(self) -> bool:
+        """Whether :meth:`score_batch` can score a :class:`TokenBatch`.
+
+        In-process backends delegate to the service they hold; the
+        process pool answers for its workers' bundle (see override).
+        """
+        service = getattr(self, "service", None)
+        return callable(getattr(service, "score_batch", None))
+
+    async def score_batch(self, batch) -> list[float]:
+        """Score a pre-tokenized columnar batch (one float per row).
+
+        The batch-first twin of :meth:`score`: consumes a
+        :class:`~repro.tokenizer.columnar.TokenBatch` so no per-line
+        Python objects cross the scoring boundary.  Only valid when
+        :attr:`supports_columnar` is true.
+        """
+        raise NotImplementedError(
+            f"{self.describe()} does not implement columnar scoring"
+        )
 
     async def swap(self, service: object | None = None, loader: ServiceLoader | None = None) -> None:
         """Rotate scoring onto a new model and bump :attr:`generation`.
@@ -198,6 +235,11 @@ class InlineBackend(ScoringBackend):
     async def score(self, lines: Sequence[str]) -> list[float]:
         scores = [float(s) for s in self.service.score_normalized(list(lines))]
         self._record_shard("inline", len(lines))
+        return scores
+
+    async def score_batch(self, batch) -> list[float]:
+        scores = [float(s) for s in self.service.score_batch(batch)]
+        self._record_shard("inline", len(batch))
         return scores
 
 
@@ -273,9 +315,36 @@ class ThreadedBackend(ScoringBackend):
             scores.extend(shard_scores)
         return scores
 
+    async def score_batch(self, batch) -> list[float]:
+        await self.start()
+        service = self.service  # snapshot: one generation per batch
+        loop = asyncio.get_running_loop()
+        ranges = _split_ranges(len(batch), self._workers, self._min_shard)
+        parts = await asyncio.gather(
+            *(
+                loop.run_in_executor(
+                    self._executor,
+                    self._score_rows,
+                    service,
+                    batch.rows(slice(start, stop)),
+                )
+                for start, stop in ranges
+            )
+        )
+        scores: list[float] = []
+        for worker, shard_scores in parts:
+            self._record_shard(worker, len(shard_scores))
+            scores.extend(shard_scores)
+        return scores
+
     @staticmethod
     def _score_shard(service: object, shard: list[str]) -> tuple[str, list[float]]:
         scores = service.score_normalized(shard)
+        return threading.current_thread().name, [float(s) for s in scores]
+
+    @staticmethod
+    def _score_rows(service: object, rows) -> tuple[str, list[float]]:
+        scores = service.score_batch(rows)
         return threading.current_thread().name, [float(s) for s in scores]
 
 
@@ -302,6 +371,32 @@ def _worker_score(
         _WORKER_MODEL["key"] = key
     scores = _WORKER_MODEL["service"].score_normalized(shard)
     return f"pid-{os.getpid()}", os.getpid(), [float(s) for s in scores]
+
+
+def _worker_score_frame(
+    loader: ServiceLoader, frame, start: int, stop: int
+) -> tuple[str, int, list[float]]:
+    """Score rows ``[start, stop)`` of a published columnar frame.
+
+    The frame's **generation stamp** plays the role *key* plays in
+    :func:`_worker_score`: a worker whose cached model is from another
+    generation rehydrates before scoring, so the swap contract holds on
+    the columnar path too.  The row slice is a zero-copy view into the
+    attached shared-memory segment; every array reference is dropped
+    before the segment is released.
+    """
+    from repro.serving.frames import open_frame
+
+    if _WORKER_MODEL["key"] != frame.generation:
+        _WORKER_MODEL["service"] = loader()
+        _WORKER_MODEL["key"] = frame.generation
+    batch, release = open_frame(frame)
+    try:
+        scores = [float(s) for s in _WORKER_MODEL["service"].score_batch(batch.rows(slice(start, stop)))]
+    finally:
+        del batch
+        release()
+    return f"pid-{os.getpid()}", os.getpid(), scores
 
 
 def _worker_preload(loader: ServiceLoader, key: int) -> int:
@@ -331,6 +426,18 @@ class ProcessPoolBackend(ScoringBackend):
     mp_context:
         ``multiprocessing`` start method (default: the platform's;
         ``fork`` on Linux, which makes pool rebuilds cheap).
+    transport:
+        How columnar batches cross the worker boundary: ``"shm"``
+        publishes one generation-stamped shared-memory frame per batch
+        (workers attach and score zero-copy row slices), ``"pickle"``
+        ships the arrays inside the task payload, ``"auto"`` (default)
+        prefers shared memory when the platform has it.  See
+        :mod:`repro.serving.frames`.
+    columnar:
+        Whether workers can score :class:`TokenBatch` frames (their
+        service must expose ``score_batch``).  Default: enabled when
+        the backend was built from *bundle_dir* (real bundles always
+        can), disabled for bare *loader* backends unless opted in.
 
     A worker crash mid-batch surfaces as :class:`WorkerCrashError` on
     that batch's producers; the pool is rebuilt transparently so the
@@ -347,6 +454,8 @@ class ProcessPoolBackend(ScoringBackend):
         workers: int = 2,
         min_shard: int = 4,
         mp_context: str | None = None,
+        transport: str = "auto",
+        columnar: bool | None = None,
     ):
         super().__init__()
         if bundle_dir is None and loader is None:
@@ -355,6 +464,10 @@ class ProcessPoolBackend(ScoringBackend):
             raise ValueError("workers must be >= 1")
         if min_shard < 1:
             raise ValueError("min_shard must be >= 1")
+        if transport not in FRAME_TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {FRAME_TRANSPORTS} (got {transport!r})"
+            )
         self.bundle_dir = None if bundle_dir is None else str(bundle_dir)
         self._loader = loader or partial(load_bundle, self.bundle_dir)
         self._workers = workers
@@ -362,6 +475,19 @@ class ProcessPoolBackend(ScoringBackend):
         self._mp_context = multiprocessing.get_context(mp_context)
         self._executor: ProcessPoolExecutor | None = None
         self._rebuild_lock: asyncio.Lock | None = None
+        self.transport = transport
+        self._columnar = self.bundle_dir is not None if columnar is None else bool(columnar)
+
+    @property
+    def supports_columnar(self) -> bool:
+        """Whether workers can score frames (see the *columnar* parameter).
+
+        Unlike in-process backends the worker service lives across a
+        fork boundary, so this is resolved at construction rather than
+        probed: real bundles always expose ``score_batch``; stub-loader
+        backends must opt in.
+        """
+        return self._columnar
 
     @property
     def workers(self) -> int:
@@ -449,6 +575,48 @@ class ProcessPoolBackend(ScoringBackend):
                 f"scoring worker died mid-batch ({len(lines)} lines affected); "
                 "the pool was rebuilt and the server is still accepting events"
             ) from exc
+        scores: list[float] = []
+        for worker, _pid, shard_scores in parts:
+            self._record_shard(worker, len(shard_scores))
+            scores.extend(shard_scores)
+        return scores
+
+    async def score_batch(self, batch) -> list[float]:
+        """Score a columnar batch: publish one frame, fan row ranges out.
+
+        The batch's arrays cross the process boundary exactly once —
+        as a generation-stamped frame (shared memory under the default
+        transport) — and each worker scores a zero-copy row slice of
+        it.  Crash handling mirrors :meth:`score`: a dead worker
+        surfaces as :class:`WorkerCrashError` and the pool is rebuilt.
+        """
+        if not self._columnar:
+            raise NotImplementedError(
+                f"{self.describe()} was built without columnar worker support"
+            )
+        await self.start()
+        loop = asyncio.get_running_loop()
+        ranges = _split_ranges(len(batch), self._workers, self._min_shard)
+        loader = self._loader
+        frame, segment = publish_frame(batch, self.generation, self.transport)
+        try:
+            futures = [
+                loop.run_in_executor(
+                    self._executor,
+                    partial(_worker_score_frame, loader, frame, start, stop),
+                )
+                for start, stop in ranges
+            ]
+            try:
+                parts = await asyncio.gather(*futures)
+            except BrokenExecutor as exc:
+                await self._rebuild()
+                raise WorkerCrashError(
+                    f"scoring worker died mid-batch ({len(batch)} rows affected); "
+                    "the pool was rebuilt and the server is still accepting events"
+                ) from exc
+        finally:
+            retire_frame(segment)
         scores: list[float] = []
         for worker, _pid, shard_scores in parts:
             self._record_shard(worker, len(shard_scores))

@@ -30,6 +30,8 @@ import zlib
 from collections import OrderedDict
 from collections.abc import Callable
 
+import numpy as np
+
 #: Valid admission policies: plain recency (``lru``) or the
 #: frequency-gated TinyLFU sketch (``tinylfu``).
 ADMISSION_POLICIES = ("lru", "tinylfu")
@@ -83,9 +85,11 @@ class FrequencySketch:
         return min(row[index] for row, index in zip(self._rows, self._indexes(key)))
 
     def _age(self) -> None:
+        # halve every counter in-place with one vectorized pass per row
+        # (a bytearray exposes a writable buffer) — the per-byte Python
+        # loop used to stall the event loop mid-stream on large caches
         for row in self._rows:
-            for index in range(len(row)):
-                row[index] >>= 1
+            np.frombuffer(row, dtype=np.uint8)[:] >>= 1
         self._additions //= 2
         self.ages += 1
 

@@ -114,10 +114,19 @@ def _section(cls, data: dict, key: str, path: str):
 
 @dataclass(frozen=True)
 class BatchConfig:
-    """Micro-batch policy: flush on size or on deadline, whichever first."""
+    """Micro-batch policy: flush on size or on deadline, whichever first.
+
+    ``columnar`` (default on) lets shards tokenize each deduplicated
+    miss batch into one columnar :class:`~repro.tokenizer.columnar.TokenBatch`
+    and score it through ``backend.score_batch`` — no per-line Python
+    objects between the batcher and the embedding matmul.  Turning it
+    off forces the per-line string path everywhere (the pre-columnar
+    behaviour; scores are bitwise-identical either way).
+    """
 
     max_batch: int = 32
     max_latency_ms: float = 25.0
+    columnar: bool = True
 
     def __post_init__(self):
         _as_int(self.max_batch, "batch.max_batch", 1)
@@ -126,15 +135,20 @@ class BatchConfig:
             "max_latency_ms",
             _as_float(self.max_latency_ms, "batch.max_latency_ms", 0.0, exclusive=True),
         )
+        _as_bool(self.columnar, "batch.columnar")
 
     @classmethod
     def from_dict(cls, data: Any, path: str = "batch") -> "BatchConfig":
         data = _require_mapping(data, path)
-        _reject_unknown_keys(data, ("max_batch", "max_latency_ms"), path)
+        _reject_unknown_keys(data, ("max_batch", "max_latency_ms", "columnar"), path)
         return cls(**data)
 
     def to_dict(self) -> dict:
-        return {"max_batch": self.max_batch, "max_latency_ms": self.max_latency_ms}
+        return {
+            "max_batch": self.max_batch,
+            "max_latency_ms": self.max_latency_ms,
+            "columnar": self.columnar,
+        }
 
 
 @dataclass(frozen=True)
@@ -299,14 +313,25 @@ class AutoscaleConfig:
 
 @dataclass(frozen=True)
 class BackendConfig:
-    """Where the LM forward pass runs and across how many workers."""
+    """Where the LM forward pass runs and across how many workers.
+
+    ``transport`` (process backend only) picks how columnar batches
+    cross the worker boundary: ``"shm"`` publishes one shared-memory
+    frame per batch, ``"pickle"`` ships the arrays in the task payload,
+    ``"auto"`` (default) prefers shared memory when available — see
+    :mod:`repro.serving.frames`.
+    """
 
     kind: str = "auto"
     workers: int = 1
+    transport: str = "auto"
 
     def __post_init__(self):
         _as_choice(self.kind, "backend.kind", BACKEND_KINDS)
         _as_int(self.workers, "backend.workers", 1)
+        from repro.serving.frames import FRAME_TRANSPORTS
+
+        _as_choice(self.transport, "backend.transport", FRAME_TRANSPORTS)
 
     @property
     def resolved_kind(self) -> str:
@@ -318,11 +343,11 @@ class BackendConfig:
     @classmethod
     def from_dict(cls, data: Any, path: str = "backend") -> "BackendConfig":
         data = _require_mapping(data, path)
-        _reject_unknown_keys(data, ("kind", "workers"), path)
+        _reject_unknown_keys(data, ("kind", "workers", "transport"), path)
         return cls(**data)
 
     def to_dict(self) -> dict:
-        return {"kind": self.kind, "workers": self.workers}
+        return {"kind": self.kind, "workers": self.workers, "transport": self.transport}
 
 
 @dataclass(frozen=True)

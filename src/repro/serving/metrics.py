@@ -51,6 +51,7 @@ class ServingMetrics:
         "session_evictions",
         "batches",
         "batched_events",
+        "columnar_batches",
         "unique_scored",
         "scoring_errors",
         "swaps",
@@ -80,6 +81,9 @@ class ServingMetrics:
         self.session_evictions = 0
         self.batches = 0
         self.batched_events = 0
+        #: Miss batches scored through the columnar (``TokenBatch``)
+        #: path rather than the per-line string path.
+        self.columnar_batches = 0
         self.unique_scored = 0
         self.scoring_errors = 0
         self.swaps = 0
@@ -268,6 +272,7 @@ class ServingMetrics:
             "session_evictions": self.session_evictions,
             "batches": self.batches,
             "mean_batch_size": round(self.mean_batch_size, 2),
+            "columnar_batches": self.columnar_batches,
             "unique_scored": self.unique_scored,
             "scoring_errors": self.scoring_errors,
             "swaps": self.swaps,

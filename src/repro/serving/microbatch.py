@@ -83,8 +83,17 @@ class MicroBatcher:
 
     @property
     def running(self) -> bool:
-        """Whether the consumer task is active."""
-        return self._worker is not None and not self._worker.done()
+        """Whether the consumer task is active.
+
+        A worker whose event loop has been closed is *not* running: the
+        task can never be scheduled again, even though it was never
+        cancelled and so never reports ``done()``.  Treating it as live
+        would make :meth:`start` a no-op on the new loop — submissions
+        would then queue forever behind a consumer that cannot run.
+        """
+        if self._worker is None or self._worker.done():
+            return False
+        return not self._worker.get_loop().is_closed()
 
     @property
     def pending(self) -> int:
@@ -99,10 +108,28 @@ class MicroBatcher:
         """Spawn the consumer task (idempotent; re-startable after stop)."""
         if self.running:
             return
-        if self._queue.empty():
-            # an asyncio.Queue binds to the loop it is first used on;
-            # rebuild it so a stopped batcher can restart on a new loop
-            self._queue = asyncio.Queue()
+        # an asyncio.Queue binds to the loop it is first used on, so a
+        # stopped batcher must rebuild it to restart on a new loop —
+        # unconditionally: anything still queued belongs to a previous
+        # run whose drain died (its producers may be gone, or waiting on
+        # a dead loop), and silently re-binding those items to the new
+        # worker would hand their results to nobody.  Fail them loudly.
+        stranded = []
+        while not self._queue.empty():
+            stranded.append(self._queue.get_nowait())
+        for _, future in stranded:
+            if not future.done():
+                try:
+                    future.set_exception(
+                        BatchAborted(
+                            "item was stranded in a stopped micro-batcher's queue; "
+                            "resubmit after start()"
+                        )
+                    )
+                    future.exception()  # ownerless futures must not warn at GC
+                except RuntimeError:
+                    pass  # the producer's event loop is already closed
+        self._queue = asyncio.Queue()
         self._worker = asyncio.get_running_loop().create_task(self._consume())
 
     async def stop(self) -> None:
@@ -142,13 +169,19 @@ class MicroBatcher:
             reason = FLUSH_SIZE
             try:
                 while len(batch) < self.max_batch:
+                    # drain whatever is already queued without awaiting
+                    while len(batch) < self.max_batch:
+                        try:
+                            batch.append(self._queue.get_nowait())
+                        except asyncio.QueueEmpty:
+                            break
+                    if len(batch) >= self.max_batch:
+                        break
                     remaining = deadline - loop.time()
                     if remaining <= 0:
                         reason = FLUSH_DEADLINE
                         break
-                    try:
-                        batch.append(await asyncio.wait_for(self._queue.get(), remaining))
-                    except asyncio.TimeoutError:
+                    if not await self._collect_one(batch, remaining):
                         reason = FLUSH_DEADLINE
                         break
             except asyncio.CancelledError:
@@ -156,6 +189,32 @@ class MicroBatcher:
                 await self._flush(batch, FLUSH_DRAIN)
                 raise
             await self._flush(batch, reason)
+
+    async def _collect_one(self, batch: list, timeout: float) -> bool:
+        """Wait up to *timeout*s for one queue item; append it to *batch*.
+
+        Returns ``True`` when an item was collected, ``False`` on
+        timeout.  Replaces ``asyncio.wait_for(queue.get(), timeout)``,
+        whose timeout can cancel the wrapped getter *after* it dequeued
+        an item — silently losing that producer's event (its future
+        never resolves).  Here the getter is a separate task that
+        ``asyncio.wait`` never cancels on timeout, and the ``finally``
+        block appends an already-dequeued item to *batch* on every exit
+        path — including the timeout landing in the same loop iteration
+        as the dequeue, and ``stop()``'s cancellation racing it (the
+        item then rides the caller's drain flush).
+        """
+        getter = asyncio.get_running_loop().create_task(self._queue.get())
+        try:
+            done, _ = await asyncio.wait({getter}, timeout=timeout)
+            return bool(done)
+        finally:
+            if not getter.done():
+                getter.cancel()
+            try:
+                batch.append(await getter)
+            except asyncio.CancelledError:
+                pass  # getter cancelled before dequeuing: nothing to salvage
 
     async def _flush(self, batch: list[tuple[Any, asyncio.Future]], reason: str) -> None:
         items = [item for item, _ in batch]

@@ -149,7 +149,9 @@ def backend_from_config(
             "service (service.save(dir)) or serve it with backend.kind "
             "'inline'/'threaded'"
         )
-    return ProcessPoolBackend(str(bundle_dir), workers=config.workers)
+    return ProcessPoolBackend(
+        str(bundle_dir), workers=config.workers, transport=config.transport
+    )
 
 
 def _require_sequence_head(mode: str, service) -> None:
@@ -277,6 +279,7 @@ class DetectionServer:
         shards: int = 1,
         shard_virtual_nodes: int = 64,
         autoscale: AutoscaleConfig | None = None,
+        columnar: bool = True,
     ):
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -321,6 +324,7 @@ class DetectionServer:
                 cache_admission=cache_admission,
                 session=session,
                 metrics=shard_metrics[shard_id],
+                columnar=columnar,
             )
             for shard_id in range(shards)
         ]
@@ -455,6 +459,7 @@ class DetectionServer:
             shards=config.shards.count,
             shard_virtual_nodes=config.shards.virtual_nodes,
             autoscale=config.autoscale,
+            columnar=config.batch.columnar,
         )
         server.config = config
         if record:
@@ -551,6 +556,51 @@ class DetectionServer:
     async def submit_event(self, event: CommandEvent) -> DetectionResult:
         """Submit a :class:`CommandEvent` (record-style convenience)."""
         return await self.submit(event.line, host=event.host, timestamp=event.timestamp)
+
+    async def submit_many(
+        self, events: Iterable[CommandEvent | str]
+    ) -> list[DetectionResult]:
+        """Score a pre-collected batch of events through the batch-first path.
+
+        Events are routed by host to their owning shards and each shard
+        runs its slice through
+        :meth:`~repro.serving.shard.ShardRuntime.process_batch` — one
+        preprocess pass, one cache sweep, one deduplicated (columnar
+        when available) scoring call, one batched second-stage call —
+        with shards processing concurrently.  Results come back in
+        input order.  Within a shard, events keep their relative input
+        order, so per-host session semantics match submitting them one
+        at a time.
+        """
+        materialized = [
+            event if isinstance(event, CommandEvent) else CommandEvent(line=event)
+            for event in events
+        ]
+        if not materialized:
+            return []
+        by_shard: dict[int, list[int]] = {}
+        for position, event in enumerate(materialized):
+            by_shard.setdefault(self.router.route(event.host), []).append(position)
+        results: list[DetectionResult | None] = [None] * len(materialized)
+
+        now = time.time()
+
+        async def run_shard(shard_id: int, positions: list[int]) -> None:
+            runtime = self.shards[shard_id]
+            batch = [
+                (
+                    materialized[p].line,
+                    materialized[p].host,
+                    now if materialized[p].timestamp is None else float(materialized[p].timestamp),
+                )
+                for p in positions
+            ]
+            for position, result in zip(positions, await runtime.process_batch(batch)):
+                results[position] = result
+        await asyncio.gather(
+            *(run_shard(shard_id, positions) for shard_id, positions in by_shard.items())
+        )
+        return [result for result in results if result is not None]
 
     # -- hot model swap ----------------------------------------------------
 
@@ -696,6 +746,47 @@ def serve_stream(
         async with server:
             await asyncio.gather(*(producer() for _ in range(concurrency)))
         return [result for result in results if result is not None]
+
+    return asyncio.run(_run()), server
+
+
+def serve_batches(
+    service: IntrusionDetectionService,
+    events: Iterable[CommandEvent | str],
+    *,
+    batch_size: int = 1024,
+    **server_options,
+) -> tuple[list[DetectionResult], DetectionServer]:
+    """Drive a server over *events* through the batch-first path.
+
+    The bulk twin of :func:`serve_stream` for replay/backfill workloads
+    where the events are already collected: instead of fanning
+    single-event producers into per-shard micro-batchers, slices of
+    *batch_size* events go straight to
+    :meth:`DetectionServer.submit_many`, which runs each shard's slice
+    through its columnar pipeline in one pass.  Returns per-event
+    results in input order plus the stopped server.
+
+    ``server_options`` follows :func:`serve_stream`: an existing
+    ``server=`` (alone), or keyword options for a new
+    :class:`DetectionServer`.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    materialized = [
+        event if isinstance(event, CommandEvent) else CommandEvent(line=event)
+        for event in events
+    ]
+    server = _resolve_server(service, server_options)
+
+    async def _run() -> list[DetectionResult]:
+        results: list[DetectionResult] = []
+        async with server:
+            for start in range(0, len(materialized), batch_size):
+                results.extend(
+                    await server.submit_many(materialized[start : start + batch_size])
+                )
+        return results
 
     return asyncio.run(_run()), server
 

@@ -37,7 +37,10 @@ from __future__ import annotations
 import asyncio
 import bisect
 import time
+from collections.abc import Sequence
 from hashlib import blake2b
+
+import numpy as np
 
 from repro.serving.cache import ScoreCache
 from repro.serving.config import SessionConfig
@@ -162,9 +165,14 @@ class ShardRuntime:
         cache_admission: str = "lru",
         session: SessionConfig | None = None,
         metrics: ServingMetrics | None = None,
+        columnar: bool = True,
     ):
         self.shard_id = shard_id
         self._ctx = context
+        #: Prefer the columnar (``TokenBatch``) scoring path when the
+        #: service and backend both support it; ``False`` forces the
+        #: per-line string path (the pre-columnar behaviour).
+        self.columnar = columnar
         self.metrics = metrics or ServingMetrics()
         self.cache = ScoreCache(
             cache_size, ttl_seconds=cache_ttl_seconds, admission=cache_admission
@@ -334,32 +342,204 @@ class ShardRuntime:
         self.metrics.alerts += 1
         return alert
 
-    async def _score_batch(self, lines: list[str]) -> list[tuple[float, int]]:
-        """Micro-batch handler: score distinct lines once, fill the cache.
+    def _columnar_active(self) -> bool:
+        """Whether batches can take the columnar (``TokenBatch``) path."""
+        ctx = self._ctx
+        return (
+            self.columnar
+            and ctx.backend.supports_columnar
+            and callable(getattr(ctx.service, "encode_batch", None))
+        )
 
-        Returns ``(score, generation)`` pairs so producers can stamp
-        their results with the model that actually scored them.  The
-        shard's score lock serializes *this shard's* batches against
-        ``swap_model`` (which holds every shard's lock), so a batch
-        never mixes model generations — while batches from *different*
-        shards overlap freely on a multi-worker backend.
+    async def _score_unique(self, lines: list[str]) -> tuple[list[float], int]:
+        """Score already-deduplicated *lines* under the shard's score lock.
+
+        Returns ``(scores, generation)`` — the generation that actually
+        scored the batch.  The lock serializes *this shard's* batches
+        against ``swap_model`` (which holds every shard's lock), so a
+        batch never mixes model generations — while batches from
+        *different* shards overlap freely on a multi-worker backend.
+        On the columnar path the batch is tokenized into one
+        :class:`~repro.tokenizer.columnar.TokenBatch` **inside** the
+        lock (tokenizer and scorer must come from the same generation)
+        and handed to ``backend.score_batch`` — no per-line Python loop
+        between here and the embedding matmul.
         """
         ctx = self._ctx
-        unique: dict[str, tuple[float, int]] = dict.fromkeys(lines, (0.0, 0))
         if self._score_lock is None:
             raise RuntimeError("shard is not running; call start() first")
         async with self._score_lock:
             generation = ctx.generation
             score_started = time.perf_counter()
             try:
-                scores = await ctx.backend.score(list(unique))
+                if self._columnar_active():
+                    batch = ctx.service.encode_batch(lines)
+                    scores = await ctx.backend.score_batch(batch)
+                    self.metrics.columnar_batches += 1
+                else:
+                    scores = await ctx.backend.score(lines)
             except Exception:
                 self.metrics.scoring_errors += 1
                 raise
             self.metrics.record_batch_score((time.perf_counter() - score_started) * 1000.0)
+        return scores, generation
+
+    async def _score_batch(self, lines: list[str]) -> list[tuple[float, int]]:
+        """Micro-batch handler: score distinct lines once, fill the cache.
+
+        Returns ``(score, generation)`` pairs so producers can stamp
+        their results with the model that actually scored them.
+        """
+        unique: dict[str, tuple[float, int]] = dict.fromkeys(lines, (0.0, 0))
+        scores, generation = await self._score_unique(list(unique))
         for line, score in zip(unique, scores):
             value = float(score)
             unique[line] = (value, generation)
             self.cache.put(line, value, generation=generation)
         self.metrics.unique_scored += len(unique)
         return [unique[line] for line in lines]
+
+    # -- batch event path --------------------------------------------------
+
+    async def process_batch(
+        self, events: Sequence[tuple[str, str, float]]
+    ) -> list[DetectionResult]:
+        """Run a pre-collected batch of ``(line, host, when)`` events.
+
+        The batch-first twin of :meth:`process`: one preprocess pass,
+        one cache sweep, one deduplicated scoring call (columnar when
+        available — skipping the micro-batcher entirely, since the
+        batch is already composed), one vectorized threshold, and one
+        batched second-stage ``score_sequence`` call for every flagged
+        event.  Events are observed by the session aggregator strictly
+        in input order with contexts composed in-line, so per-host
+        escalation counting and context windows match the per-event
+        path exactly.
+
+        Scores, verdicts, and escalation bookkeeping are identical to
+        submitting the events one at a time.  Three deliberate batch
+        semantics differ: every event in the batch reports the batch's
+        wall-clock latency; an alert's ``ESCALATED``/``OPEN`` status
+        reflects the host's session state at the *end* of the batch
+        (alerts are emitted after all events were observed) rather
+        than mid-batch; and a line repeated *within* the batch is
+        served by the scoring dedup rather than the cache, so it
+        counts as a cache miss (the per-event path would count a hit).
+        """
+        started = time.perf_counter()
+        ctx = self._ctx
+        n = len(events)
+        if n == 0:
+            return []
+        event_ids = [ctx.next_event_id() for _ in range(n)]
+        normalized = [ctx.service.preprocess(line) for line, _, _ in events]
+
+        # one cache sweep; misses collected for a single scoring call
+        scores = [0.0] * n
+        generations = [ctx.generation] * n
+        cache_hits = [False] * n
+        miss_indexes: list[int] = []
+        for index, line in enumerate(normalized):
+            if line is None:
+                continue
+            cached = self.cache.lookup(line)
+            if cached is not None:
+                scores[index], generations[index] = cached
+                cache_hits[index] = True
+            else:
+                miss_indexes.append(index)
+
+        if miss_indexes:
+            unique = list(dict.fromkeys(normalized[i] for i in miss_indexes))
+            unique_scores, generation = await self._score_unique(unique)
+            by_line: dict[str, float] = {}
+            for line, score in zip(unique, unique_scores):
+                value = float(score)
+                by_line[line] = value
+                self.cache.put(line, value, generation=generation)
+            self.metrics.unique_scored += len(unique)
+            self.metrics.record_batch(len(miss_indexes), "bulk")
+            for index in miss_indexes:
+                scores[index] = by_line[normalized[index]]
+                generations[index] = generation
+
+        live = np.array([line is not None for line in normalized], dtype=bool)
+        flags = live & (np.asarray(scores, dtype=np.float64) >= ctx.service.threshold)
+
+        # observe in strict input order; compose each flagged event's
+        # context at its own position so the window is that event's
+        sessions: list = [None] * n
+        contexts: list[str | None] = [None] * n
+        sequence_scores: list[float | None] = [None] * n
+        flagged: list[int] = []
+        sequence_mode = self.sessions.mode != "count"
+        for index, (_, host, when) in enumerate(events):
+            if normalized[index] is None:
+                continue
+            session, newly_escalated = self.sessions.observe(
+                host, when, bool(flags[index]), line=normalized[index]
+            )
+            sessions[index] = session
+            if newly_escalated:
+                self.metrics.escalations += 1
+            if flags[index] and sequence_mode:
+                context = self.sessions.compose_context(host)
+                if context is not None:
+                    contexts[index] = context
+                    flagged.append(index)
+
+        if flagged:
+            # one second-stage forward pass for the whole batch,
+            # off-loop; escalations applied back in event order
+            seq_scores = await asyncio.to_thread(
+                ctx.service.score_sequence, [contexts[i] for i in flagged]
+            )
+            for index, value in zip(flagged, seq_scores):
+                sequence_scores[index] = float(value)
+                self.metrics.sequence_scored += 1
+                if self.sessions.record_sequence_score(
+                    events[index][1], sequence_scores[index]
+                ):
+                    self.metrics.escalations += 1
+                    self.metrics.sequence_escalations += 1
+
+        alerts: list[DetectionAlert | None] = [None] * n
+        for index, (_, host, when) in enumerate(events):
+            if flags[index]:
+                alerts[index] = self._emit_alert(
+                    event_ids[index],
+                    host,
+                    normalized[index],
+                    scores[index],
+                    when,
+                    sessions[index].escalated,
+                    context=contexts[index],
+                    sequence_score=sequence_scores[index],
+                )
+
+        self.metrics.session_evictions = self.sessions.evictions
+        self.metrics.sync_cache(self.cache)
+        latency = (time.perf_counter() - started) * 1000.0
+        results = []
+        for index, (raw, host, _) in enumerate(events):
+            dropped = normalized[index] is None
+            self.metrics.record_event(
+                latency, dropped=dropped, cache_hit=cache_hits[index]
+            )
+            results.append(
+                DetectionResult(
+                    event_id=event_ids[index],
+                    host=host,
+                    raw_line=raw,
+                    line=normalized[index] or "",
+                    score=scores[index],
+                    is_intrusion=bool(flags[index]),
+                    dropped=dropped,
+                    cache_hit=cache_hits[index],
+                    latency_ms=latency,
+                    alert=alerts[index],
+                    generation=generations[index],
+                    sequence_score=sequence_scores[index],
+                )
+            )
+        return results

@@ -4,19 +4,25 @@ Public surface:
 
 - :class:`BPETokenizer` — trainable byte-pair encoder with BERT-style
   special tokens and truncation.
+- :class:`ColumnarTokenizer` / :class:`TokenBatch` — precompiled
+  batch-first encoder producing padded columnar id/length arrays
+  (bitwise-identical per-row ids to :meth:`BPETokenizer.encode`).
 - :class:`Vocab` / :class:`SpecialTokens` — vocabulary plumbing.
 - :func:`save_tokenizer` / :func:`load_tokenizer` — JSON persistence.
 """
 
 from repro.tokenizer.bpe import BPETokenizer, Encoding
+from repro.tokenizer.columnar import ColumnarTokenizer, TokenBatch
 from repro.tokenizer.serialization import load_tokenizer, save_tokenizer
 from repro.tokenizer.special import WORD_BOUNDARY, SpecialTokens
 from repro.tokenizer.vocab import Vocab
 
 __all__ = [
     "BPETokenizer",
+    "ColumnarTokenizer",
     "Encoding",
     "SpecialTokens",
+    "TokenBatch",
     "Vocab",
     "WORD_BOUNDARY",
     "load_tokenizer",

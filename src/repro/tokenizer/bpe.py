@@ -100,6 +100,19 @@ class BPETokenizer:
             raise TokenizerError("cannot train BPE on an empty corpus")
         vocab = Vocab(special=self.special)
         alphabet = sorted({ch for word in word_freqs for ch in word})
+        char_budget = self.vocab_size - len(vocab)
+        if len(alphabet) > char_budget:
+            # vocab_size is a hard contract: when the corpus alphabet
+            # alone would blow it, keep the most frequent characters
+            # (ties lexicographic) and let the rest fall back to [UNK]
+            char_freqs: Counter[str] = Counter()
+            for word, freq in word_freqs.items():
+                for ch in word:
+                    char_freqs[ch] += freq
+            keep = set(
+                sorted(alphabet, key=lambda ch: (-char_freqs[ch], ch))[:char_budget]
+            )
+            alphabet = [ch for ch in alphabet if ch in keep]
         for ch in alphabet:
             vocab.add(ch)
 

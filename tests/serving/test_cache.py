@@ -232,6 +232,35 @@ class TestFrequencySketch:
         assert a.estimate("x") == b.estimate("x")
         assert a.estimate("y") == b.estimate("y")
 
+    def test_vectorized_age_matches_per_byte_halving(self):
+        # the numpy aging pass must be byte-for-byte the old Python loop
+        import random
+
+        sketch = FrequencySketch(capacity=64)
+        rng = random.Random(7)
+        keys = [f"cmd --flag {rng.randrange(500)}" for _ in range(5_000)]
+        estimates_before = {}
+        for key in keys:
+            sketch.record(key)
+        for key in set(keys):
+            estimates_before[key] = sketch.estimate(key)
+        reference_rows = [bytes(byte // 2 for byte in row) for row in sketch._rows]
+        additions_before = sketch._additions
+        sketch._age()
+        assert [bytes(row) for row in sketch._rows] == reference_rows
+        assert sketch._additions == additions_before // 2
+        assert sketch.ages == 1
+        for key, before in estimates_before.items():
+            assert sketch.estimate(key) == before // 2
+
+    def test_saturated_counters_age_like_any_other(self):
+        sketch = FrequencySketch(capacity=1, sample_size=10_000)
+        for _ in range(300):  # saturates at the 8-bit cap (255)
+            sketch.record("hot")
+        assert sketch.estimate("hot") == 255
+        sketch._age()
+        assert sketch.estimate("hot") == 127
+
 
 class TestTinyLfuAdmission:
     def test_one_hit_wonders_cannot_displace_the_hot_set(self):

@@ -212,3 +212,94 @@ class TestAsyncHandler:
 
         outcomes = run(scenario())
         assert all(isinstance(outcome, BatchAborted) for outcome in outcomes)
+
+
+class TestDeadlineRaceRegression:
+    """The old collector used ``asyncio.wait_for(queue.get(), remaining)``;
+    when the timeout landed in the same loop iteration as a dequeue, the
+    cancelled getter dropped the item — its producer hung forever."""
+
+    def test_hammering_the_timeout_boundary_never_loses_events(self):
+        handler = RecordingHandler()
+        producers, per_producer = 8, 25
+
+        async def scenario():
+            # max_latency_ms=1 with ~1ms submit gaps keeps every deadline
+            # expiry racing an in-flight dequeue
+            batcher = MicroBatcher(handler, max_batch=8, max_latency_ms=1)
+            await batcher.start()
+
+            async def producer(name: int) -> list[str]:
+                results = []
+                for i in range(per_producer):
+                    results.append(await batcher.submit(f"{name}-{i}"))
+                    await asyncio.sleep(0.001)
+                return results
+
+            results = await asyncio.wait_for(
+                asyncio.gather(*(producer(p) for p in range(producers))),
+                timeout=60.0,
+            )
+            await batcher.stop()
+            return results
+
+        results = run(scenario())
+        # every submission resolved, with its own result
+        flat = [item for chunk in results for item in chunk]
+        assert len(flat) == producers * per_producer
+        expected = sorted(
+            f"scored:{p}-{i}" for p in range(producers) for i in range(per_producer)
+        )
+        assert sorted(flat) == expected
+        # and the handler saw each event exactly once (no loss, no dupes)
+        handled = sorted(item for batch in handler.batches for item in batch)
+        assert handled == sorted(
+            f"{p}-{i}" for p in range(producers) for i in range(per_producer)
+        )
+
+
+class TestRestartWithStrandedQueue:
+    """The old ``start()`` kept a non-empty queue — bound to a dead loop,
+    holding futures nobody could ever resolve — when restarting."""
+
+    def test_restart_on_new_loop_fails_stranded_items_and_serves_fresh_ones(self):
+        calls: list[list] = []
+        block_first = {"armed": True}
+
+        async def handler(items):
+            calls.append(list(items))
+            if block_first["armed"]:
+                block_first["armed"] = False
+                await asyncio.Event().wait()  # first batch never returns
+            return [f"scored:{item}" for item in items]
+
+        batcher = MicroBatcher(handler, max_batch=1, max_latency_ms=5)
+
+        loop = asyncio.new_event_loop()
+        try:
+
+            async def first_run():
+                await batcher.start()
+                in_flight = asyncio.ensure_future(batcher.submit("in-flight"))
+                await asyncio.sleep(0.02)  # worker is now stuck in the handler
+                stranded = asyncio.ensure_future(batcher.submit("stranded"))
+                await asyncio.sleep(0.02)  # "stranded" sits queued behind it
+                return in_flight, stranded
+
+            in_flight, stranded = loop.run_until_complete(first_run())
+            assert batcher.pending == 1  # "stranded" never reached the handler
+        finally:
+            # abandon the loop mid-flight: worker task and queue die with it
+            loop.close()
+
+        async def second_run():
+            await batcher.start()  # must rebuild the queue for this loop
+            result = await asyncio.wait_for(batcher.submit("fresh"), timeout=2.0)
+            await batcher.stop()
+            return result
+
+        assert run(second_run()) == "scored:fresh"
+        assert batcher.pending == 0
+        # keep the dead-loop futures alive until here so their abort (or
+        # cancellation) never warns at GC mid-test
+        del in_flight, stranded

@@ -659,3 +659,79 @@ def test_bench_serving_sequence_escalation_overhead(world, benchmark):
         f"sequence-mode overhead too high: {count_eps:,.0f} -> {seq_eps:,.0f} ev/s "
         f"({overhead:.2f}x)"
     )
+
+
+def test_bench_serving_fleet_throughput(benchmark, serving_snapshot, bench_regression_gate):
+    """Two-node fleet over real localhost TCP: throughput + merged tails.
+
+    The fleet router consistent-hashes hosts across two
+    :class:`FleetNode` s, each wrapping its own server, and every event
+    crosses a real socket twice (frame out, ack back).  The recorded
+    numbers are the fleet's end-to-end events/sec and the p50/p99 of the
+    **merged** latency reservoirs — the same control-plane aggregation
+    ``fleet-admin status`` reports — so the snapshot captures what the
+    wire and the ring cost on top of a single in-process server.
+    """
+    from repro.fleet import FleetConfig, FleetNode, FleetRouter
+
+    service = _FixedCostService(batch_cost_s=0.001)
+    events = _multi_host_mostly_miss_stream(n_events=2048, hosts=64)
+    n_nodes = 2
+
+    async def run_fleet():
+        nodes = []
+        for _ in range(n_nodes):
+            server = DetectionServer(
+                service, max_batch=64, max_latency_ms=5, cache_size=0
+            )
+            node = FleetNode(server, port=0)
+            await node.start()
+            nodes.append(node)
+        config = FleetConfig(
+            nodes=tuple(node.address for node in nodes),
+            batch_max_events=64,
+            batch_max_latency_ms=5.0,
+            max_inflight_batches=4,
+        )
+        started = time.perf_counter()
+        async with FleetRouter(config, heartbeats=False) as router:
+            await router.submit_many(events)
+            await router.drain()
+            seconds = time.perf_counter() - started
+            merged = await router.merged_metrics()
+            stats = router.stats()
+        per_node_events = [node.events_ingested for node in nodes]
+        for node in nodes:
+            await node.stop()
+        return merged, stats, per_node_events, seconds
+
+    merged, stats, per_node_events, seconds = benchmark.pedantic(
+        lambda: asyncio.run(run_fleet()), rounds=1, iterations=1
+    )
+    fleet_eps = len(events) / seconds
+
+    fleet_metrics = {
+        "events": len(events),
+        "nodes": n_nodes,
+        "fleet_events_per_second": round(fleet_eps, 1),
+        "latency_p50_ms": round(merged.latency_percentile(50), 3),
+        "latency_p99_ms": round(merged.latency_percentile(99), 3),
+    }
+    benchmark.extra_info.update(fleet_metrics)
+    serving_snapshot["fleet"] = fleet_metrics
+    print(
+        f"\nfleet: {len(events)} events over {n_nodes} TCP nodes | "
+        f"{fleet_eps:,.0f} ev/s | p50 {fleet_metrics['latency_p50_ms']}ms | "
+        f"p99 {fleet_metrics['latency_p99_ms']}ms"
+    )
+
+    # exact accounting: the merged totals are the stream, nothing dropped
+    assert merged.events_total == len(events)
+    assert sum(per_node_events) == len(events)
+    assert stats["orphaned_events"] == 0
+    assert stats["nodes_evicted"] == 0
+    assert stats["batches_nacked"] == 0
+    # the ring actually spread hosts: both nodes carried real traffic
+    assert all(count > 0 for count in per_node_events)
+    assert merged.latency_percentile(99) >= merged.latency_percentile(50) > 0
+    bench_regression_gate("fleet", fleet_metrics)

@@ -11,11 +11,15 @@ regenerated from a shell:
    $ repro-ids all
 
 ``repro-ids serve`` dispatches to the streaming detection server
-instead (see :mod:`repro.serving.cli`):
+instead (see :mod:`repro.serving.cli`), and the ``fleet-*`` commands
+to the multi-node runtime (see :mod:`repro.fleet.cli`):
 
 .. code-block:: console
 
    $ repro-ids serve --input telemetry.log --alerts-out alerts.jsonl
+   $ repro-ids fleet-node --bind 127.0.0.1:9101 --config fleet.toml
+   $ repro-ids fleet-route --config fleet.toml --input telemetry.log
+   $ repro-ids fleet-admin --config fleet.toml status
 """
 
 from __future__ import annotations
@@ -79,6 +83,15 @@ def main(argv: list[str] | None = None) -> int:
         from repro.serving.cli import serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] in ("fleet-node", "fleet-route", "fleet-admin"):
+        from repro.fleet import cli as fleet_cli
+
+        dispatch = {
+            "fleet-node": fleet_cli.fleet_node_main,
+            "fleet-route": fleet_cli.fleet_route_main,
+            "fleet-admin": fleet_cli.fleet_admin_main,
+        }
+        return dispatch[argv[0]](argv[1:])
     args = build_parser().parse_args(argv)
     names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

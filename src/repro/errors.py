@@ -52,3 +52,8 @@ class DataError(ReproError):
 
 class CheckpointError(ReproError):
     """Raised when serialized model state cannot be saved or restored."""
+
+
+class FleetError(ReproError):
+    """Raised for multi-node fleet failures: malformed wire frames, a
+    node rejecting an admin verb, or a fleet with no live nodes left."""

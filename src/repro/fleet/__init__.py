@@ -1,0 +1,69 @@
+"""Networked multi-node serving: one detector built from N servers.
+
+The single-process :class:`~repro.serving.server.DetectionServer`
+shards hosts across in-process pipelines; this package lifts the same
+design one level up, across processes and machines:
+
+- :mod:`repro.fleet.protocol` — length-prefixed newline-JSON frames
+  (ingest batches, acks, heartbeats, admin verbs);
+- :mod:`repro.fleet.node` — :class:`FleetNode`, the TCP face on one
+  :class:`DetectionServer`;
+- :mod:`repro.fleet.router` — :class:`FleetRouter`, the ingest
+  frontend: node-level hash ring over ``event.host`` (the same
+  :class:`~repro.serving.ring.HashRing` the shard router uses),
+  per-node batching with bounded in-flight windows, heartbeat-driven
+  eviction with drain-and-reassign, at-least-once replay, rolling
+  generation-fenced fleet swaps, and merged fleet metrics;
+- :mod:`repro.fleet.membership` — the pure consecutive-miss failure
+  detector behind the heartbeats;
+- :mod:`repro.fleet.config` — the ``[fleet]`` deployment block;
+- :mod:`repro.fleet.cli` — ``repro-ids fleet-node`` / ``fleet-route``
+  / ``fleet-admin``.
+"""
+
+from repro.fleet.config import FleetConfig, load_fleet_file, parse_address
+from repro.fleet.membership import DEAD, LIVE, SUSPECT, FailureDetector, NodeHealth
+from repro.fleet.node import ADMIN_VERBS, FleetNode
+from repro.fleet.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FleetChannel,
+    ack_message,
+    admin_message,
+    decode_events,
+    encode_frame,
+    error_message,
+    heartbeat_message,
+    ingest_message,
+    nack_message,
+    read_frame,
+    write_frame,
+)
+from repro.fleet.router import FleetRouter
+
+__all__ = [
+    "ADMIN_VERBS",
+    "DEAD",
+    "LIVE",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "SUSPECT",
+    "FailureDetector",
+    "FleetChannel",
+    "FleetConfig",
+    "FleetNode",
+    "FleetRouter",
+    "NodeHealth",
+    "ack_message",
+    "admin_message",
+    "decode_events",
+    "encode_frame",
+    "error_message",
+    "heartbeat_message",
+    "ingest_message",
+    "load_fleet_file",
+    "nack_message",
+    "parse_address",
+    "read_frame",
+    "write_frame",
+]

@@ -1,0 +1,216 @@
+"""Typed configuration for the multi-node fleet (the ``[fleet]`` block).
+
+One TOML/JSON file describes a whole deployment: the standard serving
+tables (``batch`` / ``cache`` / ``backend`` / ...) configure what every
+node runs, and one extra ``[fleet]`` table configures how the nodes are
+tied together::
+
+    [fleet]
+    nodes = ["127.0.0.1:9101", "127.0.0.1:9102", "127.0.0.1:9103"]
+    heartbeat_interval_seconds = 0.5
+    suspicion_misses = 3
+    batch_max_events = 256
+    batch_max_latency_ms = 50.0
+
+    [shards]
+    count = 2
+    ...
+
+``repro-ids fleet-node`` reads the serving tables (plus its ``--bind``
+address), ``repro-ids fleet-route`` and ``fleet-admin`` read the
+``[fleet]`` table — :func:`load_fleet_file` splits one file into both
+views, so the fleet has a single deployment artifact.  Validation
+follows the serving-config contract: frozen dataclasses, fail at parse
+time with the dotted path of the offending key, lossless
+``to_dict``/``from_dict`` round-trip.
+"""
+
+from __future__ import annotations
+
+import json
+import tomllib
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ConfigError
+from repro.serving.config import (
+    ServingConfig,
+    _as_float,
+    _as_int,
+    _reject_unknown_keys,
+    _require_mapping,
+)
+
+
+def parse_address(address: str, path: str = "fleet.nodes[?]") -> tuple[str, int]:
+    """Split a ``host:port`` node address, validating both halves."""
+    if not isinstance(address, str) or ":" not in address:
+        raise ConfigError(
+            f"{path} must be a 'host:port' string (got {address!r})"
+        )
+    host, _, port_text = address.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ConfigError(
+            f"{path}: port must be an integer (got {address!r})"
+        ) from None
+    if not host or not (0 <= port <= 65535):
+        raise ConfigError(
+            f"{path}: need a non-empty host and a port in [0, 65535] (got {address!r})"
+        )
+    return host, port
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """How N serving nodes act as one detector.
+
+    Attributes
+    ----------
+    nodes:
+        ``host:port`` ingest addresses of the fleet's nodes.  The
+        router consistent-hashes ``event.host`` across them; order is
+        irrelevant to routing (the ring hashes addresses, not indexes).
+    virtual_nodes:
+        Hash-ring points per node (same knob as ``shards.virtual_nodes``
+        one level down).
+    heartbeat_interval_seconds / heartbeat_timeout_seconds:
+        Probe cadence and per-probe answer deadline.
+    suspicion_misses:
+        Consecutive missed heartbeats after which a node is evicted,
+        its hosts reassigned, and its unacknowledged batches replayed.
+    batch_max_events / batch_max_latency_ms:
+        Client-side batching per node: a node's buffered events are
+        framed and sent when the batch fills or the oldest buffered
+        event reaches the deadline, whichever first (the fleet-level
+        twin of the server's micro-batch policy).
+    max_inflight_batches:
+        Bound on unacknowledged batches per node; a full window blocks
+        the sender (backpressure), and everything in it is replayed if
+        the node dies.
+    connect_timeout_seconds:
+        TCP connect deadline per node.
+    drain_timeout_seconds:
+        How long ``drain()`` / rolling swap may wait for a node's
+        window to empty before declaring the fleet stuck.
+    """
+
+    nodes: tuple[str, ...] = ()
+    virtual_nodes: int = 64
+    heartbeat_interval_seconds: float = 0.5
+    heartbeat_timeout_seconds: float = 2.0
+    suspicion_misses: int = 3
+    batch_max_events: int = 256
+    batch_max_latency_ms: float = 50.0
+    max_inflight_batches: int = 4
+    connect_timeout_seconds: float = 5.0
+    drain_timeout_seconds: float = 30.0
+
+    def __post_init__(self):
+        nodes = tuple(self.nodes)
+        for index, address in enumerate(nodes):
+            parse_address(address, path=f"fleet.nodes[{index}]")
+        if len(set(nodes)) != len(nodes):
+            raise ConfigError(f"fleet.nodes contains duplicate addresses: {nodes}")
+        object.__setattr__(self, "nodes", nodes)
+        _as_int(self.virtual_nodes, "fleet.virtual_nodes", 1)
+        for name in ("heartbeat_interval_seconds", "heartbeat_timeout_seconds"):
+            object.__setattr__(
+                self,
+                name,
+                _as_float(getattr(self, name), f"fleet.{name}", 0.0, exclusive=True),
+            )
+        _as_int(self.suspicion_misses, "fleet.suspicion_misses", 1)
+        _as_int(self.batch_max_events, "fleet.batch_max_events", 1)
+        object.__setattr__(
+            self,
+            "batch_max_latency_ms",
+            _as_float(
+                self.batch_max_latency_ms, "fleet.batch_max_latency_ms", 0.0, exclusive=True
+            ),
+        )
+        _as_int(self.max_inflight_batches, "fleet.max_inflight_batches", 1)
+        for name in ("connect_timeout_seconds", "drain_timeout_seconds"):
+            object.__setattr__(
+                self,
+                name,
+                _as_float(getattr(self, name), f"fleet.{name}", 0.0, exclusive=True),
+            )
+
+    @property
+    def addresses(self) -> list[tuple[str, int]]:
+        """The node addresses as ``(host, port)`` pairs."""
+        return [parse_address(address) for address in self.nodes]
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "fleet") -> "FleetConfig":
+        data = _require_mapping(data, path)
+        _reject_unknown_keys(data, tuple(f.name for f in fields(cls)), path)
+        raw_nodes = data.get("nodes", ())
+        if not isinstance(raw_nodes, (list, tuple)):
+            raise ConfigError(
+                f"{path}.nodes must be an array of 'host:port' strings "
+                f"(got {raw_nodes!r})"
+            )
+        return cls(**{**data, "nodes": tuple(raw_nodes)})
+
+    def to_dict(self) -> dict:
+        return {
+            "nodes": list(self.nodes),
+            "virtual_nodes": self.virtual_nodes,
+            "heartbeat_interval_seconds": self.heartbeat_interval_seconds,
+            "heartbeat_timeout_seconds": self.heartbeat_timeout_seconds,
+            "suspicion_misses": self.suspicion_misses,
+            "batch_max_events": self.batch_max_events,
+            "batch_max_latency_ms": self.batch_max_latency_ms,
+            "max_inflight_batches": self.max_inflight_batches,
+            "connect_timeout_seconds": self.connect_timeout_seconds,
+            "drain_timeout_seconds": self.drain_timeout_seconds,
+        }
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "FleetConfig":
+        """The ``[fleet]`` table of a deployment file (defaults if absent)."""
+        fleet, _ = load_fleet_file(path)
+        return fleet
+
+
+def _read_deployment(path: str | Path) -> dict:
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix not in (".toml", ".json"):
+        raise ConfigError(f"config file must end in .toml or .json (got '{path}')")
+    try:
+        text = path.read_bytes()
+    except OSError as exc:
+        raise ConfigError(f"cannot read config file {path}: {exc}") from exc
+    try:
+        if suffix == ".toml":
+            return tomllib.loads(text.decode("utf-8"))
+        return json.loads(text.decode("utf-8"))
+    except (tomllib.TOMLDecodeError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ConfigError(f"config file {path} does not parse: {exc}") from exc
+
+
+def load_fleet_file(path: str | Path) -> tuple[FleetConfig, ServingConfig]:
+    """Split one deployment file into its fleet and serving views.
+
+    The ``fleet`` table becomes the :class:`FleetConfig`; everything
+    else is the per-node :class:`~repro.serving.config.ServingConfig`.
+    Either half may be absent (defaults apply), so the same loader
+    serves ``fleet-node`` (which only needs the serving half),
+    ``fleet-route`` (which only needs the fleet half), and tests that
+    want both from one artifact.
+    """
+    data = _read_deployment(path)
+    data = _require_mapping(data, str(path))
+    fleet_raw = data.pop("fleet", None)
+    fleet = (
+        FleetConfig()
+        if fleet_raw is None
+        else FleetConfig.from_dict(fleet_raw, path=f"{path}:fleet")
+    )
+    serving = ServingConfig.from_dict(data, path=str(path)) if data else ServingConfig()
+    return fleet, serving

@@ -1,0 +1,126 @@
+"""Fleet membership: per-node liveness accounting and suspicion.
+
+The router probes every node on a fixed heartbeat interval; this module
+is the **pure bookkeeping** behind those probes, kept free of sockets
+and clocks so the eviction policy is unit-testable: a node moves
+
+    LIVE ──(miss)──► SUSPECT ──(misses >= suspicion_misses)──► DEAD
+
+and a single successful probe anywhere on that path snaps it back to
+LIVE (consecutive misses, not cumulative — a lossy-but-alive node must
+not accumulate toward eviction across hours).  DEAD is terminal for
+the detector: the router evicts the node, reassigns its hosts, and
+replays its unacknowledged batches; a recovered process rejoins as a
+*new* member, it does not resurrect.
+
+:class:`FailureDetector` tracks all nodes; :class:`NodeHealth` is one
+node's record (exposed for status output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+LIVE = "live"
+SUSPECT = "suspect"
+DEAD = "dead"
+
+
+@dataclass
+class NodeHealth:
+    """Liveness record for one node, updated by the failure detector."""
+
+    node_id: str
+    state: str = LIVE
+    consecutive_misses: int = 0
+    probes: int = 0
+    last_ok_at: float | None = None
+    vitals: dict = field(default_factory=dict)
+
+    def snapshot(self) -> dict:
+        """Stable-keyed, JSON-serialisable form (for status output)."""
+        return {
+            "node_id": self.node_id,
+            "state": self.state,
+            "consecutive_misses": self.consecutive_misses,
+            "probes": self.probes,
+            "last_ok_at": self.last_ok_at,
+        }
+
+
+class FailureDetector:
+    """Consecutive-miss suspicion over a set of named nodes.
+
+    Parameters
+    ----------
+    suspicion_misses:
+        Consecutive failed probes after which a node is declared DEAD
+        (the first miss already marks it SUSPECT).  With a heartbeat
+        interval of *i* seconds, detection latency is about
+        ``suspicion_misses * i`` plus one probe timeout.
+    """
+
+    def __init__(self, suspicion_misses: int = 3):
+        if suspicion_misses < 1:
+            raise ValueError("suspicion_misses must be >= 1")
+        self.suspicion_misses = suspicion_misses
+        self._nodes: dict[str, NodeHealth] = {}
+
+    def add(self, node_id: str) -> NodeHealth:
+        """Start tracking *node_id* (idempotent; a dead id stays dead)."""
+        return self._nodes.setdefault(node_id, NodeHealth(node_id))
+
+    def forget(self, node_id: str) -> None:
+        """Stop tracking *node_id* entirely."""
+        self._nodes.pop(node_id, None)
+
+    def record_ok(self, node_id: str, *, now: float, vitals: dict | None = None) -> None:
+        """One successful probe: the node is LIVE, misses reset."""
+        health = self.add(node_id)
+        if health.state == DEAD:
+            return  # terminal: a late ack must not resurrect an evicted node
+        health.probes += 1
+        health.consecutive_misses = 0
+        health.state = LIVE
+        health.last_ok_at = now
+        if vitals is not None:
+            health.vitals = vitals
+
+    def record_miss(self, node_id: str) -> str:
+        """One failed/timed-out probe; returns the node's new state."""
+        health = self.add(node_id)
+        if health.state == DEAD:
+            return DEAD
+        health.probes += 1
+        health.consecutive_misses += 1
+        if health.consecutive_misses >= self.suspicion_misses:
+            health.state = DEAD
+        else:
+            health.state = SUSPECT
+        return health.state
+
+    def mark_dead(self, node_id: str) -> None:
+        """Declare *node_id* DEAD immediately (e.g. its TCP connection
+        broke mid-send — stronger evidence than a missed heartbeat)."""
+        self.add(node_id).state = DEAD
+
+    def state(self, node_id: str) -> str:
+        health = self._nodes.get(node_id)
+        return health.state if health is not None else DEAD
+
+    def health(self, node_id: str) -> NodeHealth | None:
+        return self._nodes.get(node_id)
+
+    def live_nodes(self) -> list[str]:
+        """Ids not yet declared DEAD (SUSPECT still receives traffic —
+        eviction is the detector's call alone, so routing never flaps
+        on a single lost probe)."""
+        return [
+            node_id
+            for node_id, health in self._nodes.items()
+            if health.state != DEAD
+        ]
+
+    def snapshot(self) -> dict:
+        """Per-node health, JSON-serialisable."""
+        return {node_id: health.snapshot() for node_id, health in self._nodes.items()}

@@ -85,6 +85,7 @@ from repro.serving.events import (
 )
 from repro.serving.metrics import ServingMetrics
 from repro.serving.microbatch import BatchAborted, MicroBatcher
+from repro.serving.ring import HashRing, ring_point
 from repro.serving.server import (
     DetectionServer,
     SwapReport,
@@ -132,6 +133,7 @@ __all__ = [
     "CommandEvent",
     "DEFAULT_SINK_REGISTRY",
     "FrequencySketch",
+    "HashRing",
     "DeliveryPipeline",
     "DeliveryPolicy",
     "DetectionAlert",
@@ -175,6 +177,7 @@ __all__ = [
     "publish_frame",
     "register_sink_scheme",
     "retire_frame",
+    "ring_point",
     "serve_batches",
     "serve_stream",
     "shm_available",

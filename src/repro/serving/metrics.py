@@ -222,6 +222,58 @@ class ServingMetrics:
             out.merge(bundle)
         return out
 
+    # -- wire form (node -> fleet control plane) ----------------------------
+
+    def to_dict(self) -> dict:
+        """Lossless, JSON-serialisable wire form of this bundle.
+
+        Unlike :meth:`snapshot` (a rounded, human-oriented report), this
+        form carries everything :meth:`merge` reads — every summed
+        counter, the EWMA and swap figures, the flush-reason histogram,
+        and the **full latency reservoir** — so a bundle shipped across
+        a process boundary merges exactly like the original object:
+        ``merge(from_dict(to_dict(a)), b)`` equals ``merge(a, b)``.
+        Elapsed time is captured as a snapshot (the clock does not keep
+        running on the receiving side).
+        """
+        return {
+            **{attr: getattr(self, attr) for attr in self._MERGE_SUM},
+            "last_swap_ms": self.last_swap_ms,
+            "batch_score_ewma_ms": self.batch_score_ewma_ms,
+            "backend": self.backend,
+            "shards": self.shards,
+            "flush_reasons": dict(self.flush_reasons),
+            "latency_reservoir": self._latencies_ms.maxlen,
+            "latencies_ms": list(self._latencies_ms),
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServingMetrics":
+        """Rebuild a bundle from its :meth:`to_dict` wire form.
+
+        Unknown keys are ignored (a newer node may ship counters an
+        older control plane does not know), missing ones default to
+        zero — so mixed-version fleets still merge.
+        """
+        if not isinstance(data, dict):
+            raise TypeError(f"metrics wire form must be a dict (got {type(data).__name__})")
+        reservoir = int(data.get("latency_reservoir") or 10_000)
+        out = cls(latency_reservoir=reservoir)
+        for attr in cls._MERGE_SUM:
+            value = data.get(attr, 0)
+            setattr(out, attr, float(value) if attr == "total_swap_ms" else int(value))
+        out.last_swap_ms = float(data.get("last_swap_ms", 0.0))
+        out.batch_score_ewma_ms = float(data.get("batch_score_ewma_ms", 0.0))
+        out.backend = str(data.get("backend", out.backend))
+        out.shards = int(data.get("shards", 1))
+        out.flush_reasons = Counter(
+            {str(reason): int(count) for reason, count in (data.get("flush_reasons") or {}).items()}
+        )
+        out._latencies_ms.extend(float(value) for value in data.get("latencies_ms", ()))
+        out._accumulated_seconds = float(data.get("elapsed_seconds", 0.0))
+        return out
+
     # -- derived figures ---------------------------------------------------
 
     def latency_percentile(self, p: float) -> float:

@@ -1,0 +1,122 @@
+"""The consistent-hash ring shared by both routing layers.
+
+Two layers of the serving stack route by ``event.host`` onto a stable
+owner: :class:`~repro.serving.shard.ShardRouter` hashes hosts across
+the in-process shard pipelines of one server, and the fleet's
+:class:`~repro.fleet.router.FleetRouter` hashes the same hosts across N
+server *nodes*.  Both need the same two properties —
+
+- **determinism**: a host's owner survives interpreter restarts and
+  ``PYTHONHASHSEED`` (per-host session state lives wherever the host is
+  routed, so routing is observable behaviour, not an implementation
+  detail), and
+- **minimal reassignment**: adding or removing one member moves only
+  the keys that member owned (~1/N of all keys), never reshuffles the
+  rest — the property that makes live resident state survive a shard
+  resize or a node failure.
+
+This module is that one shared implementation: a classic ring of
+``virtual_nodes`` blake2b points per member, looked up with a binary
+search.  :class:`HashRing` is immutable — membership changes build a
+new ring (:meth:`HashRing.without` / :meth:`HashRing.extend`), which
+keeps concurrent readers trivially safe and makes before/after
+reassignment easy to reason about in tests.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Iterable
+from hashlib import blake2b
+
+
+def ring_point(key: str) -> int:
+    """Stable 64-bit hash for ring points and key lookups.
+
+    ``blake2b`` rather than ``hash()``: the mapping must be identical
+    across processes, runs, and machines — every router in a fleet has
+    to agree on who owns a host without talking to each other.
+    """
+    return int.from_bytes(blake2b(key.encode("utf-8"), digest_size=8).digest(), "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping string keys onto named members.
+
+    Each member contributes ``virtual_nodes`` points to the ring
+    (hashed from ``"{member}/{replica}"``); a key hashes to a point and
+    is owned by the first member point at or after it, wrapping.
+    Virtual nodes smooth the spread (the standard consistent-hashing
+    construction).
+
+    Members are arbitrary identifier strings — shard names at the
+    in-process layer, node ids at the fleet layer.  Construction order
+    is irrelevant: the ring is a pure function of the member *set* and
+    ``virtual_nodes``.
+    """
+
+    def __init__(self, members: Iterable[str], virtual_nodes: int = 64):
+        members = list(dict.fromkeys(members))
+        if not members:
+            raise ValueError("a HashRing needs at least one member")
+        if virtual_nodes < 1:
+            raise ValueError("virtual_nodes must be >= 1")
+        for member in members:
+            if not isinstance(member, str) or not member:
+                raise ValueError(f"ring members must be non-empty strings (got {member!r})")
+        self.members = tuple(members)
+        self.virtual_nodes = virtual_nodes
+        points = sorted(
+            (ring_point(f"{member}/{replica}"), member)
+            for member in members
+            for replica in range(virtual_nodes)
+        )
+        self._hashes = [point for point, _ in points]
+        self._owners = [member for _, member in points]
+
+    def route(self, key: str) -> str:
+        """The member owning *key*."""
+        if len(self.members) == 1:
+            return self.members[0]
+        index = bisect.bisect_right(self._hashes, ring_point(key))
+        return self._owners[index % len(self._owners)]
+
+    def spread(self, keys: Iterable[str]) -> dict[str, int]:
+        """Keys per member for an iterable of keys (diagnostics)."""
+        counts: dict[str, int] = {member: 0 for member in self.members}
+        for key in keys:
+            counts[self.route(key)] += 1
+        return counts
+
+    # -- membership changes (immutable: each returns a new ring) -----------
+
+    def without(self, member: str) -> "HashRing":
+        """A new ring with *member* removed.
+
+        Only keys the removed member owned change hands — every other
+        key keeps its owner (its first point at-or-after is untouched).
+        """
+        if member not in self.members:
+            raise ValueError(f"{member!r} is not a ring member")
+        remaining = [m for m in self.members if m != member]
+        if not remaining:
+            raise ValueError("cannot remove the last ring member")
+        return HashRing(remaining, virtual_nodes=self.virtual_nodes)
+
+    def extend(self, members: Iterable[str]) -> "HashRing":
+        """A new ring with *members* added (existing members kept)."""
+        return HashRing(
+            list(self.members) + list(members), virtual_nodes=self.virtual_nodes
+        )
+
+    def __contains__(self, member: str) -> bool:
+        return member in self.members
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __repr__(self) -> str:
+        return (
+            f"HashRing(members={list(self.members)!r}, "
+            f"virtual_nodes={self.virtual_nodes})"
+        )

@@ -671,6 +671,24 @@ class DetectionServer:
                 cache_invalidated=invalidated,
             )
 
+    async def resize_backend(self, workers: int) -> bool:
+        """Resize the scoring-backend pool to *workers* (quiesced).
+
+        The operational twin of the autoscaler's actuator — exposed so a
+        control plane (``repro-ids fleet-admin resize``) can size the
+        pool explicitly.  Returns whether the pool actually changed;
+        raises :class:`~repro.errors.ConfigError` for a backend that
+        cannot resize (inline has exactly one lane).
+        """
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if not self._ctx.backend.can_resize:
+            raise ConfigError(
+                f"backend {self._ctx.backend.describe()} cannot resize; "
+                "serve with backend.kind 'threaded' or 'process'"
+            )
+        return await self._apply_workers(workers)
+
     # -- autoscaling internals -----------------------------------------------
 
     def _observe(self) -> AutoscaleObservation:

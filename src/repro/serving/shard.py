@@ -35,10 +35,8 @@ during the rotation and no batch ever mixes generations.
 from __future__ import annotations
 
 import asyncio
-import bisect
 import time
 from collections.abc import Sequence
-from hashlib import blake2b
 
 import numpy as np
 
@@ -52,29 +50,20 @@ from repro.serving.events import (
 )
 from repro.serving.metrics import ServingMetrics
 from repro.serving.microbatch import MicroBatcher
+from repro.serving.ring import HashRing
 from repro.serving.sessions import SessionAggregator
-
-
-def _ring_point(key: str) -> int:
-    """Stable 64-bit hash for ring points and host lookups.
-
-    ``blake2b`` rather than ``hash()``: host → shard assignment must
-    survive interpreter restarts and ``PYTHONHASHSEED`` (a host's
-    session state lives on its shard, so routing is part of the
-    observable behaviour, not an implementation detail).
-    """
-    return int.from_bytes(blake2b(key.encode("utf-8"), digest_size=8).digest(), "big")
 
 
 class ShardRouter:
     """Consistent-hash ring mapping a host to its owning shard.
 
-    Each shard contributes ``virtual_nodes`` points to the ring; a host
-    hashes to a point and is owned by the first shard point at or after
-    it (wrapping).  Virtual nodes smooth the spread (the standard
-    consistent-hashing construction), and changing the shard count
-    moves only ~1/N of hosts — the property that will matter once shard
-    counts are resized on a live fleet.
+    A thin integer-index facade over the shared
+    :class:`~repro.serving.ring.HashRing` (the same implementation the
+    fleet layer routes *nodes* with): shard *i* is the ring member
+    ``"shard-i"``, so the ring points are byte-identical to the
+    original inlined construction — no host changes shards across the
+    refactor, which matters because a host's session state lives on
+    its shard.  Changing the shard count moves only ~1/N of hosts.
 
     Routing is pure and deterministic: the same host always lands on
     the same shard for a given ``(shard_count, virtual_nodes)``.
@@ -83,24 +72,18 @@ class ShardRouter:
     def __init__(self, shard_count: int, virtual_nodes: int = 64):
         if shard_count < 1:
             raise ValueError("shard_count must be >= 1")
-        if virtual_nodes < 1:
-            raise ValueError("virtual_nodes must be >= 1")
         self.shard_count = shard_count
         self.virtual_nodes = virtual_nodes
-        points = sorted(
-            (_ring_point(f"shard-{shard}/{replica}"), shard)
-            for shard in range(shard_count)
-            for replica in range(virtual_nodes)
+        self._ring = HashRing(
+            (f"shard-{shard}" for shard in range(shard_count)),
+            virtual_nodes=virtual_nodes,
         )
-        self._hashes = [point for point, _ in points]
-        self._owners = [shard for _, shard in points]
 
     def route(self, host: str) -> int:
         """The shard index owning *host*."""
         if self.shard_count == 1:
             return 0
-        index = bisect.bisect_right(self._hashes, _ring_point(host))
-        return self._owners[index % len(self._owners)]
+        return int(self._ring.route(host).removeprefix("shard-"))
 
     def spread(self, hosts) -> dict[int, int]:
         """Hosts per shard for an iterable of host names (diagnostics)."""

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import json
 import socket
+import time
 import urllib.parse
 import urllib.request
 from collections import deque
@@ -182,15 +183,39 @@ class TcpSocketSink(AlertSink):
     """Stream newline-delimited alert JSON over a TCP connection.
 
     The connection is established lazily (or eagerly via :meth:`open`)
-    and re-established after any send failure — the failed batch raises
-    so the delivery pipeline can retry it on the fresh connection.
+    and **re-established with capped exponential backoff** when a send
+    hits a broken pipe, a reset, or a refused reconnect — a collector
+    that flaps (restarts, briefly refuses) costs retries inside the
+    sink, not a failed batch.  Only after ``max_attempts`` consecutive
+    failures does the batch raise, handing the still-intact batch to
+    the delivery pipeline for *its* retry/dead-letter policy.
+
+    ``reconnects`` counts re-established connections (observability for
+    the flap itself, which a successful batch would otherwise hide).
     """
 
-    def __init__(self, host: str, port: int, *, timeout: float = 5.0):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 5.0,
+        max_attempts: int = 4,
+        backoff_ms: float = 25.0,
+        backoff_multiplier: float = 2.0,
+        max_backoff_ms: float = 1000.0,
+    ):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
         self.host = host
         self.port = int(port)
         self.timeout = timeout
+        self.max_attempts = max_attempts
+        self.backoff_ms = backoff_ms
+        self.backoff_multiplier = backoff_multiplier
+        self.max_backoff_ms = max_backoff_ms
         self.emitted = 0
+        self.reconnects = 0
         self._sock: socket.socket | None = None
 
     def open(self) -> None:
@@ -212,13 +237,25 @@ class TcpSocketSink(AlertSink):
         payload = "".join(
             json.dumps(alert.to_json()) + "\n" for alert in alerts
         ).encode("utf-8")
-        sock = self._connect()
-        try:
-            sock.sendall(payload)
-        except OSError:
-            self.close()  # drop the broken connection; retry reconnects
-            raise
-        self.emitted += len(alerts)
+        for attempt in range(self.max_attempts):
+            reconnected = self._sock is None and attempt > 0
+            try:
+                sock = self._connect()
+                sock.sendall(payload)
+            except OSError:
+                self.close()  # drop the broken connection before retrying
+                if attempt + 1 >= self.max_attempts:
+                    raise
+                delay_ms = min(
+                    self.backoff_ms * (self.backoff_multiplier**attempt),
+                    self.max_backoff_ms,
+                )
+                time.sleep(delay_ms / 1000.0)
+                continue
+            if reconnected:
+                self.reconnects += 1
+            self.emitted += len(alerts)
+            return
 
     def close(self) -> None:
         if self._sock is not None:

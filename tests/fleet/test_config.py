@@ -1,0 +1,102 @@
+"""FleetConfig validation and the one-file deployment split."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fleet import FleetConfig, load_fleet_file, parse_address
+
+
+class TestParseAddress:
+    def test_host_port(self):
+        assert parse_address("10.0.0.5:9101") == ("10.0.0.5", 9101)
+
+    @pytest.mark.parametrize(
+        "bad", ["nohost", ":9101", "host:", "host:nan", "host:70000", 9101]
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ConfigError):
+            parse_address(bad)
+
+
+class TestFleetConfig:
+    def test_defaults_round_trip(self):
+        config = FleetConfig(nodes=("a:1", "b:2"))
+        assert FleetConfig.from_dict(config.to_dict()) == config
+
+    def test_rejects_duplicate_nodes(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            FleetConfig(nodes=("a:1", "a:1"))
+
+    def test_rejects_bad_address_with_index(self):
+        with pytest.raises(ConfigError, match=r"fleet\.nodes\[1\]"):
+            FleetConfig(nodes=("a:1", "nonsense"))
+
+    def test_rejects_unknown_keys_with_path(self):
+        with pytest.raises(ConfigError, match="fleet"):
+            FleetConfig.from_dict({"nodez": ["a:1"]})
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("heartbeat_interval_seconds", 0),
+            ("suspicion_misses", 0),
+            ("batch_max_events", 0),
+            ("batch_max_latency_ms", -1.0),
+            ("max_inflight_batches", 0),
+            ("drain_timeout_seconds", 0),
+        ],
+    )
+    def test_rejects_non_positive_knobs(self, field, value):
+        with pytest.raises(ConfigError, match=field):
+            FleetConfig(**{field: value})
+
+    def test_addresses_property(self):
+        config = FleetConfig(nodes=("a:1", "b:2"))
+        assert config.addresses == [("a", 1), ("b", 2)]
+
+
+class TestDeploymentFile:
+    def test_one_file_splits_into_both_views(self, tmp_path):
+        path = tmp_path / "fleet.toml"
+        path.write_text(
+            """
+            concurrency = 4
+
+            [fleet]
+            nodes = ["127.0.0.1:9101", "127.0.0.1:9102"]
+            batch_max_events = 64
+
+            [batch]
+            max_batch = 16
+            """
+        )
+        fleet, serving = load_fleet_file(path)
+        assert fleet.nodes == ("127.0.0.1:9101", "127.0.0.1:9102")
+        assert fleet.batch_max_events == 64
+        assert fleet.virtual_nodes == 64  # default survives a partial table
+        assert serving.batch.max_batch == 16
+        assert serving.concurrency == 4
+
+    def test_missing_halves_default(self, tmp_path):
+        path = tmp_path / "only_serving.toml"
+        path.write_text("[batch]\nmax_batch = 8\n")
+        fleet, serving = load_fleet_file(path)
+        assert fleet == FleetConfig()
+        assert serving.batch.max_batch == 8
+
+        path = tmp_path / "only_fleet.json"
+        path.write_text('{"fleet": {"nodes": ["h:1"]}}')
+        fleet, serving = load_fleet_file(path)
+        assert fleet.nodes == ("h:1",)
+        assert serving.batch.max_batch == 32  # serving defaults
+
+    def test_bad_fleet_key_names_the_file(self, tmp_path):
+        path = tmp_path / "fleet.toml"
+        path.write_text("[fleet]\nnodes = [42]\n")
+        with pytest.raises(ConfigError, match="fleet"):
+            load_fleet_file(path)
+
+    def test_from_file_reads_only_the_fleet_table(self, tmp_path):
+        path = tmp_path / "fleet.toml"
+        path.write_text('[fleet]\nnodes = ["h:1"]\n')
+        assert FleetConfig.from_file(path).nodes == ("h:1",)

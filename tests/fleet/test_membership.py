@@ -1,0 +1,77 @@
+"""Failure-detector unit tests: suspicion ladder, terminal death."""
+
+import pytest
+
+from repro.fleet import DEAD, LIVE, SUSPECT, FailureDetector
+
+
+class TestSuspicion:
+    def test_new_node_is_live(self):
+        detector = FailureDetector()
+        detector.add("n1")
+        assert detector.state("n1") == LIVE
+
+    def test_untracked_node_reads_dead(self):
+        assert FailureDetector().state("ghost") == DEAD
+
+    def test_miss_ladder_live_suspect_dead(self):
+        detector = FailureDetector(suspicion_misses=3)
+        detector.add("n1")
+        assert detector.record_miss("n1") == SUSPECT
+        assert detector.record_miss("n1") == SUSPECT
+        assert detector.record_miss("n1") == DEAD
+
+    def test_single_ok_resets_consecutive_misses(self):
+        # lossy-but-alive must never accumulate misses across hours
+        detector = FailureDetector(suspicion_misses=3)
+        detector.add("n1")
+        for _ in range(10):
+            detector.record_miss("n1")
+            detector.record_miss("n1")
+            detector.record_ok("n1", now=1.0)
+        assert detector.state("n1") == LIVE
+
+    def test_suspect_still_listed_live(self):
+        detector = FailureDetector(suspicion_misses=3)
+        detector.add("n1")
+        detector.add("n2")
+        detector.record_miss("n2")
+        assert detector.live_nodes() == ["n1", "n2"]
+
+    def test_dead_is_terminal(self):
+        detector = FailureDetector(suspicion_misses=1)
+        detector.add("n1")
+        detector.record_miss("n1")
+        assert detector.state("n1") == DEAD
+        # a late ack never resurrects an evicted node
+        detector.record_ok("n1", now=5.0)
+        assert detector.state("n1") == DEAD
+        assert detector.record_miss("n1") == DEAD
+        assert detector.live_nodes() == []
+
+    def test_mark_dead_is_immediate(self):
+        detector = FailureDetector(suspicion_misses=5)
+        detector.add("n1")
+        detector.mark_dead("n1")
+        assert detector.state("n1") == DEAD
+
+    def test_ok_records_vitals_and_time(self):
+        detector = FailureDetector()
+        detector.record_ok("n1", now=42.0, vitals={"generation": 3})
+        health = detector.health("n1")
+        assert health.last_ok_at == 42.0
+        assert health.vitals == {"generation": 3}
+
+    def test_snapshot_is_json_shaped(self):
+        import json
+
+        detector = FailureDetector()
+        detector.add("n1")
+        detector.record_miss("n1")
+        snapshot = detector.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert snapshot["n1"]["state"] == SUSPECT
+
+    def test_validates_threshold(self):
+        with pytest.raises(ValueError):
+            FailureDetector(suspicion_misses=0)

@@ -1,0 +1,118 @@
+"""Wire-protocol unit tests: framing, corruption, message helpers."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import FleetError
+from repro.fleet import protocol
+from repro.fleet.protocol import (
+    MAX_FRAME_BYTES,
+    ack_message,
+    decode_events,
+    encode_frame,
+    error_message,
+    heartbeat_message,
+    ingest_message,
+    nack_message,
+    read_frame,
+)
+
+
+def feed(*chunks: bytes) -> asyncio.StreamReader:
+    # must run inside the event loop read_frame runs in
+    reader = asyncio.StreamReader()
+    for chunk in chunks:
+        reader.feed_data(chunk)
+    reader.feed_eof()
+    return reader
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def read_one(*chunks: bytes):
+    async def scenario():
+        return await read_frame(feed(*chunks))
+
+    return run(scenario())
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = ingest_message(7, [("rm -rf /", "web-01", 12.5), ("ls", "db-02", None)])
+        frame = encode_frame(message)
+        # header is the ASCII payload length, payload ends in newline
+        header, _, rest = frame.partition(b"\n")
+        assert int(header) == len(rest) - 1 and rest.endswith(b"\n")
+        assert read_one(frame) == message
+
+    def test_many_frames_on_one_stream(self):
+        messages = [heartbeat_message(seq) for seq in range(5)]
+        stream = b"".join(encode_frame(m) for m in messages)
+
+        async def read_all():
+            reader = feed(stream)
+            seen = []
+            while True:
+                message = await read_frame(reader)
+                if message is None:
+                    return seen
+                seen.append(message)
+
+        assert run(read_all()) == messages
+
+    def test_clean_eof_is_none(self):
+        assert read_one(b"") is None
+
+    def test_truncated_payload_raises(self):
+        frame = encode_frame(error_message("boom"))
+        with pytest.raises(FleetError, match="truncated"):
+            read_one(frame[:-4])
+
+    def test_malformed_header_raises(self):
+        with pytest.raises(FleetError, match="malformed frame header"):
+            read_one(b"not-a-length\n{}\n")
+
+    def test_oversized_length_rejected_before_buffering(self):
+        with pytest.raises(FleetError, match="outside"):
+            read_one(b"%d\nx\n" % (MAX_FRAME_BYTES + 1))
+
+    def test_payload_must_be_typed_object(self):
+        payload = b'{"no_type":1}'
+        frame = b"%d\n%s\n" % (len(payload), payload)
+        with pytest.raises(FleetError, match="'type'"):
+            read_one(frame)
+
+    def test_missing_trailing_newline_is_corrupt(self):
+        payload = b'{"type":"x"}'
+        frame = b"%d\n%sX" % (len(payload), payload)  # X where \n must be
+        with pytest.raises(FleetError, match="not terminated"):
+            read_one(frame)
+
+    def test_oversized_outbound_frame_refused(self):
+        huge = ingest_message(1, [("x" * (MAX_FRAME_BYTES + 10), "h", None)])
+        with pytest.raises(FleetError, match="split the batch"):
+            encode_frame(huge)
+
+
+class TestMessages:
+    def test_ingest_events_round_trip(self):
+        events = [("cat /etc/shadow", "web-01", 3.5), ("ls -la", "-", None)]
+        assert decode_events(ingest_message(1, events)) == events
+
+    def test_decode_events_rejects_malformed_entries(self):
+        with pytest.raises(FleetError, match="malformed ingest event"):
+            decode_events({"type": "ingest", "events": [["line", "host"]]})
+        with pytest.raises(FleetError, match="events array"):
+            decode_events({"type": "ingest"})
+
+    def test_ack_and_nack_shape(self):
+        ack = ack_message(9, events=4, dropped=1, intrusions=2, alerts=2, generations=[3])
+        assert ack["type"] == "ack" and ack["generations"] == [3]
+        nack = nack_message(9, "draining")
+        assert nack["type"] == "nack" and nack["reason"] == "draining"
+
+    def test_protocol_version_exported(self):
+        assert protocol.PROTOCOL_VERSION == 1

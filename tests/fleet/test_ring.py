@@ -1,0 +1,91 @@
+"""HashRing unit tests: determinism, spread, minimal reassignment.
+
+The ring lives in :mod:`repro.serving.ring` because both layers use
+it — the in-process shard router and the fleet's node router — but its
+membership-churn properties matter most to the fleet, so they are
+proven here.
+"""
+
+import pytest
+
+from repro.serving.ring import HashRing, ring_point
+
+HOSTS = [f"host-{index:03d}" for index in range(400)]
+
+
+class TestBasics:
+    def test_route_is_deterministic(self):
+        ring = HashRing(["a:1", "b:2", "c:3"])
+        again = HashRing(["a:1", "b:2", "c:3"])
+        assert [ring.route(h) for h in HOSTS] == [again.route(h) for h in HOSTS]
+
+    def test_member_order_is_irrelevant(self):
+        forward = HashRing(["a:1", "b:2", "c:3"])
+        backward = HashRing(["c:3", "b:2", "a:1"])
+        assert [forward.route(h) for h in HOSTS] == [backward.route(h) for h in HOSTS]
+
+    def test_single_member_takes_everything(self):
+        ring = HashRing(["only:1"])
+        assert all(ring.route(h) == "only:1" for h in HOSTS[:50])
+
+    def test_every_member_gets_traffic(self):
+        ring = HashRing(["a:1", "b:2", "c:3"])
+        spread = ring.spread(HOSTS)
+        assert set(spread) == {"a:1", "b:2", "c:3"}
+        assert all(count > len(HOSTS) * 0.1 for count in spread.values())
+
+    def test_membership_and_len(self):
+        ring = HashRing(["a:1", "b:2"])
+        assert "a:1" in ring and "missing:9" not in ring and len(ring) == 2
+
+    def test_duplicates_deduped_order_preserved(self):
+        assert len(HashRing(["a:1", "a:1", "b:2"])) == 2
+
+    def test_rejects_empty_and_bad_members(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+        with pytest.raises(ValueError):
+            HashRing([""])
+        with pytest.raises(ValueError):
+            HashRing([42])
+
+    def test_ring_point_is_blake2b(self):
+        import hashlib
+
+        expected = int.from_bytes(
+            hashlib.blake2b(b"key", digest_size=8).digest(), "big"
+        )
+        assert ring_point("key") == expected
+
+
+class TestChurn:
+    def test_removal_moves_only_the_removed_members_keys(self):
+        """The consistent-hashing contract: losing one of N members
+        reassigns only that member's keys (~1/N), never reshuffles."""
+        ring = HashRing(["a:1", "b:2", "c:3"])
+        before = {h: ring.route(h) for h in HOSTS}
+        smaller = ring.without("b:2")
+        after = {h: smaller.route(h) for h in HOSTS}
+        moved = {h for h in HOSTS if before[h] != after[h]}
+        assert moved == {h for h, owner in before.items() if owner == "b:2"}
+        assert 0 < len(moved) < len(HOSTS) / 2  # ~1/3, never a reshuffle
+
+    def test_extension_only_steals_for_the_new_member(self):
+        ring = HashRing(["a:1", "b:2"])
+        before = {h: ring.route(h) for h in HOSTS}
+        bigger = ring.extend(["c:3"])
+        after = {h: bigger.route(h) for h in HOSTS}
+        moved = {h for h in HOSTS if before[h] != after[h]}
+        assert moved and all(after[h] == "c:3" for h in moved)
+
+    def test_without_rejects_unknown_and_last_member(self):
+        ring = HashRing(["a:1"])
+        with pytest.raises(ValueError):
+            ring.without("ghost:9")
+        with pytest.raises(ValueError):
+            ring.without("a:1")  # a ring cannot become empty
+
+    def test_without_then_extend_round_trips(self):
+        ring = HashRing(["a:1", "b:2", "c:3"])
+        rebuilt = ring.without("b:2").extend(["b:2"])
+        assert [ring.route(h) for h in HOSTS] == [rebuilt.route(h) for h in HOSTS]

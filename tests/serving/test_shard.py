@@ -348,3 +348,48 @@ class TestMetricsMerge:
         assert snap.events_total == 0
         # the snapshot is detached: shard counters keep living elsewhere
         assert snap is not server.metrics
+
+
+class TestRingRefactorParity:
+    """The HashRing extraction must not move a single host.
+
+    Shard routing decides which shard's session table owns each host's
+    state; if the refactor onto :class:`repro.serving.ring.HashRing`
+    shifted any ring point, every deployed server would silently lose
+    its per-host session history on upgrade.  This pins the routing to
+    a reimplementation of the original inline algorithm, byte for byte.
+    """
+
+    @staticmethod
+    def _original_route(host: str, shard_count: int, virtual_nodes: int) -> int:
+        """The pre-refactor ShardRouter algorithm, verbatim."""
+        import bisect
+        from hashlib import blake2b
+
+        def point(key: str) -> int:
+            return int.from_bytes(
+                blake2b(key.encode("utf-8"), digest_size=8).digest(), "big"
+            )
+
+        ring = sorted(
+            (point(f"shard-{shard}/{replica}"), shard)
+            for shard in range(shard_count)
+            for replica in range(virtual_nodes)
+        )
+        points = [p for p, _ in ring]
+        index = bisect.bisect_right(points, point(host)) % len(ring)
+        return ring[index][1]
+
+    @pytest.mark.parametrize(
+        ("shard_count", "virtual_nodes"), [(2, 64), (3, 64), (5, 16), (8, 128)]
+    )
+    def test_routing_is_byte_identical_to_the_inline_original(
+        self, shard_count, virtual_nodes
+    ):
+        router = ShardRouter(shard_count, virtual_nodes=virtual_nodes)
+        hosts = [f"host-{index:04d}" for index in range(1000)]
+        hosts += ["", "-", "web-01.prod.internal", "10.1.2.3", "βήτα", "host/with/slash"]
+        for host in hosts:
+            assert router.route(host) == self._original_route(
+                host, shard_count, virtual_nodes
+            ), host

@@ -214,3 +214,113 @@ class TestSinkFanout:
         # two sinks of the same class must not share one counter
         assert fanout.failures == {"CallbackSink[0]": 2}
         assert len(seen) == 2
+
+
+class TestTcpSocketSinkReconnect:
+    """The flapping-collector contract: a send failure costs retries
+    inside the sink (with capped exponential backoff), not the batch."""
+
+    def test_refused_connections_are_retried_with_backoff(self, monkeypatch):
+        import socket as socket_module
+
+        server_side, client_side = socket_module.socketpair()
+        attempts = []
+
+        def create_connection(address, timeout=None):
+            attempts.append(address)
+            if len(attempts) < 3:
+                raise ConnectionRefusedError("collector restarting")
+            return client_side
+
+        sleeps = []
+        monkeypatch.setattr(
+            "repro.serving.sinks.socket.create_connection", create_connection
+        )
+        monkeypatch.setattr("repro.serving.sinks.time.sleep", sleeps.append)
+
+        sink = TcpSocketSink(
+            "collector", 9000, max_attempts=4, backoff_ms=10.0, max_backoff_ms=15.0
+        )
+        try:
+            sink.emit_many([make_alert(alert_id=1), make_alert(alert_id=2)])
+            payload = server_side.recv(65536)
+        finally:
+            sink.close()
+            server_side.close()
+
+        assert len(attempts) == 3  # refused, refused, connected
+        assert sink.emitted == 2 and sink.reconnects == 1
+        # exponential, then capped: 10ms, then min(20, 15)ms
+        assert sleeps == [0.010, 0.015]
+        lines = [json.loads(line) for line in payload.decode().splitlines()]
+        assert [line["alert_id"] for line in lines] == [1, 2]
+
+    def test_flapping_server_costs_a_reconnect_not_the_batch(self):
+        """Against a real socket server that RST-closes after one batch."""
+        import socket as socket_module
+        import struct
+        import threading
+
+        listener = socket_module.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen()
+        port = listener.getsockname()[1]
+        received = []
+        first_conn_closed = threading.Event()
+
+        def serve():
+            # connection 1: read one batch, then slam the door with an
+            # RST (SO_LINGER 0) — the flap
+            conn, _ = listener.accept()
+            received.append(conn.recv(65536))
+            conn.setsockopt(
+                socket_module.SOL_SOCKET,
+                socket_module.SO_LINGER,
+                struct.pack("ii", 1, 0),
+            )
+            conn.close()
+            first_conn_closed.set()
+            # connection 2: the reconnect; read until the client closes
+            conn, _ = listener.accept()
+            while chunk := conn.recv(65536):
+                received.append(chunk)
+            conn.close()
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+
+        sink = TcpSocketSink("127.0.0.1", port, backoff_ms=5.0)
+        try:
+            sink.emit_many([make_alert(alert_id=1)])
+            assert first_conn_closed.wait(5.0)
+            import time as time_module
+
+            time_module.sleep(0.05)  # let the RST reach our socket
+            sink.emit_many([make_alert(alert_id=2)])  # must not raise
+        finally:
+            sink.close()
+            thread.join(timeout=5.0)
+            listener.close()
+
+        assert sink.emitted == 2
+        assert sink.reconnects == 1  # the flap is visible, the batch was not lost
+        lines = [
+            json.loads(line)
+            for chunk in received
+            for line in chunk.decode().splitlines()
+        ]
+        assert [line["alert_id"] for line in lines] == [1, 2]
+
+    def test_exhausted_attempts_surface_the_error(self, monkeypatch):
+        def always_refused(address, timeout=None):
+            raise ConnectionRefusedError("collector gone")
+
+        monkeypatch.setattr(
+            "repro.serving.sinks.socket.create_connection", always_refused
+        )
+        monkeypatch.setattr("repro.serving.sinks.time.sleep", lambda delay: None)
+        sink = TcpSocketSink("collector", 9000, max_attempts=3, backoff_ms=1.0)
+        with pytest.raises(OSError):
+            sink.emit_many([make_alert()])
+        # the batch was not half-counted: the pipeline retries it intact
+        assert sink.emitted == 0

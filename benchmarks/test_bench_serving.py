@@ -531,6 +531,68 @@ def test_bench_serving_columnar_batch_speedup(
     bench_regression_gate("columnar_batch_speedup", metrics)
 
 
+def test_bench_serving_canonicalize_overhead(benchmark, serving_snapshot, bench_regression_gate):
+    """AST canonicalization keeps >= 80% of raw throughput, mostly-miss.
+
+    The same mostly-miss multi-host stream runs with the canonicalize
+    stage off (today's pipeline) and on; every event pays a full
+    lex+parse+rewrite pass because the cold cache never shortcuts it.
+    The stage buys evasion resistance (see the scenario suite); this
+    bench bounds what it costs: at most 20% of end-to-end throughput.
+    """
+    from repro.serving import CanonicalizeConfig
+
+    service = _FixedCostService(batch_cost_s=0.004)
+    events = _multi_host_mostly_miss_stream()
+
+    def run(canonicalize):
+        server = DetectionServer(
+            service,
+            cache_size=0,
+            max_batch=64,
+            max_latency_ms=5,
+            canonicalize=CanonicalizeConfig(enabled=True) if canonicalize else None,
+        )
+        started = time.perf_counter()
+        results, server = serve_stream(service, events, concurrency=32, server=server)
+        return results, server, time.perf_counter() - started
+
+    off_results, _, off_seconds = run(False)
+    off_eps = len(off_results) / off_seconds
+
+    on_results, on_server, on_seconds = benchmark.pedantic(
+        run, args=(True,), rounds=1, iterations=1
+    )
+    on_eps = len(on_results) / on_seconds
+    retention = on_eps / off_eps
+
+    metrics = {
+        "events": len(events),
+        "off_events_per_second": round(off_eps, 1),
+        "on_events_per_second": round(on_eps, 1),
+        "throughput_retention_rate": round(retention, 4),
+        "canonicalize_failures": on_server.metrics.canonicalize_failures,
+    }
+    benchmark.extra_info.update(metrics)
+    serving_snapshot["canonicalize"] = metrics
+    print(
+        f"\ncanonicalize overhead: {len(events)} events | off {off_eps:,.0f} ev/s | "
+        f"on {on_eps:,.0f} ev/s | retention {retention:.2%}"
+    )
+
+    assert len(on_results) == len(events)
+    # verdicts agree: the bench stream is already canonical, so the
+    # stage must be a pure pass-through on it
+    verdict = lambda rs: [(r.host, r.line, r.is_intrusion) for r in rs]  # noqa: E731
+    assert verdict(on_results) == verdict(off_results)
+    assert on_server.metrics.canonicalize_failures == 0
+    assert retention >= 0.8, (
+        f"canonicalization must keep >=80% of raw throughput on a mostly-miss "
+        f"stream, got {retention:.2%} ({off_eps:,.0f} -> {on_eps:,.0f} ev/s)"
+    )
+    bench_regression_gate("canonicalize", metrics)
+
+
 def test_bench_serving_zipf_admission_hit_rate(benchmark, serving_snapshot, bench_regression_gate):
     """TinyLFU admission >= plain LRU hit rate on a Zipf-with-scan stream.
 

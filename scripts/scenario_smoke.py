@@ -15,7 +15,12 @@ two-stage bundle, then checks the acceptance path end to end:
 5. a 2-shard server with autoscaling enabled boots from the same
    bundle, serves a multi-host stream across both shards, and drains
    cleanly — every submitted event answered, zero drops, every alert
-   delivered.
+   delivered;
+6. an evaded multi-stage campaign (every step respelled by a verified
+   :class:`EvasionMutator` technique) replayed through a 2-shard server
+   is invisible to the raw pipeline but fully recalled once
+   canonicalization is switched on — per-campaign recall strictly above
+   the raw baseline.
 
 Run from the repository root:
 
@@ -31,8 +36,12 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+import numpy as np  # noqa: E402
+
 from repro.ids.pipeline import IntrusionDetectionService  # noqa: E402
+from repro.loggen import CampaignBuilder  # noqa: E402
 from repro.serving import (  # noqa: E402
+    CanonicalizeConfig,
     CommandEvent,
     DetectionServer,
     ServingConfig,
@@ -169,6 +178,68 @@ def main() -> int:
             f"2-shard autoscaling server: {len(fleet_events)} events across "
             f"{len(populated)} shards, {delivered} alerts delivered, 0 dropped, "
             f"{merged.autoscale_checks} autoscale checks, clean drain"
+        )
+
+        # 6. canonicalization closes the evasion gap on a staged campaign
+        campaign = CampaignBuilder(seed=5).build_one("smoke-campaign", "victim-evade")
+        assert any(step.technique is not None for step in campaign.steps), (
+            "the campaign must actually evade"
+        )
+
+        class SignatureService:
+            """Stage-1 oracle knowing only *canonical* attack spellings."""
+
+            threshold = 0.5
+            has_sequence_head = False
+
+            def __init__(self, known):
+                self.known = known
+
+            def preprocess(self, raw):
+                line = " ".join(raw.split())
+                return line or None
+
+            def score_normalized(self, lines):
+                return np.array([0.9 if line in self.known else 0.1 for line in lines])
+
+        signature_service = SignatureService({step.canonical for step in campaign.steps})
+        campaign_events = [
+            CommandEvent(line, host=campaign.host, timestamp=float(i * 10))
+            for i, line in enumerate(campaign.lines)
+        ] + [
+            CommandEvent(line, host=f"dev-{i % 3}", timestamp=float(i * 10 + 5))
+            for i, line in enumerate(DEMO_BENIGN)
+        ]
+        campaign_events.sort(key=lambda e: e.timestamp)
+        recalls = {}
+        for label, canonicalize in (("raw", None), ("canonical", CanonicalizeConfig(enabled=True))):
+            server = DetectionServer(
+                signature_service, max_latency_ms=5, shards=2, canonicalize=canonicalize
+            )
+            results, server = serve_stream(
+                signature_service, campaign_events, concurrency=1, server=server
+            )
+            caught = sum(
+                r.alert is not None for r in results if r.host == campaign.host
+            )
+            false_alarms = sum(
+                r.alert is not None for r in results if r.host != campaign.host
+            )
+            assert false_alarms == 0, f"{label}: benign hosts must stay quiet"
+            recalls[label] = caught / len(campaign.steps)
+            if canonicalize is not None:
+                assert server.metrics.canonicalized > 0
+                assert server.metrics.canonicalize_failures == 0
+        assert recalls["canonical"] > recalls["raw"], (
+            f"canonicalization must beat the raw baseline: {recalls}"
+        )
+        assert recalls["canonical"] == 1.0, (
+            f"every evaded campaign step must be recalled: {recalls}"
+        )
+        print(
+            f"evaded campaign ({len(campaign.steps)} steps, 2 shards): "
+            f"raw recall {recalls['raw']:.2f} -> canonicalized recall "
+            f"{recalls['canonical']:.2f}, zero false alarms"
         )
 
     print("scenario smoke OK")

@@ -7,6 +7,9 @@ Public surface:
 - :func:`generate_paper_split` — the May-2022 train/test windows.
 - :class:`CommandDataset` / :class:`LogRecord` / :class:`Variant` — data.
 - :class:`AttackSampler` / :data:`ATTACK_FAMILIES` — attack library.
+- :class:`EvasionMutator` / :func:`build_evasion_corpus` /
+  :class:`CampaignBuilder` — adversarial evasion variants and staged
+  campaigns, verified against the canonicalization stage.
 - :class:`BenignSessionGenerator` — role-driven benign sessions.
 - :class:`TypoInjector` — telemetry noise.
 - :class:`GroundTruthOracle` — evaluation-side truth.
@@ -17,6 +20,16 @@ from repro.loggen.behavior import BenignSessionGenerator, SessionPlan
 from repro.loggen.benign import ROLE_MODELS, TemplateFiller
 from repro.loggen.dataset import CommandDataset
 from repro.loggen.entities import LogRecord, UserProfile, Variant
+from repro.loggen.evasion import (
+    CAMPAIGN_STAGES,
+    EVASION_TECHNIQUES,
+    Campaign,
+    CampaignBuilder,
+    CampaignStep,
+    EvasionCase,
+    EvasionMutator,
+    build_evasion_corpus,
+)
 from repro.loggen.fleet import DEFAULT_ROLE_WEIGHTS, FleetConfig, FleetSimulator, generate_paper_split
 from repro.loggen.groundtruth import GroundTruthOracle
 from repro.loggen.stats import CorpusStats, corpus_stats, fit_zipf_alpha
@@ -27,9 +40,16 @@ __all__ = [
     "AttackFamily",
     "AttackSampler",
     "BenignSessionGenerator",
+    "CAMPAIGN_STAGES",
+    "Campaign",
+    "CampaignBuilder",
+    "CampaignStep",
     "CommandDataset",
     "CorpusStats",
     "DEFAULT_ROLE_WEIGHTS",
+    "EVASION_TECHNIQUES",
+    "EvasionCase",
+    "EvasionMutator",
     "FAMILY_BY_NAME",
     "FleetConfig",
     "FleetSimulator",
@@ -41,6 +61,7 @@ __all__ = [
     "TypoInjector",
     "UserProfile",
     "Variant",
+    "build_evasion_corpus",
     "corpus_stats",
     "fit_zipf_alpha",
     "generate_paper_split",

@@ -1,0 +1,355 @@
+"""Adversarial evasion corpus: mutated attack lines plus staged campaigns.
+
+The serving pipeline scores *text*, so an attacker who respells a
+signatured command — quote fragments, ``$IFS`` separators, ``env``/
+``eval`` wrappers, absolute interpreter paths, base64 decode-exec
+pipelines — changes the token stream without changing behaviour.  This
+module generates exactly those respellings, paired with ground truth:
+
+- :class:`EvasionMutator` derives evasion variants of instantiated
+  :class:`~repro.loggen.attacks.AttackFamily` lines.  Every emitted
+  variant is **verified** to canonicalize (via
+  :class:`~repro.preprocess.Canonicalizer`) to the same form as its
+  base line — the corpus is the canonicalization stage's acceptance
+  contract, not a grab-bag of rewrites.
+- :func:`build_evasion_corpus` instantiates every family template and
+  fans each line out across all applicable techniques, yielding
+  :class:`EvasionCase` records (base, variant, shared canonical form).
+- :class:`CampaignBuilder` sequences multi-stage intrusions
+  (recon → exploit → persistence) on one host, optionally evading each
+  step, yielding :class:`Campaign`/:class:`CampaignStep` records for
+  per-campaign precision/recall scoring in the scenario harness.
+"""
+
+from __future__ import annotations
+
+import base64
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.loggen.attacks import ATTACK_FAMILIES, FAMILY_BY_NAME, AttackSampler
+from repro.preprocess.canonicalize import Canonicalizer
+from repro.shell.lexer import Lexer, TokenKind
+
+#: Mutation techniques, in a stable order.
+EVASION_TECHNIQUES = ("quote", "ifs", "base64", "wrapper", "interpreter")
+
+#: Tokens made purely of these characters can be quoted/split safely.
+_SAFE_TOKEN_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_./-"
+)
+
+#: Binaries commonly invoked by absolute path to dodge name matching.
+_KNOWN_BINARIES = frozenset(
+    {
+        "sh", "bash", "dash", "zsh", "cat", "nc", "ncat", "socat", "curl",
+        "wget", "nmap", "masscan", "python3", "perl", "php", "java", "tar",
+        "dd", "grep", "scp", "cp", "chmod", "crontab", "echo", "printf",
+        "mkfifo", "nohup", "seq", "xargs", "base64", "openssl", "tail",
+        "ssh", "export",
+    }
+)
+
+#: Stage layout of a multi-step campaign: stage name → candidate families.
+CAMPAIGN_STAGES: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("recon", ("port_scan", "credential_theft")),
+    ("exploit", ("download_exec", "reverse_shell", "base64_exec")),
+    ("persistence", ("persistence", "crypto_miner")),
+)
+
+
+@dataclass(frozen=True)
+class EvasionCase:
+    """One (base line, evasion variant) pair with its shared canonical form.
+
+    ``canonical`` is both ``canon(base)`` and ``canon(variant)`` — the
+    mutator only emits variants for which the two coincide, which is
+    what makes the pair *resolvable* by the canonicalization stage.
+    """
+
+    family: str
+    technique: str
+    inbox: bool
+    base: str
+    variant: str
+    canonical: str
+
+
+@dataclass(frozen=True)
+class CampaignStep:
+    """One command of a staged campaign, as the victim host runs it."""
+
+    stage: str
+    family: str
+    technique: str | None
+    base: str
+    line: str
+    canonical: str
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """A recon → exploit → persistence sequence on one host."""
+
+    name: str
+    host: str
+    steps: tuple[CampaignStep, ...]
+
+    @property
+    def lines(self) -> list[str]:
+        return [step.line for step in self.steps]
+
+
+class EvasionMutator:
+    """Derive canonicalization-resolvable evasion variants of a line.
+
+    Techniques (:data:`EVASION_TECHNIQUES`):
+
+    - ``quote`` — fragment a plain token with decorative quotes
+      (``cat`` → ``ca't'``).
+    - ``ifs`` — replace a word-separating space with ``${IFS}``.
+    - ``base64`` — wrap the whole line in a decode-exec pipeline
+      (``echo <b64> | base64 -d | sh``).
+    - ``wrapper`` — prefix a no-op wrapper (``env``/``command``) or
+      wrap in ``eval '...'``.
+    - ``interpreter`` — respell the leading command as an absolute
+      standard-bin path (``cat`` → ``/usr/bin/cat``).
+
+    Every candidate is verified against the canonicalizer: a variant is
+    only returned when ``canon(variant) == canon(base)``, so the corpus
+    stays an exact acceptance contract for the serving stage.  Bases
+    that do not parse produce no variants.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator | None = None,
+        canonicalizer: Canonicalizer | None = None,
+    ):
+        self._rng = rng or np.random.default_rng(0)
+        self._canonicalizer = canonicalizer or Canonicalizer()
+        self._lexer = Lexer()
+
+    # -- public API --------------------------------------------------------
+
+    def canonical(self, line: str) -> str | None:
+        """``canon(line)``, or ``None`` when *line* does not parse."""
+        result = self._canonicalizer.canonicalize(line)
+        return result.text if result.ok else None
+
+    def variants(self, line: str) -> list[tuple[str, str]]:
+        """All verified ``(technique, variant)`` pairs for *line*."""
+        canonical = self.canonical(line)
+        if canonical is None:
+            return []
+        out: list[tuple[str, str]] = []
+        for technique in EVASION_TECHNIQUES:
+            for candidate in self._candidates(line, technique):
+                if candidate == line:
+                    continue
+                result = self._canonicalizer.canonicalize(candidate)
+                if result.ok and result.text == canonical:
+                    out.append((technique, candidate))
+                    break
+        return out
+
+    def mutate(self, line: str, technique: str | None = None) -> tuple[str, str] | None:
+        """One verified ``(technique, variant)`` for *line*, or ``None``.
+
+        With *technique* given, only that technique is tried; otherwise
+        a random verified technique is chosen.
+        """
+        options = self.variants(line)
+        if technique is not None:
+            options = [pair for pair in options if pair[0] == technique]
+        if not options:
+            return None
+        return options[int(self._rng.integers(len(options)))]
+
+    # -- candidate generation ----------------------------------------------
+
+    def _candidates(self, line: str, technique: str) -> list[str]:
+        if technique == "quote":
+            return self._quote_candidates(line)
+        if technique == "ifs":
+            return self._ifs_candidates(line)
+        if technique == "base64":
+            return self._base64_candidates(line)
+        if technique == "wrapper":
+            return self._wrapper_candidates(line)
+        if technique == "interpreter":
+            return self._interpreter_candidates(line)
+        raise ValueError(
+            f"unknown technique {technique!r} (known: {', '.join(EVASION_TECHNIQUES)})"
+        )
+
+    def _plain_tokens(self, line: str):
+        """WORD tokens whose raw text is verbatim, safe, and re-spellable."""
+        try:
+            tokens = self._lexer.tokenize(line)
+        except Exception:
+            return []
+        out = []
+        for token in tokens:
+            if token.kind is not TokenKind.WORD:
+                continue
+            value = token.value
+            if len(value) < 2 or not set(value) <= _SAFE_TOKEN_CHARS:
+                continue
+            if line[token.position : token.position + len(value)] != value:
+                continue
+            out.append(token)
+        return out
+
+    @staticmethod
+    def _splice(line: str, position: int, length: int, replacement: str) -> str:
+        return line[:position] + replacement + line[position + length :]
+
+    def _quote_candidates(self, line: str) -> list[str]:
+        candidates = []
+        for token in self._plain_tokens(line):
+            value = token.value
+            if value.startswith("-"):
+                continue
+            split = len(value) // 2 or 1
+            fragment = value[:split] + "'" + value[split:] + "'"
+            candidates.append(self._splice(line, token.position, len(value), fragment))
+            candidates.append(
+                self._splice(line, token.position, len(value), f"'{value}'")
+            )
+        return candidates
+
+    def _ifs_candidates(self, line: str) -> list[str]:
+        candidates = []
+        for index, ch in enumerate(line):
+            if ch != " " or index == 0 or index == len(line) - 1:
+                continue
+            if line[index - 1] in _SAFE_TOKEN_CHARS and line[index + 1] in _SAFE_TOKEN_CHARS:
+                candidates.append(line[:index] + "${IFS}" + line[index + 1 :])
+        return candidates
+
+    @staticmethod
+    def _base64_candidates(line: str) -> list[str]:
+        payload = base64.b64encode(line.encode("utf-8")).decode("ascii")
+        return [
+            f"echo {payload} | base64 -d | sh",
+            f"printf %s {payload} | base64 --decode | sh -i",
+            f"echo {payload} | openssl enc -base64 -d | sh",
+        ]
+
+    @staticmethod
+    def _wrapper_candidates(line: str) -> list[str]:
+        quoted = "'" + line.replace("'", "'\\''") + "'"
+        return [f"env {line}", f"command {line}", f"eval {quoted}"]
+
+    def _interpreter_candidates(self, line: str) -> list[str]:
+        candidates = []
+        for token in self._plain_tokens(line):
+            if token.value not in _KNOWN_BINARIES or "/" in token.value:
+                continue
+            for prefix in ("/usr/bin/", "/bin/"):
+                candidates.append(
+                    self._splice(
+                        line, token.position, len(token.value), prefix + token.value
+                    )
+                )
+        return candidates
+
+
+def build_evasion_corpus(
+    seed: int = 0,
+    families: list[str] | None = None,
+    *,
+    inbox: bool = True,
+    outbox: bool = True,
+) -> list[EvasionCase]:
+    """Instantiate every family template and mutate it every way that sticks.
+
+    Deterministic for a given *seed*.  Each returned case pairs one
+    instantiated base line with one verified variant per applicable
+    technique; bases that do not parse (and techniques that cannot be
+    verified for a base) are skipped silently — the corpus only
+    contains pairs the canonicalization stage is contractually expected
+    to resolve.
+    """
+    rng = np.random.default_rng(seed)
+    sampler = AttackSampler(rng)
+    mutator = EvasionMutator(rng=rng)
+    names = families or [family.name for family in ATTACK_FAMILIES]
+    cases: list[EvasionCase] = []
+    for name in names:
+        family = FAMILY_BY_NAME[name]
+        for is_inbox, sessions in ((True, family.inbox), (False, family.outbox)):
+            if (is_inbox and not inbox) or (not is_inbox and not outbox):
+                continue
+            for session in sessions:
+                for template in session:
+                    line = sampler._fill(template)
+                    canonical = mutator.canonical(line)
+                    if canonical is None:
+                        continue
+                    for technique, variant in mutator.variants(line):
+                        cases.append(
+                            EvasionCase(
+                                family=name,
+                                technique=technique,
+                                inbox=is_inbox,
+                                base=line,
+                                variant=variant,
+                                canonical=canonical,
+                            )
+                        )
+    return cases
+
+
+class CampaignBuilder:
+    """Compose staged intrusion campaigns from the attack library.
+
+    Each campaign walks :data:`CAMPAIGN_STAGES` in order on a single
+    host: one family is drawn per stage and one session instantiated
+    from it.  With ``evade=True`` (default) every step is respelled by
+    a verified :class:`EvasionMutator` technique when one applies, so
+    the campaign's *lines* dodge raw string matching while its
+    *canonical* forms still name the signatured behaviour.
+    """
+
+    def __init__(self, seed: int = 0, *, evade: bool = True):
+        self._rng = np.random.default_rng(seed)
+        self._sampler = AttackSampler(self._rng)
+        self._mutator = EvasionMutator(rng=self._rng)
+        self.evade = evade
+
+    def build_one(self, name: str, host: str) -> Campaign:
+        """One campaign on *host*, walking every stage in order."""
+        steps: list[CampaignStep] = []
+        for stage, pool in CAMPAIGN_STAGES:
+            family = pool[int(self._rng.integers(len(pool)))]
+            for line in self._sampler.sample(family, inbox=True):
+                canonical = self._mutator.canonical(line)
+                if canonical is None:
+                    continue
+                technique: str | None = None
+                emitted = line
+                if self.evade:
+                    mutated = self._mutator.mutate(line)
+                    if mutated is not None:
+                        technique, emitted = mutated
+                steps.append(
+                    CampaignStep(
+                        stage=stage,
+                        family=family,
+                        technique=technique,
+                        base=line,
+                        line=emitted,
+                        canonical=canonical,
+                    )
+                )
+        return Campaign(name=name, host=host, steps=tuple(steps))
+
+    def build(self, count: int = 3) -> list[Campaign]:
+        """*count* campaigns, each on its own attacker-controlled host."""
+        return [
+            self.build_one(f"campaign-{index}", f"victim-{index:02d}")
+            for index in range(count)
+        ]

@@ -3,6 +3,9 @@
 Public surface:
 
 - :class:`Normalizer` — whitespace/control-character canonicalisation.
+- :class:`Canonicalizer` — AST-backed shell canonicalization (dequote,
+  ``$IFS`` resolution, wrapper stripping, flag ordering, decode-exec
+  flattening) with a never-raising fallback for unparseable lines.
 - :class:`ParserFilter` — drop lines the shell parser rejects.
 - :class:`CommandFrequencyTable` / :class:`ConcernedCommandFilter` —
   frequency-based typo filtering.
@@ -10,6 +13,11 @@ Public surface:
 - :func:`deduplicate` — test-set de-duplication (Section V).
 """
 
+from repro.preprocess.canonicalize import (
+    Canonicalizer,
+    CanonicalizeResult,
+    canonicalize_command_line,
+)
 from repro.preprocess.dedup import deduplicate, duplicate_indices, unique_fraction
 from repro.preprocess.filters import (
     CommandFrequencyTable,
@@ -20,12 +28,15 @@ from repro.preprocess.normalizer import Normalizer, normalize_command_line
 from repro.preprocess.pipeline import PreprocessingPipeline, PreprocessingStats
 
 __all__ = [
+    "CanonicalizeResult",
+    "Canonicalizer",
     "CommandFrequencyTable",
     "ConcernedCommandFilter",
     "Normalizer",
     "ParserFilter",
     "PreprocessingPipeline",
     "PreprocessingStats",
+    "canonicalize_command_line",
     "deduplicate",
     "duplicate_indices",
     "normalize_command_line",

@@ -4,14 +4,51 @@ Normalization happens *before* parsing and tokenization: it canonicalises
 whitespace and strips control characters so that logging artifacts do not
 fragment the BPE vocabulary.  It deliberately does **not** rewrite command
 content — the language model must see realistic text.
+
+Two classes of characters are handled beyond plain whitespace:
+
+- **Control characters** (Unicode category ``Cc``, including embedded
+  ``\\n``/``\\r\\n`` remnants a multi-line payload may smuggle into one
+  event) become spaces, so a smuggled newline can never straddle a
+  signature or token boundary.
+- **Format characters** (Unicode category ``Cf`` — zero-width spaces,
+  joiners, BOM, soft hyphen, bidi marks) are *deleted*: they are
+  invisible in a terminal but fragment BPE tokens, which would make
+  ``cat /etc/sh​adow`` tokenize unlike ``cat /etc/shadow`` — a free
+  evasion for an attacker.
 """
 
 from __future__ import annotations
 
 import re
+import unicodedata
+from functools import lru_cache
 
-_CONTROL_CHARS_RE = re.compile(r"[\x00-\x08\x0b-\x1f\x7f]")
+# ASCII control characters (including \n, \r, \v, \f; excluding \t which
+# the whitespace collapse owns) become spaces.  \x0a is deliberately IN
+# this class: an embedded newline is a word separator, never content.
+_CONTROL_CHARS_RE = re.compile(r"[\x00-\x08\x0a-\x1f\x7f]")
 _WHITESPACE_RE = re.compile(r"[ \t]+")
+
+
+@lru_cache(maxsize=4096)
+def _non_ascii_replacement(ch: str) -> str | None:
+    """Replacement for a non-ASCII char: '' (delete Cf), ' ' (Cc), None (keep)."""
+    category = unicodedata.category(ch)
+    if category == "Cf":
+        return ""
+    if category == "Cc":
+        return " "
+    return None
+
+
+def _strip_unicode_controls(text: str) -> str:
+    """Drop Cf and map non-ASCII Cc to spaces (ASCII handled by regex)."""
+    out: list[str] = []
+    for ch in text:
+        replacement = _non_ascii_replacement(ch) if ord(ch) > 0x7F else None
+        out.append(ch if replacement is None else replacement)
+    return "".join(out)
 
 
 class Normalizer:
@@ -35,6 +72,8 @@ class Normalizer:
 
     def normalize(self, line: str) -> str:
         """Return the canonical form of *line*."""
+        if not line.isascii():
+            line = _strip_unicode_controls(line)
         text = _CONTROL_CHARS_RE.sub(" ", line)
         if self.collapse_whitespace:
             text = _WHITESPACE_RE.sub(" ", text)

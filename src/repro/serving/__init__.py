@@ -60,6 +60,7 @@ from repro.serving.config import (
     BackendConfig,
     BatchConfig,
     CacheConfig,
+    CanonicalizeConfig,
     DeliveryPolicy,
     ServingConfig,
     SessionConfig,
@@ -130,6 +131,7 @@ __all__ = [
     "BatchFrame",
     "CacheConfig",
     "CallbackSink",
+    "CanonicalizeConfig",
     "CommandEvent",
     "DEFAULT_SINK_REGISTRY",
     "FrequencySketch",

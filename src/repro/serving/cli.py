@@ -137,6 +137,15 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "displace hot entries (default lru)",
     )
     parser.add_argument(
+        "--canonicalize",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="rewrite each normalized line to canonical shell form "
+        "(dequote, $IFS tricks, env/command/eval wrappers, base64 "
+        "decode-exec pipelines) before the score cache, so evasion "
+        "variants of one command share a cache entry (default off)",
+    )
+    parser.add_argument(
         "--shards",
         type=int,
         default=None,
@@ -282,6 +291,7 @@ def resolve_config(args: argparse.Namespace) -> ServingConfig:
             admission=args.cache_admission,
         ),
         backend=override(base.backend, kind=args.backend, workers=args.workers),
+        canonicalize=override(base.canonicalize, enabled=args.canonicalize),
         shards=override(base.shards, count=args.shards),
         autoscale=override(
             base.autoscale,

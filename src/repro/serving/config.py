@@ -152,6 +152,47 @@ class BatchConfig:
 
 
 @dataclass(frozen=True)
+class CanonicalizeConfig:
+    """Shell canonicalization stage between normalization and caching.
+
+    When ``enabled``, each normalized line is rewritten to canonical
+    form by :class:`~repro.preprocess.Canonicalizer` *before* the score
+    cache is consulted, so trivially rewritten variants of one command
+    (quoting, ``$IFS`` tricks, ``env``/``command``/``eval`` wrappers,
+    ``base64 -d | sh`` pipelines) collapse onto one cache entry and one
+    token stream.  Disabled (the default), the stage is entirely absent
+    and serving behaviour is byte-identical to the pre-canonicalization
+    pipeline.
+
+    ``decode_base64`` controls decode-exec pipeline flattening;
+    ``max_passes`` bounds rewrite passes per line (cascaded wrappers
+    resolve one layer per pass).
+    """
+
+    enabled: bool = False
+    decode_base64: bool = True
+    max_passes: int = 4
+
+    def __post_init__(self):
+        _as_bool(self.enabled, "canonicalize.enabled")
+        _as_bool(self.decode_base64, "canonicalize.decode_base64")
+        _as_int(self.max_passes, "canonicalize.max_passes", 1)
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "canonicalize") -> "CanonicalizeConfig":
+        data = _require_mapping(data, path)
+        _reject_unknown_keys(data, ("enabled", "decode_base64", "max_passes"), path)
+        return cls(**data)
+
+    def to_dict(self) -> dict:
+        return {
+            "enabled": self.enabled,
+            "decode_base64": self.decode_base64,
+            "max_passes": self.max_passes,
+        }
+
+
+@dataclass(frozen=True)
 class CacheConfig:
     """Score-cache policy: LRU size, optional TTL expiry, admission gate.
 
@@ -593,6 +634,7 @@ class ServingConfig:
     """
 
     batch: BatchConfig = field(default_factory=BatchConfig)
+    canonicalize: CanonicalizeConfig = field(default_factory=CanonicalizeConfig)
     cache: CacheConfig = field(default_factory=CacheConfig)
     backend: BackendConfig = field(default_factory=BackendConfig)
     session: SessionConfig = field(default_factory=SessionConfig)
@@ -604,6 +646,7 @@ class ServingConfig:
     def __post_init__(self):
         for attr, cls in (
             ("batch", BatchConfig),
+            ("canonicalize", CanonicalizeConfig),
             ("cache", CacheConfig),
             ("backend", BackendConfig),
             ("session", SessionConfig),
@@ -638,6 +681,7 @@ class ServingConfig:
             data,
             (
                 "batch",
+                "canonicalize",
                 "cache",
                 "backend",
                 "session",
@@ -660,6 +704,7 @@ class ServingConfig:
         )
         return cls(
             batch=_section(BatchConfig, data, "batch", path),
+            canonicalize=_section(CanonicalizeConfig, data, "canonicalize", path),
             cache=_section(CacheConfig, data, "cache", path),
             backend=_section(BackendConfig, data, "backend", path),
             session=_section(SessionConfig, data, "session", path),
@@ -706,6 +751,7 @@ class ServingConfig:
         so the dict also survives TOML, which has no null)."""
         return {
             "batch": self.batch.to_dict(),
+            "canonicalize": self.canonicalize.to_dict(),
             "cache": self.cache.to_dict(),
             "backend": self.backend.to_dict(),
             "session": self.session.to_dict(),

@@ -44,6 +44,10 @@ class ServingMetrics:
         "cache_gen_hits",
         "cache_gen_misses",
         "cache_admission_rejections",
+        "canonicalized",
+        "canonicalize_failures",
+        "canonicalize_truncated",
+        "canonicalize_decoded",
         "alerts",
         "escalations",
         "sequence_scored",
@@ -74,6 +78,14 @@ class ServingMetrics:
         self.cache_gen_hits = 0
         self.cache_gen_misses = 0
         self.cache_admission_rejections = 0
+        #: Canonicalization stage accounting: lines rewritten to a
+        #: different canonical form, parse-failure fallbacks (split into
+        #: truncation-attributable vs. genuinely unparseable), and
+        #: decode-exec pipelines flattened into their decoded payload.
+        self.canonicalized = 0
+        self.canonicalize_failures = 0
+        self.canonicalize_truncated = 0
+        self.canonicalize_decoded = 0
         self.alerts = 0
         self.escalations = 0
         self.sequence_scored = 0
@@ -317,6 +329,10 @@ class ServingMetrics:
             "cache_hit_rate": round(self.cache_hit_rate, 4),
             "cache_generation_hit_rate": round(self.cache_generation_hit_rate, 4),
             "cache_admission_rejections": self.cache_admission_rejections,
+            "canonicalized": self.canonicalized,
+            "canonicalize_failures": self.canonicalize_failures,
+            "canonicalize_truncated": self.canonicalize_truncated,
+            "canonicalize_decoded": self.canonicalize_decoded,
             "alerts": self.alerts,
             "escalations": self.escalations,
             "sequence_scored": self.sequence_scored,

@@ -65,6 +65,7 @@ from repro.serving.cache import ScoreCache
 from repro.serving.config import (
     AutoscaleConfig,
     BackendConfig,
+    CanonicalizeConfig,
     ServingConfig,
     SessionConfig,
 )
@@ -280,6 +281,7 @@ class DetectionServer:
         shard_virtual_nodes: int = 64,
         autoscale: AutoscaleConfig | None = None,
         columnar: bool = True,
+        canonicalize: CanonicalizeConfig | None = None,
     ):
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -302,6 +304,9 @@ class DetectionServer:
         self.session_policy = session
         #: Autoscaling policy (disabled by default).
         self.autoscale_policy = autoscale or AutoscaleConfig()
+        #: Canonicalization stage policy (disabled by default — off is
+        #: byte-identical to the pre-canonicalization pipeline).
+        self.canonicalize_policy = canonicalize or CanonicalizeConfig()
         self._ctx = ShardContext(service, backend, pipeline)
         self.router = ShardRouter(shards, virtual_nodes=shard_virtual_nodes)
         if shards == 1:
@@ -325,6 +330,7 @@ class DetectionServer:
                 session=session,
                 metrics=shard_metrics[shard_id],
                 columnar=columnar,
+                canonicalize=self.canonicalize_policy,
             )
             for shard_id in range(shards)
         ]
@@ -460,6 +466,7 @@ class DetectionServer:
             shard_virtual_nodes=config.shards.virtual_nodes,
             autoscale=config.autoscale,
             columnar=config.batch.columnar,
+            canonicalize=config.canonicalize,
         )
         server.config = config
         if record:

@@ -40,8 +40,9 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.preprocess.canonicalize import Canonicalizer
 from repro.serving.cache import ScoreCache
-from repro.serving.config import SessionConfig
+from repro.serving.config import CanonicalizeConfig, SessionConfig
 from repro.serving.events import (
     AlertStatus,
     DetectionAlert,
@@ -149,6 +150,7 @@ class ShardRuntime:
         session: SessionConfig | None = None,
         metrics: ServingMetrics | None = None,
         columnar: bool = True,
+        canonicalize: CanonicalizeConfig | None = None,
     ):
         self.shard_id = shard_id
         self._ctx = context
@@ -157,6 +159,17 @@ class ShardRuntime:
         #: per-line string path (the pre-columnar behaviour).
         self.columnar = columnar
         self.metrics = metrics or ServingMetrics()
+        #: AST-backed canonicalization between preprocess and the cache
+        #: seam; ``None`` (canonicalize disabled or absent) keeps the
+        #: pipeline byte-identical to the pre-canonicalization path.
+        self.canonicalizer: Canonicalizer | None = None
+        if canonicalize is not None and canonicalize.enabled:
+            normalizer = getattr(context.service, "normalizer", None)
+            self.canonicalizer = Canonicalizer(
+                decode_base64=canonicalize.decode_base64,
+                max_passes=canonicalize.max_passes,
+                truncation_length=getattr(normalizer, "max_length", None),
+            )
         self.cache = ScoreCache(
             cache_size, ttl_seconds=cache_ttl_seconds, admission=cache_admission
         )
@@ -232,6 +245,8 @@ class ShardRuntime:
                 latency_ms=latency,
                 generation=ctx.generation,
             )
+        if self.canonicalizer is not None:
+            normalized = self._canonical(normalized)
 
         cached = self.cache.lookup(normalized)
         if cached is not None:
@@ -295,6 +310,25 @@ class ShardRuntime:
         )
 
     # -- internals ---------------------------------------------------------
+
+    def _canonical(self, normalized: str) -> str:
+        """Canonicalize one normalized line, accounting the outcome.
+
+        Never raises: unparseable input falls back to the normalized
+        text (counted in ``canonicalize_failures``, with truncation-
+        attributable failures split out into ``canonicalize_truncated``).
+        """
+        result = self.canonicalizer.canonicalize(normalized)
+        if result.ok:
+            if result.changed:
+                self.metrics.canonicalized += 1
+            if result.decoded:
+                self.metrics.canonicalize_decoded += 1
+        else:
+            self.metrics.canonicalize_failures += 1
+            if result.reason == "truncated":
+                self.metrics.canonicalize_truncated += 1
+        return result.text
 
     def _emit_alert(
         self,
@@ -416,6 +450,10 @@ class ShardRuntime:
             return []
         event_ids = [ctx.next_event_id() for _ in range(n)]
         normalized = [ctx.service.preprocess(line) for line, _, _ in events]
+        if self.canonicalizer is not None:
+            normalized = [
+                line if line is None else self._canonical(line) for line in normalized
+            ]
 
         # one cache sweep; misses collected for a single scoring call
         scores = [0.0] * n

@@ -1,0 +1,122 @@
+"""Tests for the adversarial evasion corpus and campaign builder."""
+
+import numpy as np
+import pytest
+
+from repro.loggen import (
+    ATTACK_FAMILIES,
+    CAMPAIGN_STAGES,
+    EVASION_TECHNIQUES,
+    CampaignBuilder,
+    EvasionMutator,
+    build_evasion_corpus,
+)
+from repro.preprocess import Canonicalizer
+
+
+class TestEvasionMutator:
+    def setup_method(self):
+        self.mutator = EvasionMutator(rng=np.random.default_rng(0))
+
+    def test_variants_are_verified_against_canonicalizer(self):
+        line = "cat /etc/shadow"
+        canonical = self.mutator.canonical(line)
+        pairs = self.mutator.variants(line)
+        assert pairs
+        canonicalizer = Canonicalizer()
+        for technique, variant in pairs:
+            assert technique in EVASION_TECHNIQUES
+            assert variant != line
+            assert canonicalizer.canonicalize(variant).text == canonical
+
+    def test_all_techniques_apply_to_a_simple_line(self):
+        techniques = {t for t, _ in self.mutator.variants("cat /etc/shadow")}
+        assert techniques == set(EVASION_TECHNIQUES)
+
+    def test_mutate_specific_technique(self):
+        mutated = self.mutator.mutate("cat /etc/shadow", "base64")
+        assert mutated is not None
+        technique, variant = mutated
+        assert technique == "base64"
+        assert "base64" in variant
+
+    def test_mutate_unparseable_base_returns_none(self):
+        assert self.mutator.mutate("echo 'oops") is None
+
+    def test_unknown_technique_raises(self):
+        with pytest.raises(ValueError):
+            self.mutator._candidates("ls", "nonsense")
+
+
+class TestCorpus:
+    def test_corpus_covers_every_family_and_technique(self):
+        cases = build_evasion_corpus(seed=0)
+        assert {case.family for case in cases} == {f.name for f in ATTACK_FAMILIES}
+        assert {case.technique for case in cases} == set(EVASION_TECHNIQUES)
+        assert len(cases) > 100
+
+    def test_corpus_is_deterministic(self):
+        first = build_evasion_corpus(seed=7)
+        second = build_evasion_corpus(seed=7)
+        assert first == second
+
+    def test_every_case_pair_shares_its_canonical_form(self):
+        canonicalizer = Canonicalizer()
+        for case in build_evasion_corpus(seed=0, families=["credential_theft"]):
+            assert canonicalizer.canonicalize(case.base).text == case.canonical
+            assert canonicalizer.canonicalize(case.variant).text == case.canonical
+            assert case.variant != case.base
+
+    def test_family_filter(self):
+        cases = build_evasion_corpus(seed=0, families=["port_scan"])
+        assert cases
+        assert {case.family for case in cases} == {"port_scan"}
+
+    def test_inbox_outbox_filters(self):
+        inbox_only = build_evasion_corpus(seed=0, outbox=False)
+        assert all(case.inbox for case in inbox_only)
+        outbox_only = build_evasion_corpus(seed=0, inbox=False)
+        assert all(not case.inbox for case in outbox_only)
+
+
+class TestCampaignBuilder:
+    def test_campaign_walks_every_stage_in_order(self):
+        campaign = CampaignBuilder(seed=1).build_one("c", "victim")
+        stages = [step.stage for step in campaign.steps]
+        expected_order = [stage for stage, _ in CAMPAIGN_STAGES]
+        # stage blocks appear in declaration order (each may span
+        # several steps — one per line of the sampled session)
+        seen = []
+        for stage in stages:
+            if not seen or seen[-1] != stage:
+                seen.append(stage)
+        assert seen == expected_order
+        for step in campaign.steps:
+            pool = dict(CAMPAIGN_STAGES)[step.stage]
+            assert step.family in pool
+
+    def test_evaded_steps_canonicalize_to_their_base(self):
+        canonicalizer = Canonicalizer()
+        campaign = CampaignBuilder(seed=2).build_one("c", "victim")
+        assert any(step.technique is not None for step in campaign.steps)
+        for step in campaign.steps:
+            assert canonicalizer.canonicalize(step.line).text == step.canonical
+
+    def test_no_evade_mode_emits_bases(self):
+        campaign = CampaignBuilder(seed=3, evade=False).build_one("c", "victim")
+        for step in campaign.steps:
+            assert step.technique is None
+            assert step.line == step.base
+
+    def test_build_assigns_distinct_hosts(self):
+        campaigns = CampaignBuilder(seed=0).build(3)
+        assert len({campaign.host for campaign in campaigns}) == 3
+        assert [campaign.name for campaign in campaigns] == [
+            "campaign-0",
+            "campaign-1",
+            "campaign-2",
+        ]
+
+    def test_lines_property_matches_steps(self):
+        campaign = CampaignBuilder(seed=4).build_one("c", "victim")
+        assert campaign.lines == [step.line for step in campaign.steps]

@@ -37,6 +37,36 @@ class TestNormalizer:
         with pytest.raises(ValueError):
             Normalizer(max_length=0)
 
+    def test_embedded_newlines_fold_into_whitespace(self):
+        # regression: a multi-line payload smuggled into one log record
+        # used to keep its newlines (the control strip skipped \n), so
+        # "downstream one line per record" consumers saw two commands
+        assert normalize_command_line("echo a\nrm -rf /tmp/x") == "echo a rm -rf /tmp/x"
+
+    def test_crlf_remnants_fold_into_whitespace(self):
+        assert normalize_command_line("echo a\r\n  echo b\r") == "echo a echo b"
+
+    def test_newline_without_collapse_still_removed(self):
+        normalizer = Normalizer(collapse_whitespace=False)
+        assert normalizer("echo a\necho b") == "echo a echo b"
+
+    def test_strips_unicode_format_controls(self):
+        # regression: zero-width characters split the command name for
+        # string matchers while the shell (after copy-paste laundering)
+        # still runs the obvious thing
+        obfuscated = "ca​t /etc/sh‌adow"
+        assert normalize_command_line(obfuscated) == "cat /etc/shadow"
+
+    def test_strips_bom_and_word_joiner(self):
+        assert normalize_command_line("﻿cat ⁠/etc/shadow") == "cat /etc/shadow"
+
+    def test_non_ascii_cc_controls_become_spaces(self):
+        # U+0085 NEL is a Cc control the old ASCII-only strip missed
+        assert normalize_command_line("echo aecho b") == "echo a echo b"
+
+    def test_plain_unicode_text_is_preserved(self):
+        assert normalize_command_line("echo héllo wörld") == "echo héllo wörld"
+
 
 class TestParserFilter:
     def test_keeps_valid(self):

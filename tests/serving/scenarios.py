@@ -36,14 +36,22 @@ import numpy as np
 from repro.loggen import (
     AttackSampler,
     BenignSessionGenerator,
+    Campaign,
     CommandDataset,
+    EvasionMutator,
     FleetConfig,
     FleetSimulator,
     GroundTruthOracle,
     LogRecord,
     Variant,
 )
-from repro.serving import CommandEvent, DetectionServer, SessionConfig, serve_stream
+from repro.serving import (
+    CanonicalizeConfig,
+    CommandEvent,
+    DetectionServer,
+    SessionConfig,
+    serve_stream,
+)
 from repro.tuning.multiline import SEPARATOR
 
 #: Scenario clock zero (the paper's test window).
@@ -87,8 +95,15 @@ class ScenarioBuilder:
         rng = np.random.default_rng(seed)
         self._attacks = AttackSampler(np.random.default_rng(int(rng.integers(2**31))))
         self._benign = BenignSessionGenerator(np.random.default_rng(int(rng.integers(2**31))))
+        self._mutator = EvasionMutator(rng=np.random.default_rng(int(rng.integers(2**31))))
         self._records: list[LogRecord] = []
         self._noisy: set[str] = set()
+        #: Canonical signature forms the detector "knows" (added to the
+        #: malicious set even though no event carries them verbatim).
+        self._signatures: set[str] = set()
+        #: Normalized evasion-variant spellings (removed from the
+        #: malicious set — the raw detector must *not* know them).
+        self._evaded: set[str] = set()
         self._noise_counter = 0
         self.start = start
 
@@ -207,6 +222,79 @@ class ScenarioBuilder:
                     variant=Variant.BENIGN,
                 )
         return lines
+
+    def evasion_burst(
+        self,
+        host: str,
+        user: str = "mallory",
+        at: float = 0.0,
+        n: int = 6,
+        spacing: float = 10.0,
+        technique: str | None = None,
+        inbox: bool = True,
+    ) -> list[str]:
+        """An attack burst respelled through :class:`EvasionMutator`.
+
+        The *events* carry evasion variants (quote fragments, ``$IFS``,
+        base64 pipelines, …) while the detector's known-malicious set is
+        seeded with the **canonical** form of each base line only — so
+        the raw pipeline misses every variant and a canonicalizing
+        pipeline resolves all of them.  Returns the variant lines.
+        """
+        lines: list[str] = []
+        while len(lines) < n:
+            family, session = self._attacks.sample_any(inbox=inbox)
+            for base in session:
+                mutated = self._mutator.mutate(base, technique)
+                if mutated is None:
+                    continue
+                used, variant = mutated
+                canonical = self._mutator.canonical(base)
+                self._add(
+                    variant,
+                    host,
+                    user,
+                    at + len(lines) * spacing,
+                    malicious=True,
+                    scenario=f"evasion.{family}.{used}",
+                    variant=Variant.INBOX if inbox else Variant.OUTBOX,
+                )
+                self._signatures.add(canonical)
+                self._evaded.add(normalize(variant))
+                lines.append(variant)
+                if len(lines) >= n:
+                    break
+        return lines
+
+    def campaign(
+        self,
+        campaign: Campaign,
+        user: str = "mallory",
+        at: float = 0.0,
+        spacing: float = 20.0,
+    ) -> list[str]:
+        """Place a staged :class:`Campaign` on its own host.
+
+        Each step's emitted line becomes a malicious event; the
+        detector's signature set learns the step's canonical form (and
+        the base spelling, so un-evaded steps stay catchable raw) while
+        evaded spellings are excluded from it.
+        """
+        for index, step in enumerate(campaign.steps):
+            self._add(
+                step.line,
+                campaign.host,
+                user,
+                at + index * spacing,
+                malicious=True,
+                scenario=f"campaign.{campaign.name}.{step.stage}",
+                variant=Variant.INBOX,
+            )
+            self._signatures.add(step.canonical)
+            self._signatures.add(normalize(step.base))
+            if step.technique is not None:
+                self._evaded.add(normalize(step.line))
+        return campaign.lines
 
     def benign_power_user(
         self,
@@ -334,13 +422,23 @@ class ScenarioBuilder:
     # -- assembly ----------------------------------------------------------
 
     def build(self, name: str) -> Scenario:
-        """Time-sort everything into a replayable labelled scenario."""
+        """Time-sort everything into a replayable labelled scenario.
+
+        The detector's known-malicious set starts from ground truth,
+        then *forgets* evasion-variant spellings and *learns* canonical
+        signature forms — so what the oracle recognizes is the
+        signature library, not a transcript of the attack.
+        """
         dataset = CommandDataset(self._records).sorted_by_time()
         labels = GroundTruthOracle(dataset).labels()
         malicious = frozenset(
-            normalize(record.line)
-            for record, label in zip(dataset, labels)
-            if label == 1
+            {
+                normalize(record.line)
+                for record, label in zip(dataset, labels)
+                if label == 1
+            }
+            - self._evaded
+            | self._signatures
         )
         events = tuple(
             CommandEvent(
@@ -409,6 +507,18 @@ class OracleService:
         return np.array(scores)
 
 
+@dataclass(frozen=True)
+class CampaignOutcome:
+    """Detection quality for one staged campaign within a replay."""
+
+    name: str
+    host: str
+    steps: int
+    caught: int
+    precision: float
+    recall: float
+
+
 @dataclass
 class ReplayReport:
     """Everything a scenario assertion needs from one replay."""
@@ -429,6 +539,52 @@ class ReplayReport:
     def alerts_for(self, host: str) -> list:
         return [r.alert for r in self.results if r.alert is not None and r.host == host]
 
+    def _labelled(self):
+        """(record, result) pairs — replay order equals dataset order."""
+        assert len(self.results) == len(self.scenario.dataset)
+        return zip(self.scenario.dataset, self.results)
+
+    @property
+    def recall(self) -> float:
+        """Fraction of truly-malicious events that raised an alert."""
+        truth = caught = 0
+        for record, result in self._labelled():
+            if record.is_malicious:
+                truth += 1
+                caught += result.alert is not None
+        return caught / truth if truth else 1.0
+
+    @property
+    def precision(self) -> float:
+        """Fraction of raised alerts that were truly malicious."""
+        alerts = true_positives = 0
+        for record, result in self._labelled():
+            if result.alert is not None:
+                alerts += 1
+                true_positives += record.is_malicious
+        return true_positives / alerts if alerts else 1.0
+
+    def campaign_outcome(self, campaign: Campaign) -> CampaignOutcome:
+        """Per-campaign precision/recall, scoped to the campaign's host."""
+        steps = caught = alerts = true_positives = 0
+        for record, result in self._labelled():
+            if result.host != campaign.host:
+                continue
+            if record.is_malicious:
+                steps += 1
+                caught += result.alert is not None
+            if result.alert is not None:
+                alerts += 1
+                true_positives += record.is_malicious
+        return CampaignOutcome(
+            name=campaign.name,
+            host=campaign.host,
+            steps=steps,
+            caught=caught,
+            precision=true_positives / alerts if alerts else 1.0,
+            recall=caught / steps if steps else 1.0,
+        )
+
 
 def replay(
     scenario: Scenario,
@@ -441,6 +597,7 @@ def replay(
     context_max_gap_seconds: float = 180.0,
     max_hosts: int = 100_000,
     shards: int = 1,
+    canonicalize: bool = False,
     service: OracleService | None = None,
 ) -> ReplayReport:
     """Replay *scenario* through a real :class:`DetectionServer`.
@@ -452,6 +609,8 @@ def replay(
     who escalates when — is fully deterministic.  *shards* routes hosts
     across that many shard runtimes — escalation verdicts must not
     depend on it (the sharded-parity tests assert exactly that).
+    ``canonicalize=True`` switches on the AST canonicalization stage
+    between preprocess and the cache seam.
     """
     service = service or OracleService.for_scenario(scenario)
     session = SessionConfig(
@@ -463,7 +622,13 @@ def replay(
         context_max_gap_seconds=context_max_gap_seconds,
         max_hosts=max_hosts,
     )
-    server = DetectionServer(service, max_latency_ms=5, session=session, shards=shards)
+    server = DetectionServer(
+        service,
+        max_latency_ms=5,
+        session=session,
+        shards=shards,
+        canonicalize=CanonicalizeConfig(enabled=True) if canonicalize else None,
+    )
     results, server = serve_stream(service, list(scenario.events), concurrency=1, server=server)
     return ReplayReport(
         scenario=scenario, mode=mode, results=results, server=server, service=service

@@ -8,10 +8,12 @@ The flagship case is the low-and-slow attacker: invisible to the alert
 *rate* policy, caught by the sequence stage.
 """
 
+from repro.loggen import CampaignBuilder
+from repro.serving import CanonicalizeConfig, DetectionServer, SessionConfig, serve_stream
 from repro.serving.events import AlertStatus
 from repro.tuning.multiline import SEPARATOR
 
-from tests.serving.scenarios import EPOCH, ScenarioBuilder, replay
+from tests.serving.scenarios import EPOCH, OracleService, ScenarioBuilder, replay
 
 BASE = EPOCH.timestamp()
 
@@ -205,6 +207,120 @@ class TestShardedReplayParity:
             shard for shard in report.server.shards if shard.sessions.sessions()
         ]
         assert len(populated) >= 3
+
+
+def evasion_scenario(seed=17, n=8):
+    builder = ScenarioBuilder(seed=seed)
+    builder.evasion_burst("h-evade", user="mallory", n=n, spacing=10.0)
+    builder.benign_power_user("h-dev", user="alice", sessions=4)
+    return builder.build("evasion")
+
+
+def campaign_fixture(seed=19, count=3):
+    campaigns = CampaignBuilder(seed=seed).build(count)
+    builder = ScenarioBuilder(seed=seed)
+    for index, campaign in enumerate(campaigns):
+        builder.campaign(campaign, at=index * 500.0, spacing=20.0)
+    builder.benign_power_user("h-dev", user="alice", sessions=4)
+    return campaigns, builder.build("campaigns")
+
+
+class TestEvasionCorpus:
+    """The canonicalization acceptance: evasion variants that slip past
+    the raw detector are caught once the canonicalization stage maps
+    them back onto their signatured form."""
+
+    def test_canonicalized_recall_strictly_beats_raw(self):
+        scenario = evasion_scenario()
+        raw = replay(scenario, mode="count")
+        canonical = replay(scenario, mode="count", canonicalize=True)
+        # the headline gap the whole stage exists for
+        assert canonical.recall > raw.recall
+        assert canonical.recall == 1.0
+        assert raw.recall == 0.0
+        # resolving variants must not cost precision
+        assert canonical.precision == 1.0
+
+    def test_raw_pipeline_misses_every_variant(self):
+        report = replay(evasion_scenario(), mode="count")
+        assert report.server.metrics.alerts == 0
+        assert report.escalated == set()
+
+    def test_canonicalized_pipeline_escalates_the_evader(self):
+        report = replay(evasion_scenario(), mode="count", canonicalize=True)
+        assert report.escalated == {"h-evade"}
+        assert report.server.metrics.alerts == 8
+
+    def test_canonicalize_metrics_account_the_rewrites(self):
+        report = replay(evasion_scenario(), mode="count", canonicalize=True)
+        snapshot = report.server.metrics.snapshot()
+        assert snapshot["canonicalized"] >= 8
+        assert snapshot["canonicalize_failures"] == 0
+        assert snapshot["canonicalize_truncated"] == 0
+        raw_snapshot = replay(evasion_scenario(), mode="count").server.metrics.snapshot()
+        assert raw_snapshot["canonicalized"] == 0
+
+    def test_sharded_canonicalized_replay_agrees(self):
+        scenario = evasion_scenario()
+        single = replay(scenario, mode="count", canonicalize=True)
+        sharded = replay(scenario, mode="count", canonicalize=True, shards=4)
+        assert sharded.escalated == single.escalated
+        assert sharded.recall == single.recall
+
+    def test_canonicalize_off_is_byte_identical_to_absent(self):
+        """``enabled=false`` must reproduce today's pipeline exactly —
+        same normalized lines, same scores, same verdicts."""
+        scenario = evasion_scenario()
+        reports = []
+        for config in (None, CanonicalizeConfig(enabled=False)):
+            service = OracleService.for_scenario(scenario)
+            server = DetectionServer(
+                service,
+                max_latency_ms=5,
+                session=SessionConfig(mode="count"),
+                canonicalize=config,
+            )
+            results, server = serve_stream(
+                service, list(scenario.events), concurrency=1, server=server
+            )
+            reports.append((results, service))
+        (absent_results, absent_service), (off_results, off_service) = reports
+        assert off_service.scored_batches == absent_service.scored_batches
+        assert len(off_results) == len(absent_results)
+        for a, b in zip(absent_results, off_results):
+            assert (a.line, a.score, a.is_intrusion, a.cache_hit) == (
+                b.line,
+                b.score,
+                b.is_intrusion,
+                b.cache_hit,
+            )
+
+
+class TestCampaignReplay:
+    def test_per_campaign_recall_flips_with_canonicalization(self):
+        campaigns, scenario = campaign_fixture()
+        raw = replay(scenario, mode="count")
+        canonical = replay(scenario, mode="count", canonicalize=True)
+        for campaign in campaigns:
+            raw_outcome = raw.campaign_outcome(campaign)
+            canon_outcome = canonical.campaign_outcome(campaign)
+            assert raw_outcome.steps == len(campaign.steps)
+            assert canon_outcome.recall == 1.0, campaign.name
+            assert canon_outcome.precision == 1.0, campaign.name
+            assert canon_outcome.recall > raw_outcome.recall, campaign.name
+
+    def test_campaign_stages_all_alert_canonicalized(self):
+        campaigns, scenario = campaign_fixture()
+        report = replay(scenario, mode="count", canonicalize=True)
+        for campaign in campaigns:
+            outcome = report.campaign_outcome(campaign)
+            assert outcome.caught == outcome.steps == len(campaign.steps)
+
+    def test_benign_host_stays_quiet_under_canonicalization(self):
+        _, scenario = campaign_fixture()
+        report = replay(scenario, mode="count", canonicalize=True)
+        assert report.alerts_for("h-dev") == []
+        assert "h-dev" not in report.escalated
 
 
 class TestMixedFleet:

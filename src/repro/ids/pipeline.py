@@ -161,6 +161,56 @@ class IntrusionDetectionService:
                 digest.update(parameter.data.tobytes())
         return digest.hexdigest()[:16]
 
+    def compile_inference(self, precision: str = "float64") -> bool:
+        """Compile the encoder's LM into a graph-free serving plan.
+
+        Routes :meth:`score_normalized`/:meth:`score_batch` (and, when a
+        multi-line head shares the LM, :meth:`score_sequence`) through a
+        :class:`~repro.nn.inference.InferencePlan`.  ``float64`` scores
+        are bitwise-identical to the Tensor path; ``float32`` trades
+        ~1e-6 score drift for roughly half the memory traffic.
+
+        Returns ``True`` on success.  A model outside the compiler's
+        surface warns and returns ``False`` — the service keeps serving
+        through the Tensor path (auto-fallback, never a hard failure).
+        """
+        from repro.nn.inference import InferenceCompileError
+
+        encoders = [self.encoder]
+        if self.multiline_tuner is not None and self.multiline_tuner.encoder is not self.encoder:
+            encoders.append(self.multiline_tuner.encoder)
+        try:
+            for encoder in encoders:
+                encoder.compile_inference(precision)
+        except InferenceCompileError as exc:
+            for encoder in encoders:
+                encoder.reset_inference()
+            warnings.warn(
+                f"compiled inference unavailable for this model ({exc}); "
+                "serving through the Tensor path",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return False
+        return True
+
+    def reset_inference(self) -> None:
+        """Drop any compiled plans; subsequent scoring uses the tape."""
+        self.encoder.reset_inference()
+        if self.multiline_tuner is not None:
+            self.multiline_tuner.encoder.reset_inference()
+
+    @property
+    def inference_compiled(self) -> bool:
+        """Whether scoring currently runs through a compiled plan."""
+        return self.encoder.inference_plan is not None
+
+    @property
+    def inference_precision(self) -> str | None:
+        """Precision of the active compiled plan (``None`` when not compiled)."""
+        plan = self.encoder.inference_plan
+        return plan.precision if plan is not None else None
+
     # -- inference -----------------------------------------------------------
 
     def preprocess(self, raw: str) -> str | None:

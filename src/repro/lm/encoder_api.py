@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.lm.model import CommandLineLM
 from repro.lm.pooling import POOLERS, pool
+from repro.nn.inference import InferencePlan
 from repro.nn.module import no_grad
 from repro.tokenizer.bpe import BPETokenizer
 
@@ -30,6 +31,13 @@ class CommandEncoder:
         ``"mean"`` (Section III default) or ``"cls"``.
     batch_size:
         Lines embedded per forward pass.
+
+    After :meth:`compile_inference`, the embed paths run through a
+    graph-free :class:`~repro.nn.inference.InferencePlan` instead of the
+    autograd tape; in float64 mode the embeddings are bitwise-identical
+    either way (chunk composition, padding, and pooling are replicated
+    exactly).  Further training of ``model`` requires recompiling — the
+    plan snapshots the weights.
 
     Example
     -------
@@ -60,11 +68,33 @@ class CommandEncoder:
         self.pooling = pooling
         self.batch_size = batch_size
         self.model.eval()
+        self._plan: InferencePlan | None = None
 
     @property
     def embedding_dim(self) -> int:
         """Width of produced embeddings."""
         return self.model.config.hidden_size
+
+    @property
+    def inference_plan(self) -> InferencePlan | None:
+        """The compiled plan serving the embed paths, if any."""
+        return self._plan
+
+    def compile_inference(self, precision: str = "float64") -> InferencePlan:
+        """Compile the model into an :class:`InferencePlan` and route
+        :meth:`embed`/:meth:`embed_batch`/:meth:`embed_tokens` through it.
+
+        Raises :class:`~repro.nn.inference.InferenceCompileError` when
+        the model is outside the compiler's surface; the encoder is left
+        on the Tensor path in that case.
+        """
+        plan = InferencePlan.compile(self.model, precision)
+        self._plan = plan
+        return plan
+
+    def reset_inference(self) -> None:
+        """Drop the compiled plan and return to the Tensor-tape path."""
+        self._plan = None
 
     def embed(self, lines: Sequence[str], pooling: str | None = None) -> np.ndarray:
         """Embed *lines* into an ``(N, hidden_size)`` float array."""
@@ -76,7 +106,18 @@ class CommandEncoder:
         # Length-bucketed batching: embedding in length order avoids
         # padding every batch to the corpus-wide maximum.
         order = sorted(range(len(lines)), key=lambda i: len(lines[i]))
-        result = np.empty((len(lines), self.embedding_dim))
+        plan = self._plan
+        result = np.empty(
+            (len(lines), self.embedding_dim),
+            dtype=plan.dtype if plan is not None else np.float64,
+        )
+        if plan is not None:
+            for start in range(0, len(order), self.batch_size):
+                chunk_indices = order[start : start + self.batch_size]
+                ids, mask = self._encode_batch([lines[i] for i in chunk_indices])
+                # assignment copies the scratch view before the next chunk
+                result[chunk_indices] = plan.pooled(ids, mask, strategy)
+            return result
         with no_grad(self.model):
             for start in range(0, len(order), self.batch_size):
                 chunk_indices = order[start : start + self.batch_size]
@@ -105,7 +146,20 @@ class CommandEncoder:
         if n == 0:
             return np.zeros((0, self.embedding_dim))
         order = np.argsort(batch.char_lengths, kind="stable")
-        result = np.empty((n, self.embedding_dim))
+        plan = self._plan
+        result = np.empty(
+            (n, self.embedding_dim),
+            dtype=plan.dtype if plan is not None else np.float64,
+        )
+        if plan is not None:
+            for start in range(0, n, self.batch_size):
+                rows = order[start : start + self.batch_size]
+                lengths = batch.lengths[rows]
+                width = int(lengths.max())
+                ids = batch.ids[rows][:, :width]
+                mask = np.arange(width) < lengths[:, None]
+                result[rows] = plan.pooled(ids, mask, strategy)
+            return result
         with no_grad(self.model):
             for start in range(0, n, self.batch_size):
                 rows = order[start : start + self.batch_size]
@@ -120,6 +174,9 @@ class CommandEncoder:
     def embed_tokens(self, line: str) -> np.ndarray:
         """Per-token embeddings ``(T, hidden_size)`` for a single line."""
         ids, mask = self._encode_batch([line])
+        if self._plan is not None:
+            # fancy indexing copies out of the plan's scratch
+            return self._plan.forward(ids, mask)[0, mask[0]]
         with no_grad(self.model):
             hidden = self.model(ids, mask)
         return hidden.data[0, mask[0]]

@@ -17,11 +17,13 @@ Public surface:
 - :class:`WarmupLinearSchedule`, :class:`CosineSchedule` — LR schedules.
 - :func:`save_module` / :func:`load_module` — checkpointing.
 - :func:`check_gradient` — numerical gradient validation.
+- :class:`InferencePlan` — graph-free compiled serving forward.
 """
 
 from repro.nn import functional
 from repro.nn.attention import MultiHeadSelfAttention
 from repro.nn.gradcheck import check_gradient, numerical_gradient
+from repro.nn.inference import InferenceCompileError, InferencePlan
 from repro.nn.layers import MLP, Dropout, Embedding, LayerNorm, Linear
 from repro.nn.module import Module, Parameter, no_grad
 from repro.nn.optim import SGD, AdamW, Optimizer, clip_grad_norm
@@ -36,6 +38,8 @@ __all__ = [
     "CosineSchedule",
     "Dropout",
     "Embedding",
+    "InferenceCompileError",
+    "InferencePlan",
     "LRSchedule",
     "LayerNorm",
     "Linear",

@@ -52,7 +52,8 @@ class MultiHeadSelfAttention(Module):
             additive = np.where(mask, 0.0, NEG_INF)[:, None, None, :]
             scores = F.add_bias(scores, additive)
         weights = F.softmax(scores, axis=-1)
-        weights = self.attn_dropout(weights)
+        if self.attn_dropout.training and self.attn_dropout.p > 0.0:
+            weights = self.attn_dropout(weights)
         context = weights @ v  # (B, H, T, d)
         merged = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.hidden_size)
         return self.output(merged)

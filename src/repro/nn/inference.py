@@ -1,0 +1,531 @@
+"""Compiled inference: graph-free, buffer-reusing forward kernels.
+
+Every serving-time forward pass used to execute through the float64
+reverse-mode autograd tape in :mod:`repro.nn.tensor` — per-op ``Tensor``
+wrappers, per-op output allocation, eval-mode ``Dropout`` calls, and one
+tiny stacked BLAS call per batch row for every linear layer.  Under
+``no_grad`` none of that buys anything: the graph is never built, the
+dropout masks are never drawn, and the per-op overhead *is* the cost.
+
+:class:`InferencePlan` compiles a trained
+:class:`~repro.lm.model.CommandLineLM` once into straight-line numpy:
+
+- **weights as raw contiguous arrays** — on the float32 hot path the
+  query/key/value projections of every layer are prepacked into one
+  fused ``(D, 3D)`` matrix, so a layer's QKV projection is a single GEMM
+  over the flattened ``(B*T, D)`` activations (float64 keeps the tape's
+  per-projection batched call shapes — see below);
+- **per-shape-bucket scratch buffers** — every intermediate (hidden
+  states, attention scores, FFN activations) lives in a preallocated
+  buffer keyed by the ``(batch, seq)`` shape and reused across batches,
+  so the steady-state forward allocates nothing per op;
+- **eval-mode structure folded out at compile time** — dropout layers
+  vanish entirely, layer norms run as five in-place ufuncs, and the
+  softmax → mask → scale of attention runs as one fused in-place kernel
+  per layer;
+- **a precision knob** — ``precision="float64"`` (default) keeps every
+  kernel in the tape's dtype, ``"float32"`` casts the packed weights and
+  scratch once at compile time for roughly half the memory traffic.
+
+The float64 contract is strict: :meth:`InferencePlan.forward` is
+**bitwise-identical** to ``CommandLineLM.forward(...).data`` under
+``no_grad``, and :meth:`InferencePlan.pooled` to
+``pool(hidden, mask, strategy).data``.  Each kernel replicates the exact
+ufunc sequence of the tape path (same operand order, same ``x ** 3``
+power, same ``1.0 / sqrt`` reciprocal) **and the exact GEMM call
+shapes**: BLAS picks its micro-kernel, and therefore its summation
+grouping, from the operand shapes, so a fused or flattened matmul can
+differ from the tape's batched ``(B, T, D) @ (D, D)`` call in the last
+bit at thin shapes.  float64 therefore issues the tape's calls
+verbatim and wins on buffer reuse and folded-out graph bookkeeping
+alone; the shape-changing fusions (QKV packing, ``(B*T, D)``
+flattening) are reserved for float32, which is tolerance-mode anyway
+(property-tested in ``tests/nn/test_inference_plan.py``).
+
+Models the compiler does not cover (subclassed modules, bias-free
+linears, non-standard block wiring) raise
+:class:`InferenceCompileError` at compile time — callers treat that as
+"serve through the Tensor path", never as a hard failure.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.nn import functional as F
+from repro.nn.attention import NEG_INF, MultiHeadSelfAttention
+from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear
+from repro.nn.transformer import TransformerBlock, TransformerEncoder
+
+#: Supported compute precisions for a compiled plan.
+PRECISIONS = ("float64", "float32")
+
+#: Shape buckets kept alive at once; least recently used are dropped
+#: (each bucket's scratch is proportional to ``B * T * (D + H*T)``).
+_MAX_SCRATCH_BUCKETS = 32
+
+
+class InferenceCompileError(ReproError):
+    """The model's structure is outside what the compiler covers.
+
+    Raised by :meth:`InferencePlan.compile` when a module is subclassed,
+    rewired, or configured in a way whose numerics the straight-line
+    kernels would not replicate.  Serving layers catch this and fall
+    back to the Tensor-tape path.
+    """
+
+
+def _exact(module, cls, where: str):
+    """Require *module* to be exactly *cls* (subclasses may override
+    ``forward`` with different math, which the compiled kernels would
+    silently misrepresent)."""
+    if type(module) is not cls:
+        raise InferenceCompileError(
+            f"{where} must be {cls.__name__} (got {type(module).__name__}); "
+            "this model is outside the compiled-inference surface"
+        )
+    return module
+
+
+def _packed(array: np.ndarray, dtype) -> np.ndarray:
+    """A contiguous snapshot of *array* in the plan's dtype.
+
+    Always a copy — the plan must be immune to post-compile weight
+    updates (continued training), so it never aliases model storage.
+    """
+    return np.array(array, dtype=dtype, order="C", copy=True)
+
+
+@dataclass(frozen=True)
+class _LayerKernel:
+    """One transformer block's weights, prepacked for the fused kernels.
+
+    Both the fused ``(D, 3D)`` QKV matrix (float32 hot path — one GEMM)
+    and the separate per-projection matrices (float64 parity path) are
+    kept: BLAS kernel dispatch depends on the GEMM call shape, so the
+    bitwise contract forces float64 to issue exactly the tape's calls.
+    """
+
+    wqkv: np.ndarray  # (D, 3D) — fused query|key|value projection
+    bqkv: np.ndarray  # (3D,)
+    wq: np.ndarray  # (D, D) separate projections — float64 parity path
+    bq: np.ndarray
+    wk: np.ndarray
+    bk: np.ndarray
+    wv: np.ndarray
+    bv: np.ndarray
+    wo: np.ndarray  # (D, D) attention output projection
+    bo: np.ndarray  # (D,)
+    attn_gamma: np.ndarray
+    attn_beta: np.ndarray
+    attn_eps: float
+    w_in: np.ndarray  # (D, I)
+    b_in: np.ndarray  # (I,)
+    w_out: np.ndarray  # (I, D)
+    b_out: np.ndarray  # (D,)
+    ffn_gamma: np.ndarray
+    ffn_beta: np.ndarray
+    ffn_eps: float
+
+
+class InferencePlan:
+    """A trained :class:`CommandLineLM` compiled to straight-line numpy.
+
+    Build one with :meth:`compile`; the plan snapshots the model's
+    weights (raw contiguous arrays, QKV fused per layer), so weight
+    updates after compilation require recompiling.  The plan is the
+    serving hot path behind
+    :meth:`repro.lm.encoder_api.CommandEncoder.compile_inference`.
+
+    Thread-safety: scratch buffers are **thread-local** — the threaded
+    scoring backend runs one ``score_batch`` per pool thread against a
+    shared service, so each thread gets its own shape buckets and
+    forwards never race (the packed weights themselves are read-only).
+    The ``calls`` counter is a plain int and therefore approximate
+    under threads; it is observability, not accounting.
+
+    Returned arrays are **views into the calling thread's scratch**,
+    valid until that thread's next ``forward``/``pooled`` call — copy
+    (or assign into a result array) immediately.
+    """
+
+    def __init__(
+        self,
+        *,
+        precision: str,
+        token_weight: np.ndarray,
+        position_weight: np.ndarray,
+        embed_gamma: np.ndarray,
+        embed_beta: np.ndarray,
+        embed_eps: float,
+        layers: list[_LayerKernel],
+        n_heads: int,
+        head_dim: int,
+        max_position: int,
+    ):
+        self.precision = precision
+        self.dtype = np.float32 if precision == "float32" else np.float64
+        self.token_weight = token_weight
+        self.position_weight = position_weight
+        self.embed_gamma = embed_gamma
+        self.embed_beta = embed_beta
+        self.embed_eps = embed_eps
+        self.layers = layers
+        self.n_heads = n_heads
+        self.head_dim = head_dim
+        self.hidden_size = n_heads * head_dim
+        self.intermediate_size = layers[0].w_in.shape[1] if layers else 0
+        self.max_position = max_position
+        self.vocab_size = token_weight.shape[0]
+        self.scale = 1.0 / math.sqrt(head_dim)
+        #: Forward passes served since compilation (observability).
+        self.calls = 0
+        self._local = threading.local()
+
+    # -- compilation -------------------------------------------------------
+
+    @classmethod
+    def compile(cls, model, precision: str = "float64") -> "InferencePlan":
+        """Extract and prepack *model*'s weights into a plan.
+
+        Raises :class:`InferenceCompileError` for any model whose
+        structure the straight-line kernels do not cover.
+        """
+        if precision not in PRECISIONS:
+            raise ValueError(f"precision must be one of {PRECISIONS} (got {precision!r})")
+        # deferred import: repro.lm imports this module's host package
+        from repro.lm.model import CommandLineLM
+
+        _exact(model, CommandLineLM, "model")
+        dtype = np.float32 if precision == "float32" else np.float64
+        token = _exact(model.token_embedding, Embedding, "model.token_embedding")
+        position = _exact(model.position_embedding, Embedding, "model.position_embedding")
+        norm = _exact(model.embedding_norm, LayerNorm, "model.embedding_norm")
+        _exact(model.embedding_dropout, Dropout, "model.embedding_dropout")
+        encoder = _exact(model.encoder, TransformerEncoder, "model.encoder")
+        layers = [
+            cls._compile_block(block, index, dtype)
+            for index, block in enumerate(encoder.blocks)
+        ]
+        config = model.config
+        return cls(
+            precision=precision,
+            token_weight=_packed(token.weight.data, dtype),
+            position_weight=_packed(position.weight.data, dtype),
+            embed_gamma=_packed(norm.gamma.data, dtype),
+            embed_beta=_packed(norm.beta.data, dtype),
+            embed_eps=float(norm.eps),
+            layers=layers,
+            n_heads=config.n_heads,
+            head_dim=config.hidden_size // config.n_heads,
+            max_position=config.max_position,
+        )
+
+    @staticmethod
+    def _compile_block(block, index: int, dtype) -> _LayerKernel:
+        where = f"model.encoder.blocks[{index}]"
+        _exact(block, TransformerBlock, where)
+        attention = _exact(block.attention, MultiHeadSelfAttention, f"{where}.attention")
+        _exact(attention.attn_dropout, Dropout, f"{where}.attention.attn_dropout")
+        _exact(block.dropout1, Dropout, f"{where}.dropout1")
+        _exact(block.dropout2, Dropout, f"{where}.dropout2")
+        projections = []
+        for name in ("query", "key", "value", "output"):
+            linear = _exact(getattr(attention, name), Linear, f"{where}.attention.{name}")
+            if linear.bias is None:
+                raise InferenceCompileError(
+                    f"{where}.attention.{name} has no bias; the fused QKV kernel "
+                    "assumes biased projections"
+                )
+            projections.append(linear)
+        query, key, value, output = projections
+        attn_norm = _exact(block.attention_norm, LayerNorm, f"{where}.attention_norm")
+        ffn_norm = _exact(block.ffn_norm, LayerNorm, f"{where}.ffn_norm")
+        ffn_in = _exact(block.ffn_in, Linear, f"{where}.ffn_in")
+        ffn_out = _exact(block.ffn_out, Linear, f"{where}.ffn_out")
+        if ffn_in.bias is None or ffn_out.bias is None:
+            raise InferenceCompileError(f"{where} FFN linears must carry biases")
+        assert query.bias is not None and key.bias is not None
+        assert value.bias is not None and output.bias is not None
+        return _LayerKernel(
+            # prepacked QKV: one (D, 3D) GEMM replaces three batched
+            # matmuls on the float32 hot path
+            wqkv=_packed(
+                np.concatenate(
+                    [query.weight.data, key.weight.data, value.weight.data], axis=1
+                ),
+                dtype,
+            ),
+            bqkv=_packed(
+                np.concatenate([query.bias.data, key.bias.data, value.bias.data]), dtype
+            ),
+            wq=_packed(query.weight.data, dtype),
+            bq=_packed(query.bias.data, dtype),
+            wk=_packed(key.weight.data, dtype),
+            bk=_packed(key.bias.data, dtype),
+            wv=_packed(value.weight.data, dtype),
+            bv=_packed(value.bias.data, dtype),
+            wo=_packed(output.weight.data, dtype),
+            bo=_packed(output.bias.data, dtype),
+            attn_gamma=_packed(attn_norm.gamma.data, dtype),
+            attn_beta=_packed(attn_norm.beta.data, dtype),
+            attn_eps=float(attn_norm.eps),
+            w_in=_packed(ffn_in.weight.data, dtype),
+            b_in=_packed(ffn_in.bias.data, dtype),
+            w_out=_packed(ffn_out.weight.data, dtype),
+            b_out=_packed(ffn_out.bias.data, dtype),
+            ffn_gamma=_packed(ffn_norm.gamma.data, dtype),
+            ffn_beta=_packed(ffn_norm.beta.data, dtype),
+            ffn_eps=float(ffn_norm.eps),
+        )
+
+    # -- scratch buffers ---------------------------------------------------
+
+    def _buffers(self, batch: int, seq: int) -> dict[str, np.ndarray]:
+        """Preallocated scratch for the ``(batch, seq)`` shape bucket.
+
+        Buckets live in thread-local storage so concurrent forwards from
+        the threaded backend never share an intermediate.
+        """
+        scratch = getattr(self._local, "scratch", None)
+        if scratch is None:
+            scratch = self._local.scratch = OrderedDict()
+        key = (batch, seq)
+        bucket = scratch.get(key)
+        if bucket is not None:
+            scratch.move_to_end(key)
+            return bucket
+        d, h, dh, i = self.hidden_size, self.n_heads, self.head_dim, self.intermediate_size
+        rows = batch * seq
+        dt = self.dtype
+        bucket = {
+            "x": np.empty((batch, seq, d), dtype=dt),
+            "res": np.empty((batch, seq, d), dtype=dt),
+            "sq": np.empty((batch, seq, d), dtype=dt),
+            "mu": np.empty((batch, seq, 1), dtype=dt),
+            "var": np.empty((batch, seq, 1), dtype=dt),
+            "qkv": np.empty((rows, 3 * d), dtype=dt),
+            "scores": np.empty((batch, h, seq, seq), dtype=dt),
+            "stat": np.empty((batch, h, seq, 1), dtype=dt),
+            "ctx": np.empty((batch, h, seq, dh), dtype=dt),
+            "merge": np.empty((batch, seq, h, dh), dtype=dt),
+            "attn": np.empty((rows, d), dtype=dt),
+            "ffh": np.empty((rows, i), dtype=dt),
+            "gtmp": np.empty((rows, i), dtype=dt),
+            "ff2": np.empty((rows, d), dtype=dt),
+            "additive": np.empty((batch, 1, 1, seq), dtype=dt),
+            "pooled": np.empty((batch, 1, d), dtype=dt),
+            "weights": np.empty((batch, seq), dtype=np.float64),
+        }
+        if dt is np.float64:
+            # parity path: one (B, T, D) output per projection, written
+            # by the tape's exact batched-matmul call shapes (the fused
+            # "qkv" buffer above goes unused in this mode)
+            for name in ("q3", "k3", "v3"):
+                bucket[name] = np.empty((batch, seq, d), dtype=dt)
+        scratch[key] = bucket
+        while len(scratch) > _MAX_SCRATCH_BUCKETS:
+            scratch.popitem(last=False)
+        return bucket
+
+    @property
+    def scratch_buckets(self) -> int:
+        """Live ``(batch, seq)`` shape buckets on this thread."""
+        return len(getattr(self._local, "scratch", ()))
+
+    # -- kernels -----------------------------------------------------------
+
+    def _layer_norm(self, src, gamma, beta, eps, out, buf) -> None:
+        """Post-norm layer norm, in place over *src*, result into *out*.
+
+        Replicates :func:`repro.nn.functional.layer_norm` ufunc-for-ufunc
+        (mean, centered, ``centered ** 2`` mean, ``1.0 / sqrt(var+eps)``,
+        scale, shift) so float64 results are bit-equal. *src* is
+        clobbered; *out* may alias *src*.
+        """
+        mu, var, sq = buf["mu"], buf["var"], buf["sq"]
+        np.mean(src, axis=-1, keepdims=True, out=mu)
+        np.subtract(src, mu, out=src)
+        np.power(src, 2, out=sq)
+        np.mean(sq, axis=-1, keepdims=True, out=var)
+        np.add(var, eps, out=var)
+        np.sqrt(var, out=var)
+        np.divide(1.0, var, out=var)
+        np.multiply(src, var, out=src)
+        np.multiply(src, gamma, out=src)
+        np.add(src, beta, out=out)
+
+    def _attention(self, layer: _LayerKernel, buf, batch: int, seq: int, additive):
+        """Fused self-attention: QKV projection, one in-place masked
+        softmax kernel, one context GEMM, one output GEMM.
+
+        The projection differs by precision.  float64 issues the tape's
+        exact batched ``(B, T, D) @ (D, D)`` matmuls — BLAS selects its
+        micro-kernel (and therefore its summation grouping) from the
+        call shape, so a fused or flattened GEMM can differ in the last
+        bit at thin shapes.  float32 takes the fused ``(B*T, D) @ (D,
+        3D)`` single-GEMM form.
+        """
+        d, h, dh = self.hidden_size, self.n_heads, self.head_dim
+        if self.dtype is np.float64:
+            x3 = buf["x"]
+            q3, k3, v3 = buf["q3"], buf["k3"], buf["v3"]
+            np.matmul(x3, layer.wq, out=q3)
+            np.add(q3, layer.bq, out=q3)
+            np.matmul(x3, layer.wk, out=k3)
+            np.add(k3, layer.bk, out=k3)
+            np.matmul(x3, layer.wv, out=v3)
+            np.add(v3, layer.bv, out=v3)
+            q = q3.reshape(batch, seq, h, dh).transpose(0, 2, 1, 3)
+            k = k3.reshape(batch, seq, h, dh).transpose(0, 2, 1, 3)
+            v = v3.reshape(batch, seq, h, dh).transpose(0, 2, 1, 3)
+        else:
+            x2 = buf["x"].reshape(batch * seq, d)
+            qkv = buf["qkv"]
+            np.matmul(x2, layer.wqkv, out=qkv)
+            np.add(qkv, layer.bqkv, out=qkv)
+            # head split: strided views into the fused projection — the
+            # last axis of each D-column block is contiguous, no copies
+            qkv4 = qkv.reshape(batch, seq, 3 * d)
+            q = qkv4[:, :, :d].reshape(batch, seq, h, dh).transpose(0, 2, 1, 3)
+            k = qkv4[:, :, d : 2 * d].reshape(batch, seq, h, dh).transpose(0, 2, 1, 3)
+            v = qkv4[:, :, 2 * d :].reshape(batch, seq, h, dh).transpose(0, 2, 1, 3)
+        scores, stat = buf["scores"], buf["stat"]
+        np.matmul(q, k.transpose(0, 1, 3, 2), out=scores)
+        np.multiply(scores, self.scale, out=scores)
+        if additive is not None:
+            np.add(scores, additive, out=scores)
+        # in-place numerically-stable softmax (the tape's F.softmax)
+        np.max(scores, axis=-1, keepdims=True, out=stat)
+        np.subtract(scores, stat, out=scores)
+        np.exp(scores, out=scores)
+        np.sum(scores, axis=-1, keepdims=True, out=stat)
+        np.divide(scores, stat, out=scores)
+        ctx, merge = buf["ctx"], buf["merge"]
+        np.matmul(scores, v, out=ctx)
+        np.copyto(merge, ctx.transpose(0, 2, 1, 3))
+        attn = buf["attn"]
+        if self.dtype is np.float64:
+            attn3 = attn.reshape(batch, seq, d)
+            np.matmul(merge.reshape(batch, seq, d), layer.wo, out=attn3)
+            np.add(attn3, layer.bo, out=attn3)
+            return attn3
+        np.matmul(merge.reshape(batch * seq, d), layer.wo, out=attn)
+        np.add(attn, layer.bo, out=attn)
+        return attn.reshape(batch, seq, d)
+
+    def forward(self, ids, attention_mask=None) -> np.ndarray:
+        """Hidden states ``(B, T, D)`` — ``CommandLineLM.forward`` without
+        the tape.  The result is a view into plan scratch; copy before
+        the next call."""
+        ids = np.asarray(ids)
+        if ids.ndim != 2:
+            raise ValueError(f"ids must be (batch, seq), got shape {ids.shape}")
+        batch, seq = ids.shape
+        if seq > self.max_position:
+            raise ValueError(
+                f"sequence length {seq} exceeds max_position {self.max_position}"
+            )
+        if ids.size and (ids.min() < 0 or ids.max() >= self.vocab_size):
+            raise IndexError(
+                f"embedding ids out of range [0, {self.vocab_size}): "
+                f"min={ids.min()}, max={ids.max()}"
+            )
+        buf = self._buffers(batch, seq)
+        x = buf["x"]
+        np.take(self.token_weight, ids, axis=0, out=x)
+        np.add(x, self.position_weight[:seq], out=x)
+        self._layer_norm(x, self.embed_gamma, self.embed_beta, self.embed_eps, x, buf)
+        additive = None
+        if attention_mask is not None:
+            mask = np.asarray(attention_mask, dtype=bool)
+            additive = buf["additive"]
+            np.copyto(additive, np.where(mask, 0.0, NEG_INF)[:, None, None, :])
+        res = buf["res"]
+        for layer in self.layers:
+            attended = self._attention(layer, buf, batch, seq, additive)
+            np.add(x, attended, out=res)
+            self._layer_norm(res, layer.attn_gamma, layer.attn_beta, layer.attn_eps, x, buf)
+            ffh, gtmp, ff2 = buf["ffh"], buf["gtmp"], buf["ff2"]
+            if self.dtype is np.float64:
+                # the tape's batched (B, T, D) @ (D, I) call shape —
+                # see _attention for why the shape is load-bearing
+                np.matmul(x, layer.w_in, out=ffh.reshape(batch, seq, -1))
+            else:
+                np.matmul(x.reshape(batch * seq, self.hidden_size), layer.w_in, out=ffh)
+            np.add(ffh, layer.b_in, out=ffh)
+            # in-place tanh-approximation GELU (the tape's F.gelu):
+            # 0.5 * x * (1 + tanh(sqrt(2/pi) * (x + 0.044715 x^3)))
+            if self.dtype is np.float64:
+                # x ** 3 dispatches to libm pow, which is not the
+                # double-rounded x*x*x — the tape pays the same call, so
+                # matching it is the price of bitwise parity
+                np.power(ffh, 3, out=gtmp)
+            else:
+                # float32 is tolerance-mode: the multiply chain is ~30x
+                # cheaper than scalar pow and within 1 ulp of it
+                np.multiply(ffh, ffh, out=gtmp)
+                np.multiply(gtmp, ffh, out=gtmp)
+            np.multiply(gtmp, 0.044715, out=gtmp)
+            np.add(ffh, gtmp, out=gtmp)
+            np.multiply(gtmp, F._SQRT_2_OVER_PI, out=gtmp)
+            np.tanh(gtmp, out=gtmp)
+            np.add(gtmp, 1.0, out=gtmp)
+            np.multiply(ffh, 0.5, out=ffh)
+            np.multiply(ffh, gtmp, out=ffh)
+            if self.dtype is np.float64:
+                np.matmul(
+                    ffh.reshape(batch, seq, -1),
+                    layer.w_out,
+                    out=ff2.reshape(batch, seq, self.hidden_size),
+                )
+            else:
+                np.matmul(ffh, layer.w_out, out=ff2)
+            np.add(ff2, layer.b_out, out=ff2)
+            np.add(x, ff2.reshape(batch, seq, self.hidden_size), out=res)
+            self._layer_norm(res, layer.ffn_gamma, layer.ffn_beta, layer.ffn_eps, x, buf)
+        self.calls += 1
+        return x
+
+    def pooled(self, ids, attention_mask, strategy: str = "mean") -> np.ndarray:
+        """Pooled embeddings ``(B, D)`` — forward + the tape's pooling.
+
+        Mean pooling replicates :func:`repro.lm.pooling.mean_pool`'s
+        ``(B, 1, T) @ (B, T, D)`` matmul formulation (not a masked sum),
+        which is part of the bitwise contract.  The result is a view
+        into plan scratch; copy before the next call.
+        """
+        hidden = self.forward(ids, attention_mask)
+        if strategy == "cls":
+            return hidden[:, 0, :]
+        if strategy != "mean":
+            raise ValueError(f"unknown pooling strategy {strategy!r}")
+        batch, seq, d = hidden.shape
+        buf = self._buffers(batch, seq)
+        mask = np.asarray(attention_mask, dtype=np.float64)
+        counts = mask.sum(axis=1, keepdims=True)
+        if (counts == 0).any():
+            raise ValueError("attention_mask has rows with no valid positions")
+        weights = buf["weights"]
+        np.divide(mask, counts, out=weights)
+        pooled = buf["pooled"]
+        if self.dtype is np.float64:
+            np.matmul(weights[:, None, :], hidden, out=pooled)
+        else:
+            np.matmul(weights[:, None, :].astype(self.dtype), hidden, out=pooled)
+        return pooled.reshape(batch, d)
+
+    # -- observability -----------------------------------------------------
+
+    def describe(self) -> str:
+        """Short human-readable identity, e.g. ``plan(float64, 2x32d)``."""
+        return (
+            f"plan({self.precision}, {len(self.layers)}x{self.hidden_size}d, "
+            f"heads={self.n_heads})"
+        )

@@ -102,7 +102,12 @@ class Dropout(Module):
         self._rng = rng if rng is not None else np.random.default_rng(0)
 
     def forward(self, x: Tensor) -> Tensor:
-        return F.dropout(x, self.p, self._rng, training=self.training)
+        # eval / p=0 is the identity: hand back the same Tensor with no
+        # RNG draw, mask, or copy (the serving hot path calls this on
+        # every block in eval mode)
+        if not self.training or self.p <= 0.0:
+            return x
+        return F.dropout(x, self.p, self._rng, training=True)
 
 
 class MLP(Module):

@@ -66,6 +66,45 @@ def load_bundle(directory: str) -> object:
     return IntrusionDetectionService.load(directory)
 
 
+def load_bundle_compiled(directory: str, precision: str = "float64") -> object:
+    """Load a bundle and compile its LM into an inference plan.
+
+    The compiled twin of :func:`load_bundle` — the loader the server
+    hands to process backends when ``[backend] compiled`` is on.  Each
+    worker process compiles its *own* plan from its own deserialized
+    model, so plans can never mix generations: a worker that rehydrates
+    after ``swap_model`` rebuilds the plan from the new bundle as part
+    of this call.  Models outside the compiler's surface warn and serve
+    through the Tensor path (see
+    :meth:`IntrusionDetectionService.compile_inference`).
+    """
+    service = load_bundle(directory)
+    service.compile_inference(precision)
+    return service
+
+
+def _warm_service(service: object) -> None:
+    """One tiny forward through each scoring surface *service* exposes.
+
+    Pays the lazy one-time costs — columnar tokenizer construction,
+    inference-plan scratch allocation, BLAS initialization — so the
+    first real batch doesn't carry them as a latency outlier.  Only
+    services holding a compiled plan are warmed: with ``compiled=false``
+    the serving pipeline must stay byte-identical to the plain path, so
+    no extra forward may run.
+    """
+    if not getattr(service, "inference_compiled", False):
+        return
+    lines = ["warm-up"]
+    encode = getattr(service, "encode_batch", None)
+    score_batch = getattr(service, "score_batch", None)
+    if callable(encode) and callable(score_batch):
+        score_batch(encode(lines))
+    scorer = getattr(service, "score_normalized", None)
+    if callable(scorer):
+        scorer(lines)
+
+
 def _split_ranges(count: int, workers: int, min_shard: int) -> list[tuple[int, int]]:
     """Contiguous ``[start, stop)`` row ranges covering *count* items.
 
@@ -118,6 +157,23 @@ class ScoringBackend(ABC):
 
     async def start(self) -> None:
         """Bring up any executors (idempotent)."""
+
+    async def warm_up(self) -> None:
+        """Run a best-effort warm-up forward through the scoring path.
+
+        Called by the server on start, after ``swap_model``, and after a
+        pool resize, so the first real batch never pays one-time costs
+        (bundle deserialization in process workers, scratch allocation,
+        lazy tokenizer construction) as a latency outlier.  Never
+        raises — a failed warm-up must not take the server down.
+        """
+        service = getattr(self, "service", None)
+        if service is None:
+            return
+        try:
+            await asyncio.to_thread(_warm_service, service)
+        except Exception:  # noqa: BLE001 — warm-up is strictly best-effort
+            pass
 
     async def stop(self) -> None:
         """Tear down executors; the backend may be restarted afterwards."""
@@ -399,11 +455,21 @@ def _worker_score_frame(
     return f"pid-{os.getpid()}", os.getpid(), scores
 
 
-def _worker_preload(loader: ServiceLoader, key: int) -> int:
-    """Warm one worker's model cache (best-effort, used by ``start``)."""
+def _worker_preload(loader: ServiceLoader, key: int, warm: bool = False) -> int:
+    """Hydrate one worker's model cache (best-effort, used by ``start``).
+
+    With ``warm=True`` also runs a tiny forward so the worker's first
+    real shard pays no lazy-initialization latency (the post-spawn /
+    post-swap p99 outlier the reservoir used to record).
+    """
     if _WORKER_MODEL["key"] != key:
         _WORKER_MODEL["service"] = loader()
         _WORKER_MODEL["key"] = key
+    if warm:
+        try:
+            _warm_service(_WORKER_MODEL["service"])
+        except Exception:  # noqa: BLE001 — warm-up is strictly best-effort
+            pass
     return os.getpid()
 
 
@@ -539,6 +605,29 @@ class ProcessPoolBackend(ScoringBackend):
                 for _ in range(self._workers)
             ]
             await asyncio.gather(*tasks)
+
+    async def warm_up(self) -> None:
+        """Hydrate and warm every worker process (best-effort).
+
+        One ``_worker_preload(warm=True)`` task per worker: with an idle
+        pool each lands on a distinct process, so bundle load, plan
+        compilation, and the first forward all happen *before* real
+        traffic.  Run after ``start``, ``swap``, and ``resize`` — the
+        generation key makes it rotate stale caches, never mix them.
+        """
+        await self.start()
+        loop = asyncio.get_running_loop()
+        tasks = [
+            loop.run_in_executor(
+                self._executor,
+                partial(_worker_preload, self._loader, self.generation, warm=True),
+            )
+            for _ in range(self._workers)
+        ]
+        try:
+            await asyncio.gather(*tasks)
+        except Exception:  # noqa: BLE001 — warm-up is strictly best-effort
+            pass
 
     async def stop(self) -> None:
         if self._executor is not None:

@@ -110,6 +110,23 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "deserialized bundle). auto = inline for 1 worker, process otherwise",
     )
     parser.add_argument(
+        "--compiled",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="compile the model into a graph-free inference plan for the "
+        "scoring hot path (fused QKV, preallocated scratch, no autograd "
+        "tape); falls back to the Tensor path automatically when the "
+        "model cannot be compiled (default on)",
+    )
+    parser.add_argument(
+        "--precision",
+        choices=("float64", "float32"),
+        default=None,
+        help="compiled-plan arithmetic: float64 scores bitwise-identically "
+        "to the Tensor path, float32 trades ~1e-6 score tolerance for "
+        "large throughput gains (default float64)",
+    )
+    parser.add_argument(
         "--max-batch", type=int, default=None, help="micro-batch flush size (default 32)"
     )
     parser.add_argument(
@@ -290,7 +307,13 @@ def resolve_config(args: argparse.Namespace) -> ServingConfig:
             ttl_seconds=args.cache_ttl,
             admission=args.cache_admission,
         ),
-        backend=override(base.backend, kind=args.backend, workers=args.workers),
+        backend=override(
+            base.backend,
+            kind=args.backend,
+            workers=args.workers,
+            compiled=args.compiled,
+            precision=args.precision,
+        ),
         canonicalize=override(base.canonicalize, enabled=args.canonicalize),
         shards=override(base.shards, count=args.shards),
         autoscale=override(

@@ -361,11 +361,22 @@ class BackendConfig:
     frame per batch, ``"pickle"`` ships the arrays in the task payload,
     ``"auto"`` (default) prefers shared memory when available — see
     :mod:`repro.serving.frames`.
+
+    ``compiled`` routes model forwards through a graph-free
+    :class:`~repro.nn.inference.InferencePlan` (prepacked weights,
+    reused scratch buffers, no autograd tape).  Default on; models the
+    compiler doesn't cover fall back to the Tensor path automatically,
+    and ``compiled = false`` is byte-identical to the pre-compilation
+    pipeline.  ``precision`` selects the plan's arithmetic:
+    ``"float64"`` (default) is bitwise-identical to the Tensor path,
+    ``"float32"`` trades ~1e-6 score drift for several-fold throughput.
     """
 
     kind: str = "auto"
     workers: int = 1
     transport: str = "auto"
+    compiled: bool = True
+    precision: str = "float64"
 
     def __post_init__(self):
         _as_choice(self.kind, "backend.kind", BACKEND_KINDS)
@@ -373,6 +384,10 @@ class BackendConfig:
         from repro.serving.frames import FRAME_TRANSPORTS
 
         _as_choice(self.transport, "backend.transport", FRAME_TRANSPORTS)
+        _as_bool(self.compiled, "backend.compiled")
+        from repro.nn.inference import PRECISIONS
+
+        _as_choice(self.precision, "backend.precision", PRECISIONS)
 
     @property
     def resolved_kind(self) -> str:
@@ -384,11 +399,19 @@ class BackendConfig:
     @classmethod
     def from_dict(cls, data: Any, path: str = "backend") -> "BackendConfig":
         data = _require_mapping(data, path)
-        _reject_unknown_keys(data, ("kind", "workers", "transport"), path)
+        _reject_unknown_keys(
+            data, ("kind", "workers", "transport", "compiled", "precision"), path
+        )
         return cls(**data)
 
     def to_dict(self) -> dict:
-        return {"kind": self.kind, "workers": self.workers, "transport": self.transport}
+        return {
+            "kind": self.kind,
+            "workers": self.workers,
+            "transport": self.transport,
+            "compiled": self.compiled,
+            "precision": self.precision,
+        }
 
 
 @dataclass(frozen=True)

@@ -56,6 +56,9 @@ class ServingMetrics:
         "batches",
         "batched_events",
         "columnar_batches",
+        "compiled_batches",
+        "model_batches",
+        "model_ms_total",
         "unique_scored",
         "scoring_errors",
         "swaps",
@@ -96,6 +99,16 @@ class ServingMetrics:
         #: Miss batches scored through the columnar (``TokenBatch``)
         #: path rather than the per-line string path.
         self.columnar_batches = 0
+        #: Miss batches scored while the service held a compiled
+        #: :class:`~repro.nn.inference.InferencePlan` (vs. the tape).
+        self.compiled_batches = 0
+        #: Model-forward time split: how much of the batch wall time was
+        #: spent inside the scoring backend call itself.  The remainder
+        #: of ``batch_score`` time is pipeline overhead (tokenization,
+        #: dedup, event-loop hops) — the two figures together tell an
+        #: operator whether to optimize the model or the plumbing.
+        self.model_batches = 0
+        self.model_ms_total = 0.0
         self.unique_scored = 0
         self.scoring_errors = 0
         self.swaps = 0
@@ -164,6 +177,11 @@ class ServingMetrics:
             self.batch_score_ewma_ms = duration_ms
         else:
             self.batch_score_ewma_ms += 0.3 * (duration_ms - self.batch_score_ewma_ms)
+
+    def record_model_time(self, duration_ms: float) -> None:
+        """Account one batch's model-forward (backend call) wall time."""
+        self.model_batches += 1
+        self.model_ms_total += float(duration_ms)
 
     def record_swap(self, duration_ms: float) -> None:
         """Account one completed hot model swap."""
@@ -272,9 +290,10 @@ class ServingMetrics:
             raise TypeError(f"metrics wire form must be a dict (got {type(data).__name__})")
         reservoir = int(data.get("latency_reservoir") or 10_000)
         out = cls(latency_reservoir=reservoir)
+        float_attrs = {"total_swap_ms", "model_ms_total"}
         for attr in cls._MERGE_SUM:
             value = data.get(attr, 0)
-            setattr(out, attr, float(value) if attr == "total_swap_ms" else int(value))
+            setattr(out, attr, float(value) if attr in float_attrs else int(value))
         out.last_swap_ms = float(data.get("last_swap_ms", 0.0))
         out.batch_score_ewma_ms = float(data.get("batch_score_ewma_ms", 0.0))
         out.backend = str(data.get("backend", out.backend))
@@ -312,6 +331,11 @@ class ServingMetrics:
         return self.batched_events / self.batches if self.batches else 0.0
 
     @property
+    def model_ms_avg(self) -> float:
+        """Average model-forward time per scored batch (ms)."""
+        return self.model_ms_total / self.model_batches if self.model_batches else 0.0
+
+    @property
     def events_per_second(self) -> float:
         """Throughput over :attr:`elapsed_seconds`."""
         elapsed = self.elapsed_seconds
@@ -341,6 +365,9 @@ class ServingMetrics:
             "batches": self.batches,
             "mean_batch_size": round(self.mean_batch_size, 2),
             "columnar_batches": self.columnar_batches,
+            "compiled_batches": self.compiled_batches,
+            "model_ms_total": round(self.model_ms_total, 3),
+            "model_ms_avg": round(self.model_ms_avg, 3),
             "unique_scored": self.unique_scored,
             "scoring_errors": self.scoring_errors,
             "swaps": self.swaps,

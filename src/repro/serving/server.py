@@ -60,6 +60,7 @@ from repro.serving.backends import (
     ServiceLoader,
     ThreadedBackend,
     load_bundle,
+    load_bundle_compiled,
 )
 from repro.serving.cache import ScoreCache
 from repro.serving.config import (
@@ -122,6 +123,12 @@ def backend_from_config(
     was never saved (``service.source_dir is None``) cannot back a
     process backend — save it first (the CLI does this automatically
     for the demo service).
+
+    With ``config.compiled`` on, in-process backends score through the
+    *service* (which the server compiles), and process workers get the
+    compiled loader so each worker compiles its own plan from its own
+    deserialized model — the worker-side generation check then makes
+    stale plans impossible by construction.
     """
     if autoscale is not None and autoscale.enabled:
         if config.kind == "inline":
@@ -150,8 +157,14 @@ def backend_from_config(
             "service (service.save(dir)) or serve it with backend.kind "
             "'inline'/'threaded'"
         )
+    loader = None
+    if config.compiled:
+        loader = partial(load_bundle_compiled, str(bundle_dir), config.precision)
     return ProcessPoolBackend(
-        str(bundle_dir), workers=config.workers, transport=config.transport
+        str(bundle_dir),
+        loader=loader,
+        workers=config.workers,
+        transport=config.transport,
     )
 
 
@@ -282,9 +295,19 @@ class DetectionServer:
         autoscale: AutoscaleConfig | None = None,
         columnar: bool = True,
         canonicalize: CanonicalizeConfig | None = None,
+        compiled: bool = True,
+        precision: str = "float64",
     ):
         if shards < 1:
             raise ValueError("shards must be >= 1")
+        #: Whether in-process scoring should run through a compiled
+        #: inference plan (``compiled = false`` is byte-identical to the
+        #: pre-compilation pipeline; models the compiler doesn't cover
+        #: fall back with a warning).
+        self.compiled = bool(compiled)
+        self.precision = precision
+        if self.compiled and hasattr(service, "compile_inference"):
+            service.compile_inference(precision)
         backend = backend or InlineBackend(service)
         if isinstance(sinks, DeliveryPipeline):
             pipeline = sinks
@@ -467,6 +490,8 @@ class DetectionServer:
             autoscale=config.autoscale,
             columnar=config.batch.columnar,
             canonicalize=config.canonicalize,
+            compiled=config.backend.compiled,
+            precision=config.backend.precision,
         )
         server.config = config
         if record:
@@ -485,6 +510,9 @@ class DetectionServer:
         self._control_metrics.mark_start()
         self.sinks.start()
         await self._ctx.backend.start()
+        # pay one-time scoring costs (worker hydration, plan scratch,
+        # lazy tokenizers) before the first real batch can observe them
+        await self._ctx.backend.warm_up()
         for runtime in self.shards:
             await runtime.start()
         if self.autoscale_policy.enabled:
@@ -644,7 +672,14 @@ class DetectionServer:
         if bundle_dir is None and service is None and loader is None:
             raise ValueError("swap_model needs a bundle_dir, a service, or a loader")
         if loader is None and bundle_dir is not None:
-            loader = partial(load_bundle, str(bundle_dir))
+            # the incoming generation inherits the server's compilation
+            # policy — worker processes rebuild their plan from this
+            # loader on generation mismatch, so a swap can never leave a
+            # stale (old-weights) plan serving traffic
+            if self.compiled:
+                loader = partial(load_bundle_compiled, str(bundle_dir), self.precision)
+            else:
+                loader = partial(load_bundle, str(bundle_dir))
         if self._swap_lock is None:
             raise RuntimeError("DetectionServer is not running; call start() first")
         async with self._swap_lock:
@@ -652,6 +687,11 @@ class DetectionServer:
             if service is None:
                 # deserialize off-loop: scoring with the old model continues
                 service = await asyncio.to_thread(loader)
+            elif self.compiled and hasattr(service, "compile_inference"):
+                # pre-constructed service (test path): compile it here so
+                # the in-loop reference never serves the tape while the
+                # workers serve a plan
+                await asyncio.to_thread(service.compile_inference, self.precision)
             # a sequence-mode server must never rotate onto a bundle that
             # lost its second stage — fail before touching the backend
             _require_sequence_head(self.session_policy.mode, service)
@@ -663,6 +703,10 @@ class DetectionServer:
                     await stack.enter_async_context(runtime.score_lock)
                 drain_ms = (time.perf_counter() - drain_started) * 1000.0
                 await self._ctx.backend.swap(service=service, loader=loader)
+                # warm the new generation while scoring is still quiesced:
+                # the first post-swap batch must not pay worker rehydration
+                # or plan-scratch allocation (no p99 spike across a swap)
+                await self._ctx.backend.warm_up()
                 self._ctx.service = service
                 self._ctx.generation += 1
                 invalidated = sum(
@@ -719,6 +763,10 @@ class DetectionServer:
             for runtime in self.shards:
                 await stack.enter_async_context(runtime.score_lock)
             changed = await self._ctx.backend.resize(target)
+            if changed:
+                # any freshly spawned worker hydrates + warms before the
+                # quiesce lifts, so scale-up never serves a cold lane
+                await self._ctx.backend.warm_up()
         if changed:
             described = self._ctx.backend.describe()
             self._control_metrics.backend = described

@@ -391,14 +391,22 @@ class ShardRuntime:
             try:
                 if self._columnar_active():
                     batch = ctx.service.encode_batch(lines)
+                    model_started = time.perf_counter()
                     scores = await ctx.backend.score_batch(batch)
                     self.metrics.columnar_batches += 1
                 else:
+                    model_started = time.perf_counter()
                     scores = await ctx.backend.score(lines)
             except Exception:
                 self.metrics.scoring_errors += 1
                 raise
-            self.metrics.record_batch_score((time.perf_counter() - score_started) * 1000.0)
+            finished = time.perf_counter()
+            # split the batch wall time into model-forward vs pipeline
+            # overhead (tokenization, dedup bookkeeping, event-loop hops)
+            self.metrics.record_model_time((finished - model_started) * 1000.0)
+            if getattr(ctx.service, "inference_compiled", False):
+                self.metrics.compiled_batches += 1
+            self.metrics.record_batch_score((finished - score_started) * 1000.0)
         return scores, generation
 
     async def _score_batch(self, lines: list[str]) -> list[tuple[float, int]]:

@@ -1,0 +1,255 @@
+"""Property tests for the compiled inference plan (bitwise parity).
+
+The float64 contract is the whole point of :class:`InferencePlan`: a
+compiled forward must produce *the same bits* as the Tensor-tape path
+under ``no_grad`` — not "close", identical — across model geometries,
+sequence lengths, and padding masks.  Hypothesis drives the geometry;
+``np.array_equal`` (no tolerance) checks the contract.  float32 is the
+explicitly-tolerance-mode precision and is tested against an error
+bound instead.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lm.config import LMConfig
+from repro.lm.model import CommandLineLM
+from repro.lm.pooling import pool
+from repro.nn import Dropout, Tensor
+from repro.nn.inference import (
+    _MAX_SCRATCH_BUCKETS,
+    InferenceCompileError,
+    InferencePlan,
+)
+from repro.nn.layers import Linear
+from repro.nn.module import no_grad
+from repro.nn.tensor import Tensor as _Tensor
+
+
+def build_model(
+    *, n_heads=2, head_dim=8, n_layers=2, vocab=50, max_position=16, seed=0
+) -> CommandLineLM:
+    config = LMConfig(
+        vocab_size=vocab,
+        hidden_size=n_heads * head_dim,
+        n_layers=n_layers,
+        n_heads=n_heads,
+        intermediate_size=4 * n_heads * head_dim,
+        max_position=max_position,
+        seed=seed,
+    )
+    model = CommandLineLM(config)
+    model.eval()
+    return model
+
+
+def random_batch(model, batch, seq, rng, *, pad=True):
+    """ids plus a mask with at least one valid position per row."""
+    ids = rng.integers(0, model.config.vocab_size, size=(batch, seq), dtype=np.int64)
+    if not pad:
+        return ids, np.ones((batch, seq), dtype=bool)
+    lengths = rng.integers(1, seq + 1, size=batch)
+    mask = np.arange(seq) < lengths[:, None]
+    return ids, mask
+
+
+geometry = st.tuples(
+    st.integers(min_value=1, max_value=3),  # heads
+    st.sampled_from([4, 8]),  # head_dim
+    st.integers(min_value=1, max_value=2),  # layers
+    st.integers(min_value=1, max_value=4),  # batch
+    st.integers(min_value=1, max_value=10),  # seq
+    st.integers(min_value=0, max_value=2**31 - 1),  # weight/id seed
+)
+
+
+class TestFloat64Bitwise:
+    @given(geometry, st.booleans())
+    @settings(max_examples=25, deadline=None)
+    def test_forward_bitwise_equals_tape(self, geom, use_mask):
+        heads, head_dim, layers, batch, seq, seed = geom
+        model = build_model(
+            n_heads=heads, head_dim=head_dim, n_layers=layers, seed=seed % 1000
+        )
+        rng = np.random.default_rng(seed)
+        ids, mask = random_batch(model, batch, seq, rng)
+        plan = InferencePlan.compile(model)
+        got = plan.forward(ids, mask if use_mask else None)
+        with no_grad(model):
+            want = model(ids, mask if use_mask else None).data
+        assert got.dtype == want.dtype == np.float64
+        assert np.array_equal(got, want)
+
+    @given(geometry, st.sampled_from(["mean", "cls"]))
+    @settings(max_examples=25, deadline=None)
+    def test_pooled_bitwise_equals_tape(self, geom, strategy):
+        heads, head_dim, layers, batch, seq, seed = geom
+        model = build_model(
+            n_heads=heads, head_dim=head_dim, n_layers=layers, seed=seed % 1000
+        )
+        rng = np.random.default_rng(seed)
+        ids, mask = random_batch(model, batch, seq, rng)
+        plan = InferencePlan.compile(model)
+        got = plan.pooled(ids, mask, strategy).copy()
+        with no_grad(model):
+            want = pool(model(ids, mask), mask, strategy).data
+        assert np.array_equal(got, want)
+
+    def test_repeat_calls_reuse_scratch_and_stay_bitwise(self):
+        model = build_model()
+        plan = InferencePlan.compile(model)
+        rng = np.random.default_rng(7)
+        for _ in range(3):
+            ids, mask = random_batch(model, 3, 9, rng)
+            got = plan.forward(ids, mask).copy()
+            with no_grad(model):
+                want = model(ids, mask).data
+            assert np.array_equal(got, want)
+        assert plan.scratch_buckets == 1  # one (3, 9) bucket, reused
+        assert plan.calls == 3
+
+
+class TestFloat32Tolerance:
+    @given(geometry)
+    @settings(max_examples=15, deadline=None)
+    def test_pooled_within_tolerance(self, geom):
+        heads, head_dim, layers, batch, seq, seed = geom
+        model = build_model(
+            n_heads=heads, head_dim=head_dim, n_layers=layers, seed=seed % 1000
+        )
+        rng = np.random.default_rng(seed)
+        ids, mask = random_batch(model, batch, seq, rng)
+        plan = InferencePlan.compile(model, precision="float32")
+        got = plan.pooled(ids, mask).copy()
+        assert got.dtype == np.float32
+        with no_grad(model):
+            want = pool(model(ids, mask), mask, "mean").data
+        # post-LayerNorm activations are O(1); 1e-4 absolute is ~1000 ulp
+        # of float32 headroom across two blocks of accumulated rounding
+        np.testing.assert_allclose(got, want, atol=1e-4, rtol=1e-3)
+
+
+class TestCompileSurface:
+    def test_rejects_subclassed_model(self):
+        class Tweaked(CommandLineLM):
+            pass
+
+        model = Tweaked(LMConfig.tiny(vocab_size=50))
+        with pytest.raises(InferenceCompileError, match="outside the compiled"):
+            InferencePlan.compile(model)
+
+    def test_rejects_subclassed_block_module(self):
+        model = build_model()
+
+        class NoisyDropout(Dropout):
+            pass
+
+        model.encoder.blocks[0].dropout1 = NoisyDropout(0.0)
+        with pytest.raises(InferenceCompileError):
+            InferencePlan.compile(model)
+
+    def test_rejects_bias_free_projection(self):
+        model = build_model()
+        block = model.encoder.blocks[0]
+        rng = np.random.default_rng(0)
+        d = model.config.hidden_size
+        block.attention.query = Linear(d, d, rng, bias=False)
+        with pytest.raises(InferenceCompileError, match="no bias"):
+            InferencePlan.compile(model)
+
+    def test_rejects_unknown_precision(self):
+        with pytest.raises(ValueError, match="precision"):
+            InferencePlan.compile(build_model(), precision="float16")
+
+    def test_forward_validates_shape_and_ids(self):
+        plan = InferencePlan.compile(build_model(max_position=8))
+        with pytest.raises(ValueError, match="batch, seq"):
+            plan.forward(np.zeros(4, dtype=np.int64))
+        with pytest.raises(ValueError, match="max_position"):
+            plan.forward(np.zeros((1, 9), dtype=np.int64))
+        with pytest.raises(IndexError, match="out of range"):
+            plan.forward(np.full((1, 4), 10_000, dtype=np.int64))
+
+    def test_scratch_buckets_are_lru_bounded(self):
+        model = build_model(max_position=64)
+        plan = InferencePlan.compile(model)
+        for seq in range(1, _MAX_SCRATCH_BUCKETS + 10):
+            plan.forward(np.zeros((1, seq), dtype=np.int64))
+        assert plan.scratch_buckets == _MAX_SCRATCH_BUCKETS
+
+    def test_describe_names_precision_and_geometry(self):
+        plan = InferencePlan.compile(build_model(), precision="float32")
+        assert "float32" in plan.describe()
+        assert "2x16d" in plan.describe()
+
+
+class TestEvalFastPath:
+    """Satellite: dropout must vanish in eval mode, not sample-and-scale."""
+
+    def test_eval_dropout_returns_input_object(self):
+        layer = Dropout(0.5, np.random.default_rng(0))
+        layer.eval()
+        x = Tensor(np.ones((3, 3)))
+        assert layer(x) is x  # identity, not a new node on the tape
+
+    def test_zero_p_dropout_returns_input_object_even_training(self):
+        layer = Dropout(0.0, np.random.default_rng(0))
+        layer.train()
+        x = Tensor(np.ones((3, 3)))
+        assert layer(x) is x
+
+    def test_training_dropout_still_masks(self):
+        layer = Dropout(0.5, np.random.default_rng(0))
+        layer.train()
+        x = Tensor(np.ones((64, 64)))
+        out = layer(x)
+        assert out is not x
+        assert (out.data == 0.0).any()
+
+    def test_eval_attention_never_draws_from_dropout_rng(self):
+        model = build_model()
+        rng_states_before = [
+            block.attention.attn_dropout._rng.bit_generator.state
+            for block in model.encoder.blocks
+        ]
+        ids = np.zeros((2, 5), dtype=np.int64)
+        with no_grad(model):
+            model(ids, np.ones((2, 5), dtype=bool))
+        rng_states_after = [
+            block.attention.attn_dropout._rng.bit_generator.state
+            for block in model.encoder.blocks
+        ]
+        assert rng_states_before == rng_states_after
+
+    def test_eval_forward_unchanged_by_fast_path(self):
+        # the fast path must be an optimization, not a numerics change:
+        # eval dropout used to multiply by a mask of ones — same bits
+        model = build_model()
+        ids = np.arange(10, dtype=np.int64).reshape(2, 5)
+        mask = np.ones((2, 5), dtype=bool)
+        with no_grad(model):
+            first = model(ids, mask).data.copy()
+            second = model(ids, mask).data.copy()
+        assert np.array_equal(first, second)
+
+
+class TestPlanIsGraphFree:
+    def test_forward_builds_no_tape(self):
+        model = build_model()
+        plan = InferencePlan.compile(model)
+        ids = np.zeros((1, 4), dtype=np.int64)
+        out = plan.forward(ids, np.ones((1, 4), dtype=bool))
+        assert isinstance(out, np.ndarray)
+        assert not isinstance(out, _Tensor)
+
+    def test_weights_are_snapshots(self):
+        model = build_model()
+        plan = InferencePlan.compile(model)
+        ids = np.zeros((1, 4), dtype=np.int64)
+        mask = np.ones((1, 4), dtype=bool)
+        before = plan.forward(ids, mask).copy()
+        model.token_embedding.weight.data += 1.0  # "training" after compile
+        after = plan.forward(ids, mask).copy()
+        assert np.array_equal(before, after)  # the plan kept its snapshot
